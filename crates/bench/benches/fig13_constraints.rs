@@ -1,0 +1,56 @@
+//! Figure 13: back-annotation of relative-timing constraints for the strobe
+//! switch — the CES extraction and max-separation machinery on the stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ces::{CesBuilder, Occurrence, SeparationAnalysis};
+use tts::{DelayInterval, EventId, Time};
+
+fn strobe_switch_ces() -> ces::Ces {
+    let d = |l, u| DelayInterval::new(Time::new(l), Time::new(u)).unwrap();
+    let e = |i| EventId::from_index(i);
+    let mut b = CesBuilder::new();
+    // VALID- ; Vint- ; {Z+, CLKE-, ACK+} ; Y- ; ... (Fig. 13(a)/(b) prefix).
+    let valid = b.add_node(Occurrence::first(e(0)), "VALID0-", d(0, 0));
+    let vint = b.add_node(Occurrence::first(e(1)), "Vint-", d(1, 2));
+    let z = b.add_node(Occurrence::first(e(2)), "Z+", d(1, 2));
+    let clke = b.add_node(Occurrence::first(e(3)), "CLKE-", d(3, 4));
+    let ack = b.add_node(Occurrence::first(e(4)), "ACK0+", d(8, 11));
+    let y = b.add_node(Occurrence::first(e(5)), "Y-", d(1, 2));
+    b.add_causal_arc(valid, vint);
+    b.add_causal_arc(vint, z);
+    b.add_causal_arc(vint, clke);
+    b.add_causal_arc(vint, ack);
+    b.add_causal_arc(ack, y);
+    b.build().unwrap()
+}
+
+fn fig13(c: &mut Criterion) {
+    let ces = strobe_switch_ces();
+    c.bench_function("fig13/max_separation_all_pairs", |b| {
+        b.iter(|| {
+            let analysis = SeparationAnalysis::new(&ces);
+            let nodes: Vec<_> = ces.nodes().collect();
+            let mut count = 0usize;
+            for &x in &nodes {
+                for &y in &nodes {
+                    if x != y && analysis.max_separation(x, y).is_negative() {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+    let stage = ipcmos::stage_model(1).expect("stage builds");
+    c.bench_function("fig13/elaborate_stage_netlist", |b| {
+        b.iter(|| ipcmos::stage_model(1).expect("stage builds"))
+    });
+    let _ = stage;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig13
+}
+criterion_main!(benches);

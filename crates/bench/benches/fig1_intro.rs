@@ -1,0 +1,23 @@
+//! Figure 1/2: the introductory example — one full relative-timing
+//! verification (refinement loop) and the zone-based ground truth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use transyt::{verify, SafetyProperty, VerifyOptions};
+
+fn fig1_intro(c: &mut Criterion) {
+    let timed = bench::intro_example();
+    let property = SafetyProperty::new("g before d").forbid_marked_states();
+    c.bench_function("fig1_intro/relative_timing_verification", |b| {
+        b.iter(|| verify(&timed, &property, &VerifyOptions::default()))
+    });
+    c.bench_function("fig1_intro/zone_based_ground_truth", |b| {
+        b.iter(|| dbm::explore_timed(&timed))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fig1_intro
+}
+criterion_main!(benches);

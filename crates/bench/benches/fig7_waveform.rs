@@ -1,0 +1,20 @@
+//! Figure 7: pulse-level simulation of a two-stage pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig7(c: &mut Criterion) {
+    let pipeline = ipcmos::flat_pipeline(2).expect("two-stage pipeline builds");
+    c.bench_function("fig7_waveform/simulate_two_stage_80_events", |b| {
+        b.iter(|| ipcmos::simulate(&pipeline, 80))
+    });
+    c.bench_function("fig7_waveform/build_two_stage_pipeline", |b| {
+        b.iter(|| ipcmos::flat_pipeline(2).expect("builds"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Scaling (§3.2): cost of building/exploring flat pipelines of growing
+//! length versus the constant-size abstraction obligations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/flat_pipeline_untimed_reachability");
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let pipeline = ipcmos::flat_pipeline(n).expect("pipeline builds");
+                pipeline.underlying().reachable_states().len()
+            })
+        });
+    }
+    group.finish();
+    c.bench_function("scaling/abstraction_obligation_fixed_point", |b| {
+        b.iter(|| ipcmos::experiment_4().expect("experiment 4 builds"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 1: the assume-guarantee obligations. Experiment 1 (abstract) is
+//! benchmarked statistically; the heavier transistor-level obligations are
+//! measured once per run by the `table1_report` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1/experiment1_abstractions_vs_spec", |b| {
+        b.iter(|| ipcmos::experiment_1().expect("experiment 1 builds"))
+    });
+    c.bench_function("table1/experiment4_fixed_point", |b| {
+        b.iter(|| ipcmos::experiment_4().expect("experiment 4 builds"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table1
+}
+criterion_main!(benches);

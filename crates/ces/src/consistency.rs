@@ -1,0 +1,290 @@
+//! Timing consistency of traces.
+//!
+//! A run of the underlying transition system is *timing consistent* with the
+//! timed system (§2.1) if real-valued time stamps can be assigned to its
+//! firings such that
+//!
+//! 1. time stamps are non-decreasing along the trace,
+//! 2. every fired event fires within `[enab + δl, enab + δu]` of its enabling
+//!    time, and
+//! 3. no firing happens later than the deadline `enab(x) + δu(x)` of any event
+//!    `x` that is still enabled at that point (an enabled event cannot be
+//!    overtaken past its upper bound — the inertial-delay/urgency semantics).
+//!
+//! These are difference constraints over the firing times, so feasibility is
+//! decided by negative-cycle detection (Bellman–Ford).
+
+use std::collections::HashMap;
+
+use tts::{Bound, EnablingTrace, EventId, TimedTransitionSystem};
+
+/// Outcome of a timing-consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Consistency {
+    /// The trace admits a consistent time-stamp assignment; one witness
+    /// assignment (a time per trace step) is returned.
+    Consistent(Vec<i64>),
+    /// No consistent time-stamp assignment exists.
+    Inconsistent,
+}
+
+impl Consistency {
+    /// Returns `true` for [`Consistency::Consistent`].
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Consistency::Consistent(_))
+    }
+}
+
+/// A single difference constraint `var_hi − var_lo ≤ bound`.
+#[derive(Debug, Clone, Copy)]
+struct DiffConstraint {
+    lo: usize,
+    hi: usize,
+    bound: i64,
+}
+
+/// Checks whether `trace` is timing consistent with the delays of `timed`.
+///
+/// # Examples
+///
+/// ```
+/// use ces::{check_consistency, Consistency};
+/// use tts::{DelayInterval, EnablingTrace, Time, TimedTransitionSystem, TsBuilder};
+///
+/// // `slow` and `fast` race from the initial state: `slow` takes at least 5
+/// // time units, `fast` at most 2, so a trace where `slow` fires first is
+/// // timing inconsistent.
+/// let mut b = TsBuilder::new("race");
+/// let s0 = b.add_state("s0");
+/// let s1 = b.add_state("s1");
+/// let s2 = b.add_state("s2");
+/// let slow = b.add_transition(s0, "slow", s1);
+/// let fast = b.add_transition(s0, "fast", s2);
+/// b.set_initial(s0);
+/// let ts = b.build()?;
+/// let mut timed = TimedTransitionSystem::new(ts);
+/// timed.set_delay_by_name("slow", DelayInterval::new(Time::new(5), Time::new(9))?);
+/// timed.set_delay_by_name("fast", DelayInterval::new(Time::new(1), Time::new(2))?);
+///
+/// let slow_first = EnablingTrace::from_run(timed.underlying(), s0, &[(slow, s1)])?;
+/// assert_eq!(check_consistency(&slow_first, &timed), Consistency::Inconsistent);
+///
+/// let fast_first = EnablingTrace::from_run(timed.underlying(), s0, &[(fast, s2)])?;
+/// assert!(check_consistency(&fast_first, &timed).is_consistent());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_consistency(trace: &EnablingTrace, timed: &TimedTransitionSystem) -> Consistency {
+    let steps = trace.steps();
+    let n = steps.len();
+    if n == 0 {
+        return Consistency::Consistent(Vec::new());
+    }
+
+    // Variables: T_0 (entering the start state, fixed conceptually at 0) and
+    // T_{k+1} = firing time of step k. All constraints are differences, so no
+    // anchoring is required for feasibility.
+    let var_count = n + 1;
+    let mut constraints: Vec<DiffConstraint> = Vec::new();
+
+    // 1. Non-decreasing time stamps along the trace: T_k − T_{k+1} ≤ 0.
+    for k in 0..n {
+        constraints.push(DiffConstraint {
+            lo: k + 1,
+            hi: k,
+            bound: 0,
+        });
+    }
+
+    // Enabling points of the *current pendency* of each enabled event, per
+    // state of the trace. `pendency_start[m][event]` is the state index at
+    // which the occurrence of `event` pending in state `m` became enabled.
+    let mut pendency_start: Vec<HashMap<EventId, usize>> = Vec::with_capacity(n);
+    for (m, step) in steps.iter().enumerate() {
+        let mut map = HashMap::new();
+        for &event in &step.enabled {
+            let start = if m == 0 {
+                0
+            } else {
+                let prev = &pendency_start[m - 1];
+                let prev_step = &steps[m - 1];
+                if prev_step.enabled.contains(&event) && prev_step.event != event {
+                    *prev.get(&event).unwrap_or(&m)
+                } else {
+                    m
+                }
+            };
+            map.insert(event, start);
+        }
+        pendency_start.push(map);
+    }
+
+    for (k, step) in steps.iter().enumerate() {
+        let fire_var = k + 1;
+        // 2. Firing window of the fired event relative to its enabling point.
+        let enab_var = step.enabled_since;
+        let delay = timed.delay(step.event);
+        // T_fire − T_enab ≥ δl  ⇔  T_enab − T_fire ≤ −δl
+        constraints.push(DiffConstraint {
+            lo: fire_var,
+            hi: enab_var,
+            bound: -delay.lower().as_i64(),
+        });
+        // 3. Deadlines of every event enabled in the source state (including
+        // the fired event itself, which yields its upper-bound constraint).
+        for (&event, &start) in &pendency_start[k] {
+            if let Bound::Finite(upper) = timed.delay(event).upper() {
+                constraints.push(DiffConstraint {
+                    lo: start,
+                    hi: fire_var,
+                    bound: upper.as_i64(),
+                });
+            }
+        }
+    }
+
+    match solve_difference_constraints(var_count, &constraints) {
+        Some(solution) => {
+            // Normalise so that T_0 = 0 and report only firing times.
+            let offset = solution[0];
+            Consistency::Consistent(solution[1..].iter().map(|t| t - offset).collect())
+        }
+        None => Consistency::Inconsistent,
+    }
+}
+
+/// Solves a system of difference constraints `x_hi − x_lo ≤ bound` by
+/// Bellman–Ford from a virtual source. Returns a satisfying assignment or
+/// `None` if the system is infeasible.
+fn solve_difference_constraints(
+    var_count: usize,
+    constraints: &[DiffConstraint],
+) -> Option<Vec<i64>> {
+    // Edge lo -> hi with weight `bound`; virtual source var_count -> all with 0.
+    let mut dist = vec![0i64; var_count];
+    for _ in 0..var_count {
+        let mut changed = false;
+        for c in constraints {
+            let candidate = dist[c.lo].saturating_add(c.bound);
+            if candidate < dist[c.hi] {
+                dist[c.hi] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+    }
+    // One more relaxation round detects negative cycles.
+    for c in constraints {
+        if dist[c.lo].saturating_add(c.bound) < dist[c.hi] {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts::{DelayInterval, EnablingTrace, Time, TsBuilder};
+
+    fn d(l: i64, u: i64) -> DelayInterval {
+        DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    /// Two events racing from the initial state, with delays chosen by the
+    /// caller.
+    fn race(slow: DelayInterval, fast: DelayInterval) -> (TimedTransitionSystem, Vec<tts::EventId>) {
+        let mut b = TsBuilder::new("race");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let s3 = b.add_state("s3");
+        let e_slow = b.add_transition(s0, "slow", s1);
+        let e_fast = b.add_transition(s0, "fast", s2);
+        b.add_transition_by_id(s1, e_fast, s3);
+        b.add_transition_by_id(s2, e_slow, s3);
+        b.set_initial(s0);
+        let ts = b.build().unwrap();
+        let mut timed = TimedTransitionSystem::new(ts);
+        timed.set_delay_by_name("slow", slow);
+        timed.set_delay_by_name("fast", fast);
+        (timed, vec![e_slow, e_fast])
+    }
+
+    #[test]
+    fn overtaking_a_deadline_is_inconsistent() {
+        let (timed, events) = race(d(5, 9), d(1, 2));
+        let ts = timed.underlying();
+        let s0 = ts.initial_states()[0];
+        let s1 = ts.successors(s0, events[0])[0];
+        let trace = EnablingTrace::from_run(ts, s0, &[(events[0], s1)]).unwrap();
+        assert_eq!(check_consistency(&trace, &timed), Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn respecting_the_deadline_is_consistent() {
+        let (timed, events) = race(d(5, 9), d(1, 2));
+        let ts = timed.underlying();
+        let s0 = ts.initial_states()[0];
+        let s2 = ts.successors(s0, events[1])[0];
+        let trace = EnablingTrace::from_run(ts, s0, &[(events[1], s2)]).unwrap();
+        let result = check_consistency(&trace, &timed);
+        assert!(result.is_consistent());
+    }
+
+    #[test]
+    fn overlapping_windows_allow_either_order() {
+        let (timed, events) = race(d(1, 4), d(2, 6));
+        let ts = timed.underlying();
+        let s0 = ts.initial_states()[0];
+        for &e in &events {
+            let to = ts.successors(s0, e)[0];
+            let trace = EnablingTrace::from_run(ts, s0, &[(e, to)]).unwrap();
+            assert!(check_consistency(&trace, &timed).is_consistent());
+        }
+    }
+
+    #[test]
+    fn full_interleavings_respect_cumulative_windows() {
+        let (timed, events) = race(d(5, 9), d(1, 2));
+        let ts = timed.underlying();
+        let s0 = ts.initial_states()[0];
+        // fast then slow is fine.
+        let s2 = ts.successors(s0, events[1])[0];
+        let s3 = ts.successors(s2, events[0])[0];
+        let trace =
+            EnablingTrace::from_run(ts, s0, &[(events[1], s2), (events[0], s3)]).unwrap();
+        let result = check_consistency(&trace, &timed);
+        match result {
+            Consistency::Consistent(times) => {
+                assert_eq!(times.len(), 2);
+                assert!(times[0] <= times[1]);
+            }
+            Consistency::Inconsistent => panic!("expected consistent trace"),
+        }
+    }
+
+    #[test]
+    fn unbounded_events_never_force_deadlines() {
+        let (timed, events) = race(DelayInterval::unbounded(), d(1, 2));
+        let ts = timed.underlying();
+        let s0 = ts.initial_states()[0];
+        // Even though `fast` has a tight window, the unbounded `slow` event
+        // firing first at time ~0 is consistent.
+        let s1 = ts.successors(s0, events[0])[0];
+        let trace = EnablingTrace::from_run(ts, s0, &[(events[0], s1)]).unwrap();
+        assert!(check_consistency(&trace, &timed).is_consistent());
+    }
+
+    #[test]
+    fn empty_trace_is_consistent() {
+        let (timed, _) = race(d(1, 2), d(1, 2));
+        let s0 = timed.underlying().initial_states()[0];
+        let trace = EnablingTrace::from_run(timed.underlying(), s0, &[]).unwrap();
+        assert_eq!(
+            check_consistency(&trace, &timed),
+            Consistency::Consistent(vec![])
+        );
+    }
+}

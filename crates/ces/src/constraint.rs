@@ -1,0 +1,194 @@
+//! Relative-timing constraints.
+//!
+//! A relative-timing constraint `a ⋖ b` records that, under the given
+//! absolute delay bounds, event `a` always fires before event `b` whenever
+//! both are pending. The verification engine uses constraints to prune
+//! timing-inconsistent interleavings (the *lazy* semantics: the firing of `b`
+//! is delayed, its enabling is untouched), and the same constraints are the
+//! back-annotation reported to the designer — the delay slacks under which
+//! the circuit remains correct (Fig. 13 of the paper).
+
+use std::fmt;
+
+use tts::{EventId, Time};
+
+use crate::separation::Separation;
+
+/// A relative-timing constraint: `before` fires before `after` whenever both
+/// are pending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelativeTimingConstraint {
+    before: EventId,
+    after: EventId,
+    before_name: String,
+    after_name: String,
+    justification: Justification,
+}
+
+/// Why a relative-timing constraint holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Justification {
+    /// Derived by separation analysis: `max(t(before) − t(after))` is the
+    /// contained (negative) value, i.e. `before` leads `after` by at least
+    /// that margin in every admissible timing.
+    Separation {
+        /// `max(t(before) − t(after))` over the analysed event structure.
+        max_before_minus_after: Time,
+    },
+    /// Supplied by the user / environment specification.
+    Assumed,
+}
+
+impl RelativeTimingConstraint {
+    /// Creates a constraint justified by a separation analysis result.
+    ///
+    /// Returns `None` unless the separation proves the ordering (i.e. it is
+    /// finite and strictly negative).
+    pub fn from_separation(
+        before: EventId,
+        before_name: impl Into<String>,
+        after: EventId,
+        after_name: impl Into<String>,
+        max_before_minus_after: Separation,
+    ) -> Option<Self> {
+        match max_before_minus_after {
+            Separation::Finite(t) if t < Time::ZERO => Some(RelativeTimingConstraint {
+                before,
+                after,
+                before_name: before_name.into(),
+                after_name: after_name.into(),
+                justification: Justification::Separation {
+                    max_before_minus_after: t,
+                },
+            }),
+            _ => None,
+        }
+    }
+
+    /// Creates an assumed (environment-supplied) constraint.
+    pub fn assumed(
+        before: EventId,
+        before_name: impl Into<String>,
+        after: EventId,
+        after_name: impl Into<String>,
+    ) -> Self {
+        RelativeTimingConstraint {
+            before,
+            after,
+            before_name: before_name.into(),
+            after_name: after_name.into(),
+            justification: Justification::Assumed,
+        }
+    }
+
+    /// The event that must fire first.
+    pub fn before(&self) -> EventId {
+        self.before
+    }
+
+    /// The event whose firing is delayed.
+    pub fn after(&self) -> EventId {
+        self.after
+    }
+
+    /// Name of the event that must fire first.
+    pub fn before_name(&self) -> &str {
+        &self.before_name
+    }
+
+    /// Name of the delayed event.
+    pub fn after_name(&self) -> &str {
+        &self.after_name
+    }
+
+    /// The justification recorded for the constraint.
+    pub fn justification(&self) -> &Justification {
+        &self.justification
+    }
+
+    /// Slack of the constraint: how much the delayed event's earliest firing
+    /// leads the required ordering (positive slack means the ordering holds
+    /// with margin). `None` for assumed constraints.
+    pub fn slack(&self) -> Option<Time> {
+        match &self.justification {
+            Justification::Separation {
+                max_before_minus_after,
+            } => Some(-*max_before_minus_after),
+            Justification::Assumed => None,
+        }
+    }
+}
+
+impl fmt::Display for RelativeTimingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.justification {
+            Justification::Separation {
+                max_before_minus_after,
+            } => write!(
+                f,
+                "{} < {} (slack {})",
+                self.before_name,
+                self.after_name,
+                -*max_before_minus_after
+            ),
+            Justification::Assumed => {
+                write!(f, "{} < {} (assumed)", self.before_name, self.after_name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: usize) -> EventId {
+        EventId::from_index(i)
+    }
+
+    #[test]
+    fn from_negative_separation() {
+        let c = RelativeTimingConstraint::from_separation(
+            ev(0),
+            "Z+",
+            ev(1),
+            "ACK+",
+            Separation::Finite(Time::new(-3)),
+        )
+        .unwrap();
+        assert_eq!(c.before(), ev(0));
+        assert_eq!(c.after(), ev(1));
+        assert_eq!(c.slack(), Some(Time::new(3)));
+        assert_eq!(c.to_string(), "Z+ < ACK+ (slack 3)");
+    }
+
+    #[test]
+    fn non_negative_separation_is_rejected() {
+        assert!(RelativeTimingConstraint::from_separation(
+            ev(0),
+            "a",
+            ev(1),
+            "b",
+            Separation::Finite(Time::ZERO)
+        )
+        .is_none());
+        assert!(RelativeTimingConstraint::from_separation(
+            ev(0),
+            "a",
+            ev(1),
+            "b",
+            Separation::Unbounded
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn assumed_constraints_have_no_slack() {
+        let c = RelativeTimingConstraint::assumed(ev(0), "VALID-", ev(1), "ACK+");
+        assert_eq!(c.slack(), None);
+        assert!(c.to_string().contains("assumed"));
+        assert_eq!(*c.justification(), Justification::Assumed);
+        assert_eq!(c.before_name(), "VALID-");
+        assert_eq!(c.after_name(), "ACK+");
+    }
+}

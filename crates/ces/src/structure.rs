@@ -1,0 +1,475 @@
+//! Causal event structures (CES) and lazy event structures (LzCES).
+//!
+//! A CES is an acyclic graph whose nodes are *event occurrences* (an event
+//! name plus an occurrence index) related by AND-causality: an occurrence can
+//! fire only after all of its direct predecessors have fired, and its firing
+//! time lies within a delay interval of its enabling time (the latest
+//! predecessor firing time). A *lazy* event structure additionally carries
+//! timing arcs — relative-timing constraints that delay the firing of an
+//! occurrence until another occurrence has fired, without changing its
+//! enabling time (§2.1 of the paper).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use tts::{DelayInterval, EventId};
+
+/// Index of a node (event occurrence) within a [`Ces`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An event occurrence: the `occurrence`-th firing (0-based) of `event` since
+/// the start of the trace the structure was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Occurrence {
+    /// The event.
+    pub event: EventId,
+    /// 0-based occurrence index of the event within the trace.
+    pub occurrence: u32,
+}
+
+impl Occurrence {
+    /// Creates an occurrence.
+    pub fn new(event: EventId, occurrence: u32) -> Self {
+        Occurrence { event, occurrence }
+    }
+
+    /// The first occurrence of `event`.
+    pub fn first(event: EventId) -> Self {
+        Occurrence::new(event, 0)
+    }
+}
+
+impl fmt::Display for Occurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.event, self.occurrence)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NodeData {
+    occurrence: Occurrence,
+    label: String,
+    delay: DelayInterval,
+}
+
+/// Error returned when a [`CesBuilder`] would produce an invalid structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCesError {
+    /// The causality relation contains a cycle involving the named node.
+    Cyclic(String),
+    /// An arc references a node that does not exist.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for BuildCesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCesError::Cyclic(label) => {
+                write!(f, "event structure has a causality cycle through `{label}`")
+            }
+            BuildCesError::UnknownNode(n) => write!(f, "arc references unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildCesError {}
+
+/// Builder for [`Ces`].
+#[derive(Debug, Clone, Default)]
+pub struct CesBuilder {
+    nodes: Vec<NodeData>,
+    causal: Vec<(NodeId, NodeId)>,
+    timing: Vec<(NodeId, NodeId)>,
+}
+
+impl CesBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CesBuilder::default()
+    }
+
+    /// Adds an occurrence with a display label and delay interval; returns its
+    /// node id.
+    pub fn add_node(
+        &mut self,
+        occurrence: Occurrence,
+        label: impl Into<String>,
+        delay: DelayInterval,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            occurrence,
+            label: label.into(),
+            delay,
+        });
+        id
+    }
+
+    /// Adds a causal (AND) arc: `to` is enabled only after `from` fires.
+    pub fn add_causal_arc(&mut self, from: NodeId, to: NodeId) {
+        if !self.causal.contains(&(from, to)) {
+            self.causal.push((from, to));
+        }
+    }
+
+    /// Adds a timing arc (relative-timing constraint): `to` must not fire
+    /// before `from` has fired, but its enabling time is unchanged.
+    pub fn add_timing_arc(&mut self, from: NodeId, to: NodeId) {
+        if !self.timing.contains(&(from, to)) {
+            self.timing.push((from, to));
+        }
+    }
+
+    /// Finalises the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCesError`] if an arc references an unknown node or the
+    /// combined (causal + timing) graph has a cycle.
+    pub fn build(self) -> Result<Ces, BuildCesError> {
+        let n = self.nodes.len();
+        for &(a, b) in self.causal.iter().chain(self.timing.iter()) {
+            if a.index() >= n || b.index() >= n {
+                return Err(BuildCesError::UnknownNode(if a.index() >= n { a } else { b }));
+            }
+        }
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for &(a, b) in &self.causal {
+            if !preds[b.index()].contains(&a) {
+                preds[b.index()].push(a);
+                succs[a.index()].push(b);
+            }
+        }
+        let mut timing_preds = vec![Vec::new(); n];
+        for &(a, b) in &self.timing {
+            if !timing_preds[b.index()].contains(&a) {
+                timing_preds[b.index()].push(a);
+            }
+        }
+        let ces = Ces {
+            nodes: self.nodes,
+            preds,
+            succs,
+            timing_preds,
+        };
+        match ces.topological_order() {
+            Some(_) => Ok(ces),
+            None => {
+                // Find some node on a cycle for the error message.
+                let label = ces
+                    .nodes
+                    .first()
+                    .map(|d| d.label.clone())
+                    .unwrap_or_default();
+                Err(BuildCesError::Cyclic(label))
+            }
+        }
+    }
+}
+
+/// A (lazy) causal event structure.
+///
+/// # Examples
+///
+/// ```
+/// use ces::{CesBuilder, Occurrence};
+/// use tts::{DelayInterval, EventId, Time};
+///
+/// let e = |i| EventId::from_index(i);
+/// let d = DelayInterval::new(Time::new(1), Time::new(2))?;
+/// let mut b = CesBuilder::new();
+/// let a = b.add_node(Occurrence::first(e(0)), "a", d);
+/// let c = b.add_node(Occurrence::first(e(1)), "c", d);
+/// b.add_causal_arc(a, c);
+/// let ces = b.build()?;
+/// assert_eq!(ces.node_count(), 2);
+/// assert_eq!(ces.predecessors(c), &[a]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ces {
+    nodes: Vec<NodeData>,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    timing_preds: Vec<Vec<NodeId>>,
+}
+
+impl Ces {
+    /// Number of occurrences.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the structure has no occurrences.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// The occurrence carried by a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this structure.
+    pub fn occurrence(&self, node: NodeId) -> Occurrence {
+        self.nodes[node.index()].occurrence
+    }
+
+    /// The display label of a node (usually the event name).
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].label
+    }
+
+    /// The delay interval of a node.
+    pub fn delay(&self, node: NodeId) -> DelayInterval {
+        self.nodes[node.index()].delay
+    }
+
+    /// Direct causal predecessors of a node.
+    pub fn predecessors(&self, node: NodeId) -> &[NodeId] {
+        &self.preds[node.index()]
+    }
+
+    /// Direct causal successors of a node.
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        &self.succs[node.index()]
+    }
+
+    /// Timing-arc predecessors of a node (relative-timing constraints
+    /// targeting it).
+    pub fn timing_predecessors(&self, node: NodeId) -> &[NodeId] {
+        &self.timing_preds[node.index()]
+    }
+
+    /// All timing arcs as `(before, after)` pairs.
+    pub fn timing_arcs(&self) -> Vec<(NodeId, NodeId)> {
+        self.timing_preds
+            .iter()
+            .enumerate()
+            .flat_map(|(to, froms)| froms.iter().map(move |&f| (f, NodeId(to as u32))))
+            .collect()
+    }
+
+    /// Number of timing arcs.
+    pub fn timing_arc_count(&self) -> usize {
+        self.timing_preds.iter().map(Vec::len).sum()
+    }
+
+    /// Finds the node carrying a given occurrence.
+    pub fn node_of(&self, occurrence: Occurrence) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|d| d.occurrence == occurrence)
+            .map(NodeId::from_index)
+    }
+
+    /// Returns a copy of the structure with an extra timing arc.
+    #[must_use]
+    pub fn with_timing_arc(&self, from: NodeId, to: NodeId) -> Ces {
+        let mut copy = self.clone();
+        if !copy.timing_preds[to.index()].contains(&from) {
+            copy.timing_preds[to.index()].push(from);
+        }
+        copy
+    }
+
+    /// A topological order of the combined causal + timing graph, or `None`
+    /// if it has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for (to, froms) in self.preds.iter().enumerate() {
+            indegree[to] += froms.len();
+            indegree[to] += self.timing_preds[to].len();
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        // Successor map that includes timing arcs.
+        let mut all_succs = vec![Vec::new(); n];
+        for (to, froms) in self.preds.iter().enumerate() {
+            for f in froms {
+                all_succs[f.index()].push(to);
+            }
+        }
+        for (to, froms) in self.timing_preds.iter().enumerate() {
+            for f in froms {
+                all_succs[f.index()].push(to);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            order.push(NodeId(i as u32));
+            for &s in &all_succs[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The set of causal ancestors of `node` (not including `node`).
+    pub fn ancestors(&self, node: NodeId) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![node];
+        while let Some(x) = stack.pop() {
+            for &p in &self.preds[x.index()] {
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` if `a` causally precedes `b` (transitively).
+    pub fn precedes(&self, a: NodeId, b: NodeId) -> bool {
+        self.ancestors(b).contains(&a)
+    }
+
+    /// Renders the structure with labels and arcs, for diagnostics and
+    /// reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for node in self.nodes() {
+            let preds: Vec<&str> = self.predecessors(node).iter().map(|&p| self.label(p)).collect();
+            let timing: Vec<&str> = self
+                .timing_predecessors(node)
+                .iter()
+                .map(|&p| self.label(p))
+                .collect();
+            out.push_str(&format!(
+                "{} {}  <- causal {:?}  <- timing {:?}\n",
+                self.label(node),
+                self.delay(node),
+                preds,
+                timing
+            ));
+        }
+        out
+    }
+
+    /// Builds a map from occurrence to node id.
+    pub fn occurrence_index(&self) -> HashMap<Occurrence, NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.occurrence, NodeId(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts::Time;
+
+    fn delay(l: i64, u: i64) -> DelayInterval {
+        DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    fn ev(i: usize) -> EventId {
+        EventId::from_index(i)
+    }
+
+    #[test]
+    fn build_simple_chain() {
+        let mut b = CesBuilder::new();
+        let a = b.add_node(Occurrence::first(ev(0)), "a", delay(1, 2));
+        let c = b.add_node(Occurrence::first(ev(1)), "c", delay(2, 3));
+        let d = b.add_node(Occurrence::first(ev(2)), "d", delay(0, 1));
+        b.add_causal_arc(a, c);
+        b.add_causal_arc(c, d);
+        let ces = b.build().unwrap();
+        assert_eq!(ces.node_count(), 3);
+        assert!(ces.precedes(a, d));
+        assert!(!ces.precedes(d, a));
+        assert_eq!(ces.successors(a), &[c]);
+        assert_eq!(ces.ancestors(d).len(), 2);
+        assert_eq!(ces.topological_order().unwrap().len(), 3);
+        assert!(ces.render().contains("a [1,2]"));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut b = CesBuilder::new();
+        let a = b.add_node(Occurrence::first(ev(0)), "a", delay(1, 1));
+        let c = b.add_node(Occurrence::first(ev(1)), "c", delay(1, 1));
+        b.add_causal_arc(a, c);
+        b.add_causal_arc(c, a);
+        assert!(matches!(b.build(), Err(BuildCesError::Cyclic(_))));
+    }
+
+    #[test]
+    fn timing_arcs_count_towards_cycles() {
+        let mut b = CesBuilder::new();
+        let a = b.add_node(Occurrence::first(ev(0)), "a", delay(1, 1));
+        let c = b.add_node(Occurrence::first(ev(1)), "c", delay(1, 1));
+        b.add_causal_arc(a, c);
+        b.add_timing_arc(c, a);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let mut b = CesBuilder::new();
+        let a = b.add_node(Occurrence::first(ev(0)), "a", delay(1, 1));
+        b.add_causal_arc(a, NodeId::from_index(7));
+        assert!(matches!(b.build(), Err(BuildCesError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn with_timing_arc_is_nondestructive() {
+        let mut b = CesBuilder::new();
+        let a = b.add_node(Occurrence::first(ev(0)), "a", delay(1, 1));
+        let c = b.add_node(Occurrence::first(ev(1)), "c", delay(1, 1));
+        b.add_causal_arc(a, c);
+        let ces = b.build().unwrap();
+        assert_eq!(ces.timing_arc_count(), 0);
+        let lazy = ces.with_timing_arc(a, c);
+        assert_eq!(lazy.timing_arc_count(), 1);
+        assert_eq!(ces.timing_arc_count(), 0);
+        assert_eq!(lazy.timing_arcs(), vec![(a, c)]);
+        assert_eq!(lazy.timing_predecessors(c), &[a]);
+    }
+
+    #[test]
+    fn occurrence_lookup() {
+        let mut b = CesBuilder::new();
+        let a0 = b.add_node(Occurrence::new(ev(0), 0), "a", delay(1, 1));
+        let a1 = b.add_node(Occurrence::new(ev(0), 1), "a", delay(1, 1));
+        b.add_causal_arc(a0, a1);
+        let ces = b.build().unwrap();
+        assert_eq!(ces.node_of(Occurrence::new(ev(0), 1)), Some(a1));
+        assert_eq!(ces.node_of(Occurrence::new(ev(3), 0)), None);
+        assert_eq!(ces.occurrence_index().len(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Builder for transistor-level circuits.
+
+use std::collections::HashMap;
+
+use tts::DelayInterval;
+
+use crate::netlist::{
+    default_delay, Circuit, CircuitError, DriveStrength, Invariant, Literal, NodeData, NodeId,
+    PassGate, Stack,
+};
+
+/// Incremental construction of a [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use cmos_circuit::CircuitBuilder;
+/// let mut b = CircuitBuilder::new("latch-control");
+/// b.add_input("ACK", false);
+/// b.add_node("Y", true);
+/// b.add_node("Z", false);
+/// // Y: pulled up by a p-transistor on Z, pulled down by an n-transistor on ACK.
+/// b.add_pull_up("Y", &[("Z", false)])?;
+/// b.add_pull_down("Y", &[("ACK", true)])?;
+/// // Z is just an inverter of Y here.
+/// b.add_inverter("Z", "Y")?;
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.node_count(), 3);
+/// assert_eq!(circuit.modeled_transistor_count(), 4);
+/// # Ok::<(), cmos_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<NodeData>,
+    index: HashMap<String, NodeId>,
+    duplicate: Option<String>,
+    stacks: Vec<Stack>,
+    passes: Vec<PassGate>,
+    invariants: Vec<Invariant>,
+    outputs: Vec<NodeId>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            ..CircuitBuilder::default()
+        }
+    }
+
+    /// Adds an internal or output node with an initial value.
+    pub fn add_node(&mut self, name: impl Into<String>, initial: bool) -> NodeId {
+        self.add_node_data(name.into(), initial, false)
+    }
+
+    /// Adds an input node (driven by the environment) with an initial value.
+    pub fn add_input(&mut self, name: impl Into<String>, initial: bool) -> NodeId {
+        self.add_node_data(name.into(), initial, true)
+    }
+
+    fn add_node_data(&mut self, name: String, initial: bool, is_input: bool) -> NodeId {
+        if self.index.contains_key(&name) && self.duplicate.is_none() {
+            self.duplicate = Some(name.clone());
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.index.insert(name.clone(), id);
+        self.nodes.push(NodeData {
+            name,
+            initial,
+            is_input,
+        });
+        id
+    }
+
+    /// Declares a node as an interface output of the circuit (e.g. `ACK`,
+    /// `VALID` towards the neighbouring stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if the node has not been added.
+    pub fn mark_output(&mut self, name: &str) -> Result<NodeId, CircuitError> {
+        let id = self.lookup(name)?;
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+        Ok(id)
+    }
+
+    fn lookup(&self, name: &str) -> Result<NodeId, CircuitError> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| CircuitError::UnknownNode(name.to_owned()))
+    }
+
+    fn literals(&self, gates: &[(&str, bool)]) -> Result<Vec<Literal>, CircuitError> {
+        gates
+            .iter()
+            .map(|&(name, value)| {
+                self.lookup(name).map(|node| Literal { node, value })
+            })
+            .collect()
+    }
+
+    /// Adds a pull-up stack (drives the target to 1) with the default `[1,2]`
+    /// delay. Gates are `(node, conducting_value)` pairs in series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_pull_up(
+        &mut self,
+        target: &str,
+        gates: &[(&str, bool)],
+    ) -> Result<(), CircuitError> {
+        self.add_stack(target, gates, true, default_delay(DriveStrength::Normal), DriveStrength::Normal)
+    }
+
+    /// Adds a pull-down stack (drives the target to 0) with the default
+    /// `[1,2]` delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_pull_down(
+        &mut self,
+        target: &str,
+        gates: &[(&str, bool)],
+    ) -> Result<(), CircuitError> {
+        self.add_stack(target, gates, false, default_delay(DriveStrength::Normal), DriveStrength::Normal)
+    }
+
+    /// Adds a stack with an explicit drive direction, delay and strength.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_stack(
+        &mut self,
+        target: &str,
+        gates: &[(&str, bool)],
+        drives_to: bool,
+        delay: DelayInterval,
+        strength: DriveStrength,
+    ) -> Result<(), CircuitError> {
+        let target = self.lookup(target)?;
+        let gates = self.literals(gates)?;
+        self.stacks.push(Stack {
+            target,
+            drives_to,
+            gates,
+            delay,
+            strength,
+        });
+        Ok(())
+    }
+
+    /// Adds a pass transistor: while `gate` conducts, `target` follows
+    /// `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_pass(
+        &mut self,
+        target: &str,
+        gate: (&str, bool),
+        source: &str,
+        delay: DelayInterval,
+    ) -> Result<(), CircuitError> {
+        let target = self.lookup(target)?;
+        let gate = Literal {
+            node: self.lookup(gate.0)?,
+            value: gate.1,
+        };
+        let source = self.lookup(source)?;
+        self.passes.push(PassGate {
+            target,
+            gate,
+            source,
+            delay,
+        });
+        Ok(())
+    }
+
+    /// Adds a static CMOS inverter `out = !input` (complementary pull-up and
+    /// pull-down, default delays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_inverter(&mut self, out: &str, input: &str) -> Result<(), CircuitError> {
+        self.add_pull_up(out, &[(input, false)])?;
+        self.add_pull_down(out, &[(input, true)])
+    }
+
+    /// Adds a static CMOS inverter with explicit rise/fall delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_inverter_with(
+        &mut self,
+        out: &str,
+        input: &str,
+        rise: DelayInterval,
+        fall: DelayInterval,
+    ) -> Result<(), CircuitError> {
+        self.add_stack(out, &[(input, false)], true, rise, DriveStrength::Normal)?;
+        self.add_stack(out, &[(input, true)], false, fall, DriveStrength::Normal)
+    }
+
+    /// Declares a forbidden conjunction (e.g. a short-circuit condition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for unknown node names.
+    pub fn add_invariant(
+        &mut self,
+        name: impl Into<String>,
+        literals: &[(&str, bool)],
+    ) -> Result<(), CircuitError> {
+        let literals = self.literals(literals)?;
+        self.invariants.push(Invariant {
+            name: name.into(),
+            literals,
+        });
+        Ok(())
+    }
+
+    /// Interface output nodes declared so far.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Finalises the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError`] if the circuit is empty, a node name is
+    /// duplicated, an input node is driven, or a non-input node has no
+    /// driver.
+    pub fn build(self) -> Result<Circuit, CircuitError> {
+        if self.nodes.is_empty() {
+            return Err(CircuitError::Empty);
+        }
+        if let Some(name) = self.duplicate {
+            return Err(CircuitError::DuplicateNode(name));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            let driven = self.stacks.iter().any(|s| s.target == id)
+                || self.passes.iter().any(|p| p.target == id);
+            if node.is_input && driven {
+                return Err(CircuitError::DrivenInput(node.name.clone()));
+            }
+            if !node.is_input && !driven {
+                return Err(CircuitError::UndrivenNode(node.name.clone()));
+            }
+        }
+        Ok(Circuit {
+            name: self.name,
+            nodes: self.nodes,
+            index: self.index,
+            stacks: self.stacks,
+            passes: self.passes,
+            invariants: self.invariants,
+        })
+    }
+
+    /// Finalises the circuit and returns it together with the declared output
+    /// nodes (used by the elaboration step to assign interface roles).
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_with_outputs(self) -> Result<(Circuit, Vec<NodeId>), CircuitError> {
+        let outputs = self.outputs.clone();
+        let circuit = self.build()?;
+        Ok((circuit, outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts::Time;
+
+    #[test]
+    fn duplicate_nodes_are_rejected() {
+        let mut b = CircuitBuilder::new("dup");
+        b.add_node("X", false);
+        b.add_node("X", true);
+        assert!(matches!(b.build(), Err(CircuitError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn driven_inputs_are_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        b.add_input("A", false);
+        b.add_node("B", false);
+        b.add_inverter("B", "A").unwrap();
+        b.add_pull_up("A", &[("B", true)]).unwrap();
+        assert!(matches!(b.build(), Err(CircuitError::DrivenInput(_))));
+    }
+
+    #[test]
+    fn undriven_nodes_are_rejected() {
+        let mut b = CircuitBuilder::new("floating");
+        b.add_node("X", false);
+        assert!(matches!(b.build(), Err(CircuitError::UndrivenNode(_))));
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        let mut b = CircuitBuilder::new("unknown");
+        b.add_node("X", false);
+        assert!(matches!(
+            b.add_pull_up("X", &[("nope", true)]),
+            Err(CircuitError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            b.add_pass("nope", ("X", true), "X", DelayInterval::unbounded()),
+            Err(CircuitError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            b.mark_output("nope"),
+            Err(CircuitError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        assert_eq!(CircuitBuilder::new("e").build(), Err(CircuitError::Empty));
+    }
+
+    #[test]
+    fn stacks_and_passes_are_recorded() {
+        let mut b = CircuitBuilder::new("mix");
+        b.add_input("VALID", true);
+        b.add_input("Y", true);
+        b.add_input("CLKR", true);
+        b.add_node("Vint", true);
+        let d = DelayInterval::new(Time::new(1), Time::new(2)).unwrap();
+        b.add_pass("Vint", ("Y", true), "VALID", d).unwrap();
+        b.add_stack("Vint", &[("CLKR", false)], true, d, DriveStrength::Weak)
+            .unwrap();
+        b.add_invariant("inv2", &[("VALID", false), ("Y", true), ("CLKR", false)])
+            .unwrap();
+        b.mark_output("Vint").unwrap();
+        let (circuit, outputs) = b.build_with_outputs().unwrap();
+        assert_eq!(circuit.passes().len(), 1);
+        assert_eq!(circuit.stacks().len(), 1);
+        assert_eq!(circuit.invariants().len(), 1);
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(circuit.node_name(outputs[0]), "Vint");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(CircuitError::UnknownNode("Q".into())
+            .to_string()
+            .contains("Q"));
+        assert!(CircuitError::Empty.to_string().contains("no nodes"));
+    }
+}

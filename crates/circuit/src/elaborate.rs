@@ -1,0 +1,434 @@
+//! Elaboration of a transistor-level circuit into a timed transition system.
+//!
+//! Each node/direction pair with at least one driver becomes a signal-edge
+//! event (`NODE+` / `NODE-`). The enabling condition of the event in a given
+//! valuation is "the node does not yet have the target value and some driver
+//! towards that value conducts"; its delay interval is the envelope of the
+//! delays of the drivers of that direction. Input nodes toggle freely (their
+//! timing is supplied by the environment model they are composed with).
+//! States in which a declared (or derived) invariant holds are marked as
+//! violations, which is what the verification engine searches for.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use tts::{DelayInterval, Polarity, TimedTransitionSystem, TsBuilder};
+
+use crate::netlist::{Circuit, Invariant, NodeId};
+
+/// Options controlling elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElaborateOptions {
+    /// Maximum number of circuit states (valuations) to explore.
+    pub state_limit: usize,
+    /// If `true`, short-circuit invariants derived structurally from
+    /// non-complementary drivers are checked in addition to the declared
+    /// ones.
+    pub include_derived_invariants: bool,
+    /// Names of nodes whose edges are interface outputs of the circuit.
+    pub output_nodes: Vec<String>,
+}
+
+impl Default for ElaborateOptions {
+    fn default() -> Self {
+        ElaborateOptions {
+            state_limit: 500_000,
+            include_derived_invariants: true,
+            output_nodes: Vec::new(),
+        }
+    }
+}
+
+/// Error returned by [`elaborate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElaborateError {
+    /// The exploration exceeded the state limit.
+    TooManyStates {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An output node named in the options does not exist.
+    UnknownOutput(String),
+    /// The elaborated system was structurally invalid.
+    Build(String),
+}
+
+impl fmt::Display for ElaborateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElaborateError::TooManyStates { limit } => {
+                write!(f, "circuit exploration exceeds {limit} states")
+            }
+            ElaborateError::UnknownOutput(name) => write!(f, "unknown output node `{name}`"),
+            ElaborateError::Build(msg) => write!(f, "elaboration produced an invalid system: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ElaborateError {}
+
+/// The elaborated circuit model.
+#[derive(Debug, Clone)]
+pub struct CircuitModel {
+    timed: TimedTransitionSystem,
+    persistent_events: Vec<String>,
+}
+
+impl CircuitModel {
+    /// The timed transition system of the circuit (free-running inputs).
+    pub fn timed(&self) -> &TimedTransitionSystem {
+        &self.timed
+    }
+
+    /// Consumes the model and returns the timed transition system.
+    pub fn into_timed(self) -> TimedTransitionSystem {
+        self.timed
+    }
+
+    /// Names of the events that must satisfy the persistency condition of
+    /// §5.1 (all edges of non-input nodes: once such an event is enabled, no
+    /// other firing may disable it).
+    pub fn persistent_events(&self) -> &[String] {
+        &self.persistent_events
+    }
+}
+
+/// Elaborates a circuit into a [`CircuitModel`].
+///
+/// # Errors
+///
+/// Returns [`ElaborateError`] if the exploration exceeds the state limit or
+/// the options reference unknown nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cmos_circuit::{elaborate, CircuitBuilder, ElaborateOptions};
+///
+/// // A free-running input A driving an inverter chain A -> B -> C.
+/// let mut builder = CircuitBuilder::new("chain");
+/// builder.add_input("A", false);
+/// builder.add_node("B", true);
+/// builder.add_node("C", false);
+/// builder.add_inverter("B", "A")?;
+/// builder.add_inverter("C", "B")?;
+/// let circuit = builder.build()?;
+/// let model = elaborate(&circuit, &ElaborateOptions::default())?;
+/// let ts = model.timed().underlying();
+/// assert!(ts.alphabet().lookup("B+").is_some());
+/// assert!(ts.state_count() <= 8);
+/// assert_eq!(model.persistent_events().len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn elaborate(
+    circuit: &Circuit,
+    options: &ElaborateOptions,
+) -> Result<CircuitModel, ElaborateError> {
+    for name in &options.output_nodes {
+        if circuit.node(name).is_none() {
+            return Err(ElaborateError::UnknownOutput(name.clone()));
+        }
+    }
+
+    // Assemble the invariants to monitor.
+    let mut invariants: Vec<Invariant> = circuit.invariants().to_vec();
+    if options.include_derived_invariants {
+        for derived in circuit.derive_short_circuit_invariants() {
+            // Avoid duplicating a manually declared invariant with the same
+            // literal set.
+            if !invariants.iter().any(|i| i.literals == derived.literals) {
+                invariants.push(derived);
+            }
+        }
+    }
+
+    // Event delay envelopes per (node, polarity).
+    let mut delays: HashMap<(NodeId, Polarity), DelayInterval> = HashMap::new();
+    let mut note_delay = |node: NodeId, polarity: Polarity, delay: DelayInterval| {
+        delays
+            .entry((node, polarity))
+            .and_modify(|existing| {
+                let lower = existing.lower().min(delay.lower());
+                let upper = existing.upper().max(delay.upper());
+                *existing = DelayInterval::with_bound(lower, upper)
+                    .expect("envelope of valid intervals is valid");
+            })
+            .or_insert(delay);
+    };
+    for stack in circuit.stacks() {
+        let polarity = if stack.drives_to {
+            Polarity::Rise
+        } else {
+            Polarity::Fall
+        };
+        note_delay(stack.target, polarity, stack.delay);
+    }
+    for pass in circuit.passes() {
+        note_delay(pass.target, Polarity::Rise, pass.delay);
+        note_delay(pass.target, Polarity::Fall, pass.delay);
+    }
+
+    let event_name = |node: NodeId, polarity: Polarity| -> String {
+        format!("{}{}", circuit.node_name(node), polarity.suffix())
+    };
+
+    // Enabled edges of a valuation: (node, polarity target value).
+    let enabled_edges = |values: &[bool]| -> Vec<(NodeId, Polarity)> {
+        let mut out = Vec::new();
+        for node in circuit.nodes() {
+            let current = values[node.index()];
+            if circuit.is_input(node) {
+                out.push((
+                    node,
+                    if current { Polarity::Fall } else { Polarity::Rise },
+                ));
+                continue;
+            }
+            let mut can_rise = false;
+            let mut can_fall = false;
+            for stack in circuit.stacks().iter().filter(|s| s.target == node) {
+                let conducting = stack
+                    .gates
+                    .iter()
+                    .all(|&g| circuit.literal_holds(g, values));
+                if conducting {
+                    if stack.drives_to {
+                        can_rise = true;
+                    } else {
+                        can_fall = true;
+                    }
+                }
+            }
+            for pass in circuit.passes().iter().filter(|p| p.target == node) {
+                if circuit.literal_holds(pass.gate, values) {
+                    if values[pass.source.index()] {
+                        can_rise = true;
+                    } else {
+                        can_fall = true;
+                    }
+                }
+            }
+            if !current && can_rise {
+                out.push((node, Polarity::Rise));
+            }
+            if current && can_fall {
+                out.push((node, Polarity::Fall));
+            }
+        }
+        out
+    };
+
+    // Breadth-first exploration of the valuation space.
+    let mut builder = TsBuilder::new(circuit.name());
+    let mut ids: HashMap<Vec<bool>, tts::StateId> = HashMap::new();
+    let mut queue: VecDeque<Vec<bool>> = VecDeque::new();
+
+    let add_state = |values: Vec<bool>,
+                         builder: &mut TsBuilder,
+                         ids: &mut HashMap<Vec<bool>, tts::StateId>,
+                         queue: &mut VecDeque<Vec<bool>>|
+     -> tts::StateId {
+        if let Some(&id) = ids.get(&values) {
+            return id;
+        }
+        let name: String = values.iter().map(|&v| if v { '1' } else { '0' }).collect();
+        let id = builder.add_state(name);
+        for invariant in &invariants {
+            if circuit.invariant_violated(invariant, &values) {
+                builder.mark_violation(id, invariant.name.clone());
+            }
+        }
+        ids.insert(values.clone(), id);
+        queue.push_back(values);
+        id
+    };
+
+    let initial = circuit.initial_state();
+    let initial_id = add_state(initial, &mut builder, &mut ids, &mut queue);
+    builder.set_initial(initial_id);
+
+    while let Some(values) = queue.pop_front() {
+        if ids.len() > options.state_limit {
+            return Err(ElaborateError::TooManyStates {
+                limit: options.state_limit,
+            });
+        }
+        let from = ids[&values];
+        for (node, polarity) in enabled_edges(&values) {
+            let mut next = values.clone();
+            next[node.index()] = polarity.target_value();
+            let to = add_state(next, &mut builder, &mut ids, &mut queue);
+            builder.add_transition(from, event_name(node, polarity), to);
+        }
+    }
+
+    // Interface roles and persistency set.
+    let mut persistent_events = Vec::new();
+    for node in circuit.nodes() {
+        for polarity in [Polarity::Rise, Polarity::Fall] {
+            let name = event_name(node, polarity);
+            if circuit.is_input(node) {
+                builder.declare_input(&name);
+            } else {
+                persistent_events.push(name.clone());
+                if options
+                    .output_nodes
+                    .iter()
+                    .any(|o| o == circuit.node_name(node))
+                {
+                    builder.declare_output(&name);
+                }
+            }
+        }
+    }
+
+    let ts = builder
+        .build()
+        .map_err(|e| ElaborateError::Build(e.to_string()))?;
+    let mut timed = TimedTransitionSystem::new(ts);
+    for ((node, polarity), delay) in &delays {
+        let name = event_name(*node, *polarity);
+        if timed.underlying().alphabet().lookup(&name).is_some() {
+            timed.set_delay_by_name(&name, *delay);
+        }
+    }
+    Ok(CircuitModel {
+        timed,
+        persistent_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use tts::Time;
+
+    fn d(l: i64, u: i64) -> DelayInterval {
+        DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    /// An inverter driven by a free input.
+    fn inverter() -> Circuit {
+        let mut b = CircuitBuilder::new("inv");
+        b.add_input("A", false);
+        b.add_node("Y", true);
+        b.add_inverter_with("Y", "A", d(1, 2), d(1, 2)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inverter_elaborates_to_four_states() {
+        let model = elaborate(&inverter(), &ElaborateOptions::default()).unwrap();
+        let ts = model.timed().underlying();
+        // (A,Y) in {0,1}^2, all reachable with a free-running input.
+        assert_eq!(ts.state_count(), 4);
+        assert!(ts.alphabet().lookup("A+").is_some());
+        assert!(ts.alphabet().lookup("Y-").is_some());
+        assert_eq!(model.timed().delay_by_name("Y+"), d(1, 2));
+        // Input edges have no circuit delay.
+        assert!(model.timed().delay_by_name("A+").is_unbounded());
+        assert_eq!(model.persistent_events().len(), 2);
+    }
+
+    #[test]
+    fn input_edges_are_inputs_and_marked_outputs_are_outputs() {
+        let mut b = CircuitBuilder::new("buf");
+        b.add_input("A", false);
+        b.add_node("Y", true);
+        b.add_inverter("Y", "A").unwrap();
+        let circuit = b.build().unwrap();
+        let options = ElaborateOptions {
+            output_nodes: vec!["Y".to_owned()],
+            ..ElaborateOptions::default()
+        };
+        let model = elaborate(&circuit, &options).unwrap();
+        let ts = model.timed().underlying();
+        let a_plus = ts.alphabet().lookup("A+").unwrap();
+        let y_minus = ts.alphabet().lookup("Y-").unwrap();
+        assert_eq!(ts.role(a_plus), tts::EventRole::Input);
+        assert_eq!(ts.role(y_minus), tts::EventRole::Output);
+    }
+
+    #[test]
+    fn invariant_violations_are_marked() {
+        // Y pulled up on !Z and pulled down on ACK with both inputs free: the
+        // short circuit state (!Z, ACK) is reachable and must be marked.
+        let mut b = CircuitBuilder::new("y");
+        b.add_input("Z", false);
+        b.add_input("ACK", false);
+        b.add_node("Y", true);
+        b.add_pull_up("Y", &[("Z", false)]).unwrap();
+        b.add_pull_down("Y", &[("ACK", true)]).unwrap();
+        let circuit = b.build().unwrap();
+        let model = elaborate(&circuit, &ElaborateOptions::default()).unwrap();
+        let ts = model.timed().underlying();
+        let bad = ts.marked_reachable_states();
+        assert!(!bad.is_empty());
+        assert!(ts.violations(bad[0])[0].contains("short-circuit at Y"));
+    }
+
+    #[test]
+    fn derived_invariants_can_be_disabled() {
+        let mut b = CircuitBuilder::new("y");
+        b.add_input("Z", false);
+        b.add_input("ACK", false);
+        b.add_node("Y", true);
+        b.add_pull_up("Y", &[("Z", false)]).unwrap();
+        b.add_pull_down("Y", &[("ACK", true)]).unwrap();
+        let circuit = b.build().unwrap();
+        let options = ElaborateOptions {
+            include_derived_invariants: false,
+            ..ElaborateOptions::default()
+        };
+        let model = elaborate(&circuit, &options).unwrap();
+        assert!(model.timed().underlying().marked_reachable_states().is_empty());
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let options = ElaborateOptions {
+            state_limit: 1,
+            ..ElaborateOptions::default()
+        };
+        assert!(matches!(
+            elaborate(&inverter(), &options),
+            Err(ElaborateError::TooManyStates { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_output_is_rejected() {
+        let options = ElaborateOptions {
+            output_nodes: vec!["missing".to_owned()],
+            ..ElaborateOptions::default()
+        };
+        assert!(matches!(
+            elaborate(&inverter(), &options),
+            Err(ElaborateError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn pass_transistors_follow_their_source() {
+        let mut b = CircuitBuilder::new("pass");
+        b.add_input("VALID", true);
+        b.add_input("Y", true);
+        b.add_node("Vint", true);
+        b.add_pass("Vint", ("Y", true), "VALID", d(1, 2)).unwrap();
+        let circuit = b.build().unwrap();
+        let model = elaborate(&circuit, &ElaborateOptions::default()).unwrap();
+        let ts = model.timed().underlying();
+        // From the initial state (VALID=1, Y=1, Vint=1) lowering VALID enables
+        // Vint-.
+        let valid_minus = ts.alphabet().lookup("VALID-").unwrap();
+        let s0 = ts.initial_states()[0];
+        let after_valid_low = ts.successors(s0, valid_minus)[0];
+        let vint_minus = ts.alphabet().lookup("Vint-").unwrap();
+        assert!(ts.is_enabled(after_valid_low, vint_minus));
+        // With Y off the pass transistor no longer drives Vint.
+        let y_minus = ts.alphabet().lookup("Y-").unwrap();
+        let isolated = ts.successors(after_valid_low, y_minus)[0];
+        assert!(!ts.is_enabled(isolated, vint_minus));
+    }
+}

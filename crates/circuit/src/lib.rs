@@ -1,0 +1,50 @@
+//! Transistor-level CMOS circuit modelling.
+//!
+//! This crate implements the circuit-modelling layer of §5.1 of the IPCMOS
+//! paper: every node is a boolean variable driven by pull-up/pull-down
+//! transistor stacks and pass transistors; every driver becomes a
+//! signal-edge event with an enabling condition and a delay interval; and
+//! correctness conditions (short-circuit invariants, persistency,
+//! deadlock-freeness) are expressed over the resulting timed transition
+//! system.
+//!
+//! * [`CircuitBuilder`]/[`Circuit`] — netlist construction and structural
+//!   queries (including automatic derivation of short-circuit invariants for
+//!   non-complementary drivers).
+//! * [`elaborate`] — expansion into a [`tts::TimedTransitionSystem`] whose
+//!   violating states are marked, ready for composition with environment
+//!   models and verification by the `transyt` engine.
+//!
+//! # Example
+//!
+//! ```
+//! use cmos_circuit::{elaborate, CircuitBuilder, ElaborateOptions};
+//!
+//! // The Y node of the IPCMOS strobe switch (Fig. 11): pulled up by a
+//! // p-transistor on Z, pulled down by an n-transistor on ACK. The two
+//! // drivers are not complementary, so a short circuit is possible when the
+//! // environment misbehaves — elaboration marks those states.
+//! let mut builder = CircuitBuilder::new("strobe-switch-y");
+//! builder.add_input("Z", false);
+//! builder.add_input("ACK", false);
+//! builder.add_node("Y", true);
+//! builder.add_pull_up("Y", &[("Z", false)])?;
+//! builder.add_pull_down("Y", &[("ACK", true)])?;
+//! let circuit = builder.build()?;
+//! let model = elaborate(&circuit, &ElaborateOptions::default())?;
+//! assert!(!model.timed().underlying().marked_reachable_states().is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod elaborate;
+mod netlist;
+
+pub use builder::CircuitBuilder;
+pub use elaborate::{elaborate, CircuitModel, ElaborateError, ElaborateOptions};
+pub use netlist::{
+    Circuit, CircuitError, DriveStrength, Invariant, Literal, NodeId, PassGate, Stack,
+};

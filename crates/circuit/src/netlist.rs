@@ -1,0 +1,395 @@
+//! Transistor-level netlists.
+//!
+//! Following §5.1 of the paper, every circuit node is a boolean variable
+//! driven by stacks of pull-up and pull-down transistors and possibly by
+//! pass transistors. Each driver becomes an event of the timed transition
+//! system: a pull-up stack raises the node when all of its series gate
+//! conditions hold, a pull-down stack lowers it, and a pass transistor copies
+//! the value of its source node while its gate conducts. Custom CMOS relaxes
+//! the complementarity of pull-up and pull-down networks, which introduces
+//! potential short-circuits; those are expressed as *invariants* — node
+//! conjunctions that must never hold in any reachable state.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tts::{DelayInterval, Time};
+
+/// Index of a node within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A gate condition: the transistor conducts when `node` has value `value`.
+///
+/// `value = true` describes an n-transistor (conducts on 1), `value = false`
+/// a p-transistor (conducts on 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The controlling node.
+    pub node: NodeId,
+    /// The value at which the transistor conducts.
+    pub value: bool,
+}
+
+impl Literal {
+    /// Condition "node is high" (an n-transistor gate).
+    pub fn high(node: NodeId) -> Self {
+        Literal { node, value: true }
+    }
+
+    /// Condition "node is low" (a p-transistor gate).
+    pub fn low(node: NodeId) -> Self {
+        Literal { node, value: false }
+    }
+}
+
+/// The strength of a driver, used to pick delay intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DriveStrength {
+    /// A regular stack (`[1,2]` delay units by default).
+    #[default]
+    Normal,
+    /// A weak/feedback transistor (`[2,4]` by default).
+    Weak,
+    /// A lumped multi-stage path (delay supplied explicitly).
+    Lumped,
+}
+
+/// A stack of series transistors driving a node towards a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stack {
+    /// The driven node.
+    pub target: NodeId,
+    /// The value the stack drives (`true` = pull-up, `false` = pull-down).
+    pub drives_to: bool,
+    /// Series gate conditions; the stack conducts when all hold.
+    pub gates: Vec<Literal>,
+    /// Switching delay of the stack once it conducts.
+    pub delay: DelayInterval,
+    /// Drive strength (informational; the delay is what matters).
+    pub strength: DriveStrength,
+}
+
+/// A (unidirectional) pass transistor: while `gate` conducts, `target`
+/// follows the value of `source`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassGate {
+    /// The driven node.
+    pub target: NodeId,
+    /// Gate condition under which the pass transistor conducts.
+    pub gate: Literal,
+    /// The node whose value is copied.
+    pub source: NodeId,
+    /// Switching delay.
+    pub delay: DelayInterval,
+}
+
+/// A conjunction of node literals that must never hold in a reachable state
+/// (e.g. a pull-up and a pull-down stack of the same node conducting
+/// simultaneously — a short-circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invariant {
+    /// Human-readable name (reported in failure diagnostics).
+    pub name: String,
+    /// The forbidden conjunction.
+    pub literals: Vec<Literal>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct NodeData {
+    pub(crate) name: String,
+    pub(crate) initial: bool,
+    pub(crate) is_input: bool,
+}
+
+/// Error returned by [`CircuitBuilder::build`](crate::CircuitBuilder::build)
+/// and the node-lookup helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A node name was used twice.
+    DuplicateNode(String),
+    /// A referenced node does not exist.
+    UnknownNode(String),
+    /// An input node has drivers inside the circuit.
+    DrivenInput(String),
+    /// A non-input node has no driver at all.
+    UndrivenNode(String),
+    /// The circuit has no nodes.
+    Empty,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateNode(n) => write!(f, "node `{n}` is declared twice"),
+            CircuitError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            CircuitError::DrivenInput(n) => {
+                write!(f, "input node `{n}` must not be driven by the circuit")
+            }
+            CircuitError::UndrivenNode(n) => write!(f, "node `{n}` has no driver"),
+            CircuitError::Empty => write!(f, "circuit has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A transistor-level circuit.
+///
+/// Build instances with [`CircuitBuilder`](crate::CircuitBuilder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) index: HashMap<String, NodeId>,
+    pub(crate) stacks: Vec<Stack>,
+    pub(crate) passes: Vec<PassGate>,
+    pub(crate) invariants: Vec<Invariant>,
+}
+
+impl Circuit {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (including inputs).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Looks a node up by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.index.get(name).copied()
+    }
+
+    /// Initial value of a node.
+    pub fn initial_value(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].initial
+    }
+
+    /// Returns `true` if the node is an input (driven by the environment).
+    pub fn is_input(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].is_input
+    }
+
+    /// Input nodes.
+    pub fn inputs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.is_input(n))
+    }
+
+    /// Transistor stacks.
+    pub fn stacks(&self) -> &[Stack] {
+        &self.stacks
+    }
+
+    /// Pass transistors.
+    pub fn passes(&self) -> &[PassGate] {
+        &self.passes
+    }
+
+    /// Declared invariants (forbidden conjunctions).
+    pub fn invariants(&self) -> &[Invariant] {
+        &self.invariants
+    }
+
+    /// Number of transistors in the modelled stacks and pass gates (each
+    /// series gate literal is one transistor).
+    pub fn modeled_transistor_count(&self) -> usize {
+        self.stacks.iter().map(|s| s.gates.len()).sum::<usize>() + self.passes.len()
+    }
+
+    /// The initial valuation of all nodes.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.nodes.iter().map(|n| n.initial).collect()
+    }
+
+    /// Evaluates a literal in a valuation.
+    pub fn literal_holds(&self, literal: Literal, values: &[bool]) -> bool {
+        values[literal.node.index()] == literal.value
+    }
+
+    /// Evaluates an invariant (forbidden conjunction) in a valuation.
+    pub fn invariant_violated(&self, invariant: &Invariant, values: &[bool]) -> bool {
+        invariant
+            .literals
+            .iter()
+            .all(|&l| self.literal_holds(l, values))
+    }
+
+    /// Derives short-circuit invariants for every node whose pull-up and
+    /// pull-down stacks (or pass-transistor paths) are not structurally
+    /// complementary: for every pair of opposing drivers, the conjunction of
+    /// both gate conditions must never hold.
+    ///
+    /// This is the automatic counterpart of the manually identified
+    /// invariants (1) and (2) of §5.1 of the paper; structurally
+    /// complementary pairs (like the two halves of an inverter) are skipped.
+    pub fn derive_short_circuit_invariants(&self) -> Vec<Invariant> {
+        let mut derived = Vec::new();
+        for node in self.nodes() {
+            // Collect (gate conditions, drives_to) for every driver of `node`.
+            let mut drivers: Vec<(Vec<Literal>, bool)> = Vec::new();
+            for s in &self.stacks {
+                if s.target == node {
+                    drivers.push((s.gates.clone(), s.drives_to));
+                }
+            }
+            for p in &self.passes {
+                if p.target == node {
+                    // A pass transistor drives towards the source value; both
+                    // polarities are possible, so model it as driving either
+                    // way guarded by the source value.
+                    drivers.push((vec![p.gate, Literal::high(p.source)], true));
+                    drivers.push((vec![p.gate, Literal::low(p.source)], false));
+                }
+            }
+            for (i, (up_gates, up_dir)) in drivers.iter().enumerate() {
+                for (down_gates, down_dir) in drivers.iter().skip(i + 1) {
+                    if up_dir == down_dir {
+                        continue;
+                    }
+                    let mut conjunction = up_gates.clone();
+                    conjunction.extend(down_gates.iter().copied());
+                    if is_contradictory(&conjunction) {
+                        continue; // structurally complementary
+                    }
+                    conjunction.sort_by_key(|l| (l.node, l.value));
+                    conjunction.dedup();
+                    derived.push(Invariant {
+                        name: format!("short-circuit at {}", self.node_name(node)),
+                        literals: conjunction,
+                    });
+                }
+            }
+        }
+        derived
+    }
+}
+
+/// Returns `true` if a conjunction of literals contains `x` and `!x`.
+fn is_contradictory(literals: &[Literal]) -> bool {
+    literals.iter().any(|a| {
+        literals
+            .iter()
+            .any(|b| a.node == b.node && a.value != b.value)
+    })
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nodes, {} stacks, {} pass gates, {} invariants)",
+            self.name,
+            self.node_count(),
+            self.stacks.len(),
+            self.passes.len(),
+            self.invariants.len()
+        )
+    }
+}
+
+/// Default delay for a drive strength.
+pub(crate) fn default_delay(strength: DriveStrength) -> DelayInterval {
+    match strength {
+        DriveStrength::Normal | DriveStrength::Lumped => {
+            DelayInterval::new(Time::new(1), Time::new(2)).expect("static interval")
+        }
+        DriveStrength::Weak => {
+            DelayInterval::new(Time::new(2), Time::new(4)).expect("static interval")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn literals_and_invariants_evaluate() {
+        let mut b = CircuitBuilder::new("inv");
+        let a = b.add_input("A", false);
+        let y = b.add_node("Y", true);
+        b.add_inverter("Y", "A").unwrap();
+        let circuit = b.build().unwrap();
+        let values = circuit.initial_state();
+        assert!(circuit.literal_holds(Literal::low(a), &values));
+        assert!(circuit.literal_holds(Literal::high(y), &values));
+        let inv = Invariant {
+            name: "test".into(),
+            literals: vec![Literal::low(a), Literal::high(y)],
+        };
+        assert!(circuit.invariant_violated(&inv, &values));
+    }
+
+    #[test]
+    fn complementary_gates_produce_no_derived_invariants() {
+        let mut b = CircuitBuilder::new("inv");
+        b.add_input("A", false);
+        b.add_node("Y", true);
+        b.add_inverter("Y", "A").unwrap();
+        let circuit = b.build().unwrap();
+        assert!(circuit.derive_short_circuit_invariants().is_empty());
+    }
+
+    #[test]
+    fn non_complementary_gates_produce_invariants() {
+        // Y pulled up when Z=0 and pulled down when ACK=1: not complementary.
+        let mut b = CircuitBuilder::new("y");
+        b.add_input("Z", false);
+        b.add_input("ACK", false);
+        b.add_node("Y", true);
+        b.add_pull_up("Y", &[("Z", false)]).unwrap();
+        b.add_pull_down("Y", &[("ACK", true)]).unwrap();
+        let circuit = b.build().unwrap();
+        let derived = circuit.derive_short_circuit_invariants();
+        assert_eq!(derived.len(), 1);
+        assert!(derived[0].name.contains('Y'));
+        assert_eq!(derived[0].literals.len(), 2);
+    }
+
+    #[test]
+    fn transistor_counting() {
+        let mut b = CircuitBuilder::new("count");
+        b.add_input("A", false);
+        b.add_input("B", false);
+        b.add_node("Y", true);
+        // 2-input NAND-like pull-up (2 parallel p = 2 stacks of 1) and a
+        // series pull-down of 2.
+        b.add_pull_up("Y", &[("A", false)]).unwrap();
+        b.add_pull_up("Y", &[("B", false)]).unwrap();
+        b.add_pull_down("Y", &[("A", true), ("B", true)]).unwrap();
+        let circuit = b.build().unwrap();
+        assert_eq!(circuit.modeled_transistor_count(), 4);
+        assert!(circuit.to_string().contains("3 stacks"));
+    }
+}

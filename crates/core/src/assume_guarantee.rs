@@ -1,0 +1,159 @@
+//! Assume–guarantee proof bookkeeping.
+//!
+//! The paper's pipeline proof (§4.2) is a sequence of five obligations:
+//! an *assume* step (the abstractions satisfy the specification), three
+//! *guarantee* steps discharging the abstractions against implementations
+//! (one of which is the behavioural-fixed-point/induction step) and the
+//! 1-stage transistor-level verification. [`ProofReport`] collects the
+//! verdicts, timings and refinement counts of such a sequence — it is the
+//! in-memory form of Table 1 of the paper.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::engine::Verdict;
+
+/// One discharged (or failed) obligation.
+#[derive(Debug, Clone)]
+pub struct ProofStep {
+    /// Short name of the obligation (e.g. "A_in || A_out |= S").
+    pub name: String,
+    /// The engine's verdict.
+    pub verdict: Verdict,
+    /// Wall-clock time spent on the obligation.
+    pub elapsed: Duration,
+}
+
+impl ProofStep {
+    /// Creates a step record.
+    pub fn new(name: impl Into<String>, verdict: Verdict, elapsed: Duration) -> Self {
+        ProofStep {
+            name: name.into(),
+            verdict,
+            elapsed,
+        }
+    }
+}
+
+/// A sequence of proof steps, typically the five obligations of §4.2.
+#[derive(Debug, Clone, Default)]
+pub struct ProofReport {
+    steps: Vec<ProofStep>,
+}
+
+impl ProofReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        ProofReport::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: ProofStep) {
+        self.steps.push(step);
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Returns `true` if every step was verified.
+    pub fn all_verified(&self) -> bool {
+        self.steps.iter().all(|s| s.verdict.is_verified())
+    }
+
+    /// Total number of refinement iterations across all steps.
+    pub fn total_refinements(&self) -> usize {
+        self.steps.iter().map(|s| s.verdict.report().refinements).sum()
+    }
+
+    /// Renders the report as a table in the format of Table 1 of the paper:
+    /// experiment, CPU time, number of refinements.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::from(
+            "experiment                                          time        refinements  verdict\n",
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            let refinements = step.verdict.report().refinements;
+            let refinement_text = if refinements == 0 {
+                "-".to_owned()
+            } else {
+                refinements.to_string()
+            };
+            let verdict = match &step.verdict {
+                Verdict::Verified(_) => "verified",
+                Verdict::Failed { .. } => "FAILED",
+                Verdict::Inconclusive { .. } => "inconclusive",
+            };
+            out.push_str(&format!(
+                "{}. {:<48} {:>10.2?}  {:>11}  {}\n",
+                i + 1,
+                step.name,
+                step.elapsed,
+                refinement_text,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ProofReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::VerificationReport;
+
+    fn verified(refinements: usize) -> Verdict {
+        Verdict::Verified(VerificationReport {
+            property: "p".into(),
+            refinements,
+            constraints: Vec::new(),
+            explored_states: 10,
+        })
+    }
+
+    #[test]
+    fn report_accumulates_steps() {
+        let mut report = ProofReport::new();
+        report.push(ProofStep::new("A_in || A_out |= S", verified(0), Duration::from_millis(5)));
+        report.push(ProofStep::new(
+            "A_in || I || OUT <= A_in || A_out",
+            verified(7),
+            Duration::from_millis(120),
+        ));
+        assert!(report.all_verified());
+        assert_eq!(report.total_refinements(), 7);
+        assert_eq!(report.steps().len(), 2);
+        let table = report.summary_table();
+        assert!(table.contains("1. A_in || A_out |= S"));
+        assert!(table.contains("verified"));
+        assert!(table.contains('7'));
+        assert_eq!(report.to_string(), table);
+    }
+
+    #[test]
+    fn failed_steps_are_visible() {
+        let mut report = ProofReport::new();
+        report.push(ProofStep::new(
+            "broken",
+            Verdict::Inconclusive {
+                reason: "limit".into(),
+                report: VerificationReport {
+                    property: "p".into(),
+                    refinements: 3,
+                    constraints: Vec::new(),
+                    explored_states: 1,
+                },
+            },
+            Duration::from_millis(1),
+        ));
+        assert!(!report.all_verified());
+        assert!(report.summary_table().contains("inconclusive"));
+    }
+}

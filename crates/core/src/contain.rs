@@ -1,0 +1,299 @@
+//! Language-containment checking against abstractions (the `⋄` component of
+//! Fig. 9).
+//!
+//! To discharge a guarantee obligation `impl ⊑ abs`, the implementation
+//! (already closed with its context) is composed with the abstraction used
+//! as an *observer*: shared events synchronise, and whenever the
+//! implementation can produce one of the *watched* events in a state where
+//! the observer cannot accept it, the composition moves into a marked
+//! violation state. Verifying "no marked state is reachable" on the monitor
+//! — with the usual relative-timing refinement — establishes that every
+//! output produced by the implementation can also be produced by the
+//! abstraction under the same stimuli.
+
+use std::collections::{HashMap, VecDeque};
+
+use tts::{
+    StateId, TimedTransitionSystem, TransitionSystem, TsBuilder,
+};
+
+use crate::engine::{verify, Verdict, VerifyOptions};
+use crate::property::SafetyProperty;
+
+/// Error returned by [`build_containment_monitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainError {
+    /// A watched event does not appear in the abstraction's alphabet.
+    UnknownWatchedEvent(String),
+    /// The monitor construction produced an invalid system.
+    Build(String),
+}
+
+impl std::fmt::Display for ContainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainError::UnknownWatchedEvent(e) => {
+                write!(f, "watched event `{e}` is not part of the abstraction")
+            }
+            ContainError::Build(msg) => write!(f, "monitor construction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainError {}
+
+/// A refinement obligation `implementation ⊑ abstraction` restricted to the
+/// given watched (output) events.
+#[derive(Debug, Clone)]
+pub struct RefinementObligation<'a> {
+    /// The implementation, already composed with its environment/context.
+    pub implementation: &'a TimedTransitionSystem,
+    /// The abstraction acting as observer.
+    pub abstraction: &'a TransitionSystem,
+    /// Names of the events whose production must be allowed by the
+    /// abstraction (e.g. `ACK+`/`ACK-` in step 2 of §4.2, `VALID±` in steps 3
+    /// and 4).
+    pub watched: Vec<String>,
+}
+
+/// Builds the containment monitor: the product of the implementation and the
+/// observer, with marked violation states for watched events the observer
+/// cannot accept.
+///
+/// # Errors
+///
+/// Returns [`ContainError`] if a watched event is unknown to the abstraction
+/// or the construction fails structurally.
+pub fn build_containment_monitor(
+    obligation: &RefinementObligation<'_>,
+) -> Result<TimedTransitionSystem, ContainError> {
+    let impl_ts = obligation.implementation.underlying();
+    let abs = obligation.abstraction;
+    for w in &obligation.watched {
+        if abs.alphabet().lookup(w).is_none() {
+            return Err(ContainError::UnknownWatchedEvent(w.clone()));
+        }
+    }
+
+    let abs_names: HashMap<&str, tts::EventId> =
+        abs.alphabet().iter().map(|(id, n)| (n, id)).collect();
+    let impl_names: HashMap<&str, tts::EventId> =
+        impl_ts.alphabet().iter().map(|(id, n)| (n, id)).collect();
+
+    let mut builder = TsBuilder::new(format!(
+        "{} |> {}",
+        impl_ts.name(),
+        abs.name()
+    ));
+    let mut ids: HashMap<(StateId, StateId), tts::StateId> = HashMap::new();
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+
+    let add_state = |builder: &mut TsBuilder,
+                     ids: &mut HashMap<(StateId, StateId), tts::StateId>,
+                     queue: &mut VecDeque<(StateId, StateId)>,
+                     l: StateId,
+                     r: StateId|
+     -> tts::StateId {
+        if let Some(&id) = ids.get(&(l, r)) {
+            return id;
+        }
+        let id = builder.add_state(format!("{}|{}", impl_ts.state_name(l), abs.state_name(r)));
+        for v in impl_ts.violations(l) {
+            builder.mark_violation(id, v.clone());
+        }
+        ids.insert((l, r), id);
+        queue.push_back((l, r));
+        id
+    };
+
+    for &l in impl_ts.initial_states() {
+        for &r in abs.initial_states() {
+            let id = add_state(&mut builder, &mut ids, &mut queue, l, r);
+            builder.set_initial(id);
+        }
+    }
+
+    // A single trap state for containment violations.
+    let trap = builder.add_state("containment-violation");
+
+    while let Some((l, r)) = queue.pop_front() {
+        let from = ids[&(l, r)];
+        for &(event, l_to) in impl_ts.transitions_from(l) {
+            let name = impl_ts.alphabet().name(event);
+            let watched = obligation.watched.iter().any(|w| w == name);
+            match abs_names.get(name) {
+                Some(&abs_event) => {
+                    let abs_targets = abs.successors(r, abs_event);
+                    if abs_targets.is_empty() {
+                        if watched {
+                            // The implementation produces an event the
+                            // abstraction cannot accept here.
+                            builder.add_transition(from, name, trap);
+                            builder.mark_violation(
+                                trap,
+                                format!("abstraction cannot accept `{name}`"),
+                            );
+                        }
+                        // Unwatched shared events that the observer cannot
+                        // follow are simply not tracked further on that path.
+                        continue;
+                    }
+                    for r_to in abs_targets {
+                        let to = add_state(&mut builder, &mut ids, &mut queue, l_to, r_to);
+                        builder.add_transition(from, name, to);
+                    }
+                }
+                None => {
+                    // Private implementation event: interleave.
+                    let to = add_state(&mut builder, &mut ids, &mut queue, l_to, r);
+                    builder.add_transition(from, name, to);
+                }
+            }
+        }
+    }
+
+    // Interface roles follow the implementation.
+    for (name, id) in impl_names {
+        match impl_ts.role(id) {
+            tts::EventRole::Input => {
+                builder.declare_input(name);
+            }
+            tts::EventRole::Output => {
+                builder.declare_output(name);
+            }
+            tts::EventRole::Internal => {}
+        }
+    }
+
+    let ts = builder
+        .build()
+        .map_err(|e| ContainError::Build(e.to_string()))?;
+    let mut timed = TimedTransitionSystem::new(ts);
+    for (event, delay) in obligation.implementation.delays() {
+        let name = impl_ts.alphabet().name(event);
+        if timed.underlying().alphabet().lookup(name).is_some() {
+            timed.set_delay_by_name(name, delay);
+        }
+    }
+    Ok(timed)
+}
+
+/// Checks the refinement obligation with the relative-timing engine.
+///
+/// # Errors
+///
+/// Returns [`ContainError`] if the monitor cannot be built; otherwise the
+/// engine's [`Verdict`] is returned.
+pub fn check_refinement(
+    obligation: &RefinementObligation<'_>,
+    options: &VerifyOptions,
+) -> Result<Verdict, ContainError> {
+    let monitor = build_containment_monitor(obligation)?;
+    let property = SafetyProperty::new(format!(
+        "{} refines {}",
+        obligation.implementation.underlying().name(),
+        obligation.abstraction.name()
+    ))
+    .forbid_marked_states();
+    Ok(verify(&monitor, &property, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts::{DelayInterval, Time, TsBuilder};
+
+    fn d(l: i64, u: i64) -> DelayInterval {
+        DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    /// Implementation: emits `req` then `ack`, repeatedly.
+    fn impl_sys(with_spurious_ack: bool) -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("impl");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "req", s1);
+        b.add_transition(s1, "ack", s0);
+        if with_spurious_ack {
+            b.add_transition(s0, "ack", s0);
+        }
+        b.set_initial(s0);
+        b.declare_output("req");
+        b.declare_output("ack");
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("req", d(1, 2));
+        timed.set_delay_by_name("ack", d(1, 2));
+        timed
+    }
+
+    /// Abstraction: `ack` only ever follows `req`.
+    fn abstraction() -> tts::TransitionSystem {
+        let mut b = TsBuilder::new("abs");
+        let a0 = b.add_state("a0");
+        let a1 = b.add_state("a1");
+        b.add_transition(a0, "req", a1);
+        b.add_transition(a1, "ack", a0);
+        b.set_initial(a0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conforming_implementation_refines() {
+        let implementation = impl_sys(false);
+        let abs = abstraction();
+        let obligation = RefinementObligation {
+            implementation: &implementation,
+            abstraction: &abs,
+            watched: vec!["ack".to_owned()],
+        };
+        let verdict = check_refinement(&obligation, &VerifyOptions::default()).unwrap();
+        assert!(verdict.is_verified());
+    }
+
+    #[test]
+    fn spurious_output_is_caught() {
+        let implementation = impl_sys(true);
+        let abs = abstraction();
+        let obligation = RefinementObligation {
+            implementation: &implementation,
+            abstraction: &abs,
+            watched: vec!["ack".to_owned()],
+        };
+        let verdict = check_refinement(&obligation, &VerifyOptions::default()).unwrap();
+        match verdict {
+            Verdict::Failed { counterexample, .. } => {
+                assert!(counterexample.events.contains(&"ack".to_owned()));
+            }
+            other => panic!("expected containment failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_watched_event_is_rejected() {
+        let implementation = impl_sys(false);
+        let abs = abstraction();
+        let obligation = RefinementObligation {
+            implementation: &implementation,
+            abstraction: &abs,
+            watched: vec!["nope".to_owned()],
+        };
+        assert!(matches!(
+            check_refinement(&obligation, &VerifyOptions::default()),
+            Err(ContainError::UnknownWatchedEvent(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_carries_delays_and_marks() {
+        let implementation = impl_sys(true);
+        let abs = abstraction();
+        let obligation = RefinementObligation {
+            implementation: &implementation,
+            abstraction: &abs,
+            watched: vec!["ack".to_owned()],
+        };
+        let monitor = build_containment_monitor(&obligation).unwrap();
+        assert_eq!(monitor.delay_by_name("req"), d(1, 2));
+        assert!(monitor.underlying().has_marked_states());
+    }
+}

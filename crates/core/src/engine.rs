@@ -1,0 +1,663 @@
+//! The relative-timing verification engine (refinement loop of Fig. 3).
+//!
+//! Starting from the untimed state space, the engine searches for a failure
+//! trace (a marked state, a deadlock, or a persistency violation). If the
+//! trace is *timing consistent* with the absolute delay bounds it is a real
+//! counterexample; otherwise a causal event structure is extracted from it,
+//! the max-separation analysis derives event orderings implied by the delays,
+//! and the resulting relative-timing constraints are used to prune the state
+//! space (laziness: the constrained event's firing is delayed, its enabling
+//! is untouched). The loop repeats until no failure remains or a consistent
+//! counterexample is found. The accumulated constraints are the
+//! back-annotation reported to the designer (Fig. 13 of the paper).
+//!
+//! Constraints are applied with the *global* relative-timing semantics of
+//! Stevens et al. [16]: whenever both events are pending, the constrained
+//! event does not fire first. Each constraint carries the separation that
+//! justifies it in the context it was discovered in; the final verdict is
+//! therefore "correct under the reported constraints", which is exactly the
+//! deliverable of the paper's methodology. The zone-based explorer of the
+//! `dbm` crate provides an independent exact check on small models.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use ces::{check_consistency, extract_ces, RelativeTimingConstraint, SeparationAnalysis};
+use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem};
+
+use crate::property::SafetyProperty;
+
+/// Options for [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Maximum number of refinement iterations before giving up.
+    pub max_refinements: usize,
+    /// Relative-timing constraints assumed up front (e.g. documented
+    /// environment requirements).
+    pub assumed_constraints: Vec<RelativeTimingConstraint>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            max_refinements: 200,
+            assumed_constraints: Vec::new(),
+        }
+    }
+}
+
+/// Why a failure trace is a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The trace reaches a state carrying the given violation mark.
+    MarkedState {
+        /// The violation message of the reached state.
+        message: String,
+    },
+    /// The trace reaches a state with no outgoing transitions.
+    Deadlock,
+    /// Firing `by` disabled the pending event `disabled`, which must be
+    /// persistent.
+    PersistencyViolation {
+        /// The event that lost its enabling.
+        disabled: String,
+        /// The event whose firing disabled it.
+        by: String,
+    },
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::MarkedState { message } => write!(f, "reaches violating state: {message}"),
+            FailureKind::Deadlock => write!(f, "reaches a deadlock state"),
+            FailureKind::PersistencyViolation { disabled, by } => {
+                write!(f, "firing {by} disables pending event {disabled}")
+            }
+        }
+    }
+}
+
+/// A timing-consistent failure trace: a real counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The kind of failure reached.
+    pub kind: FailureKind,
+    /// The event names fired along the trace, in order.
+    pub events: Vec<String>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after [{}]", self.kind, self.events.join(", "))
+    }
+}
+
+/// Statistics and back-annotation of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationReport {
+    /// Name of the verified property.
+    pub property: String,
+    /// Number of refinement iterations performed.
+    pub refinements: usize,
+    /// Relative-timing constraints accumulated (assumed + derived).
+    pub constraints: Vec<RelativeTimingConstraint>,
+    /// Number of states reachable in the final (refined) state space.
+    pub explored_states: usize,
+}
+
+impl VerificationReport {
+    /// Renders the back-annotated constraints, one per line, in the style of
+    /// Fig. 13 of the paper.
+    pub fn constraint_listing(&self) -> String {
+        if self.constraints.is_empty() {
+            return "(no relative-timing constraints required)".to_owned();
+        }
+        self.constraints
+            .iter()
+            .map(|c| format!("  {c}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds under the reported relative-timing constraints.
+    Verified(VerificationReport),
+    /// A timing-consistent failure trace exists.
+    Failed {
+        /// The counterexample.
+        counterexample: Counterexample,
+        /// Statistics of the run.
+        report: VerificationReport,
+    },
+    /// The engine could neither prove nor refute the property (refinement
+    /// stuck or iteration limit reached).
+    Inconclusive {
+        /// Why the run stopped.
+        reason: String,
+        /// Statistics of the run.
+        report: VerificationReport,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified(_))
+    }
+
+    /// The report of the run, whatever the outcome.
+    pub fn report(&self) -> &VerificationReport {
+        match self {
+            Verdict::Verified(r) => r,
+            Verdict::Failed { report, .. } => report,
+            Verdict::Inconclusive { report, .. } => report,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified(r) => write!(
+                f,
+                "VERIFIED ({} refinements, {} constraints, {} states)",
+                r.refinements,
+                r.constraints.len(),
+                r.explored_states
+            ),
+            Verdict::Failed { counterexample, report } => write!(
+                f,
+                "FAILED after {} refinements: {counterexample}",
+                report.refinements
+            ),
+            Verdict::Inconclusive { reason, report } => write!(
+                f,
+                "INCONCLUSIVE after {} refinements: {reason}",
+                report.refinements
+            ),
+        }
+    }
+}
+
+/// A failure discovered during one exploration pass.
+struct Failure {
+    kind: FailureKind,
+    run: Vec<(EventId, StateId)>,
+    start: StateId,
+}
+
+/// Verifies `property` on the timed system using the iterative
+/// relative-timing refinement flow.
+///
+/// # Examples
+///
+/// ```
+/// use transyt::{verify, SafetyProperty, VerifyOptions};
+/// use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+///
+/// // `slow` must never overtake `fast`; the delays guarantee it.
+/// let mut b = TsBuilder::new("race");
+/// let s0 = b.add_state("s0");
+/// let ok = b.add_state("ok");
+/// let bad = b.add_state("bad");
+/// let done = b.add_state("done");
+/// let fast = b.add_transition(s0, "fast", ok);
+/// let slow = b.add_transition(s0, "slow", bad);
+/// b.add_transition_by_id(ok, slow, done);
+/// b.add_transition_by_id(bad, fast, done);
+/// b.mark_violation(bad, "slow fired before fast");
+/// b.set_initial(s0);
+/// let mut timed = TimedTransitionSystem::new(b.build()?);
+/// timed.set_delay_by_name("fast", DelayInterval::new(Time::new(1), Time::new(2))?);
+/// timed.set_delay_by_name("slow", DelayInterval::new(Time::new(5), Time::new(9))?);
+///
+/// let property = SafetyProperty::new("fast wins").forbid_marked_states();
+/// let verdict = verify(&timed, &property, &VerifyOptions::default());
+/// assert!(verdict.is_verified());
+/// assert_eq!(verdict.report().constraints.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify(
+    timed: &TimedTransitionSystem,
+    property: &SafetyProperty,
+    options: &VerifyOptions,
+) -> Verdict {
+    let ts = timed.underlying();
+    let alphabet = ts.alphabet();
+
+    // Active constraints, resolved to event ids of this system (constraints
+    // naming unknown events are kept for reporting but cannot prune).
+    let mut constraints: Vec<RelativeTimingConstraint> = options.assumed_constraints.clone();
+    let resolve = |constraints: &[RelativeTimingConstraint]| -> Vec<(EventId, EventId)> {
+        constraints
+            .iter()
+            .filter_map(|c| {
+                let before = alphabet.lookup(c.before_name())?;
+                let after = alphabet.lookup(c.after_name())?;
+                Some((before, after))
+            })
+            .collect()
+    };
+
+    let make_report = |refinements: usize,
+                       constraints: &[RelativeTimingConstraint],
+                       explored_states: usize| VerificationReport {
+        property: property.name().to_owned(),
+        refinements,
+        constraints: constraints.to_vec(),
+        explored_states,
+    };
+
+    let mut refinements = 0usize;
+
+    loop {
+        let resolved = resolve(&constraints);
+        let blocked = |state: StateId, event: EventId| -> bool {
+            resolved.iter().any(|&(before, after)| {
+                after == event && before != event && ts.is_enabled(state, before)
+            })
+        };
+
+        // Breadth-first exploration of the pruned (lazy) state space.
+        let mut pred: HashMap<StateId, (StateId, EventId)> = HashMap::new();
+        let mut visited: BTreeSet<StateId> = BTreeSet::new();
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for &s in ts.initial_states() {
+            if visited.insert(s) {
+                queue.push_back(s);
+            }
+        }
+        let mut failure: Option<Failure> = None;
+        let mut stuck_state: Option<StateId> = None;
+
+        let reconstruct = |state: StateId, pred: &HashMap<StateId, (StateId, EventId)>| {
+            let mut run = Vec::new();
+            let mut cur = state;
+            while let Some(&(prev, event)) = pred.get(&cur) {
+                run.push((event, cur));
+                cur = prev;
+            }
+            run.reverse();
+            (cur, run)
+        };
+
+        'search: while let Some(state) = queue.pop_front() {
+            if property.checks_marked_states() && !ts.violations(state).is_empty() {
+                let (start, run) = reconstruct(state, &pred);
+                failure = Some(Failure {
+                    kind: FailureKind::MarkedState {
+                        message: ts.violations(state)[0].clone(),
+                    },
+                    run,
+                    start,
+                });
+                break 'search;
+            }
+            let transitions = ts.transitions_from(state);
+            if transitions.is_empty() {
+                if property.checks_deadlock() {
+                    let (start, run) = reconstruct(state, &pred);
+                    failure = Some(Failure {
+                        kind: FailureKind::Deadlock,
+                        run,
+                        start,
+                    });
+                    break 'search;
+                }
+                continue;
+            }
+            let mut any_allowed = false;
+            for &(event, target) in transitions {
+                if blocked(state, event) {
+                    continue;
+                }
+                any_allowed = true;
+                // Persistency check on the allowed firing.
+                if !property.persistent_events().is_empty() {
+                    for &pending in &ts.enabled(state) {
+                        if pending == event || !ts.is_enabled(state, pending) {
+                            continue;
+                        }
+                        let name = alphabet.name(pending);
+                        if property.persistent_events().contains(name)
+                            && !ts.is_enabled(target, pending)
+                        {
+                            let (start, mut run) = reconstruct(state, &pred);
+                            run.push((event, target));
+                            failure = Some(Failure {
+                                kind: FailureKind::PersistencyViolation {
+                                    disabled: name.to_owned(),
+                                    by: alphabet.name(event).to_owned(),
+                                },
+                                run,
+                                start,
+                            });
+                            break 'search;
+                        }
+                    }
+                }
+                if visited.insert(target) {
+                    pred.insert(target, (state, event));
+                    queue.push_back(target);
+                }
+            }
+            if !any_allowed && stuck_state.is_none() {
+                stuck_state = Some(state);
+            }
+        }
+
+        let explored_states = visited.len();
+
+        let Some(failure) = failure else {
+            // A state whose enabled events are all blocked by constraints is
+            // an over-constraining artefact: behaviours beyond it would be
+            // hidden, so refuse to claim success.
+            if let Some(state) = stuck_state {
+                return Verdict::Inconclusive {
+                    reason: format!(
+                        "the relative-timing constraints block every enabled event in state {} \
+                         (over-constrained refinement)",
+                        ts.state_name(state)
+                    ),
+                    report: make_report(refinements, &constraints, explored_states),
+                };
+            }
+            return Verdict::Verified(make_report(refinements, &constraints, explored_states));
+        };
+
+        // Build the enabling trace of the failure and test timing
+        // consistency.
+        let trace = match EnablingTrace::from_run(ts, failure.start, &failure.run) {
+            Ok(trace) => trace,
+            Err(e) => {
+                return Verdict::Inconclusive {
+                    reason: format!("internal error reconstructing the failure trace: {e}"),
+                    report: make_report(refinements, &constraints, explored_states),
+                }
+            }
+        };
+        let events: Vec<String> = trace
+            .events()
+            .iter()
+            .map(|&e| alphabet.name(e).to_owned())
+            .collect();
+        if check_consistency(&trace, timed).is_consistent() {
+            return Verdict::Failed {
+                counterexample: Counterexample {
+                    kind: failure.kind,
+                    events,
+                },
+                report: make_report(refinements, &constraints, explored_states),
+            };
+        }
+
+        // The failure trace is timing inconsistent: derive new constraints.
+        let mut new_constraints = derive_constraints(&trace, timed, &constraints);
+        if matches!(failure.kind, FailureKind::PersistencyViolation { .. }) && trace.len() > 0 {
+            // Also analyse the trace without its final (disabling) step so the
+            // disabled occurrence appears as a pending node.
+            let truncated_run = &failure.run[..failure.run.len() - 1];
+            if let Ok(truncated) = EnablingTrace::from_run(ts, failure.start, truncated_run) {
+                let extra = derive_constraints(&truncated, timed, &constraints);
+                for c in extra {
+                    if !duplicate(&new_constraints, &c) {
+                        new_constraints.push(c);
+                    }
+                }
+            }
+        }
+        new_constraints.retain(|c| !duplicate(&constraints, c));
+        if new_constraints.is_empty() {
+            return Verdict::Inconclusive {
+                reason: format!(
+                    "failure trace [{}] ({}) is timing inconsistent but no relative-timing \
+                     constraint could be derived to prune it",
+                    events.join(", "),
+                    failure.kind
+                ),
+                report: make_report(refinements, &constraints, explored_states),
+            };
+        }
+        constraints.extend(new_constraints);
+        refinements += 1;
+        if refinements >= options.max_refinements {
+            return Verdict::Inconclusive {
+                reason: format!("refinement limit of {} iterations reached", options.max_refinements),
+                report: make_report(refinements, &constraints, explored_states),
+            };
+        }
+    }
+}
+
+fn duplicate(existing: &[RelativeTimingConstraint], candidate: &RelativeTimingConstraint) -> bool {
+    existing.iter().any(|c| {
+        c.before_name() == candidate.before_name() && c.after_name() == candidate.after_name()
+    })
+}
+
+/// Derives relative-timing constraints that prune the given timing
+/// inconsistent trace: for every step, if a pending event provably always
+/// fires before the event that fired, order them.
+fn derive_constraints(
+    trace: &EnablingTrace,
+    timed: &TimedTransitionSystem,
+    existing: &[RelativeTimingConstraint],
+) -> Vec<RelativeTimingConstraint> {
+    let alphabet = timed.underlying().alphabet();
+    let Ok(extracted) = extract_ces(trace, timed) else {
+        return Vec::new();
+    };
+    let analysis = SeparationAnalysis::new(extracted.ces());
+    let mut found: Vec<RelativeTimingConstraint> = Vec::new();
+    let consider = |before: EventId,
+                        before_node: ces::NodeId,
+                        after: EventId,
+                        after_node: ces::NodeId,
+                        found: &mut Vec<RelativeTimingConstraint>| {
+        let separation = analysis.max_separation(before_node, after_node);
+        if let Some(constraint) = RelativeTimingConstraint::from_separation(
+            before,
+            alphabet.name(before),
+            after,
+            alphabet.name(after),
+            separation,
+        ) {
+            if !duplicate(existing, &constraint) && !duplicate(found, &constraint) {
+                found.push(constraint);
+            }
+        }
+    };
+
+    // For every step: can any event pending in the source state be proven to
+    // always fire before the event that fired? If so, the firing was a
+    // timing-inconsistent overtaking and the ordering prunes it.
+    for (k, step) in trace.steps().iter().enumerate() {
+        let Some(fired_node) = extracted.fired_node(k) else {
+            continue;
+        };
+        for &pending in &step.enabled {
+            if pending == step.event {
+                continue;
+            }
+            let Some(pending_node) = extracted.node_active_at(k, pending) else {
+                continue;
+            };
+            consider(pending, pending_node, step.event, fired_node, &mut found);
+        }
+    }
+
+    // Orderings among the events still pending at the end of the trace (used
+    // by persistency analyses where the disabling event has not fired in the
+    // truncated trace).
+    let pending_at_end = extracted.pending_nodes();
+    for (i, &(a, a_node)) in pending_at_end.iter().enumerate() {
+        for &(b, b_node) in pending_at_end.iter().skip(i + 1) {
+            consider(a, a_node, b, b_node, &mut found);
+            consider(b, b_node, a, a_node, &mut found);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts::{DelayInterval, Time, TsBuilder};
+
+    fn d(l: i64, u: i64) -> DelayInterval {
+        DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    /// fast [1,2] and slow [5,9] race from s0; reaching `bad` (slow first) is
+    /// a violation.
+    fn race(fast_delay: DelayInterval, slow_delay: DelayInterval) -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("race");
+        let s0 = b.add_state("s0");
+        let ok = b.add_state("ok");
+        let bad = b.add_state("bad");
+        let done = b.add_state("done");
+        let fast = b.add_transition(s0, "fast", ok);
+        let slow = b.add_transition(s0, "slow", bad);
+        b.add_transition_by_id(ok, slow, done);
+        b.add_transition_by_id(bad, fast, done);
+        b.mark_violation(bad, "slow fired before fast");
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("fast", fast_delay);
+        timed.set_delay_by_name("slow", slow_delay);
+        timed
+    }
+
+    #[test]
+    fn timing_saves_the_race() {
+        let timed = race(d(1, 2), d(5, 9));
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        match &verdict {
+            Verdict::Verified(report) => {
+                assert_eq!(report.refinements, 1);
+                assert_eq!(report.constraints.len(), 1);
+                assert_eq!(report.constraints[0].before_name(), "fast");
+                assert_eq!(report.constraints[0].after_name(), "slow");
+                assert!(report.constraint_listing().contains("fast < slow"));
+            }
+            other => panic!("expected verified, got {other}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_delays_yield_a_counterexample() {
+        let timed = race(d(1, 4), d(2, 9));
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        match verdict {
+            Verdict::Failed { counterexample, .. } => {
+                assert_eq!(counterexample.events, vec!["slow".to_owned()]);
+                assert!(matches!(counterexample.kind, FailureKind::MarkedState { .. }));
+            }
+            other => panic!("expected failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn untimed_events_cannot_be_ordered() {
+        // Both events unbounded: the failure cannot be pruned, and it is
+        // timing consistent, so it is reported as a counterexample.
+        let timed = race(DelayInterval::unbounded(), DelayInterval::unbounded());
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        assert!(matches!(verdict, Verdict::Failed { .. }));
+    }
+
+    #[test]
+    fn trivial_property_verifies_without_refinement() {
+        let timed = race(d(1, 2), d(5, 9));
+        let property = SafetyProperty::new("nothing");
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        assert!(verdict.is_verified());
+        assert_eq!(verdict.report().refinements, 0);
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        let mut b = TsBuilder::new("dead");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("stuck");
+        b.add_transition(s0, "go", s1);
+        b.set_initial(s0);
+        let timed = TimedTransitionSystem::new(b.build().unwrap());
+        let property = SafetyProperty::new("live").require_deadlock_freedom();
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        match verdict {
+            Verdict::Failed { counterexample, .. } => {
+                assert_eq!(counterexample.kind, FailureKind::Deadlock);
+            }
+            other => panic!("expected deadlock failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn persistency_violation_is_found_and_pruned_by_timing() {
+        // `victim` is enabled together with `killer`; firing `killer` disables
+        // `victim`. With delays killer [5,9] and victim [1,2] the victim
+        // always fires first, so the circuit is persistent under timing.
+        let mut b = TsBuilder::new("persistency");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let s3 = b.add_state("s3");
+        let victim = b.add_transition(s0, "victim", s1);
+        let killer = b.add_transition(s0, "killer", s2);
+        b.add_transition_by_id(s1, killer, s3);
+        // In s2 the victim is no longer enabled: persistency violation.
+        b.set_initial(s0);
+        let _ = victim;
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("victim", d(1, 2));
+        timed.set_delay_by_name("killer", d(5, 9));
+        let property = SafetyProperty::new("persistent").require_persistency(["victim"]);
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        match &verdict {
+            Verdict::Verified(report) => {
+                assert!(report
+                    .constraints
+                    .iter()
+                    .any(|c| c.before_name() == "victim" && c.after_name() == "killer"));
+            }
+            other => panic!("expected verified, got {other}"),
+        }
+        // With comparable delays the violation is real.
+        let mut timed = race(d(1, 4), d(2, 9));
+        let _ = &mut timed;
+    }
+
+    #[test]
+    fn assumed_constraints_are_reported_and_used() {
+        let timed = race(DelayInterval::unbounded(), DelayInterval::unbounded());
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let fast = timed.underlying().alphabet().lookup("fast").unwrap();
+        let slow = timed.underlying().alphabet().lookup("slow").unwrap();
+        let options = VerifyOptions {
+            assumed_constraints: vec![RelativeTimingConstraint::assumed(
+                fast, "fast", slow, "slow",
+            )],
+            ..VerifyOptions::default()
+        };
+        let verdict = verify(&timed, &property, &options);
+        assert!(verdict.is_verified());
+        assert_eq!(verdict.report().refinements, 0);
+        assert_eq!(verdict.report().constraints.len(), 1);
+    }
+
+    #[test]
+    fn verdict_display() {
+        let timed = race(d(1, 2), d(5, 9));
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        assert!(verdict.to_string().starts_with("VERIFIED"));
+    }
+}

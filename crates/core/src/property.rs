@@ -1,0 +1,120 @@
+//! Safety properties checked by the verification engine.
+//!
+//! The IPCMOS case study only needs very simple temporal properties (§3.2 of
+//! the paper): absence of marked states (short-circuits and other invariant
+//! violations), deadlock-freeness (which encodes the "every data item is
+//! acknowledged once and only once" specification) and signal persistency.
+//! All of them are 1-step safety conditions evaluated during reachability.
+
+use std::collections::BTreeSet;
+
+/// A conjunction of safety conditions to verify on a (timed) transition
+/// system.
+///
+/// # Examples
+///
+/// ```
+/// use transyt::SafetyProperty;
+/// let property = SafetyProperty::new("stage correctness")
+///     .forbid_marked_states()
+///     .require_deadlock_freedom()
+///     .require_persistency(["Vint-", "Z+"]);
+/// assert!(property.checks_marked_states());
+/// assert!(property.checks_deadlock());
+/// assert_eq!(property.persistent_events().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyProperty {
+    name: String,
+    forbid_marked_states: bool,
+    require_deadlock_freedom: bool,
+    persistent_events: BTreeSet<String>,
+}
+
+impl SafetyProperty {
+    /// Creates an empty property (nothing is checked until conditions are
+    /// added).
+    pub fn new(name: impl Into<String>) -> Self {
+        SafetyProperty {
+            name: name.into(),
+            forbid_marked_states: false,
+            require_deadlock_freedom: false,
+            persistent_events: BTreeSet::new(),
+        }
+    }
+
+    /// Requires that no state carrying a violation mark is reachable.
+    #[must_use]
+    pub fn forbid_marked_states(mut self) -> Self {
+        self.forbid_marked_states = true;
+        self
+    }
+
+    /// Requires that no reachable state deadlocks.
+    #[must_use]
+    pub fn require_deadlock_freedom(mut self) -> Self {
+        self.require_deadlock_freedom = true;
+        self
+    }
+
+    /// Requires that the named events are persistent: once enabled they may
+    /// not be disabled by the firing of a different event.
+    #[must_use]
+    pub fn require_persistency<I, S>(mut self, events: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.persistent_events
+            .extend(events.into_iter().map(Into::into));
+        self
+    }
+
+    /// The property's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns `true` if marked states are forbidden.
+    pub fn checks_marked_states(&self) -> bool {
+        self.forbid_marked_states
+    }
+
+    /// Returns `true` if deadlock-freeness is required.
+    pub fn checks_deadlock(&self) -> bool {
+        self.require_deadlock_freedom
+    }
+
+    /// The events required to be persistent.
+    pub fn persistent_events(&self) -> &BTreeSet<String> {
+        &self.persistent_events
+    }
+
+    /// Returns `true` if the property checks nothing (verification succeeds
+    /// trivially).
+    pub fn is_trivial(&self) -> bool {
+        !self.forbid_marked_states
+            && !self.require_deadlock_freedom
+            && self.persistent_events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_conditions() {
+        let p = SafetyProperty::new("p");
+        assert!(p.is_trivial());
+        let p = p
+            .forbid_marked_states()
+            .require_persistency(vec!["a".to_string()])
+            .require_persistency(["a", "b"]);
+        assert!(!p.is_trivial());
+        assert!(p.checks_marked_states());
+        assert!(!p.checks_deadlock());
+        assert_eq!(p.persistent_events().len(), 2);
+        assert_eq!(p.name(), "p");
+    }
+}

@@ -1,0 +1,43 @@
+//! Difference bound matrices and zone-based timed reachability.
+//!
+//! This crate is the *conventional* timed-verification baseline of the IPCMOS
+//! case study: an exact, zone-based exploration of the timed state space in
+//! the style of timed-automata model checkers. The paper's argument is that
+//! this approach does not scale to transistor-level pipelines — the
+//! `scaling` benchmark of this repository reproduces that observation — while
+//! on small models it provides ground truth against which the relative-timing
+//! engine (`transyt` crate) is cross-checked.
+//!
+//! * [`Entry`] — DBM bound entries (`< c`, `≤ c`, `∞`).
+//! * [`Dbm`] — canonical difference bound matrices with the standard zone
+//!   operations (`up`, `reset`, `constrain`, inclusion, intersection).
+//! * [`explore_timed`] — symbolic reachability of a
+//!   [`tts::TimedTransitionSystem`] using one clock per event.
+//!
+//! # Example
+//!
+//! ```
+//! use dbm::Dbm;
+//!
+//! // Start from the zero zone, let time pass, and bound clock 1 by 10.
+//! let mut zone = Dbm::zero(2);
+//! zone.up();
+//! zone.constrain_upper(1, 10);
+//! zone.canonicalize();
+//! assert!(!zone.is_empty());
+//! // Clock 2 advanced in lock-step, so it is also bounded by 10.
+//! assert_eq!(zone.upper_bound(2), Some(10));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod matrix;
+mod zone_graph;
+
+pub use entry::Entry;
+pub use matrix::Dbm;
+pub use zone_graph::{
+    explore_timed, explore_timed_with, ZoneExplorationOptions, ZoneOutcome, ZoneReport,
+};

@@ -1,0 +1,324 @@
+//! Zone-graph exploration of the timed semantics of a timed transition
+//! system.
+//!
+//! This is the *conventional* approach the paper contrasts with: enumerate
+//! the exact timed state space symbolically, pairing each discrete state with
+//! a clock zone (one clock per event, measuring the time since the event's
+//! current enabling). It serves two purposes in this repository:
+//!
+//! 1. **Ground truth** — on small models it decides exactly which marked
+//!    (violating) states are reachable when delays are taken into account,
+//!    which cross-checks the relative-timing engine.
+//! 2. **Baseline** — its blow-up with pipeline depth quantifies the paper's
+//!    motivation for abstraction and relative timing (the scaling benchmark).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use tts::{Bound, EventId, StateId, TimedTransitionSystem};
+
+use crate::entry::Entry;
+use crate::matrix::Dbm;
+
+/// Options for the zone-graph exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneExplorationOptions {
+    /// Maximum number of symbolic configurations to explore before aborting.
+    pub configuration_limit: usize,
+}
+
+impl Default for ZoneExplorationOptions {
+    fn default() -> Self {
+        ZoneExplorationOptions {
+            configuration_limit: 200_000,
+        }
+    }
+}
+
+/// Result of a completed zone-graph exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneReport {
+    /// Discrete states reachable in the timed semantics.
+    pub reachable_states: Vec<StateId>,
+    /// Reachable states that carry violation marks.
+    pub violating_states: Vec<StateId>,
+    /// Reachable states from which no event can fire.
+    pub deadlock_states: Vec<StateId>,
+    /// Number of symbolic configurations (state, zone) explored.
+    pub configurations: usize,
+}
+
+impl ZoneReport {
+    /// Returns `true` if no violating state is timed-reachable and no
+    /// reachable state deadlocks.
+    pub fn is_safe(&self) -> bool {
+        self.violating_states.is_empty() && self.deadlock_states.is_empty()
+    }
+}
+
+/// Outcome of [`explore_timed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneOutcome {
+    /// Exploration finished; the exact set of timed-reachable states is in
+    /// the report.
+    Completed(ZoneReport),
+    /// The configuration limit was exceeded (state explosion); only a partial
+    /// count is available.
+    LimitExceeded {
+        /// Number of configurations explored before aborting.
+        explored: usize,
+    },
+}
+
+impl ZoneOutcome {
+    /// The report, if the exploration completed.
+    pub fn report(&self) -> Option<&ZoneReport> {
+        match self {
+            ZoneOutcome::Completed(r) => Some(r),
+            ZoneOutcome::LimitExceeded { .. } => None,
+        }
+    }
+}
+
+/// Explores the timed state space of `timed` with default options.
+///
+/// # Examples
+///
+/// ```
+/// use dbm::explore_timed;
+/// use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+///
+/// // A fast event and a slow event race; the state reached by the slow event
+/// // firing first is unreachable in the timed semantics.
+/// let mut b = TsBuilder::new("race");
+/// let s0 = b.add_state("s0");
+/// let s_fast = b.add_state("fast-first");
+/// let s_slow = b.add_state("slow-first");
+/// b.add_transition(s0, "fast", s_fast);
+/// b.add_transition(s0, "slow", s_slow);
+/// b.mark_violation(s_slow, "slow overtook fast");
+/// b.set_initial(s0);
+/// let mut timed = TimedTransitionSystem::new(b.build()?);
+/// timed.set_delay_by_name("fast", DelayInterval::new(Time::new(1), Time::new(2))?);
+/// timed.set_delay_by_name("slow", DelayInterval::new(Time::new(5), Time::new(9))?);
+/// let report = explore_timed(&timed).report().unwrap().clone();
+/// assert!(report.violating_states.is_empty());
+/// assert_eq!(report.reachable_states.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn explore_timed(timed: &TimedTransitionSystem) -> ZoneOutcome {
+    explore_timed_with(timed, ZoneExplorationOptions::default())
+}
+
+/// Explores the timed state space with explicit options.
+pub fn explore_timed_with(
+    timed: &TimedTransitionSystem,
+    options: ZoneExplorationOptions,
+) -> ZoneOutcome {
+    let ts = timed.underlying();
+    let clock_count = ts.alphabet().len();
+    let clock_of = |e: EventId| e.index() + 1;
+
+    let apply_invariant = |zone: &mut Dbm, state: StateId| {
+        for &event in &ts.enabled(state) {
+            if let Bound::Finite(upper) = timed.delay(event).upper() {
+                zone.constrain_upper(clock_of(event), upper.as_i64());
+            }
+        }
+    };
+
+    // Per-state list of maximal zones seen so far.
+    let mut seen: HashMap<StateId, Vec<Dbm>> = HashMap::new();
+    let mut queue: VecDeque<(StateId, Dbm)> = VecDeque::new();
+    let mut reachable: BTreeSet<StateId> = BTreeSet::new();
+    let mut deadlocks: BTreeSet<StateId> = BTreeSet::new();
+    let mut configurations = 0usize;
+
+    let push = |state: StateId,
+                    zone: Dbm,
+                    seen: &mut HashMap<StateId, Vec<Dbm>>,
+                    queue: &mut VecDeque<(StateId, Dbm)>| {
+        let zones = seen.entry(state).or_default();
+        if zones.iter().any(|z| z.includes(&zone)) {
+            return;
+        }
+        zones.retain(|z| !zone.includes(z));
+        zones.push(zone.clone());
+        queue.push_back((state, zone));
+    };
+
+    for &s0 in ts.initial_states() {
+        let mut zone = Dbm::zero(clock_count);
+        zone.up();
+        apply_invariant(&mut zone, s0);
+        zone.canonicalize();
+        if !zone.is_empty() {
+            push(s0, zone, &mut seen, &mut queue);
+        }
+    }
+
+    while let Some((state, zone)) = queue.pop_front() {
+        configurations += 1;
+        if configurations > options.configuration_limit {
+            return ZoneOutcome::LimitExceeded {
+                explored: configurations,
+            };
+        }
+        reachable.insert(state);
+        let enabled_here = ts.enabled(state);
+        let mut fired_any = false;
+        for &(event, target) in ts.transitions_from(state) {
+            // Guard: the event's clock has reached its lower bound.
+            let lower = timed.delay(event).lower().as_i64();
+            let mut next = zone.clone();
+            next.constrain(0, clock_of(event), Entry::le(-lower));
+            if next.is_empty() {
+                continue;
+            }
+            // Fire: reset the clocks of freshly enabled occurrences.
+            let enabled_after = ts.enabled(target);
+            for &e in &enabled_after {
+                let freshly_enabled = e == event || !enabled_here.contains(&e);
+                if freshly_enabled {
+                    next.reset(clock_of(e));
+                }
+            }
+            next.canonicalize();
+            // Let time elapse under the target invariant.
+            next.up();
+            apply_invariant(&mut next, target);
+            next.canonicalize();
+            if next.is_empty() {
+                continue;
+            }
+            fired_any = true;
+            push(target, next, &mut seen, &mut queue);
+        }
+        if !fired_any && ts.transitions_from(state).is_empty() {
+            deadlocks.insert(state);
+        }
+    }
+
+    let violating_states = reachable
+        .iter()
+        .copied()
+        .filter(|&s| !ts.violations(s).is_empty())
+        .collect();
+    ZoneOutcome::Completed(ZoneReport {
+        reachable_states: reachable.iter().copied().collect(),
+        violating_states,
+        deadlock_states: deadlocks.into_iter().collect(),
+        configurations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts::{DelayInterval, Time, TsBuilder};
+
+    fn d(l: i64, u: i64) -> DelayInterval {
+        DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    /// The race example: fast [1,2] vs slow [5,9].
+    fn race() -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("race");
+        let s0 = b.add_state("s0");
+        let sf = b.add_state("fast-first");
+        let ss = b.add_state("slow-first");
+        let sboth = b.add_state("both");
+        b.add_transition(s0, "fast", sf);
+        b.add_transition(s0, "slow", ss);
+        b.add_transition(sf, "slow", sboth);
+        b.add_transition(ss, "fast", sboth);
+        b.mark_violation(ss, "slow overtook fast");
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("fast", d(1, 2));
+        timed.set_delay_by_name("slow", d(5, 9));
+        timed
+    }
+
+    #[test]
+    fn timed_semantics_prunes_slow_first() {
+        let outcome = explore_timed(&race());
+        let report = outcome.report().unwrap();
+        assert!(report.violating_states.is_empty());
+        // s0, fast-first and both are reachable; slow-first is not.
+        assert_eq!(report.reachable_states.len(), 3);
+        // `both` has no outgoing transitions.
+        assert_eq!(report.deadlock_states.len(), 1);
+        assert!(!report.is_safe());
+    }
+
+    #[test]
+    fn untimed_delays_allow_both_orders() {
+        let mut b = TsBuilder::new("untimed-race");
+        let s0 = b.add_state("s0");
+        let sf = b.add_state("fast-first");
+        let ss = b.add_state("slow-first");
+        b.add_transition(s0, "fast", sf);
+        b.add_transition(s0, "slow", ss);
+        b.set_initial(s0);
+        let timed = TimedTransitionSystem::new(b.build().unwrap());
+        let report = explore_timed(&timed).report().unwrap().clone();
+        assert_eq!(report.reachable_states.len(), 3);
+    }
+
+    #[test]
+    fn cyclic_systems_terminate() {
+        // A two-event oscillator: a [1,2] then b [1,2] forever.
+        let mut b = TsBuilder::new("osc");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s0);
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("a", d(1, 2));
+        timed.set_delay_by_name("b", d(1, 2));
+        let report = explore_timed(&timed).report().unwrap().clone();
+        assert_eq!(report.reachable_states.len(), 2);
+        assert!(report.deadlock_states.is_empty());
+        assert!(report.is_safe());
+    }
+
+    #[test]
+    fn configuration_limit_aborts() {
+        let outcome = explore_timed_with(
+            &race(),
+            ZoneExplorationOptions {
+                configuration_limit: 1,
+            },
+        );
+        assert!(matches!(outcome, ZoneOutcome::LimitExceeded { .. }));
+        assert!(outcome.report().is_none());
+    }
+
+    #[test]
+    fn urgency_is_respected_in_chains() {
+        // a [0,1] enables c [3,4]; independent g [1,1] must fire before c
+        // (its deadline 1 is below c's earliest enabling+lower = 0+3). The
+        // state where c fires while g is still pending is unreachable.
+        let mut b = TsBuilder::new("chain");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s_bad = b.add_state("bad");
+        let s_ok = b.add_state("ok");
+        let s_done = b.add_state("done");
+        let a = b.add_transition(s0, "a", s1);
+        let c = b.add_transition(s1, "c", s_bad);
+        let g = b.add_transition(s1, "g", s_ok);
+        b.add_transition_by_id(s_ok, c, s_done);
+        b.add_transition_by_id(s_bad, g, s_done);
+        let _ = (a, g);
+        b.mark_violation(s_bad, "c before g");
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("a", d(0, 1));
+        timed.set_delay_by_name("c", d(3, 4));
+        timed.set_delay_by_name("g", d(1, 1));
+        let report = explore_timed(&timed).report().unwrap().clone();
+        assert!(report.violating_states.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Environment models, abstractions and the interface specification.
+//!
+//! * [`in_env`] / [`out_env`] — the pulse-driven data supplier `IN` and data
+//!   consumer `OUT` of Fig. 12, with the pulse-width and spacing requirements
+//!   described in §5.2 (minimum `VALID` pulse width, minimum positive `ACK`
+//!   pulse width).
+//! * [`a_in`] / [`a_out`] — the untimed abstractions of Fig. 10, which hide
+//!   the pulse-driven ends of the pipeline behind the internal two-phase
+//!   handshake.
+//! * [`spec`] — the interface specification `S`: every data item offered with
+//!   a falling `VALID` edge is acknowledged once and only once by a rising
+//!   `ACK` edge (the liveness half is checked as deadlock-freedom of the
+//!   closed system, as in §3.2 of the paper).
+
+use stg::{expand, ExpandError, SignalRole, StgBuilder};
+use tts::{DelayInterval, Time, TimedTransitionSystem, TransitionSystem};
+
+fn d(l: i64, u: i64) -> DelayInterval {
+    DelayInterval::new(Time::new(l), Time::new(u)).expect("static delay interval")
+}
+
+fn at_least(l: i64) -> DelayInterval {
+    DelayInterval::at_least(Time::new(l)).expect("static delay interval")
+}
+
+/// Names of the four edges of a `VALID`/`ACK` interface `i` of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Falling edge of `VALID{i}` (new data offered).
+    pub valid_fall: String,
+    /// Rising edge of `VALID{i}` (pulse reset).
+    pub valid_rise: String,
+    /// Rising edge of `ACK{i}` (data acknowledged).
+    pub ack_rise: String,
+    /// Falling edge of `ACK{i}` (pulse reset).
+    pub ack_fall: String,
+}
+
+impl Interface {
+    /// The interface between pipeline position `i` and `i+1` (interface 0 is
+    /// the pipeline input).
+    pub fn new(i: usize) -> Self {
+        Interface {
+            valid_fall: format!("VALID{i}-"),
+            valid_rise: format!("VALID{i}+"),
+            ack_rise: format!("ACK{i}+"),
+            ack_fall: format!("ACK{i}-"),
+        }
+    }
+}
+
+/// The pulse-driven data supplier `IN`, speaking on interface `i`
+/// (Fig. 12, left).
+///
+/// `IN` lowers `VALID`, keeps the pulse low for at least the minimum pulse
+/// width, and does not offer new data until the stage has acknowledged the
+/// previous item.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] only if the internal net is malformed (a bug).
+pub fn in_env(i: usize) -> Result<TimedTransitionSystem, ExpandError> {
+    let interface = Interface::new(i);
+    let mut b = StgBuilder::new(format!("IN@{i}"));
+    let v_fall = b.add_transition(&interface.valid_fall, SignalRole::Output);
+    let v_rise = b.add_transition(&interface.valid_rise, SignalRole::Output);
+    let a_rise = b.add_transition(&interface.ack_rise, SignalRole::Input);
+    let a_fall = b.add_transition(&interface.ack_fall, SignalRole::Input);
+    // VALID- starts the pulse; VALID+ ends it; the stage acknowledges with
+    // ACK+ and resets ACK independently.
+    b.connect(v_fall, v_rise, 0);
+    b.connect(v_fall, a_rise, 0);
+    b.connect(a_rise, a_fall, 0);
+    // New data only after the pulse is over and the item was acknowledged.
+    b.connect(v_rise, v_fall, 1);
+    b.connect(a_rise, v_fall, 1);
+    // ACK edges alternate.
+    b.connect(a_fall, a_rise, 1);
+    let ts = expand(&b.build().expect("IN net is well formed"))?;
+    let mut timed = TimedTransitionSystem::new(ts);
+    // Minimum spacing before offering new data, and the VALID pulse width:
+    // the pulse must be long enough for the stage to capture it (lower bound
+    // 15, cf. the [15+eps, inf) annotation of Fig. 13) and — the "pulse
+    // length" restriction §3.1 places on the environment — short enough that
+    // the pulse has ended before the stage re-arms its input switch for the
+    // next data item.
+    timed.set_delay_by_name(&interface.valid_fall, at_least(5));
+    timed.set_delay_by_name(&interface.valid_rise, d(15, 20));
+    Ok(timed)
+}
+
+/// The pulse-driven data consumer `OUT`, speaking on interface `i`
+/// (Fig. 12, right).
+///
+/// `OUT` acknowledges a low `VALID` with a positive `ACK` pulse of bounded
+/// width (the minimum width requirement of §5.2).
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] only if the internal net is malformed (a bug).
+pub fn out_env(i: usize) -> Result<TimedTransitionSystem, ExpandError> {
+    let interface = Interface::new(i);
+    let mut b = StgBuilder::new(format!("OUT@{i}"));
+    let v_fall = b.add_transition(&interface.valid_fall, SignalRole::Input);
+    let v_rise = b.add_transition(&interface.valid_rise, SignalRole::Input);
+    let a_rise = b.add_transition(&interface.ack_rise, SignalRole::Output);
+    let a_fall = b.add_transition(&interface.ack_fall, SignalRole::Output);
+    // Acknowledge incoming data; reset the acknowledge after the minimum
+    // pulse width; only acknowledge again after new data.
+    b.connect(v_fall, a_rise, 0);
+    b.connect(a_rise, a_fall, 0);
+    b.connect(a_fall, a_rise, 1);
+    // Track the VALID pulse of the stage (edges alternate), and assume the
+    // interlocking property of the stage: no new data before the previous
+    // item was acknowledged.
+    b.connect(v_fall, v_rise, 0);
+    b.connect(v_rise, v_fall, 1);
+    b.connect(a_rise, v_fall, 1);
+    let ts = expand(&b.build().expect("OUT net is well formed"))?;
+    let mut timed = TimedTransitionSystem::new(ts);
+    timed.set_delay_by_name(&interface.ack_rise, d(8, 11));
+    timed.set_delay_by_name(&interface.ack_fall, d(6, 10));
+    Ok(timed)
+}
+
+/// The untimed abstraction `A_in` of `IN ∥ I_1 ∥ … ∥ I_{n-1}` speaking the
+/// two-phase handshake on interface `i` (Fig. 10(a)).
+///
+/// `VALID` is lowered to offer data and is not raised before the data is
+/// acknowledged; the resets of `VALID` and `ACK` are mutually independent.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] only if the internal net is malformed (a bug).
+pub fn a_in(i: usize) -> Result<TransitionSystem, ExpandError> {
+    let interface = Interface::new(i);
+    let mut b = StgBuilder::new(format!("A_in@{i}"));
+    let v_fall = b.add_transition(&interface.valid_fall, SignalRole::Output);
+    let v_rise = b.add_transition(&interface.valid_rise, SignalRole::Output);
+    let a_rise = b.add_transition(&interface.ack_rise, SignalRole::Input);
+    let a_fall = b.add_transition(&interface.ack_fall, SignalRole::Input);
+    b.connect(v_fall, a_rise, 0);
+    b.connect(a_rise, v_rise, 0);
+    b.connect(a_rise, a_fall, 0);
+    b.connect(v_rise, v_fall, 1);
+    b.connect(a_fall, v_fall, 1);
+    expand(&b.build().expect("A_in net is well formed"))
+}
+
+/// The untimed abstraction `A_out` of `I_n ∥ OUT` on interface `i`
+/// (Fig. 10(b)).
+///
+/// A low `VALID` is acknowledged exactly once by a rising `ACK`; the resets
+/// of the two lines are independent.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] only if the internal net is malformed (a bug).
+pub fn a_out(i: usize) -> Result<TransitionSystem, ExpandError> {
+    let interface = Interface::new(i);
+    let mut b = StgBuilder::new(format!("A_out@{i}"));
+    let v_fall = b.add_transition(&interface.valid_fall, SignalRole::Input);
+    let v_rise = b.add_transition(&interface.valid_rise, SignalRole::Input);
+    let a_rise = b.add_transition(&interface.ack_rise, SignalRole::Output);
+    let a_fall = b.add_transition(&interface.ack_fall, SignalRole::Output);
+    b.connect(v_fall, a_rise, 0);
+    b.connect(a_rise, a_fall, 0);
+    b.connect(a_fall, a_rise, 1);
+    b.connect(v_fall, v_rise, 0);
+    b.connect(v_rise, v_fall, 1);
+    b.connect(a_rise, v_fall, 1);
+    expand(&b.build().expect("A_out net is well formed"))
+}
+
+/// The interface specification `S` on interface `i`, used as an observer:
+/// falling `VALID` edges and rising `ACK` edges strictly alternate, i.e.
+/// every data item is acknowledged once and only once.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] only if the internal net is malformed (a bug).
+pub fn spec(i: usize) -> Result<TransitionSystem, ExpandError> {
+    let interface = Interface::new(i);
+    let mut b = StgBuilder::new(format!("S@{i}"));
+    let v_fall = b.add_transition(&interface.valid_fall, SignalRole::Input);
+    let a_rise = b.add_transition(&interface.ack_rise, SignalRole::Input);
+    b.connect(v_fall, a_rise, 0);
+    b.connect(a_rise, v_fall, 1);
+    expand(&b.build().expect("S net is well formed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_name_edges_consistently() {
+        let i = Interface::new(3);
+        assert_eq!(i.valid_fall, "VALID3-");
+        assert_eq!(i.ack_fall, "ACK3-");
+    }
+
+    #[test]
+    fn environments_expand_to_small_graphs() {
+        let input = in_env(0).unwrap();
+        assert!(input.underlying().state_count() <= 16);
+        assert!(input.underlying().deadlock_states().is_empty());
+        assert_eq!(input.delay_by_name("VALID0+"), d(15, 20));
+        let output = out_env(1).unwrap();
+        assert!(output.underlying().state_count() <= 16);
+        assert_eq!(output.delay_by_name("ACK1+"), d(8, 11));
+    }
+
+    #[test]
+    fn abstractions_are_untimed_and_live() {
+        for ts in [a_in(0).unwrap(), a_out(0).unwrap()] {
+            assert!(ts.deadlock_states().is_empty());
+            assert!(ts.state_count() <= 16);
+        }
+    }
+
+    #[test]
+    fn abstractions_compose_into_a_live_closed_system() {
+        // Experiment 1 sanity: A_in || A_out is a closed, live system.
+        let closed = tts::compose(&a_in(0).unwrap(), &a_out(0).unwrap()).unwrap();
+        assert!(closed.deadlock_states().is_empty());
+        assert!(closed.state_count() <= 32);
+    }
+
+    #[test]
+    fn spec_observer_alternates() {
+        let s = spec(0).unwrap();
+        assert_eq!(s.state_count(), 2);
+        assert_eq!(s.transition_count(), 2);
+    }
+
+    #[test]
+    fn supplier_waits_for_acknowledge() {
+        let input = in_env(0).unwrap();
+        let ts = input.underlying();
+        // From the initial state only VALID0- can fire.
+        let s0 = ts.initial_states()[0];
+        let enabled = ts.enabled(s0);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(ts.alphabet().name(*enabled.iter().next().unwrap()), "VALID0-");
+    }
+}

@@ -1,0 +1,290 @@
+//! Transistor-level model of one IPCMOS pipeline stage.
+//!
+//! The DATE 2002 paper publishes the structure of the strobe-switch circuit
+//! (Fig. 11) with nodes `Y`, `Z`, `Vint` (the auxiliary node `X` of the figure
+//! is lumped into the acknowledge path here), the short-circuit invariants
+//! of §5.1, and the transistor-count formula `N = 21 + 7·N_in + 4·N_out`; the
+//! remaining modules (strobe, reset, valid, delay matching) are only
+//! described behaviourally. This module reconstructs a transistor-level
+//! control stage that
+//!
+//! * follows the pulse protocol of §3.1 (negative `VALID` pulses, positive
+//!   `ACK` pulses, internal two-phase handshake between stages),
+//! * contains the strobe-switch nodes and the two short-circuit invariants of
+//!   §5.1 (`Z̄ ∧ ACK` at node `Y`, `V̄ALID ∧ Y ∧ C̄LKR` at node `Vint`),
+//! * reproduces the delay structure of Fig. 13 (e.g. the acknowledge chain is
+//!   a lumped `[8,11]` path racing against the `[1,2]` switch transistors),
+//!
+//! so that verifying it exercises exactly the relative-timing constraints the
+//! paper back-annotates. The lumped strobe/delay/valid paths are modelled as
+//! buffer stacks; `DESIGN.md` documents this substitution.
+
+use cmos_circuit::{
+    elaborate, Circuit, CircuitBuilder, CircuitError, CircuitModel, DriveStrength,
+    ElaborateError, ElaborateOptions,
+};
+use tts::{DelayInterval, Time};
+
+/// Signal names of one stage instance.
+///
+/// Stage `k` of a linear pipeline talks to its data supplier over
+/// `VALID{k-1}` / `ACK{k-1}` and to its data consumer over `VALID{k}` /
+/// `ACK{k}`; its internal nodes carry the suffix `_{k}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSignals {
+    /// Stage index (1-based).
+    pub index: usize,
+    /// `VALID` input from the supplier (active-low pulse).
+    pub valid_in: String,
+    /// `ACK` output to the supplier (active-high pulse).
+    pub ack_out: String,
+    /// `VALID` output to the consumer.
+    pub valid_out: String,
+    /// `ACK` input from the consumer.
+    pub ack_in: String,
+    /// Internal nodes, in declaration order.
+    pub internal: Vec<String>,
+}
+
+impl StageSignals {
+    /// Signal names for stage `index` (1-based).
+    pub fn new(index: usize) -> Self {
+        let internal = ["Vint", "Z", "Y", "CLKE", "W", "CLKR"]
+            .iter()
+            .map(|n| format!("{n}_{index}"))
+            .collect();
+        StageSignals {
+            index,
+            valid_in: format!("VALID{}", index - 1),
+            ack_out: format!("ACK{}", index - 1),
+            valid_out: format!("VALID{index}"),
+            ack_in: format!("ACK{index}"),
+            internal,
+        }
+    }
+
+    fn internal_name(&self, base: &str) -> String {
+        format!("{base}_{}", self.index)
+    }
+}
+
+/// Number of transistors of an IPCMOS stage according to the paper's formula
+/// `N = 21 + 7·N_inputs + 4·N_outputs` (§3.1); a linear-pipeline stage
+/// (one supplier, one consumer) has 32.
+pub fn transistor_count(inputs: usize, outputs: usize) -> usize {
+    21 + 7 * inputs + 4 * outputs
+}
+
+/// Builds the transistor-level netlist of stage `index` of a linear pipeline.
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] only if the internal netlist description is
+/// inconsistent, which would be a bug in this crate.
+pub fn stage_circuit(index: usize) -> Result<Circuit, CircuitError> {
+    let signals = StageSignals::new(index);
+    let d = |l: i64, u: i64| {
+        DelayInterval::new(Time::new(l), Time::new(u)).expect("static delay interval")
+    };
+    let vint = signals.internal_name("Vint");
+    let z = signals.internal_name("Z");
+    let y = signals.internal_name("Y");
+    let clke = signals.internal_name("CLKE");
+    let w = signals.internal_name("W");
+    let clkr = signals.internal_name("CLKR");
+
+    let mut b = CircuitBuilder::new(format!("ipcmos-stage-{index}"));
+    // Interface: the supplier drives VALID_in, the consumer drives ACK_in.
+    b.add_input(&signals.valid_in, true);
+    b.add_input(&signals.ack_in, false);
+    // Interface outputs and internal nodes with their idle values.
+    b.add_node(&signals.ack_out, false);
+    b.add_node(&signals.valid_out, true);
+    b.add_node(&vint, true);
+    b.add_node(&z, false);
+    b.add_node(&y, true);
+    b.add_node(&clke, true);
+    b.add_node(&w, true);
+    b.add_node(&clkr, true);
+
+    // Strobe switch (Fig. 11): an n-transistor switch controlled by Y
+    // discharges the dynamic node Vint while the VALID input is low (the
+    // switch can only pass the low level, as in domino/dynamic CMOS); Vint is
+    // precharged (pulled up) by a p-transistor while the reset clock CLKR is
+    // low.
+    b.add_stack(
+        &vint,
+        &[(y.as_str(), true), (signals.valid_in.as_str(), false)],
+        false,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+    b.add_stack(&vint, &[(clkr.as_str(), false)], true, d(1, 2), DriveStrength::Normal)?;
+    // Z is the inverted request: it rises quickly when Vint falls and resets
+    // more slowly (its reset races against ACK_out-; see Fig. 13(d)).
+    b.add_inverter_with(&z, &vint, d(1, 2), d(3, 4))?;
+    // Y: the switch re-arms once the previous request has been fully
+    // processed (Z back low, reset clock back high). Because the stage is
+    // pulse driven, the supplier's VALID pulse must have ended by then — this
+    // is the "pulse length" restriction on the environment that §3.1 of the
+    // paper mentions, and it is exactly what the back-annotated constraint
+    // `VALID+ < Y+` certifies. Y is pulled down (isolating the input) by the
+    // stage's own acknowledge.
+    b.add_stack(
+        &y,
+        &[(z.as_str(), false), (clkr.as_str(), true)],
+        true,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+    b.add_stack(
+        &y,
+        &[(signals.ack_out.as_str(), true)],
+        false,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+    // Acknowledge to the supplier: a lumped strobe path ([8,11]) raises it
+    // once the request is seen; it resets quickly when Vint is precharged.
+    b.add_stack(
+        &signals.ack_out,
+        &[(vint.as_str(), false)],
+        true,
+        d(8, 11),
+        DriveStrength::Lumped,
+    )?;
+    b.add_stack(
+        &signals.ack_out,
+        &[(vint.as_str(), true)],
+        false,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+    // Local clock pulse, delay-matching path and VALID towards the consumer
+    // (lumped strobe / delay / valid modules).
+    b.add_stack(&clke, &[(vint.as_str(), true)], true, d(3, 4), DriveStrength::Lumped)?;
+    b.add_stack(&clke, &[(vint.as_str(), false)], false, d(3, 4), DriveStrength::Lumped)?;
+    b.add_stack(&w, &[(clke.as_str(), true)], true, d(2, 3), DriveStrength::Lumped)?;
+    b.add_stack(&w, &[(clke.as_str(), false)], false, d(2, 3), DriveStrength::Lumped)?;
+    b.add_stack(&signals.valid_out, &[(w.as_str(), true)], true, d(1, 2), DriveStrength::Normal)?;
+    b.add_stack(&signals.valid_out, &[(w.as_str(), false)], false, d(1, 2), DriveStrength::Normal)?;
+    // Reset clock from the reset module: it goes low (starting the precharge
+    // of Vint) once the consumer has acknowledged *and* the input switch is
+    // off (Y low), so that the precharge never fights the pass transistor no
+    // matter how fast the consumer acknowledges — this is what makes the
+    // right-hand-side handshake abstractable without timing. It returns high
+    // when the acknowledge pulse ends.
+    b.add_stack(
+        &clkr,
+        &[(signals.ack_in.as_str(), true), (y.as_str(), false)],
+        false,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+    b.add_stack(
+        &clkr,
+        &[(signals.ack_in.as_str(), false)],
+        true,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+
+    // The two short-circuit invariants of §5.1 (structural derivation finds
+    // them as well; declaring them keeps the paper's names in diagnostics).
+    b.add_invariant(
+        format!("invariant (1): short-circuit at {y} (Z̄ ∧ ACK)"),
+        &[
+            (z.as_str(), false),
+            (signals.ack_out.as_str(), true),
+            (clkr.as_str(), true),
+        ],
+    )?;
+    b.add_invariant(
+        format!("invariant (2): short-circuit at {vint} (V̄ALID ∧ Y ∧ C̄LKR)"),
+        &[
+            (signals.valid_in.as_str(), false),
+            (y.as_str(), true),
+            (clkr.as_str(), false),
+        ],
+    )?;
+    b.build()
+}
+
+/// Elaborates stage `index` into a timed transition system with its interface
+/// outputs marked.
+///
+/// # Errors
+///
+/// Returns [`ElaborateError`] if the exploration exceeds its limits (does not
+/// happen for the 10-node stage).
+pub fn stage_model(index: usize) -> Result<CircuitModel, ElaborateError> {
+    let signals = StageSignals::new(index);
+    let circuit = stage_circuit(index).map_err(|e| ElaborateError::Build(e.to_string()))?;
+    let options = ElaborateOptions {
+        output_nodes: vec![signals.ack_out.clone(), signals.valid_out.clone()],
+        ..ElaborateOptions::default()
+    };
+    elaborate(&circuit, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_naming_follows_the_pipeline_convention() {
+        let s = StageSignals::new(2);
+        assert_eq!(s.valid_in, "VALID1");
+        assert_eq!(s.ack_out, "ACK1");
+        assert_eq!(s.valid_out, "VALID2");
+        assert_eq!(s.ack_in, "ACK2");
+        assert!(s.internal.contains(&"Vint_2".to_owned()));
+    }
+
+    #[test]
+    fn transistor_formula_matches_the_paper() {
+        // "A single stage of a linear pipeline contains 32 transistors."
+        assert_eq!(transistor_count(1, 1), 32);
+        assert_eq!(transistor_count(2, 1), 39);
+        assert_eq!(transistor_count(1, 2), 36);
+    }
+
+    #[test]
+    fn stage_circuit_builds_with_ten_nodes() {
+        let circuit = stage_circuit(1).unwrap();
+        assert_eq!(circuit.node_count(), 10);
+        assert!(circuit.node("Vint_1").is_some());
+        assert!(circuit.node("VALID0").is_some());
+        assert_eq!(circuit.invariants().len(), 2);
+        // The modelled control stacks are a lumped-equivalent subset of the
+        // 32 transistors of the formula.
+        assert!(circuit.modeled_transistor_count() <= transistor_count(1, 1));
+    }
+
+    #[test]
+    fn stage_elaborates_and_marks_interface_outputs() {
+        let model = stage_model(1).unwrap();
+        let ts = model.timed().underlying();
+        assert!(ts.state_count() > 16);
+        let ack0 = ts.alphabet().lookup("ACK0+").unwrap();
+        assert_eq!(ts.role(ack0), tts::EventRole::Output);
+        let valid0 = ts.alphabet().lookup("VALID0-").unwrap();
+        assert_eq!(ts.role(valid0), tts::EventRole::Input);
+        // The acknowledge chain carries the lumped [8,11] delay of Fig. 13.
+        assert_eq!(
+            model.timed().delay_by_name("ACK0+"),
+            DelayInterval::new(Time::new(8), Time::new(11)).unwrap()
+        );
+        // Internal events must be persistent.
+        assert!(model.persistent_events().iter().any(|e| e == "Vint_1-"));
+    }
+
+    #[test]
+    fn free_running_inputs_reach_short_circuit_states() {
+        // Without an environment the short circuits are reachable: this is
+        // what the verification (with the proper IN/OUT models and timing)
+        // must rule out.
+        let model = stage_model(1).unwrap();
+        assert!(!model.timed().underlying().marked_reachable_states().is_empty());
+    }
+}

@@ -1,0 +1,414 @@
+//! Signal transition graphs: Petri nets whose transitions are interpreted as
+//! rising (`+`) and falling (`-`) signal edges.
+//!
+//! The paper uses STGs to describe the pulse-driven environments `IN` and
+//! `OUT` (Fig. 12), the untimed abstractions `A_in` and `A_out` (Fig. 10) and
+//! the interface specification. This crate provides the net structure, the
+//! token game and the conversion to an explicit transition system
+//! (reachability graph) that the verification engine operates on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a place within an [`Stg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) u32);
+
+impl PlaceId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a transition within an [`Stg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub(crate) u32);
+
+impl TransitionId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Interface role of a transition label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalRole {
+    /// Produced by the environment (underlined transitions in the paper's
+    /// figures).
+    Input,
+    /// Produced by the modelled component.
+    Output,
+    /// Internal.
+    Internal,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlaceData {
+    name: String,
+    initial_tokens: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TransitionData {
+    label: String,
+    role: SignalRole,
+    pre: Vec<PlaceId>,
+    post: Vec<PlaceId>,
+}
+
+/// Error returned by [`StgBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildStgError {
+    /// The net has no transitions.
+    NoTransitions,
+    /// A transition has no input places (it would be enabled forever).
+    SourceTransition(String),
+}
+
+impl fmt::Display for BuildStgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildStgError::NoTransitions => write!(f, "signal transition graph has no transitions"),
+            BuildStgError::SourceTransition(label) => write!(
+                f,
+                "transition `{label}` has no input places and would be unboundedly enabled"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildStgError {}
+
+/// Builder for [`Stg`].
+#[derive(Debug, Clone, Default)]
+pub struct StgBuilder {
+    name: String,
+    places: Vec<PlaceData>,
+    transitions: Vec<TransitionData>,
+}
+
+impl StgBuilder {
+    /// Creates a builder for a net called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        StgBuilder {
+            name: name.into(),
+            ..StgBuilder::default()
+        }
+    }
+
+    /// Adds a place with an initial token count.
+    pub fn add_place(&mut self, name: impl Into<String>, initial_tokens: u32) -> PlaceId {
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(PlaceData {
+            name: name.into(),
+            initial_tokens,
+        });
+        id
+    }
+
+    /// Adds a transition labelled with a signal edge (e.g. `"ACK+"`).
+    pub fn add_transition(&mut self, label: impl Into<String>, role: SignalRole) -> TransitionId {
+        let id = TransitionId(self.transitions.len() as u32);
+        self.transitions.push(TransitionData {
+            label: label.into(),
+            role,
+            pre: Vec::new(),
+            post: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds an arc from a place to a transition.
+    pub fn arc_in(&mut self, place: PlaceId, transition: TransitionId) {
+        let pre = &mut self.transitions[transition.index()].pre;
+        if !pre.contains(&place) {
+            pre.push(place);
+        }
+    }
+
+    /// Adds an arc from a transition to a place.
+    pub fn arc_out(&mut self, transition: TransitionId, place: PlaceId) {
+        let post = &mut self.transitions[transition.index()].post;
+        if !post.contains(&place) {
+            post.push(place);
+        }
+    }
+
+    /// Adds an anonymous place connecting `from` to `to` (the usual way of
+    /// drawing STG causality arcs), optionally carrying an initial token.
+    pub fn connect(&mut self, from: TransitionId, to: TransitionId, initial_tokens: u32) -> PlaceId {
+        let name = format!(
+            "{}->{}",
+            self.transitions[from.index()].label,
+            self.transitions[to.index()].label
+        );
+        let place = self.add_place(name, initial_tokens);
+        self.arc_out(from, place);
+        self.arc_in(place, to);
+        place
+    }
+
+    /// Finalises the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildStgError`] if the net has no transitions or a
+    /// transition without input places.
+    pub fn build(self) -> Result<Stg, BuildStgError> {
+        if self.transitions.is_empty() {
+            return Err(BuildStgError::NoTransitions);
+        }
+        if let Some(t) = self.transitions.iter().find(|t| t.pre.is_empty()) {
+            return Err(BuildStgError::SourceTransition(t.label.clone()));
+        }
+        Ok(Stg {
+            name: self.name,
+            places: self.places,
+            transitions: self.transitions,
+        })
+    }
+}
+
+/// A signal transition graph.
+///
+/// # Examples
+///
+/// ```
+/// use stg::{SignalRole, StgBuilder};
+/// // The A_in abstraction of the paper (Fig. 10a): VALID- -> ACK+ -> {VALID+, ACK-}
+/// // and both must complete before the next VALID-.
+/// let mut b = StgBuilder::new("A_in");
+/// let valid_minus = b.add_transition("VALID-", SignalRole::Output);
+/// let ack_plus = b.add_transition("ACK+", SignalRole::Input);
+/// let valid_plus = b.add_transition("VALID+", SignalRole::Output);
+/// let ack_minus = b.add_transition("ACK-", SignalRole::Input);
+/// b.connect(valid_minus, ack_plus, 0);
+/// b.connect(ack_plus, valid_plus, 0);
+/// b.connect(ack_plus, ack_minus, 0);
+/// b.connect(valid_plus, valid_minus, 1);
+/// b.connect(ack_minus, valid_minus, 1);
+/// let net = b.build()?;
+/// assert_eq!(net.transition_count(), 4);
+/// assert!(net.enabled(&net.initial_marking()).len() == 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stg {
+    name: String,
+    places: Vec<PlaceData>,
+    transitions: Vec<TransitionData>,
+}
+
+/// A marking: the number of tokens per place.
+pub type Marking = Vec<u32>;
+
+impl Stg {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// All transition ids.
+    pub fn transitions(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len()).map(|i| TransitionId(i as u32))
+    }
+
+    /// The label of a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition does not belong to this net.
+    pub fn label(&self, t: TransitionId) -> &str {
+        &self.transitions[t.index()].label
+    }
+
+    /// The interface role of a transition.
+    pub fn role(&self, t: TransitionId) -> SignalRole {
+        self.transitions[t.index()].role
+    }
+
+    /// The name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.places[p.index()].name
+    }
+
+    /// Input places of a transition.
+    pub fn preset(&self, t: TransitionId) -> &[PlaceId] {
+        &self.transitions[t.index()].pre
+    }
+
+    /// Output places of a transition.
+    pub fn postset(&self, t: TransitionId) -> &[PlaceId] {
+        &self.transitions[t.index()].post
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        self.places.iter().map(|p| p.initial_tokens).collect()
+    }
+
+    /// Transitions enabled in `marking`.
+    pub fn enabled(&self, marking: &Marking) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|&t| {
+                self.preset(t)
+                    .iter()
+                    .all(|p| marking.get(p.index()).copied().unwrap_or(0) > 0)
+            })
+            .collect()
+    }
+
+    /// Fires `t` in `marking`, returning the successor marking.
+    ///
+    /// Returns `None` if `t` is not enabled.
+    pub fn fire(&self, marking: &Marking, t: TransitionId) -> Option<Marking> {
+        if !self
+            .preset(t)
+            .iter()
+            .all(|p| marking.get(p.index()).copied().unwrap_or(0) > 0)
+        {
+            return None;
+        }
+        let mut next = marking.clone();
+        for p in self.preset(t) {
+            next[p.index()] -= 1;
+        }
+        for p in self.postset(t) {
+            next[p.index()] += 1;
+        }
+        Some(next)
+    }
+
+    /// Groups transitions by label (several transitions may carry the same
+    /// signal edge).
+    pub fn transitions_by_label(&self) -> HashMap<&str, Vec<TransitionId>> {
+        let mut map: HashMap<&str, Vec<TransitionId>> = HashMap::new();
+        for t in self.transitions() {
+            map.entry(self.label(t)).or_default().push(t);
+        }
+        map
+    }
+}
+
+impl fmt::Display for Stg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} places, {} transitions)",
+            self.name,
+            self.place_count(),
+            self.transition_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new("hs");
+        let req = b.add_transition("REQ+", SignalRole::Output);
+        let ack = b.add_transition("ACK+", SignalRole::Input);
+        let req_down = b.add_transition("REQ-", SignalRole::Output);
+        let ack_down = b.add_transition("ACK-", SignalRole::Input);
+        b.connect(req, ack, 0);
+        b.connect(ack, req_down, 0);
+        b.connect(req_down, ack_down, 0);
+        b.connect(ack_down, req, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn token_game_cycles() {
+        let net = handshake();
+        let m0 = net.initial_marking();
+        let enabled = net.enabled(&m0);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(net.label(enabled[0]), "REQ+");
+        let m1 = net.fire(&m0, enabled[0]).unwrap();
+        assert_eq!(net.label(net.enabled(&m1)[0]), "ACK+");
+        // Firing a disabled transition returns None.
+        assert!(net.fire(&m1, enabled[0]).is_none());
+        // After the full cycle we are back at the initial marking.
+        let mut m = m0.clone();
+        for _ in 0..4 {
+            let t = net.enabled(&m)[0];
+            m = net.fire(&m, t).unwrap();
+        }
+        assert_eq!(m, m0);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_nets() {
+        assert_eq!(
+            StgBuilder::new("empty").build().unwrap_err(),
+            BuildStgError::NoTransitions
+        );
+        let mut b = StgBuilder::new("source");
+        b.add_transition("X+", SignalRole::Output);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildStgError::SourceTransition(_)
+        ));
+    }
+
+    #[test]
+    fn roles_and_labels() {
+        let net = handshake();
+        let by_label = net.transitions_by_label();
+        assert_eq!(by_label.len(), 4);
+        let req = by_label["REQ+"][0];
+        assert_eq!(net.role(req), SignalRole::Output);
+        let ack = by_label["ACK+"][0];
+        assert_eq!(net.role(ack), SignalRole::Input);
+        assert!(net.to_string().contains("4 transitions"));
+        assert!(net.place_name(net.preset(ack)[0]).contains("REQ+"));
+    }
+
+    #[test]
+    fn explicit_places_allow_concurrency() {
+        // Fork: A+ marks two places read by B+ and C+ concurrently.
+        let mut b = StgBuilder::new("fork");
+        let a = b.add_transition("A+", SignalRole::Output);
+        let bt = b.add_transition("B+", SignalRole::Output);
+        let c = b.add_transition("C+", SignalRole::Output);
+        b.connect(a, bt, 0);
+        b.connect(a, c, 0);
+        // Close the loop so every transition has a preset and the net is live.
+        let join = b.add_transition("A-", SignalRole::Output);
+        b.connect(bt, join, 0);
+        b.connect(c, join, 0);
+        let back = b.add_place("restart", 1);
+        b.arc_out(join, back);
+        b.arc_in(back, a);
+        let net = b.build().unwrap();
+        let m0 = net.initial_marking();
+        let m1 = net.fire(&m0, net.enabled(&m0)[0]).unwrap();
+        assert_eq!(net.enabled(&m1).len(), 2);
+    }
+}

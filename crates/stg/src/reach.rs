@@ -1,0 +1,363 @@
+//! Reachability graph generation and well-formedness checks for signal
+//! transition graphs.
+//!
+//! The verification engine works on explicit transition systems, so the STG
+//! models of environments and abstractions are expanded into their
+//! reachability graphs. The expansion also checks boundedness (the models in
+//! the paper are all safe nets) and *signal consistency*: along every
+//! reachable path, rising and falling edges of each signal must alternate,
+//! otherwise the STG does not describe a realisable signal.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use tts::{SignalEdge, TransitionSystem, TsBuilder};
+
+use crate::net::{Marking, SignalRole, Stg};
+
+/// Errors produced while expanding an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// A place exceeded the token bound (the net is not bounded by `bound`).
+    Unbounded {
+        /// Name of the offending place.
+        place: String,
+        /// The bound that was exceeded.
+        bound: u32,
+    },
+    /// The reachability graph exceeded the state limit.
+    TooManyMarkings {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A signal fired two same-direction edges without the opposite edge in
+    /// between.
+    InconsistentSignal {
+        /// The signal name.
+        signal: String,
+    },
+    /// The expansion produced an invalid transition system (e.g. no
+    /// transitions at all).
+    Build(String),
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::Unbounded { place, bound } => {
+                write!(f, "place `{place}` exceeds the token bound {bound}")
+            }
+            ExpandError::TooManyMarkings { limit } => {
+                write!(f, "reachability graph exceeds {limit} markings")
+            }
+            ExpandError::InconsistentSignal { signal } => {
+                write!(f, "signal `{signal}` has two same-direction edges in a row")
+            }
+            ExpandError::Build(msg) => write!(f, "expansion produced an invalid system: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// Options for [`expand`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandOptions {
+    /// Per-place token bound (the paper's models are all 1-safe).
+    pub token_bound: u32,
+    /// Maximum number of markings to explore.
+    pub marking_limit: usize,
+    /// If `true`, verify rising/falling alternation of every signal.
+    pub check_signal_consistency: bool,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions {
+            token_bound: 1,
+            marking_limit: 100_000,
+            check_signal_consistency: true,
+        }
+    }
+}
+
+/// Expands an STG into its reachability graph with default options.
+///
+/// Transition labels become events of the resulting system; transitions
+/// declared [`SignalRole::Input`] / [`SignalRole::Output`] become input /
+/// output events.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] if the net is unbounded, too large, or signal
+/// inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use stg::{expand, SignalRole, StgBuilder};
+/// let mut b = StgBuilder::new("toggle");
+/// let up = b.add_transition("X+", SignalRole::Output);
+/// let down = b.add_transition("X-", SignalRole::Output);
+/// b.connect(up, down, 0);
+/// b.connect(down, up, 1);
+/// let ts = expand(&b.build()?)?;
+/// assert_eq!(ts.state_count(), 2);
+/// assert_eq!(ts.transition_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expand(net: &Stg) -> Result<TransitionSystem, ExpandError> {
+    expand_with(net, ExpandOptions::default())
+}
+
+/// Expands an STG into its reachability graph with explicit options.
+///
+/// # Errors
+///
+/// See [`expand`].
+pub fn expand_with(net: &Stg, options: ExpandOptions) -> Result<TransitionSystem, ExpandError> {
+    let mut builder = TsBuilder::new(net.name());
+    let mut ids: HashMap<Marking, tts::StateId> = HashMap::new();
+    let mut queue: VecDeque<Marking> = VecDeque::new();
+
+    let initial = net.initial_marking();
+    let initial_id = builder.add_state(marking_name(&initial));
+    builder.set_initial(initial_id);
+    ids.insert(initial.clone(), initial_id);
+    queue.push_back(initial);
+
+    // Interface roles.
+    for t in net.transitions() {
+        match net.role(t) {
+            SignalRole::Input => {
+                builder.declare_input(net.label(t));
+            }
+            SignalRole::Output => {
+                builder.declare_output(net.label(t));
+            }
+            SignalRole::Internal => {
+                builder.intern_event(net.label(t));
+            }
+        }
+    }
+
+    while let Some(marking) = queue.pop_front() {
+        if ids.len() > options.marking_limit {
+            return Err(ExpandError::TooManyMarkings {
+                limit: options.marking_limit,
+            });
+        }
+        let from = ids[&marking];
+        for t in net.enabled(&marking) {
+            let next = net
+                .fire(&marking, t)
+                .expect("enabled transitions can fire");
+            if let Some(p) = next.iter().position(|&tokens| tokens > options.token_bound) {
+                return Err(ExpandError::Unbounded {
+                    place: net
+                        .place_name(crate::net::PlaceId(p as u32))
+                        .to_owned(),
+                    bound: options.token_bound,
+                });
+            }
+            let to = *ids.entry(next.clone()).or_insert_with(|| {
+                queue.push_back(next.clone());
+                builder.add_state(marking_name(&next))
+            });
+            builder.add_transition(from, net.label(t), to);
+        }
+    }
+
+    let ts = builder
+        .build()
+        .map_err(|e| ExpandError::Build(e.to_string()))?;
+
+    if options.check_signal_consistency {
+        check_signal_consistency(&ts)?;
+    }
+    Ok(ts)
+}
+
+/// Verifies that along every reachable transition sequence, rising and
+/// falling edges of each signal alternate.
+///
+/// The check assigns a value to each signal per reachable state (starting
+/// unknown) and reports an error if a state is reached with two different
+/// implied values or an edge repeats a direction.
+fn check_signal_consistency(ts: &TransitionSystem) -> Result<(), ExpandError> {
+    // value per (state, signal): None = unknown.
+    let mut values: Vec<HashMap<String, bool>> = vec![HashMap::new(); ts.state_count()];
+    let mut queue: VecDeque<tts::StateId> = VecDeque::new();
+    let mut visited = vec![false; ts.state_count()];
+    for &s in ts.initial_states() {
+        visited[s.index()] = true;
+        queue.push_back(s);
+    }
+    while let Some(s) = queue.pop_front() {
+        for &(event, to) in ts.transitions_from(s) {
+            if let Some(edge) = ts.alphabet().signal_edge(event) {
+                let before = values[s.index()].get(edge.signal()).copied();
+                let target_value = edge.polarity().target_value();
+                if before == Some(target_value) {
+                    return Err(ExpandError::InconsistentSignal {
+                        signal: edge.signal().to_owned(),
+                    });
+                }
+                let after_map = &mut values[to.index()];
+                match after_map.get(edge.signal()) {
+                    Some(&v) if v != target_value => {
+                        return Err(ExpandError::InconsistentSignal {
+                            signal: edge.signal().to_owned(),
+                        });
+                    }
+                    _ => {
+                        after_map.insert(edge.signal().to_owned(), target_value);
+                    }
+                }
+            }
+            if !visited[to.index()] {
+                visited[to.index()] = true;
+                queue.push_back(to);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns the set of signals appearing in the labels of a net.
+pub fn signals(net: &Stg) -> Vec<String> {
+    let mut out: Vec<String> = net
+        .transitions()
+        .filter_map(|t| SignalEdge::parse(net.label(t)).map(|e| e.signal().to_owned()))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn marking_name(marking: &Marking) -> String {
+    let tokens: Vec<String> = marking
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t > 0)
+        .map(|(i, &t)| if t == 1 { format!("p{i}") } else { format!("p{i}*{t}") })
+        .collect();
+    if tokens.is_empty() {
+        "{}".to_owned()
+    } else {
+        format!("{{{}}}", tokens.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::StgBuilder;
+
+    fn toggle() -> Stg {
+        let mut b = StgBuilder::new("toggle");
+        let up = b.add_transition("X+", SignalRole::Output);
+        let down = b.add_transition("X-", SignalRole::Input);
+        b.connect(up, down, 0);
+        b.connect(down, up, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn expansion_produces_the_reachability_graph() {
+        let ts = expand(&toggle()).unwrap();
+        assert_eq!(ts.state_count(), 2);
+        assert_eq!(ts.transition_count(), 2);
+        let up = ts.alphabet().lookup("X+").unwrap();
+        let down = ts.alphabet().lookup("X-").unwrap();
+        assert_eq!(ts.role(up), tts::EventRole::Output);
+        assert_eq!(ts.role(down), tts::EventRole::Input);
+        assert!(ts.deadlock_states().is_empty());
+    }
+
+    #[test]
+    fn concurrency_expands_to_interleavings() {
+        // A+ forks B+ and C+ which join back into A-.
+        let mut b = StgBuilder::new("fork");
+        let a_plus = b.add_transition("A+", SignalRole::Output);
+        let b_plus = b.add_transition("B+", SignalRole::Output);
+        let c_plus = b.add_transition("C+", SignalRole::Output);
+        let a_minus = b.add_transition("A-", SignalRole::Output);
+        let b_minus = b.add_transition("B-", SignalRole::Output);
+        let c_minus = b.add_transition("C-", SignalRole::Output);
+        b.connect(a_plus, b_plus, 0);
+        b.connect(a_plus, c_plus, 0);
+        b.connect(b_plus, a_minus, 0);
+        b.connect(c_plus, a_minus, 0);
+        b.connect(a_minus, b_minus, 0);
+        b.connect(a_minus, c_minus, 0);
+        b.connect(b_minus, a_plus, 1);
+        b.connect(c_minus, a_plus, 1);
+        let ts = expand(&b.build().unwrap()).unwrap();
+        // Diamond of B+/C+ plus diamond of B-/C-.
+        assert!(ts.state_count() >= 6);
+        assert!(ts.deadlock_states().is_empty());
+    }
+
+    #[test]
+    fn unbounded_nets_are_rejected() {
+        let mut b = StgBuilder::new("unbounded");
+        let a = b.add_transition("A+", SignalRole::Output);
+        let c = b.add_transition("A-", SignalRole::Output);
+        b.connect(a, c, 0);
+        b.connect(c, a, 1);
+        // Extra sink place that accumulates tokens forever.
+        let sink = b.add_place("sink", 0);
+        b.arc_out(a, sink);
+        let err = expand(&b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, ExpandError::Unbounded { .. }));
+        assert!(err.to_string().contains("sink"));
+    }
+
+    #[test]
+    fn inconsistent_signals_are_rejected() {
+        // X+ followed by X+ again.
+        let mut b = StgBuilder::new("bad");
+        let first = b.add_transition("X+", SignalRole::Output);
+        let second = b.add_transition("X+", SignalRole::Output);
+        b.connect(first, second, 0);
+        b.connect(second, first, 1);
+        let err = expand(&b.build().unwrap()).unwrap_err();
+        assert_eq!(
+            err,
+            ExpandError::InconsistentSignal {
+                signal: "X".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn marking_limit_is_enforced() {
+        let err = expand_with(
+            &toggle(),
+            ExpandOptions {
+                marking_limit: 0,
+                ..ExpandOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExpandError::TooManyMarkings { .. }));
+    }
+
+    #[test]
+    fn signals_are_collected() {
+        let names = signals(&toggle());
+        assert_eq!(names, vec!["X".to_owned()]);
+    }
+
+    #[test]
+    fn non_signal_labels_are_tolerated() {
+        let mut b = StgBuilder::new("plain");
+        let a = b.add_transition("go", SignalRole::Internal);
+        let c = b.add_transition("stop", SignalRole::Internal);
+        b.connect(a, c, 0);
+        b.connect(c, a, 1);
+        let ts = expand(&b.build().unwrap()).unwrap();
+        assert_eq!(ts.state_count(), 2);
+    }
+}

@@ -1,0 +1,471 @@
+//! Parallel composition of transition systems.
+//!
+//! Components synchronise on events with the same name (CSP-style
+//! multi-way synchronisation) and interleave on the rest. Composition is used
+//! to close a circuit with its environment (`IN ∥ I ∥ OUT`), to put a stage
+//! between abstractions (`A_in ∥ I ∥ A_out`) and to build the systems of the
+//! guarantee proofs of §4.2.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::event::EventId;
+use crate::timed::{IncompatibleDelaysError, TimedTransitionSystem};
+use crate::ts::{BuildTsError, EventRole, StateId, TransitionSystem, TsBuilder};
+
+/// Error returned by the composition operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The composed system would be structurally invalid.
+    Build(BuildTsError),
+    /// Two components constrain the same event with disjoint delay intervals.
+    IncompatibleDelays(IncompatibleDelaysError),
+    /// The composition exceeded the configured state limit.
+    StateLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::Build(e) => write!(f, "composition failed: {e}"),
+            ComposeError::IncompatibleDelays(e) => write!(f, "composition failed: {e}"),
+            ComposeError::StateLimitExceeded { limit } => {
+                write!(f, "composition exceeded the state limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ComposeError::Build(e) => Some(e),
+            ComposeError::IncompatibleDelays(e) => Some(e),
+            ComposeError::StateLimitExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<BuildTsError> for ComposeError {
+    fn from(e: BuildTsError) -> Self {
+        ComposeError::Build(e)
+    }
+}
+
+impl From<IncompatibleDelaysError> for ComposeError {
+    fn from(e: IncompatibleDelaysError) -> Self {
+        ComposeError::IncompatibleDelays(e)
+    }
+}
+
+/// Options controlling composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComposeOptions {
+    /// Maximum number of product states to explore before giving up.
+    pub state_limit: usize,
+}
+
+impl Default for ComposeOptions {
+    fn default() -> Self {
+        ComposeOptions {
+            state_limit: 2_000_000,
+        }
+    }
+}
+
+/// Composes two transition systems with default options.
+///
+/// Shared events (same name in both alphabets) synchronise; the rest
+/// interleave. Only reachable product states are constructed. Violation marks
+/// of the component states are carried over (prefixed with the component
+/// name). An event is an output of the composition if it is an output of any
+/// component, an input if some component declares it an input and none
+/// declares it an output, and internal otherwise.
+///
+/// # Errors
+///
+/// Returns [`ComposeError`] if the composed system would be invalid or the
+/// state limit is exceeded.
+///
+/// # Examples
+///
+/// ```
+/// use tts::{compose, TsBuilder};
+/// let mut p = TsBuilder::new("producer");
+/// let p0 = p.add_state("p0");
+/// let p1 = p.add_state("p1");
+/// p.add_transition(p0, "req", p1);
+/// p.add_transition(p1, "ack", p0);
+/// p.set_initial(p0);
+/// let producer = p.build()?;
+///
+/// let mut c = TsBuilder::new("consumer");
+/// let c0 = c.add_state("c0");
+/// let c1 = c.add_state("c1");
+/// c.add_transition(c0, "req", c1);
+/// c.add_transition(c1, "ack", c0);
+/// c.set_initial(c0);
+/// let consumer = c.build()?;
+///
+/// let system = compose(&producer, &consumer)?;
+/// assert_eq!(system.state_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compose(
+    left: &TransitionSystem,
+    right: &TransitionSystem,
+) -> Result<TransitionSystem, ComposeError> {
+    compose_with(left, right, ComposeOptions::default())
+}
+
+/// Composes two transition systems with explicit [`ComposeOptions`].
+///
+/// # Errors
+///
+/// See [`compose`].
+pub fn compose_with(
+    left: &TransitionSystem,
+    right: &TransitionSystem,
+    options: ComposeOptions,
+) -> Result<TransitionSystem, ComposeError> {
+    let mut builder = TsBuilder::new(format!("{} || {}", left.name(), right.name()));
+
+    // Precompute which event names are shared.
+    let left_names: HashMap<&str, EventId> =
+        left.alphabet().iter().map(|(id, n)| (n, id)).collect();
+    let right_names: HashMap<&str, EventId> =
+        right.alphabet().iter().map(|(id, n)| (n, id)).collect();
+
+    let mut product_states: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+
+    let add_state = |builder: &mut TsBuilder,
+                         queue: &mut VecDeque<(StateId, StateId)>,
+                         product_states: &mut HashMap<(StateId, StateId), StateId>,
+                         l: StateId,
+                         r: StateId|
+     -> StateId {
+        if let Some(&id) = product_states.get(&(l, r)) {
+            return id;
+        }
+        let id = builder.add_state(format!("{}|{}", left.state_name(l), right.state_name(r)));
+        for v in left.violations(l) {
+            builder.mark_violation(id, format!("{}: {}", left.name(), v));
+        }
+        for v in right.violations(r) {
+            builder.mark_violation(id, format!("{}: {}", right.name(), v));
+        }
+        product_states.insert((l, r), id);
+        queue.push_back((l, r));
+        id
+    };
+
+    for &l in left.initial_states() {
+        for &r in right.initial_states() {
+            let id = add_state(&mut builder, &mut queue, &mut product_states, l, r);
+            builder.set_initial(id);
+        }
+    }
+
+    while let Some((l, r)) = queue.pop_front() {
+        if builder.state_count() > options.state_limit {
+            return Err(ComposeError::StateLimitExceeded {
+                limit: options.state_limit,
+            });
+        }
+        let from = product_states[&(l, r)];
+        // Left moves (synchronising when the event is shared).
+        for &(le, lto) in left.transitions_from(l) {
+            let name = left.alphabet().name(le);
+            match right_names.get(name) {
+                Some(&re) => {
+                    for rto in right.successors(r, re) {
+                        let to =
+                            add_state(&mut builder, &mut queue, &mut product_states, lto, rto);
+                        builder.add_transition(from, name, to);
+                    }
+                }
+                None => {
+                    let to = add_state(&mut builder, &mut queue, &mut product_states, lto, r);
+                    builder.add_transition(from, name, to);
+                }
+            }
+        }
+        // Right-only moves (shared events were handled above).
+        for &(re, rto) in right.transitions_from(r) {
+            let name = right.alphabet().name(re);
+            if left_names.contains_key(name) {
+                continue;
+            }
+            let to = add_state(&mut builder, &mut queue, &mut product_states, l, rto);
+            builder.add_transition(from, name, to);
+        }
+    }
+
+    // Interface roles.
+    for (name, role) in interface_union(left, right) {
+        match role {
+            EventRole::Output => {
+                builder.declare_output(&name);
+            }
+            EventRole::Input => {
+                builder.declare_input(&name);
+            }
+            EventRole::Internal => {}
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+fn interface_union(
+    left: &TransitionSystem,
+    right: &TransitionSystem,
+) -> Vec<(String, EventRole)> {
+    let mut roles: HashMap<String, EventRole> = HashMap::new();
+    for ts in [left, right] {
+        for (id, name) in ts.alphabet().iter() {
+            let role = ts.role(id);
+            let entry = roles.entry(name.to_owned()).or_insert(EventRole::Internal);
+            *entry = match (*entry, role) {
+                (EventRole::Output, _) | (_, EventRole::Output) => EventRole::Output,
+                (EventRole::Input, _) | (_, EventRole::Input) => EventRole::Input,
+                _ => EventRole::Internal,
+            };
+        }
+    }
+    roles.into_iter().collect()
+}
+
+/// Composes a non-empty list of transition systems left to right.
+///
+/// # Errors
+///
+/// Returns [`ComposeError`] if any pairwise composition fails.
+///
+/// # Panics
+///
+/// Panics if `systems` is empty.
+pub fn compose_all(systems: &[&TransitionSystem]) -> Result<TransitionSystem, ComposeError> {
+    assert!(!systems.is_empty(), "compose_all requires at least one system");
+    let mut acc = systems[0].clone();
+    for ts in &systems[1..] {
+        acc = compose(&acc, ts)?;
+    }
+    Ok(acc)
+}
+
+/// Composes two timed transition systems.
+///
+/// The underlying systems are composed with [`compose`]; the delay interval of
+/// each event in the result is the intersection of the component intervals
+/// (the default `[0, ∞)` interval is neutral).
+///
+/// # Errors
+///
+/// Returns [`ComposeError::IncompatibleDelays`] if both components constrain
+/// the same event with disjoint intervals, or any error of [`compose`].
+pub fn compose_timed(
+    left: &TimedTransitionSystem,
+    right: &TimedTransitionSystem,
+) -> Result<TimedTransitionSystem, ComposeError> {
+    let ts = compose(left.underlying(), right.underlying())?;
+    let mut timed = TimedTransitionSystem::new(ts);
+    let mut set = |name: &str, interval| {
+        if let Some(id) = timed.underlying().alphabet().lookup(name) {
+            timed.set_delay(id, interval);
+        }
+    };
+    // Start from the left delays, then merge the right ones.
+    let mut merged: HashMap<String, crate::time::DelayInterval> = HashMap::new();
+    for (e, d) in left.delays() {
+        merged.insert(left.underlying().alphabet().name(e).to_owned(), d);
+    }
+    for (e, d) in right.delays() {
+        let name = right.underlying().alphabet().name(e).to_owned();
+        let entry = merged.entry(name.clone()).or_insert(d);
+        match entry.intersect(&d) {
+            Some(i) => *entry = i,
+            None => {
+                return Err(IncompatibleDelaysError::new(name, *entry, d).into());
+            }
+        }
+    }
+    for (name, interval) in merged {
+        set(&name, interval);
+    }
+    Ok(timed)
+}
+
+/// Composes a non-empty list of timed transition systems left to right.
+///
+/// # Errors
+///
+/// Returns [`ComposeError`] if any pairwise composition fails.
+///
+/// # Panics
+///
+/// Panics if `systems` is empty.
+pub fn compose_timed_all(
+    systems: &[&TimedTransitionSystem],
+) -> Result<TimedTransitionSystem, ComposeError> {
+    assert!(
+        !systems.is_empty(),
+        "compose_timed_all requires at least one system"
+    );
+    let mut acc = systems[0].clone();
+    for ts in &systems[1..] {
+        acc = compose_timed(&acc, ts)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{DelayInterval, Time};
+    use crate::ts::TsBuilder;
+
+    fn handshake(name: &str, active: bool) -> TransitionSystem {
+        let mut b = TsBuilder::new(name);
+        let s0 = b.add_state("idle");
+        let s1 = b.add_state("busy");
+        b.add_transition(s0, "req", s1);
+        b.add_transition(s1, "ack", s0);
+        b.set_initial(s0);
+        if active {
+            b.declare_output("req");
+            b.declare_input("ack");
+        } else {
+            b.declare_input("req");
+            b.declare_output("ack");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn synchronised_composition_stays_small() {
+        let system = compose(&handshake("p", true), &handshake("c", false)).unwrap();
+        assert_eq!(system.state_count(), 2);
+        assert_eq!(system.transition_count(), 2);
+        // Both req and ack are outputs of some component.
+        let req = system.alphabet().lookup("req").unwrap();
+        let ack = system.alphabet().lookup("ack").unwrap();
+        assert_eq!(system.role(req), EventRole::Output);
+        assert_eq!(system.role(ack), EventRole::Output);
+    }
+
+    #[test]
+    fn interleaving_of_private_events() {
+        let mut a = TsBuilder::new("a");
+        let a0 = a.add_state("a0");
+        let a1 = a.add_state("a1");
+        a.add_transition(a0, "x", a1);
+        a.set_initial(a0);
+        let a = a.build().unwrap();
+
+        let mut b = TsBuilder::new("b");
+        let b0 = b.add_state("b0");
+        let b1 = b.add_state("b1");
+        b.add_transition(b0, "y", b1);
+        b.set_initial(b0);
+        let b = b.build().unwrap();
+
+        let p = compose(&a, &b).unwrap();
+        assert_eq!(p.state_count(), 4);
+        assert_eq!(p.transition_count(), 4);
+        assert!(p.deadlock_states().len() == 1);
+    }
+
+    #[test]
+    fn violations_propagate_with_component_prefix() {
+        let mut a = TsBuilder::new("left");
+        let a0 = a.add_state("ok");
+        let a1 = a.add_state("bad");
+        a.add_transition(a0, "x", a1);
+        a.mark_violation(a1, "short-circuit");
+        a.set_initial(a0);
+        let a = a.build().unwrap();
+        let b = handshake("right", false);
+        let p = compose(&a, &b).unwrap();
+        // The `bad` left state pairs with both right states reachable by the
+        // interleaved handshake, so two marked product states exist.
+        let bad: Vec<_> = p.marked_reachable_states();
+        assert_eq!(bad.len(), 2);
+        for s in bad {
+            assert!(p.violations(s)[0].contains("left"));
+        }
+    }
+
+    #[test]
+    fn sync_requires_both_ready() {
+        // The consumer never offers "req" from its initial state, so the
+        // producer can never fire it.
+        let producer = handshake("p", true);
+        let mut c = TsBuilder::new("stuck");
+        let c0 = c.add_state("c0");
+        c.set_initial(c0);
+        c.intern_event("req");
+        let consumer = c.build().unwrap();
+        let p = compose(&producer, &consumer).unwrap();
+        assert_eq!(p.state_count(), 1);
+        assert_eq!(p.transition_count(), 0);
+        assert_eq!(p.deadlock_states().len(), 1);
+    }
+
+    #[test]
+    fn compose_all_folds() {
+        let a = handshake("a", true);
+        let b = handshake("b", false);
+        let c = {
+            let mut b = TsBuilder::new("obs");
+            let s = b.add_state("s");
+            b.add_transition(s, "req", s);
+            b.add_transition(s, "ack", s);
+            b.set_initial(s);
+            b.build().unwrap()
+        };
+        let p = compose_all(&[&a, &b, &c]).unwrap();
+        assert_eq!(p.state_count(), 2);
+    }
+
+    #[test]
+    fn timed_composition_intersects_delays() {
+        let mut left = TimedTransitionSystem::new(handshake("p", true));
+        left.set_delay_by_name("req", DelayInterval::new(Time::new(1), Time::new(5)).unwrap());
+        let mut right = TimedTransitionSystem::new(handshake("c", false));
+        right.set_delay_by_name("req", DelayInterval::new(Time::new(3), Time::new(8)).unwrap());
+        right.set_delay_by_name("ack", DelayInterval::new(Time::new(2), Time::new(2)).unwrap());
+        let composed = compose_timed(&left, &right).unwrap();
+        assert_eq!(
+            composed.delay_by_name("req"),
+            DelayInterval::new(Time::new(3), Time::new(5)).unwrap()
+        );
+        assert_eq!(
+            composed.delay_by_name("ack"),
+            DelayInterval::new(Time::new(2), Time::new(2)).unwrap()
+        );
+    }
+
+    #[test]
+    fn timed_composition_rejects_disjoint_delays() {
+        let mut left = TimedTransitionSystem::new(handshake("p", true));
+        left.set_delay_by_name("req", DelayInterval::new(Time::new(1), Time::new(2)).unwrap());
+        let mut right = TimedTransitionSystem::new(handshake("c", false));
+        right.set_delay_by_name("req", DelayInterval::new(Time::new(5), Time::new(8)).unwrap());
+        let err = compose_timed(&left, &right).unwrap_err();
+        assert!(matches!(err, ComposeError::IncompatibleDelays(_)));
+        assert!(err.to_string().contains("req"));
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let a = handshake("a", true);
+        let b = handshake("b", false);
+        let err = compose_with(&a, &b, ComposeOptions { state_limit: 0 }).unwrap_err();
+        assert!(matches!(err, ComposeError::StateLimitExceeded { .. }));
+    }
+}

@@ -1,0 +1,288 @@
+//! Events, signal edges and alphabets.
+//!
+//! Events in this crate are named. In circuit-level models an event is a
+//! *signal transition* such as `ACK+` (rising edge of `ACK`) or `CLKE-`
+//! (falling edge); in abstract models (e.g. the introductory example of the
+//! paper, Fig. 1) events are plain letters. [`Alphabet`] interns event names
+//! so that transition systems can store compact [`EventId`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an event within an [`Alphabet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index.
+    ///
+    /// Intended for serialisation/test helpers; using an id with the wrong
+    /// alphabet yields `None`/panics on lookup rather than undefined
+    /// behaviour.
+    pub fn from_index(index: usize) -> Self {
+        EventId(index as u32)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// A rising edge (`+`), the signal switches to logic 1.
+    Rise,
+    /// A falling edge (`-`), the signal switches to logic 0.
+    Fall,
+}
+
+impl Polarity {
+    /// The opposite direction.
+    #[must_use]
+    pub fn opposite(self) -> Polarity {
+        match self {
+            Polarity::Rise => Polarity::Fall,
+            Polarity::Fall => Polarity::Rise,
+        }
+    }
+
+    /// The boolean value the signal holds *after* a transition of this
+    /// polarity.
+    pub fn target_value(self) -> bool {
+        matches!(self, Polarity::Rise)
+    }
+
+    /// The suffix used in event names (`+` or `-`).
+    pub fn suffix(self) -> char {
+        match self {
+            Polarity::Rise => '+',
+            Polarity::Fall => '-',
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// A signal edge: a signal name plus a [`Polarity`].
+///
+/// # Examples
+///
+/// ```
+/// use tts::{Polarity, SignalEdge};
+/// let e = SignalEdge::rise("ACK");
+/// assert_eq!(e.to_string(), "ACK+");
+/// assert_eq!(SignalEdge::parse("CLKE-"), Some(SignalEdge::fall("CLKE")));
+/// assert_eq!(e.opposite().polarity(), Polarity::Fall);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalEdge {
+    signal: String,
+    polarity: Polarity,
+}
+
+impl SignalEdge {
+    /// Creates a new signal edge.
+    pub fn new(signal: impl Into<String>, polarity: Polarity) -> Self {
+        SignalEdge {
+            signal: signal.into(),
+            polarity,
+        }
+    }
+
+    /// Rising edge of `signal`.
+    pub fn rise(signal: impl Into<String>) -> Self {
+        SignalEdge::new(signal, Polarity::Rise)
+    }
+
+    /// Falling edge of `signal`.
+    pub fn fall(signal: impl Into<String>) -> Self {
+        SignalEdge::new(signal, Polarity::Fall)
+    }
+
+    /// Parses an event name of the form `SIG+` or `SIG-`.
+    ///
+    /// Returns `None` for names without a trailing polarity marker.
+    pub fn parse(name: &str) -> Option<Self> {
+        let (signal, last) = name.split_at(name.len().checked_sub(1)?);
+        if signal.is_empty() {
+            return None;
+        }
+        match last {
+            "+" => Some(SignalEdge::rise(signal)),
+            "-" => Some(SignalEdge::fall(signal)),
+            _ => None,
+        }
+    }
+
+    /// The signal name.
+    pub fn signal(&self) -> &str {
+        &self.signal
+    }
+
+    /// The edge direction.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// The edge of the same signal with the opposite direction.
+    #[must_use]
+    pub fn opposite(&self) -> SignalEdge {
+        SignalEdge::new(self.signal.clone(), self.polarity.opposite())
+    }
+}
+
+impl fmt::Display for SignalEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.signal, self.polarity)
+    }
+}
+
+/// An interned set of event names shared by the states and transitions of a
+/// transition system.
+///
+/// # Examples
+///
+/// ```
+/// use tts::Alphabet;
+/// let mut alphabet = Alphabet::new();
+/// let a = alphabet.intern("ACK+");
+/// let b = alphabet.intern("VALID-");
+/// assert_ne!(a, b);
+/// assert_eq!(alphabet.intern("ACK+"), a);
+/// assert_eq!(alphabet.name(a), "ACK+");
+/// assert_eq!(alphabet.lookup("VALID-"), Some(b));
+/// assert_eq!(alphabet.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, EventId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: impl AsRef<str>) -> EventId {
+        let name = name.as_ref();
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = EventId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of an event id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this alphabet.
+    pub fn name(&self, id: EventId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Returns the name of an event id, or `None` if it is out of range.
+    pub fn get(&self, id: EventId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned events.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no events have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (EventId(i as u32), n.as_str()))
+    }
+
+    /// All event ids of the alphabet.
+    pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.names.len()).map(|i| EventId(i as u32))
+    }
+
+    /// Interprets an event name as a signal edge, if it has the `SIG+`/`SIG-`
+    /// form.
+    pub fn signal_edge(&self, id: EventId) -> Option<SignalEdge> {
+        SignalEdge::parse(self.name(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_helpers() {
+        assert_eq!(Polarity::Rise.opposite(), Polarity::Fall);
+        assert!(Polarity::Rise.target_value());
+        assert!(!Polarity::Fall.target_value());
+        assert_eq!(Polarity::Fall.to_string(), "-");
+    }
+
+    #[test]
+    fn signal_edge_parse_roundtrip() {
+        for name in ["ACK+", "VALID-", "Vint+", "CLKE-"] {
+            let edge = SignalEdge::parse(name).unwrap();
+            assert_eq!(edge.to_string(), name);
+        }
+        assert_eq!(SignalEdge::parse("a"), None);
+        assert_eq!(SignalEdge::parse("+"), None);
+        assert_eq!(SignalEdge::parse(""), None);
+    }
+
+    #[test]
+    fn alphabet_interning() {
+        let mut alpha = Alphabet::new();
+        assert!(alpha.is_empty());
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        assert_eq!(alpha.intern("a"), a);
+        assert_eq!(alpha.len(), 2);
+        assert_eq!(alpha.name(a), "a");
+        assert_eq!(alpha.lookup("b"), Some(b));
+        assert_eq!(alpha.lookup("c"), None);
+        assert_eq!(alpha.get(EventId(99)), None);
+        let names: Vec<_> = alpha.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn alphabet_signal_edges() {
+        let mut alpha = Alphabet::new();
+        let ack = alpha.intern("ACK+");
+        let plain = alpha.intern("x");
+        assert_eq!(alpha.signal_edge(ack), Some(SignalEdge::rise("ACK")));
+        assert_eq!(alpha.signal_edge(plain), None);
+    }
+}

@@ -1,0 +1,388 @@
+//! Discrete time values, upper bounds and delay intervals.
+//!
+//! The paper annotates every event of a timed transition system with a delay
+//! interval `[δl, δu]` where `δu` may be infinite (the default interval is
+//! `[0, ∞)`). Delays in the IPCMOS models are small integers (e.g. `[1,2]`
+//! gate delays, `[8,11]` environment response). The introductory example of
+//! Fig. 1 uses half-integer delays; callers scale those by two (documented in
+//! the example itself), so a plain integer time base is sufficient and keeps
+//! the difference-bound arithmetic exact.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+/// A point in (relative) time, measured in integer time units.
+///
+/// `Time` is a thin newtype over `i64` so that delays, separations and time
+/// stamps cannot be accidentally mixed with unrelated integers.
+///
+/// # Examples
+///
+/// ```
+/// use tts::Time;
+/// let t = Time::new(3) + Time::new(4);
+/// assert_eq!(t, Time::new(7));
+/// assert_eq!(t.as_i64(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// The zero time value.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time value from a raw number of time units.
+    pub const fn new(units: i64) -> Self {
+        Time(units)
+    }
+
+    /// Returns the raw number of time units.
+    pub const fn as_i64(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating addition, useful when accumulating path lengths.
+    #[must_use]
+    pub fn saturating_add(self, other: Time) -> Time {
+        Time(self.0.saturating_add(other.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Time {
+    fn from(units: i64) -> Self {
+        Time(units)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+/// An upper bound on a delay: either a finite time or `∞`.
+///
+/// # Examples
+///
+/// ```
+/// use tts::{Bound, Time};
+/// assert!(Bound::Finite(Time::new(5)) < Bound::Infinite);
+/// assert!(Bound::Finite(Time::new(5)) >= Bound::Finite(Time::new(5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// A finite bound.
+    Finite(Time),
+    /// No upper bound (`∞`).
+    Infinite,
+}
+
+impl Bound {
+    /// Returns the finite value, if any.
+    pub fn finite(self) -> Option<Time> {
+        match self {
+            Bound::Finite(t) => Some(t),
+            Bound::Infinite => None,
+        }
+    }
+
+    /// Returns `true` if the bound is infinite.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Bound::Infinite)
+    }
+
+    /// Adds a finite time to the bound (`∞ + t = ∞`).
+    #[must_use]
+    pub fn plus(self, t: Time) -> Bound {
+        match self {
+            Bound::Finite(b) => Bound::Finite(b + t),
+            Bound::Infinite => Bound::Infinite,
+        }
+    }
+
+    /// The smaller of two bounds.
+    #[must_use]
+    pub fn min(self, other: Bound) -> Bound {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two bounds.
+    #[must_use]
+    pub fn max(self, other: Bound) -> Bound {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use Bound::*;
+        match (self, other) {
+            (Infinite, Infinite) => std::cmp::Ordering::Equal,
+            (Infinite, Finite(_)) => std::cmp::Ordering::Greater,
+            (Finite(_), Infinite) => std::cmp::Ordering::Less,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(t) => write!(f, "{t}"),
+            Bound::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+impl From<Time> for Bound {
+    fn from(t: Time) -> Self {
+        Bound::Finite(t)
+    }
+}
+
+/// A delay interval `[lower, upper]` attached to an event of a timed
+/// transition system.
+///
+/// `lower` is always finite and non-negative; `upper` may be [`Bound::Infinite`]
+/// which corresponds to the paper's default `[0, ∞)` interval.
+///
+/// # Examples
+///
+/// ```
+/// use tts::{DelayInterval, Time};
+/// let d = DelayInterval::new(Time::new(1), Time::new(2))?;
+/// assert_eq!(d.lower(), Time::new(1));
+/// assert!(!d.upper().is_infinite());
+/// let any = DelayInterval::unbounded();
+/// assert!(any.upper().is_infinite());
+/// # Ok::<(), tts::InvalidIntervalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DelayInterval {
+    lower: Time,
+    upper: Bound,
+}
+
+/// Error returned when constructing an empty or negative delay interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidIntervalError {
+    lower: Time,
+    upper: Bound,
+}
+
+impl fmt::Display for InvalidIntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid delay interval [{}, {}]: bounds must satisfy 0 <= lower <= upper",
+            self.lower, self.upper
+        )
+    }
+}
+
+impl std::error::Error for InvalidIntervalError {}
+
+impl DelayInterval {
+    /// Creates a closed interval `[lower, upper]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIntervalError`] if `lower` is negative or greater than
+    /// `upper`.
+    pub fn new(lower: Time, upper: Time) -> Result<Self, InvalidIntervalError> {
+        Self::with_bound(lower, Bound::Finite(upper))
+    }
+
+    /// Creates an interval `[lower, upper]` where `upper` may be infinite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIntervalError`] if `lower` is negative or greater than
+    /// a finite `upper`.
+    pub fn with_bound(lower: Time, upper: Bound) -> Result<Self, InvalidIntervalError> {
+        let valid = lower >= Time::ZERO
+            && match upper {
+                Bound::Finite(u) => lower <= u,
+                Bound::Infinite => true,
+            };
+        if valid {
+            Ok(DelayInterval { lower, upper })
+        } else {
+            Err(InvalidIntervalError { lower, upper })
+        }
+    }
+
+    /// The default interval `[0, ∞)` used for events without timing
+    /// information.
+    pub fn unbounded() -> Self {
+        DelayInterval {
+            lower: Time::ZERO,
+            upper: Bound::Infinite,
+        }
+    }
+
+    /// Creates an interval `[lower, ∞)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIntervalError`] if `lower` is negative.
+    pub fn at_least(lower: Time) -> Result<Self, InvalidIntervalError> {
+        Self::with_bound(lower, Bound::Infinite)
+    }
+
+    /// Creates the degenerate interval `[t, t]` (a fixed delay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidIntervalError`] if `t` is negative.
+    pub fn exactly(t: Time) -> Result<Self, InvalidIntervalError> {
+        Self::new(t, t)
+    }
+
+    /// Lower delay bound `δl`.
+    pub fn lower(&self) -> Time {
+        self.lower
+    }
+
+    /// Upper delay bound `δu`.
+    pub fn upper(&self) -> Bound {
+        self.upper
+    }
+
+    /// Returns `true` if this is the uninformative `[0, ∞)` interval.
+    pub fn is_unbounded(&self) -> bool {
+        self.lower == Time::ZERO && self.upper.is_infinite()
+    }
+
+    /// Intersection of two intervals, used when composing systems that both
+    /// constrain the same event.
+    ///
+    /// Returns `None` if the intervals are disjoint.
+    pub fn intersect(&self, other: &DelayInterval) -> Option<DelayInterval> {
+        let lower = self.lower.max(other.lower);
+        let upper = self.upper.min(other.upper);
+        DelayInterval::with_bound(lower, upper).ok()
+    }
+}
+
+impl Default for DelayInterval {
+    fn default() -> Self {
+        DelayInterval::unbounded()
+    }
+}
+
+impl fmt::Display for DelayInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.upper {
+            Bound::Finite(u) => write!(f, "[{},{}]", self.lower, u),
+            Bound::Infinite => write!(f, "[{},inf)", self.lower),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::new(5);
+        let b = Time::new(3);
+        assert_eq!(a + b, Time::new(8));
+        assert_eq!(a - b, Time::new(2));
+        assert_eq!(-a, Time::new(-5));
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn bound_ordering() {
+        assert!(Bound::Finite(Time::new(100)) < Bound::Infinite);
+        assert!(Bound::Infinite <= Bound::Infinite);
+        assert_eq!(
+            Bound::Finite(Time::new(2)).min(Bound::Finite(Time::new(5))),
+            Bound::Finite(Time::new(2))
+        );
+        assert_eq!(
+            Bound::Infinite.max(Bound::Finite(Time::new(5))),
+            Bound::Infinite
+        );
+        assert_eq!(Bound::Infinite.plus(Time::new(3)), Bound::Infinite);
+        assert_eq!(
+            Bound::Finite(Time::new(2)).plus(Time::new(3)),
+            Bound::Finite(Time::new(5))
+        );
+    }
+
+    #[test]
+    fn interval_construction() {
+        assert!(DelayInterval::new(Time::new(2), Time::new(1)).is_err());
+        assert!(DelayInterval::new(Time::new(-1), Time::new(1)).is_err());
+        let d = DelayInterval::new(Time::new(1), Time::new(2)).unwrap();
+        assert_eq!(d.lower(), Time::new(1));
+        assert_eq!(d.upper(), Bound::Finite(Time::new(2)));
+        assert!(!d.is_unbounded());
+        assert!(DelayInterval::unbounded().is_unbounded());
+        assert_eq!(format!("{d}"), "[1,2]");
+        assert_eq!(format!("{}", DelayInterval::unbounded()), "[0,inf)");
+    }
+
+    #[test]
+    fn interval_intersection() {
+        let a = DelayInterval::new(Time::new(1), Time::new(4)).unwrap();
+        let b = DelayInterval::new(Time::new(3), Time::new(6)).unwrap();
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, DelayInterval::new(Time::new(3), Time::new(4)).unwrap());
+        let d = DelayInterval::new(Time::new(5), Time::new(6)).unwrap();
+        assert!(a.intersect(&d).is_none());
+        let any = DelayInterval::unbounded();
+        assert_eq!(a.intersect(&any), Some(a));
+    }
+
+    #[test]
+    fn error_display_mentions_bounds() {
+        let err = DelayInterval::new(Time::new(2), Time::new(1)).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("invalid delay interval"));
+    }
+}

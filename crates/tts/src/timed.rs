@@ -1,0 +1,236 @@
+//! Timed transition systems: an underlying transition system plus a delay
+//! interval per event.
+//!
+//! The timed semantics follows §2.1 of the paper: an event `e` that becomes
+//! enabled at time `t_enab` fires at some time `t ∈ [t_enab + δl(e),
+//! t_enab + δu(e)]`, unless it is disabled first. Events without an explicit
+//! interval default to `[0, ∞)`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::event::EventId;
+use crate::time::DelayInterval;
+use crate::ts::TransitionSystem;
+
+/// Error returned when two composed systems constrain the same event with
+/// disjoint delay intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncompatibleDelaysError {
+    event: String,
+    left: DelayInterval,
+    right: DelayInterval,
+}
+
+impl IncompatibleDelaysError {
+    pub(crate) fn new(event: String, left: DelayInterval, right: DelayInterval) -> Self {
+        IncompatibleDelaysError { event, left, right }
+    }
+
+    /// Name of the offending event.
+    pub fn event(&self) -> &str {
+        &self.event
+    }
+}
+
+impl fmt::Display for IncompatibleDelaysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event `{}` has disjoint delay intervals {} and {} in the composed systems",
+            self.event, self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for IncompatibleDelaysError {}
+
+/// A timed transition system (TTS): a [`TransitionSystem`] together with a
+/// delay interval per event.
+///
+/// # Examples
+///
+/// ```
+/// use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+/// let mut b = TsBuilder::new("pulse");
+/// let s0 = b.add_state("s0");
+/// let s1 = b.add_state("s1");
+/// b.add_transition(s0, "x+", s1);
+/// b.set_initial(s0);
+/// let ts = b.build()?;
+/// let mut timed = TimedTransitionSystem::new(ts);
+/// timed.set_delay_by_name("x+", DelayInterval::new(Time::new(1), Time::new(2))?);
+/// assert_eq!(timed.delay_by_name("x+").lower(), Time::new(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedTransitionSystem {
+    ts: TransitionSystem,
+    delays: HashMap<EventId, DelayInterval>,
+}
+
+impl TimedTransitionSystem {
+    /// Wraps an untimed transition system; every event gets the default
+    /// `[0, ∞)` interval until [`set_delay`](Self::set_delay) is called.
+    pub fn new(ts: TransitionSystem) -> Self {
+        TimedTransitionSystem {
+            ts,
+            delays: HashMap::new(),
+        }
+    }
+
+    /// The underlying untimed transition system.
+    pub fn underlying(&self) -> &TransitionSystem {
+        &self.ts
+    }
+
+    /// Consumes the wrapper and returns the underlying transition system and
+    /// the delay map.
+    pub fn into_parts(self) -> (TransitionSystem, HashMap<EventId, DelayInterval>) {
+        (self.ts, self.delays)
+    }
+
+    /// Sets the delay interval of an event.
+    pub fn set_delay(&mut self, event: EventId, delay: DelayInterval) {
+        self.delays.insert(event, delay);
+    }
+
+    /// Sets the delay interval of an event by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event name is not part of the underlying alphabet; delays
+    /// for unknown events would silently be ignored otherwise.
+    pub fn set_delay_by_name(&mut self, event: &str, delay: DelayInterval) {
+        let id = self
+            .ts
+            .alphabet()
+            .lookup(event)
+            .unwrap_or_else(|| panic!("unknown event `{event}`"));
+        self.set_delay(id, delay);
+    }
+
+    /// Delay interval of an event (`[0, ∞)` if never set).
+    pub fn delay(&self, event: EventId) -> DelayInterval {
+        self.delays
+            .get(&event)
+            .copied()
+            .unwrap_or_else(DelayInterval::unbounded)
+    }
+
+    /// Delay interval of an event looked up by name (`[0, ∞)` if the event is
+    /// unknown or has no explicit interval).
+    pub fn delay_by_name(&self, event: &str) -> DelayInterval {
+        self.ts
+            .alphabet()
+            .lookup(event)
+            .map(|id| self.delay(id))
+            .unwrap_or_else(DelayInterval::unbounded)
+    }
+
+    /// All explicitly set delays as `(event, interval)` pairs.
+    pub fn delays(&self) -> impl Iterator<Item = (EventId, DelayInterval)> + '_ {
+        self.delays.iter().map(|(&e, &d)| (e, d))
+    }
+
+    /// Number of events that carry a non-default delay interval.
+    pub fn timed_event_count(&self) -> usize {
+        self.delays
+            .values()
+            .filter(|d| !d.is_unbounded())
+            .count()
+    }
+
+    /// Returns a copy of the system with every event renamed through `f`,
+    /// carrying over the delay intervals.
+    #[must_use]
+    pub fn rename_events<F>(&self, f: F) -> TimedTransitionSystem
+    where
+        F: Fn(&str) -> String,
+    {
+        let renamed = self.ts.rename_events(&f);
+        let mut delays = HashMap::new();
+        for (&event, &interval) in &self.delays {
+            let old_name = self.ts.alphabet().name(event);
+            if let Some(new_id) = renamed.alphabet().lookup(&f(old_name)) {
+                delays.insert(new_id, interval);
+            }
+        }
+        TimedTransitionSystem {
+            ts: renamed,
+            delays,
+        }
+    }
+}
+
+impl From<TransitionSystem> for TimedTransitionSystem {
+    fn from(ts: TransitionSystem) -> Self {
+        TimedTransitionSystem::new(ts)
+    }
+}
+
+impl fmt::Display for TimedTransitionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [timed: {} events]", self.ts, self.timed_event_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use crate::ts::TsBuilder;
+
+    fn base() -> TransitionSystem {
+        let mut b = TsBuilder::new("base");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s0);
+        b.set_initial(s0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_delay_is_unbounded() {
+        let timed = TimedTransitionSystem::new(base());
+        let a = timed.underlying().alphabet().lookup("a").unwrap();
+        assert!(timed.delay(a).is_unbounded());
+        assert_eq!(timed.timed_event_count(), 0);
+    }
+
+    #[test]
+    fn set_and_get_delay() {
+        let mut timed = TimedTransitionSystem::new(base());
+        let d = DelayInterval::new(Time::new(1), Time::new(2)).unwrap();
+        timed.set_delay_by_name("a", d);
+        assert_eq!(timed.delay_by_name("a"), d);
+        assert_eq!(timed.timed_event_count(), 1);
+        assert!(timed.delay_by_name("b").is_unbounded());
+        assert!(timed.delay_by_name("nonexistent").is_unbounded());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown event")]
+    fn set_delay_unknown_event_panics() {
+        let mut timed = TimedTransitionSystem::new(base());
+        timed.set_delay_by_name("zzz", DelayInterval::unbounded());
+    }
+
+    #[test]
+    fn rename_carries_delays() {
+        let mut timed = TimedTransitionSystem::new(base());
+        let d = DelayInterval::new(Time::new(3), Time::new(4)).unwrap();
+        timed.set_delay_by_name("a", d);
+        let renamed = timed.rename_events(|n| format!("{n}@1"));
+        assert_eq!(renamed.delay_by_name("a@1"), d);
+        assert!(renamed.delay_by_name("b@1").is_unbounded());
+    }
+
+    #[test]
+    fn display_mentions_timed_events() {
+        let mut timed = TimedTransitionSystem::new(base());
+        timed.set_delay_by_name("a", DelayInterval::exactly(Time::new(1)).unwrap());
+        assert!(timed.to_string().contains("timed: 1 events"));
+    }
+}

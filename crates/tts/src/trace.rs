@@ -1,0 +1,291 @@
+//! Runs and traces with enabling information.
+//!
+//! A *trace with enabling information* (§2.1 of the paper) is a sequence
+//! `E_1 →e_1 E_2 →e_2 …` where `E_i` is the set of events enabled when `e_i`
+//! fires. In addition to the enabled sets, the timing analysis needs to know
+//! *when* each fired event became enabled (its enabling point), because the
+//! firing time of an event is constrained relative to its enabling time, not
+//! to the previous firing.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::event::EventId;
+use crate::ts::{StateId, TransitionSystem};
+
+/// One step of an [`EnablingTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// State the event fires from.
+    pub from: StateId,
+    /// The fired event.
+    pub event: EventId,
+    /// State reached by the firing.
+    pub to: StateId,
+    /// Events enabled in `from` (the set `E_i` of the paper).
+    pub enabled: BTreeSet<EventId>,
+    /// Index of the trace state at which `event` became (continuously)
+    /// enabled. `0` refers to the start state.
+    pub enabled_since: usize,
+}
+
+/// A finite run annotated with enabling information.
+///
+/// # Examples
+///
+/// ```
+/// use tts::{EnablingTrace, TsBuilder};
+/// let mut b = TsBuilder::new("t");
+/// let s0 = b.add_state("s0");
+/// let s1 = b.add_state("s1");
+/// let s2 = b.add_state("s2");
+/// let a = b.add_transition(s0, "a", s1);
+/// let c = b.add_transition(s1, "b", s2);
+/// b.set_initial(s0);
+/// let ts = b.build()?;
+/// let trace = EnablingTrace::from_run(&ts, s0, &[(a, s1), (c, s2)])?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.steps()[1].enabled_since, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnablingTrace {
+    start: StateId,
+    steps: Vec<TraceStep>,
+}
+
+/// Error returned by [`EnablingTrace::from_run`] when the run does not exist
+/// in the transition system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidRunError {
+    position: usize,
+    event: EventId,
+}
+
+impl InvalidRunError {
+    /// Position in the run at which the step is not a transition of the
+    /// system.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for InvalidRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run step {} (event {}) is not a transition of the system",
+            self.position, self.event
+        )
+    }
+}
+
+impl std::error::Error for InvalidRunError {}
+
+impl EnablingTrace {
+    /// Builds a trace from a start state and a sequence of `(event, target)`
+    /// steps, computing the enabled sets and enabling points from `ts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRunError`] if some step is not an existing transition.
+    pub fn from_run(
+        ts: &TransitionSystem,
+        start: StateId,
+        run: &[(EventId, StateId)],
+    ) -> Result<Self, InvalidRunError> {
+        let mut states = Vec::with_capacity(run.len() + 1);
+        states.push(start);
+        let mut current = start;
+        for (position, &(event, to)) in run.iter().enumerate() {
+            if !ts.successors(current, event).contains(&to) {
+                return Err(InvalidRunError { position, event });
+            }
+            states.push(to);
+            current = to;
+        }
+        let enabled_sets: Vec<BTreeSet<EventId>> =
+            states.iter().map(|&s| ts.enabled(s)).collect();
+        let mut steps = Vec::with_capacity(run.len());
+        for (i, &(event, to)) in run.iter().enumerate() {
+            // Walk backwards to find the enabling point: the earliest state
+            // index j such that `event` stays enabled in [j, i] and is not
+            // "reset" by its own firing at step j-1.
+            let mut since = i;
+            while since > 0 {
+                let prev_state_enables = enabled_sets[since - 1].contains(&event);
+                let prev_step_fired_same = run[since - 1].0 == event;
+                if prev_state_enables && !prev_step_fired_same {
+                    since -= 1;
+                } else {
+                    break;
+                }
+            }
+            steps.push(TraceStep {
+                from: states[i],
+                event,
+                to,
+                enabled: enabled_sets[i].clone(),
+                enabled_since: since,
+            });
+        }
+        Ok(EnablingTrace { start, steps })
+    }
+
+    /// The state the trace starts from.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The steps of the trace.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of fired events.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if no event fires in the trace.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The sequence of visited states, starting with [`start`](Self::start).
+    pub fn states(&self) -> Vec<StateId> {
+        let mut states = Vec::with_capacity(self.steps.len() + 1);
+        states.push(self.start);
+        states.extend(self.steps.iter().map(|s| s.to));
+        states
+    }
+
+    /// The sequence of fired events.
+    pub fn events(&self) -> Vec<EventId> {
+        self.steps.iter().map(|s| s.event).collect()
+    }
+
+    /// The final state of the trace.
+    pub fn last_state(&self) -> StateId {
+        self.steps.last().map_or(self.start, |s| s.to)
+    }
+
+    /// Renders the trace using event names from `ts`, for diagnostics.
+    pub fn display<'a>(&'a self, ts: &'a TransitionSystem) -> TraceDisplay<'a> {
+        TraceDisplay { trace: self, ts }
+    }
+}
+
+/// Helper returned by [`EnablingTrace::display`].
+pub struct TraceDisplay<'a> {
+    trace: &'a EnablingTrace,
+    ts: &'a TransitionSystem,
+}
+
+impl fmt::Display for TraceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ts.state_name(self.trace.start))?;
+        for step in &self.trace.steps {
+            write!(
+                f,
+                " --{}--> {}",
+                self.ts.alphabet().name(step.event),
+                self.ts.state_name(step.to)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts::TsBuilder;
+
+    /// Builds a small diamond where `b` stays enabled across the firing of
+    /// `a`, to exercise the enabling-point computation.
+    fn diamond() -> (TransitionSystem, Vec<(EventId, StateId)>, StateId) {
+        let mut builder = TsBuilder::new("diamond");
+        let s0 = builder.add_state("s0");
+        let s1 = builder.add_state("s1");
+        let s2 = builder.add_state("s2");
+        let s3 = builder.add_state("s3");
+        let a = builder.add_transition(s0, "a", s1);
+        let b = builder.add_transition(s0, "b", s2);
+        builder.add_transition_by_id(s1, b, s3);
+        builder.add_transition_by_id(s2, a, s3);
+        builder.set_initial(s0);
+        let ts = builder.build().unwrap();
+        (ts, vec![(a, s1), (b, s3)], s0)
+    }
+
+    #[test]
+    fn enabling_points_track_concurrent_enabling() {
+        let (ts, run, s0) = diamond();
+        let trace = EnablingTrace::from_run(&ts, s0, &run).unwrap();
+        assert_eq!(trace.len(), 2);
+        // `a` fires first and was enabled from the start.
+        assert_eq!(trace.steps()[0].enabled_since, 0);
+        // `b` was already enabled in s0 and stayed enabled through a's firing,
+        // so its enabling point is also the start state.
+        assert_eq!(trace.steps()[1].enabled_since, 0);
+        assert_eq!(trace.steps()[0].enabled.len(), 2);
+    }
+
+    #[test]
+    fn freshly_enabled_event_has_late_enabling_point() {
+        let mut builder = TsBuilder::new("seq");
+        let s0 = builder.add_state("s0");
+        let s1 = builder.add_state("s1");
+        let s2 = builder.add_state("s2");
+        let a = builder.add_transition(s0, "a", s1);
+        let b = builder.add_transition(s1, "b", s2);
+        builder.set_initial(s0);
+        let ts = builder.build().unwrap();
+        let trace = EnablingTrace::from_run(&ts, s0, &[(a, s1), (b, s2)]).unwrap();
+        assert_eq!(trace.steps()[1].enabled_since, 1);
+        assert_eq!(trace.states(), vec![s0, s1, s2]);
+        assert_eq!(trace.last_state(), s2);
+    }
+
+    #[test]
+    fn same_event_twice_resets_enabling_point() {
+        let mut builder = TsBuilder::new("selfloop");
+        let s0 = builder.add_state("s0");
+        let a = builder.add_transition(s0, "a", s0);
+        builder.set_initial(s0);
+        let ts = builder.build().unwrap();
+        let trace = EnablingTrace::from_run(&ts, s0, &[(a, s0), (a, s0)]).unwrap();
+        // The second occurrence of `a` is only enabled after the first fires.
+        assert_eq!(trace.steps()[0].enabled_since, 0);
+        assert_eq!(trace.steps()[1].enabled_since, 1);
+    }
+
+    #[test]
+    fn invalid_run_is_rejected() {
+        let (ts, _, s0) = diamond();
+        let bogus_event = EventId::from_index(0);
+        let bogus_target = StateId::from_index(3);
+        let err = EnablingTrace::from_run(&ts, s0, &[(bogus_event, bogus_target)]).unwrap_err();
+        assert_eq!(err.position(), 0);
+        assert!(err.to_string().contains("not a transition"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let (ts, _, s0) = diamond();
+        let trace = EnablingTrace::from_run(&ts, s0, &[]).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(trace.last_state(), s0);
+        assert_eq!(trace.events(), vec![]);
+    }
+
+    #[test]
+    fn display_shows_event_names() {
+        let (ts, run, s0) = diamond();
+        let trace = EnablingTrace::from_run(&ts, s0, &run).unwrap();
+        let text = trace.display(&ts).to_string();
+        assert!(text.contains("--a-->"));
+        assert!(text.contains("--b-->"));
+    }
+}

@@ -1,0 +1,618 @@
+//! Explicit-state labelled transition systems.
+//!
+//! The *underlying transition system* of the paper (§2.1) is a tuple
+//! `⟨S, Σ, T, s_in⟩`. States carry a human-readable name and an optional list
+//! of *violation marks* (e.g. "short-circuit: Z∧ACK") placed by the model
+//! generators; the verification engine searches for traces reaching marked
+//! states. Events are classified as inputs, outputs or internal events of the
+//! component, which is what the assume–guarantee containment check needs.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use crate::event::{Alphabet, EventId};
+
+/// Index of a state within a [`TransitionSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        StateId(index as u32)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Interface role of an event with respect to a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventRole {
+    /// The component observes the event; the environment produces it.
+    Input,
+    /// The component produces the event.
+    Output,
+    /// The event is internal to the component.
+    Internal,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StateData {
+    name: String,
+    violations: Vec<String>,
+}
+
+/// An explicit-state labelled transition system.
+///
+/// Construct instances with [`TsBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use tts::TsBuilder;
+/// let mut b = TsBuilder::new("toggle");
+/// let s0 = b.add_state("s0");
+/// let s1 = b.add_state("s1");
+/// b.add_transition(s0, "a+", s1);
+/// b.add_transition(s1, "a-", s0);
+/// b.set_initial(s0);
+/// let ts = b.build()?;
+/// assert_eq!(ts.state_count(), 2);
+/// assert_eq!(ts.enabled(s0).len(), 1);
+/// # Ok::<(), tts::BuildTsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionSystem {
+    name: String,
+    alphabet: Alphabet,
+    states: Vec<StateData>,
+    /// Outgoing transitions indexed by source state.
+    outgoing: Vec<Vec<(EventId, StateId)>>,
+    initial: Vec<StateId>,
+    inputs: BTreeSet<EventId>,
+    outputs: BTreeSet<EventId>,
+}
+
+/// Error returned by [`TsBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildTsError {
+    /// The system has no states.
+    NoStates,
+    /// No initial state was declared.
+    NoInitialState,
+    /// An event was declared both input and output.
+    ConflictingRole(String),
+}
+
+impl fmt::Display for BuildTsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTsError::NoStates => write!(f, "transition system has no states"),
+            BuildTsError::NoInitialState => write!(f, "no initial state declared"),
+            BuildTsError::ConflictingRole(e) => {
+                write!(f, "event `{e}` declared both input and output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildTsError {}
+
+/// Builder for [`TransitionSystem`].
+#[derive(Debug, Clone, Default)]
+pub struct TsBuilder {
+    name: String,
+    alphabet: Alphabet,
+    states: Vec<StateData>,
+    outgoing: Vec<Vec<(EventId, StateId)>>,
+    initial: Vec<StateId>,
+    inputs: BTreeSet<EventId>,
+    outputs: BTreeSet<EventId>,
+}
+
+impl TsBuilder {
+    /// Creates an empty builder for a system called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TsBuilder {
+            name: name.into(),
+            ..TsBuilder::default()
+        }
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateData {
+            name: name.into(),
+            violations: Vec::new(),
+        });
+        self.outgoing.push(Vec::new());
+        id
+    }
+
+    /// Adds a transition labelled with event `event` (interned by name).
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        event: impl AsRef<str>,
+        to: StateId,
+    ) -> EventId {
+        let e = self.alphabet.intern(event);
+        self.add_transition_by_id(from, e, to);
+        e
+    }
+
+    /// Adds a transition using an already interned event id.
+    pub fn add_transition_by_id(&mut self, from: StateId, event: EventId, to: StateId) {
+        let entry = (event, to);
+        let row = &mut self.outgoing[from.index()];
+        if !row.contains(&entry) {
+            row.push(entry);
+        }
+    }
+
+    /// Interns an event name without adding a transition (useful to declare
+    /// alphabet membership of events that never fire).
+    pub fn intern_event(&mut self, event: impl AsRef<str>) -> EventId {
+        self.alphabet.intern(event)
+    }
+
+    /// Declares a state as initial (may be called multiple times).
+    pub fn set_initial(&mut self, state: StateId) {
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// Marks a state with a violation message (e.g. a short-circuit
+    /// condition that holds in that state).
+    pub fn mark_violation(&mut self, state: StateId, message: impl Into<String>) {
+        self.states[state.index()].violations.push(message.into());
+    }
+
+    /// Declares an event as an input of the component.
+    pub fn declare_input(&mut self, event: impl AsRef<str>) -> EventId {
+        let e = self.alphabet.intern(event);
+        self.inputs.insert(e);
+        e
+    }
+
+    /// Declares an event as an output of the component.
+    pub fn declare_output(&mut self, event: impl AsRef<str>) -> EventId {
+        let e = self.alphabet.intern(event);
+        self.outputs.insert(e);
+        e
+    }
+
+    /// Number of states added so far.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Finalises the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTsError`] if the system has no states, no initial state,
+    /// or an event is declared both input and output.
+    pub fn build(self) -> Result<TransitionSystem, BuildTsError> {
+        if self.states.is_empty() {
+            return Err(BuildTsError::NoStates);
+        }
+        if self.initial.is_empty() {
+            return Err(BuildTsError::NoInitialState);
+        }
+        if let Some(&e) = self.inputs.intersection(&self.outputs).next() {
+            return Err(BuildTsError::ConflictingRole(
+                self.alphabet.name(e).to_owned(),
+            ));
+        }
+        Ok(TransitionSystem {
+            name: self.name,
+            alphabet: self.alphabet,
+            states: self.states,
+            outgoing: self.outgoing,
+            initial: self.initial,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        })
+    }
+}
+
+impl TransitionSystem {
+    /// The system's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The event alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.outgoing.iter().map(Vec::len).sum()
+    }
+
+    /// All state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len()).map(|i| StateId(i as u32))
+    }
+
+    /// Initial states.
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
+    /// Name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not belong to this system.
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.states[state.index()].name
+    }
+
+    /// Violation marks attached to a state.
+    pub fn violations(&self, state: StateId) -> &[String] {
+        &self.states[state.index()].violations
+    }
+
+    /// Returns `true` if any reachable or unreachable state carries a
+    /// violation mark.
+    pub fn has_marked_states(&self) -> bool {
+        self.states.iter().any(|s| !s.violations.is_empty())
+    }
+
+    /// Outgoing transitions of a state as `(event, target)` pairs.
+    pub fn transitions_from(&self, state: StateId) -> &[(EventId, StateId)] {
+        &self.outgoing[state.index()]
+    }
+
+    /// All transitions as `(source, event, target)` triples.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, EventId, StateId)> + '_ {
+        self.outgoing.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .map(move |&(e, to)| (StateId(i as u32), e, to))
+        })
+    }
+
+    /// The set of events enabled in `state` (events with at least one
+    /// outgoing transition).
+    pub fn enabled(&self, state: StateId) -> BTreeSet<EventId> {
+        self.outgoing[state.index()]
+            .iter()
+            .map(|&(e, _)| e)
+            .collect()
+    }
+
+    /// Returns `true` if `event` is enabled in `state`.
+    pub fn is_enabled(&self, state: StateId, event: EventId) -> bool {
+        self.outgoing[state.index()].iter().any(|&(e, _)| e == event)
+    }
+
+    /// Successor states reached from `state` by `event`.
+    pub fn successors(&self, state: StateId, event: EventId) -> Vec<StateId> {
+        self.outgoing[state.index()]
+            .iter()
+            .filter(|&&(e, _)| e == event)
+            .map(|&(_, to)| to)
+            .collect()
+    }
+
+    /// Role of an event for this component.
+    pub fn role(&self, event: EventId) -> EventRole {
+        if self.inputs.contains(&event) {
+            EventRole::Input
+        } else if self.outputs.contains(&event) {
+            EventRole::Output
+        } else {
+            EventRole::Internal
+        }
+    }
+
+    /// Input events of the component.
+    pub fn inputs(&self) -> &BTreeSet<EventId> {
+        &self.inputs
+    }
+
+    /// Output events of the component.
+    pub fn outputs(&self) -> &BTreeSet<EventId> {
+        &self.outputs
+    }
+
+    /// States reachable from the initial states (breadth-first order).
+    pub fn reachable_states(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        for &s in &self.initial {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for &(_, to) in &self.outgoing[s.index()] {
+                if !seen[to.index()] {
+                    seen[to.index()] = true;
+                    queue.push_back(to);
+                }
+            }
+        }
+        order
+    }
+
+    /// Reachable states with no outgoing transitions.
+    pub fn deadlock_states(&self) -> Vec<StateId> {
+        self.reachable_states()
+            .into_iter()
+            .filter(|s| self.outgoing[s.index()].is_empty())
+            .collect()
+    }
+
+    /// Reachable states carrying at least one violation mark.
+    pub fn marked_reachable_states(&self) -> Vec<StateId> {
+        self.reachable_states()
+            .into_iter()
+            .filter(|s| !self.states[s.index()].violations.is_empty())
+            .collect()
+    }
+
+    /// Shortest run (sequence of `(event, target)` steps) from an initial
+    /// state to a state satisfying `goal`, if one exists.
+    pub fn shortest_run_to<F>(&self, goal: F) -> Option<(StateId, Vec<(EventId, StateId)>)>
+    where
+        F: Fn(StateId) -> bool,
+    {
+        let mut pred: Vec<Option<(StateId, EventId)>> = vec![None; self.states.len()];
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = VecDeque::new();
+        for &s in &self.initial {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+        let mut target = None;
+        'search: while let Some(s) = queue.pop_front() {
+            if goal(s) {
+                target = Some(s);
+                break 'search;
+            }
+            for &(e, to) in &self.outgoing[s.index()] {
+                if !seen[to.index()] {
+                    seen[to.index()] = true;
+                    pred[to.index()] = Some((s, e));
+                    queue.push_back(to);
+                }
+            }
+        }
+        let target = target?;
+        // Reconstruct the path back to an initial state.
+        let mut steps = Vec::new();
+        let mut cur = target;
+        while let Some((prev, event)) = pred[cur.index()] {
+            steps.push((event, cur));
+            cur = prev;
+        }
+        steps.reverse();
+        Some((cur, steps))
+    }
+
+    /// Returns a copy of the system with every event renamed through `f`.
+    ///
+    /// Renaming is used to instantiate several copies of the same component
+    /// with per-instance signal names (e.g. `ACK` of stage 1 vs. stage 2).
+    /// Input/output declarations and violation marks are preserved.
+    #[must_use]
+    pub fn rename_events<F>(&self, f: F) -> TransitionSystem
+    where
+        F: Fn(&str) -> String,
+    {
+        let mut builder = TsBuilder::new(self.name.clone());
+        for s in &self.states {
+            let id = builder.add_state(s.name.clone());
+            for v in &s.violations {
+                builder.mark_violation(id, v.clone());
+            }
+        }
+        for &s in &self.initial {
+            builder.set_initial(s);
+        }
+        for (from, e, to) in self.transitions() {
+            builder.add_transition(from, f(self.alphabet.name(e)), to);
+        }
+        for &e in &self.inputs {
+            builder.declare_input(f(self.alphabet.name(e)));
+        }
+        for &e in &self.outputs {
+            builder.declare_output(f(self.alphabet.name(e)));
+        }
+        builder
+            .build()
+            .expect("renaming preserves well-formedness")
+    }
+
+    /// Returns a copy with a different name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> TransitionSystem {
+        self.name = name.into();
+        self
+    }
+
+    /// Map from event name to role, useful for diagnostics.
+    pub fn interface(&self) -> HashMap<String, EventRole> {
+        self.alphabet
+            .iter()
+            .map(|(id, name)| (name.to_owned(), self.role(id)))
+            .collect()
+    }
+}
+
+impl fmt::Display for TransitionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} states, {} transitions, {} events)",
+            self.name,
+            self.state_count(),
+            self.transition_count(),
+            self.alphabet.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_cycle() -> TransitionSystem {
+        let mut b = TsBuilder::new("cycle");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s2);
+        b.add_transition(s2, "c", s0);
+        b.set_initial(s0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_validation() {
+        assert_eq!(
+            TsBuilder::new("empty").build().unwrap_err(),
+            BuildTsError::NoStates
+        );
+        let mut b = TsBuilder::new("no-init");
+        b.add_state("s0");
+        assert_eq!(b.build().unwrap_err(), BuildTsError::NoInitialState);
+        let mut b = TsBuilder::new("conflict");
+        let s0 = b.add_state("s0");
+        b.set_initial(s0);
+        b.declare_input("x");
+        b.declare_output("x");
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildTsError::ConflictingRole(_)
+        ));
+    }
+
+    #[test]
+    fn reachability_and_enabling() {
+        let ts = simple_cycle();
+        assert_eq!(ts.state_count(), 3);
+        assert_eq!(ts.transition_count(), 3);
+        assert_eq!(ts.reachable_states().len(), 3);
+        assert!(ts.deadlock_states().is_empty());
+        let s0 = StateId(0);
+        let a = ts.alphabet().lookup("a").unwrap();
+        assert!(ts.is_enabled(s0, a));
+        assert_eq!(ts.successors(s0, a), vec![StateId(1)]);
+        assert_eq!(ts.enabled(s0).len(), 1);
+    }
+
+    #[test]
+    fn unreachable_states_are_excluded() {
+        let mut b = TsBuilder::new("island");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let orphan = b.add_state("orphan");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(orphan, "z", orphan);
+        b.set_initial(s0);
+        let ts = b.build().unwrap();
+        assert_eq!(ts.reachable_states(), vec![s0, s1]);
+        assert_eq!(ts.deadlock_states(), vec![s1]);
+    }
+
+    #[test]
+    fn shortest_run_reaches_marked_state() {
+        let mut b = TsBuilder::new("marked");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("bad");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s2);
+        b.add_transition(s0, "c", s0);
+        b.mark_violation(s2, "boom");
+        b.set_initial(s0);
+        let ts = b.build().unwrap();
+        assert!(ts.has_marked_states());
+        assert_eq!(ts.marked_reachable_states(), vec![s2]);
+        let (start, run) = ts
+            .shortest_run_to(|s| !ts.violations(s).is_empty())
+            .unwrap();
+        assert_eq!(start, s0);
+        assert_eq!(run.len(), 2);
+        assert_eq!(ts.alphabet().name(run[0].0), "a");
+        assert_eq!(ts.alphabet().name(run[1].0), "b");
+    }
+
+    #[test]
+    fn roles_and_interface() {
+        let mut b = TsBuilder::new("roles");
+        let s0 = b.add_state("s0");
+        b.set_initial(s0);
+        b.add_transition(s0, "in", s0);
+        b.add_transition(s0, "out", s0);
+        b.add_transition(s0, "tau", s0);
+        b.declare_input("in");
+        b.declare_output("out");
+        let ts = b.build().unwrap();
+        let i = ts.alphabet().lookup("in").unwrap();
+        let o = ts.alphabet().lookup("out").unwrap();
+        let t = ts.alphabet().lookup("tau").unwrap();
+        assert_eq!(ts.role(i), EventRole::Input);
+        assert_eq!(ts.role(o), EventRole::Output);
+        assert_eq!(ts.role(t), EventRole::Internal);
+        assert_eq!(ts.interface().len(), 3);
+    }
+
+    #[test]
+    fn rename_preserves_structure() {
+        let ts = simple_cycle();
+        let renamed = ts.rename_events(|n| format!("{n}_1"));
+        assert_eq!(renamed.state_count(), ts.state_count());
+        assert_eq!(renamed.transition_count(), ts.transition_count());
+        assert!(renamed.alphabet().lookup("a_1").is_some());
+        assert!(renamed.alphabet().lookup("a").is_none());
+    }
+
+    #[test]
+    fn duplicate_transitions_are_ignored() {
+        let mut b = TsBuilder::new("dup");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s0, "a", s1);
+        b.set_initial(s0);
+        let ts = b.build().unwrap();
+        assert_eq!(ts.transition_count(), 1);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let ts = simple_cycle();
+        let text = ts.to_string();
+        assert!(text.contains("cycle"));
+        assert!(text.contains("3 states"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: verify a small timed circuit fragment with the relative-timing
+//! engine and print the back-annotated constraints.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use transyt::{verify, SafetyProperty, VerifyOptions};
+use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Y-node race of the IPCMOS strobe switch, reduced to its essence:
+    // Z+ (fast) and ACK+ (slow) respond to the same request; the short
+    // circuit happens if ACK+ overtakes Z+.
+    let mut b = TsBuilder::new("strobe-switch-race");
+    let s0 = b.add_state("request");
+    let ok = b.add_state("isolated");
+    let bad = b.add_state("short-circuit");
+    let done = b.add_state("done");
+    let z = b.add_transition(s0, "Z+", ok);
+    let ack = b.add_transition(s0, "ACK+", bad);
+    b.add_transition_by_id(ok, ack, done);
+    b.add_transition_by_id(bad, z, done);
+    b.mark_violation(bad, "pull-up and pull-down of Y conduct simultaneously");
+    b.set_initial(s0);
+
+    let mut timed = TimedTransitionSystem::new(b.build()?);
+    timed.set_delay_by_name("Z+", DelayInterval::new(Time::new(1), Time::new(2))?);
+    timed.set_delay_by_name("ACK+", DelayInterval::new(Time::new(8), Time::new(11))?);
+
+    let property = SafetyProperty::new("no short circuit at Y").forbid_marked_states();
+    let verdict = verify(&timed, &property, &VerifyOptions::default());
+    println!("{verdict}");
+    println!("sufficient relative-timing constraints:");
+    println!("{}", verdict.report().constraint_listing());
+    Ok(())
+}

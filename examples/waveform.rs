@@ -1,0 +1,36 @@
+//! Reproduces the two-stage pipeline waveform of Fig. 7 with the pulse-level
+//! simulator.
+//!
+//! Run with `cargo run --release --example waveform`.
+
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pipeline = ipcmos::flat_pipeline(2)?;
+    let trace = ipcmos::simulate(&pipeline, 80);
+    let initial = HashMap::from([
+        ("VALID0".to_owned(), true),
+        ("ACK0".to_owned(), false),
+        ("CLKE_1".to_owned(), true),
+        ("VALID1".to_owned(), true),
+        ("ACK1".to_owned(), false),
+        ("CLKE_2".to_owned(), true),
+        ("VALID2".to_owned(), true),
+        ("ACK2".to_owned(), false),
+    ]);
+    println!("two data items propagating through a two-stage IPCMOS pipeline (cf. Fig. 7):\n");
+    print!(
+        "{}",
+        trace.waveform(
+            &["VALID0", "ACK0", "CLKE_1", "VALID1", "ACK1", "CLKE_2", "VALID2", "ACK2"],
+            &initial
+        )
+    );
+    println!("\nfirst firing times:");
+    for signal in ["VALID0-", "ACK0+", "VALID1-", "ACK1+", "VALID2-", "ACK2+"] {
+        if let Some(t) = trace.times_of(signal).first() {
+            println!("  {signal:<9} @ {t}");
+        }
+    }
+    Ok(())
+}

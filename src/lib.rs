@@ -1,0 +1,26 @@
+//! Umbrella crate for the IPCMOS verification case-study reproduction
+//! (Peña, Cortadella, Pastor, Smirnov — DATE 2002).
+//!
+//! The workspace is organised bottom-up; this crate simply re-exports the
+//! member crates so examples and integration tests can use a single
+//! dependency:
+//!
+//! * [`tts`] — transition systems, timed transition systems, composition.
+//! * [`ces`] — causal event structures, max-separation analysis,
+//!   relative-timing constraints.
+//! * [`dbm`] — difference bound matrices and zone-based timed reachability
+//!   (the conventional baseline).
+//! * [`stg`] — signal transition graphs.
+//! * [`cmos_circuit`] — transistor-level netlists and elaboration.
+//! * [`transyt`] — the relative-timing verification engine, containment
+//!   checking and assume-guarantee bookkeeping.
+//! * [`ipcmos`] — the IPCMOS stage, environments, abstractions, experiments
+//!   and pulse-level simulator.
+
+pub use ces;
+pub use cmos_circuit;
+pub use dbm;
+pub use ipcmos;
+pub use stg;
+pub use transyt;
+pub use tts;

@@ -1,0 +1,74 @@
+//! Property-based tests for the DBM zone algebra.
+
+use dbm::Dbm;
+use proptest::prelude::*;
+
+fn random_zone(ops: Vec<(u8, usize, i64)>) -> Dbm {
+    let clocks = 3;
+    let mut zone = Dbm::zero(clocks);
+    zone.up();
+    for (kind, clock, value) in ops {
+        let clock = clock % clocks + 1;
+        let value = value.rem_euclid(50);
+        match kind % 2 {
+            0 => zone.constrain_upper(clock, value + 1),
+            _ => zone.constrain_lower(clock, value),
+        }
+        if zone.is_empty() {
+            return Dbm::zero(clocks);
+        }
+    }
+    zone.canonicalize();
+    zone
+}
+
+proptest! {
+    #[test]
+    fn canonicalisation_is_idempotent(ops in proptest::collection::vec((any::<u8>(), 0usize..3, 0i64..50), 0..6)) {
+        let zone = random_zone(ops);
+        let mut twice = zone.clone();
+        twice.canonicalize();
+        prop_assert_eq!(zone, twice);
+    }
+
+    #[test]
+    fn inclusion_is_reflexive_and_antisymmetric(
+        a in proptest::collection::vec((any::<u8>(), 0usize..3, 0i64..50), 0..6),
+        b in proptest::collection::vec((any::<u8>(), 0usize..3, 0i64..50), 0..6),
+    ) {
+        let za = random_zone(a);
+        let zb = random_zone(b);
+        prop_assert!(za.includes(&za));
+        if za.includes(&zb) && zb.includes(&za) {
+            prop_assert_eq!(za, zb);
+        }
+    }
+
+    #[test]
+    fn intersection_is_included_in_both(
+        a in proptest::collection::vec((any::<u8>(), 0usize..3, 0i64..50), 0..6),
+        b in proptest::collection::vec((any::<u8>(), 0usize..3, 0i64..50), 0..6),
+    ) {
+        let za = random_zone(a);
+        let zb = random_zone(b);
+        let mut inter = za.clone();
+        inter.intersect(&zb);
+        if !inter.is_empty() {
+            prop_assert!(za.includes(&inter));
+            prop_assert!(zb.includes(&inter));
+        }
+    }
+
+    #[test]
+    fn up_preserves_lower_bounds(ops in proptest::collection::vec((any::<u8>(), 0usize..3, 0i64..50), 0..6)) {
+        let zone = random_zone(ops);
+        let mut delayed = zone.clone();
+        delayed.up();
+        delayed.canonicalize();
+        prop_assert!(delayed.includes(&zone));
+        for clock in 1..=zone.clock_count() {
+            prop_assert_eq!(delayed.lower_bound(clock), zone.lower_bound(clock));
+            prop_assert_eq!(delayed.upper_bound(clock), None);
+        }
+    }
+}
