@@ -1,8 +1,8 @@
 //! Figure 13: back-annotation of relative-timing constraints for the strobe
 //! switch — the CES extraction and max-separation machinery on the stage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ces::{CesBuilder, Occurrence, SeparationAnalysis};
+use criterion::{criterion_group, criterion_main, Criterion};
 use tts::{DelayInterval, EventId, Time};
 
 fn strobe_switch_ces() -> ces::Ces {

@@ -11,13 +11,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(2);
     println!("flat (abstraction-free) pipeline growth; the paper notes that beyond 2 stages");
     println!("flat verification is impractical, which is why A_in/A_out abstractions are used\n");
-    println!("{:>7} {:>15} {:>15} {:>20}", "stages", "untimed states", "transitions", "zone configurations");
+    println!(
+        "{:>7} {:>15} {:>15} {:>20}",
+        "stages", "untimed states", "transitions", "zone configurations"
+    );
     for n in 1..=max_stages {
         let pipeline = ipcmos::flat_pipeline(n)?;
         let ts = pipeline.underlying();
         let zones = match explore_timed_with(
             &pipeline,
-            ZoneExplorationOptions { configuration_limit: 20_000 },
+            ZoneExplorationOptions {
+                configuration_limit: 20_000,
+            },
         ) {
             ZoneOutcome::Completed(report) => report.configurations.to_string(),
             ZoneOutcome::LimitExceeded { explored } => format!(">{explored} (aborted)"),

@@ -7,7 +7,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = ipcmos::table_1()?;
     println!("{report}");
     for (i, step) in report.steps().iter().enumerate() {
-        println!("--- experiment {} back-annotated relative-timing constraints ---", i + 1);
+        println!(
+            "--- experiment {} back-annotated relative-timing constraints ---",
+            i + 1
+        );
         println!("{}", step.verdict.report().constraint_listing());
     }
     if report.all_verified() {

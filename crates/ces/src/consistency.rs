@@ -194,7 +194,10 @@ mod tests {
 
     /// Two events racing from the initial state, with delays chosen by the
     /// caller.
-    fn race(slow: DelayInterval, fast: DelayInterval) -> (TimedTransitionSystem, Vec<tts::EventId>) {
+    fn race(
+        slow: DelayInterval,
+        fast: DelayInterval,
+    ) -> (TimedTransitionSystem, Vec<tts::EventId>) {
         let mut b = TsBuilder::new("race");
         let s0 = b.add_state("s0");
         let s1 = b.add_state("s1");
@@ -253,8 +256,7 @@ mod tests {
         // fast then slow is fine.
         let s2 = ts.successors(s0, events[1])[0];
         let s3 = ts.successors(s2, events[0])[0];
-        let trace =
-            EnablingTrace::from_run(ts, s0, &[(events[1], s2), (events[0], s3)]).unwrap();
+        let trace = EnablingTrace::from_run(ts, s0, &[(events[1], s2), (events[0], s3)]).unwrap();
         let result = check_consistency(&trace, &timed);
         match result {
             Consistency::Consistent(times) => {

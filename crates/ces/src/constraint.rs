@@ -127,9 +127,7 @@ impl fmt::Display for RelativeTimingConstraint {
             } => write!(
                 f,
                 "{} < {} (slack {})",
-                self.before_name,
-                self.after_name,
-                -*max_before_minus_after
+                self.before_name, self.after_name, -*max_before_minus_after
             ),
             Justification::Assumed => {
                 write!(f, "{} < {} (assumed)", self.before_name, self.after_name)

@@ -151,14 +151,13 @@ pub fn extract_ces(
     }
     let mut raw_spans: Vec<RawSpan> = Vec::new();
     let mut open: HashMap<EventId, usize> = HashMap::new();
+    // Index-driven on purpose: state `n` is the virtual post-trace state with
+    // no entry in `steps`, and span ends refer back to `state_index - 1`.
+    #[allow(clippy::needless_range_loop)]
     for state_index in 0..=n {
         let here: Vec<EventId> = enabled_at(state_index);
         // Close spans of events no longer enabled (disabled without firing).
-        let closed: Vec<EventId> = open
-            .keys()
-            .copied()
-            .filter(|e| !here.contains(e))
-            .collect();
+        let closed: Vec<EventId> = open.keys().copied().filter(|e| !here.contains(e)).collect();
         for event in closed {
             let start = open.remove(&event).expect("span is open");
             raw_spans.push(RawSpan {
@@ -293,8 +292,7 @@ mod tests {
         timed.set_delay_by_name("a", d(1, 2));
         timed.set_delay_by_name("b", d(1, 2));
         timed.set_delay_by_name("c", d(5, 9));
-        let trace =
-            EnablingTrace::from_run(timed.underlying(), s0, &[(a, s1), (bb, s2)]).unwrap();
+        let trace = EnablingTrace::from_run(timed.underlying(), s0, &[(a, s1), (bb, s2)]).unwrap();
         (timed, trace)
     }
 
@@ -367,8 +365,7 @@ mod tests {
         let ts = b.build().unwrap();
         let mut timed = TimedTransitionSystem::new(ts);
         timed.set_delay_by_name("a", d(1, 1));
-        let trace =
-            EnablingTrace::from_run(timed.underlying(), s0, &[(a, s0), (a, s0)]).unwrap();
+        let trace = EnablingTrace::from_run(timed.underlying(), s0, &[(a, s0), (a, s0)]).unwrap();
         let extracted = extract_ces(&trace, &timed).unwrap();
         // Two fired occurrences plus the pending third occurrence.
         assert_eq!(extracted.ces().node_count(), 3);
@@ -399,6 +396,9 @@ mod tests {
         let trace = EnablingTrace::from_run(timed.underlying(), s0, &[]).unwrap();
         let extracted = extract_ces(&trace, &timed).unwrap();
         assert_eq!(extracted.fired_node(0), None);
-        assert_eq!(extracted.ces().node_count(), extracted.pending_nodes().len());
+        assert_eq!(
+            extracted.ces().node_count(),
+            extracted.pending_nodes().len()
+        );
     }
 }

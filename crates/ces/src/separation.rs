@@ -232,7 +232,8 @@ impl<'a> SeparationAnalysis<'a> {
             let upper_weights: Vec<i64> = (0..n)
                 .map(|i| self.upper_capped(NodeId::from_index(i), cap))
                 .collect();
-            let lower_weights: Vec<i64> = (0..n).map(|i| self.lower(NodeId::from_index(i))).collect();
+            let lower_weights: Vec<i64> =
+                (0..n).map(|i| self.lower(NodeId::from_index(i))).collect();
             return self.arrival(&upper_weights, a) - self.arrival(&lower_weights, b);
         }
 
@@ -281,7 +282,11 @@ pub fn brute_force_max_separation(ces: &Ces, a: NodeId, b: NodeId) -> Time {
         let mut t = vec![0i64; n];
         for &node in &order {
             let i = node.index();
-            let d = if mask & (1 << i) != 0 { uppers[i] } else { lowers[i] };
+            let d = if mask & (1 << i) != 0 {
+                uppers[i]
+            } else {
+                lowers[i]
+            };
             let enab = ces
                 .predecessors(node)
                 .iter()
@@ -395,7 +400,10 @@ mod tests {
     fn separation_display() {
         assert_eq!(Separation::Finite(Time::new(-3)).to_string(), "-3");
         assert_eq!(Separation::Unbounded.to_string(), "inf");
-        assert_eq!(Separation::Finite(Time::new(4)).finite(), Some(Time::new(4)));
+        assert_eq!(
+            Separation::Finite(Time::new(4)).finite(),
+            Some(Time::new(4))
+        );
         assert_eq!(Separation::Unbounded.finite(), None);
     }
 }

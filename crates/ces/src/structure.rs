@@ -149,7 +149,11 @@ impl CesBuilder {
         let n = self.nodes.len();
         for &(a, b) in self.causal.iter().chain(self.timing.iter()) {
             if a.index() >= n || b.index() >= n {
-                return Err(BuildCesError::UnknownNode(if a.index() >= n { a } else { b }));
+                return Err(BuildCesError::UnknownNode(if a.index() >= n {
+                    a
+                } else {
+                    b
+                }));
             }
         }
         let mut preds = vec![Vec::new(); n];
@@ -360,7 +364,11 @@ impl Ces {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for node in self.nodes() {
-            let preds: Vec<&str> = self.predecessors(node).iter().map(|&p| self.label(p)).collect();
+            let preds: Vec<&str> = self
+                .predecessors(node)
+                .iter()
+                .map(|&p| self.label(p))
+                .collect();
             let timing: Vec<&str> = self
                 .timing_predecessors(node)
                 .iter()

@@ -98,9 +98,7 @@ impl CircuitBuilder {
     fn literals(&self, gates: &[(&str, bool)]) -> Result<Vec<Literal>, CircuitError> {
         gates
             .iter()
-            .map(|&(name, value)| {
-                self.lookup(name).map(|node| Literal { node, value })
-            })
+            .map(|&(name, value)| self.lookup(name).map(|node| Literal { node, value }))
             .collect()
     }
 
@@ -115,7 +113,13 @@ impl CircuitBuilder {
         target: &str,
         gates: &[(&str, bool)],
     ) -> Result<(), CircuitError> {
-        self.add_stack(target, gates, true, default_delay(DriveStrength::Normal), DriveStrength::Normal)
+        self.add_stack(
+            target,
+            gates,
+            true,
+            default_delay(DriveStrength::Normal),
+            DriveStrength::Normal,
+        )
     }
 
     /// Adds a pull-down stack (drives the target to 0) with the default
@@ -129,7 +133,13 @@ impl CircuitBuilder {
         target: &str,
         gates: &[(&str, bool)],
     ) -> Result<(), CircuitError> {
-        self.add_stack(target, gates, false, default_delay(DriveStrength::Normal), DriveStrength::Normal)
+        self.add_stack(
+            target,
+            gates,
+            false,
+            default_delay(DriveStrength::Normal),
+            DriveStrength::Normal,
+        )
     }
 
     /// Adds a stack with an explicit drive direction, delay and strength.

@@ -60,7 +60,9 @@ impl fmt::Display for ElaborateError {
                 write!(f, "circuit exploration exceeds {limit} states")
             }
             ElaborateError::UnknownOutput(name) => write!(f, "unknown output node `{name}`"),
-            ElaborateError::Build(msg) => write!(f, "elaboration produced an invalid system: {msg}"),
+            ElaborateError::Build(msg) => {
+                write!(f, "elaboration produced an invalid system: {msg}")
+            }
         }
     }
 }
@@ -180,7 +182,11 @@ pub fn elaborate(
             if circuit.is_input(node) {
                 out.push((
                     node,
-                    if current { Polarity::Fall } else { Polarity::Rise },
+                    if current {
+                        Polarity::Fall
+                    } else {
+                        Polarity::Rise
+                    },
                 ));
                 continue;
             }
@@ -224,9 +230,9 @@ pub fn elaborate(
     let mut queue: VecDeque<Vec<bool>> = VecDeque::new();
 
     let add_state = |values: Vec<bool>,
-                         builder: &mut TsBuilder,
-                         ids: &mut HashMap<Vec<bool>, tts::StateId>,
-                         queue: &mut VecDeque<Vec<bool>>|
+                     builder: &mut TsBuilder,
+                     ids: &mut HashMap<Vec<bool>, tts::StateId>,
+                     queue: &mut VecDeque<Vec<bool>>|
      -> tts::StateId {
         if let Some(&id) = ids.get(&values) {
             return id;
@@ -382,7 +388,11 @@ mod tests {
             ..ElaborateOptions::default()
         };
         let model = elaborate(&circuit, &options).unwrap();
-        assert!(model.timed().underlying().marked_reachable_states().is_empty());
+        assert!(model
+            .timed()
+            .underlying()
+            .marked_reachable_states()
+            .is_empty());
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl ProofReport {
 
     /// Total number of refinement iterations across all steps.
     pub fn total_refinements(&self) -> usize {
-        self.steps.iter().map(|s| s.verdict.report().refinements).sum()
+        self.steps
+            .iter()
+            .map(|s| s.verdict.report().refinements)
+            .sum()
     }
 
     /// Renders the report as a table in the format of Table 1 of the paper:
@@ -121,7 +124,11 @@ mod tests {
     #[test]
     fn report_accumulates_steps() {
         let mut report = ProofReport::new();
-        report.push(ProofStep::new("A_in || A_out |= S", verified(0), Duration::from_millis(5)));
+        report.push(ProofStep::new(
+            "A_in || A_out |= S",
+            verified(0),
+            Duration::from_millis(5),
+        ));
         report.push(ProofStep::new(
             "A_in || I || OUT <= A_in || A_out",
             verified(7),

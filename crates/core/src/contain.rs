@@ -13,9 +13,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use tts::{
-    StateId, TimedTransitionSystem, TransitionSystem, TsBuilder,
-};
+use tts::{StateId, TimedTransitionSystem, TransitionSystem, TsBuilder};
 
 use crate::engine::{verify, Verdict, VerifyOptions};
 use crate::property::SafetyProperty;
@@ -80,11 +78,7 @@ pub fn build_containment_monitor(
     let impl_names: HashMap<&str, tts::EventId> =
         impl_ts.alphabet().iter().map(|(id, n)| (n, id)).collect();
 
-    let mut builder = TsBuilder::new(format!(
-        "{} |> {}",
-        impl_ts.name(),
-        abs.name()
-    ));
+    let mut builder = TsBuilder::new(format!("{} |> {}", impl_ts.name(), abs.name()));
     let mut ids: HashMap<(StateId, StateId), tts::StateId> = HashMap::new();
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
 

@@ -169,7 +169,10 @@ impl fmt::Display for Verdict {
                 r.constraints.len(),
                 r.explored_states
             ),
-            Verdict::Failed { counterexample, report } => write!(
+            Verdict::Failed {
+                counterexample,
+                report,
+            } => write!(
                 f,
                 "FAILED after {} refinements: {counterexample}",
                 report.refinements
@@ -397,7 +400,7 @@ pub fn verify(
 
         // The failure trace is timing inconsistent: derive new constraints.
         let mut new_constraints = derive_constraints(&trace, timed, &constraints);
-        if matches!(failure.kind, FailureKind::PersistencyViolation { .. }) && trace.len() > 0 {
+        if matches!(failure.kind, FailureKind::PersistencyViolation { .. }) && !trace.is_empty() {
             // Also analyse the trace without its final (disabling) step so the
             // disabled occurrence appears as a pending node.
             let truncated_run = &failure.run[..failure.run.len() - 1];
@@ -426,7 +429,10 @@ pub fn verify(
         refinements += 1;
         if refinements >= options.max_refinements {
             return Verdict::Inconclusive {
-                reason: format!("refinement limit of {} iterations reached", options.max_refinements),
+                reason: format!(
+                    "refinement limit of {} iterations reached",
+                    options.max_refinements
+                ),
                 report: make_report(refinements, &constraints, explored_states),
             };
         }
@@ -454,10 +460,10 @@ fn derive_constraints(
     let analysis = SeparationAnalysis::new(extracted.ces());
     let mut found: Vec<RelativeTimingConstraint> = Vec::new();
     let consider = |before: EventId,
-                        before_node: ces::NodeId,
-                        after: EventId,
-                        after_node: ces::NodeId,
-                        found: &mut Vec<RelativeTimingConstraint>| {
+                    before_node: ces::NodeId,
+                    after: EventId,
+                    after_node: ces::NodeId,
+                    found: &mut Vec<RelativeTimingConstraint>| {
         let separation = analysis.max_separation(before_node, after_node);
         if let Some(constraint) = RelativeTimingConstraint::from_separation(
             before,
@@ -557,7 +563,10 @@ mod tests {
         match verdict {
             Verdict::Failed { counterexample, .. } => {
                 assert_eq!(counterexample.events, vec!["slow".to_owned()]);
-                assert!(matches!(counterexample.kind, FailureKind::MarkedState { .. }));
+                assert!(matches!(
+                    counterexample.kind,
+                    FailureKind::MarkedState { .. }
+                ));
             }
             other => panic!("expected failure, got {other}"),
         }

@@ -62,10 +62,10 @@ mod engine;
 mod property;
 
 pub use assume_guarantee::{ProofReport, ProofStep};
-pub use contain::{build_containment_monitor, check_refinement, ContainError, RefinementObligation};
-pub use engine::{
-    verify, Counterexample, FailureKind, VerificationReport, Verdict, VerifyOptions,
+pub use contain::{
+    build_containment_monitor, check_refinement, ContainError, RefinementObligation,
 };
+pub use engine::{verify, Counterexample, FailureKind, Verdict, VerificationReport, VerifyOptions};
 pub use property::SafetyProperty;
 
 // Re-export the constraint type users receive in reports.

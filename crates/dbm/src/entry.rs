@@ -53,21 +53,6 @@ impl Entry {
         self.is_infinite() || self.0 & 1 == 0
     }
 
-    /// Sum of two bounds (`∞` absorbs).
-    #[must_use]
-    pub fn add(self, other: Entry) -> Entry {
-        if self.is_infinite() || other.is_infinite() {
-            return Entry::INFINITY;
-        }
-        let value = (self.0 >> 1) + (other.0 >> 1);
-        let non_strict = (self.0 & 1 == 1) && (other.0 & 1 == 1);
-        if non_strict {
-            Entry::le(value)
-        } else {
-            Entry::lt(value)
-        }
-    }
-
     /// The tighter (smaller) of two bounds.
     #[must_use]
     pub fn min(self, other: Entry) -> Entry {
@@ -83,7 +68,25 @@ impl Entry {
     /// `c + c' < 0` (strictness taken into account by entry addition against
     /// [`Entry::LE_ZERO`]).
     pub fn conflicts_with(self, other: Entry) -> bool {
-        self.add(other) < Entry::LE_ZERO
+        self + other < Entry::LE_ZERO
+    }
+}
+
+impl std::ops::Add for Entry {
+    type Output = Entry;
+
+    /// Sum of two bounds (`∞` absorbs, strictness propagates).
+    fn add(self, other: Entry) -> Entry {
+        if self.is_infinite() || other.is_infinite() {
+            return Entry::INFINITY;
+        }
+        let value = (self.0 >> 1) + (other.0 >> 1);
+        let non_strict = (self.0 & 1 == 1) && (other.0 & 1 == 1);
+        if non_strict {
+            Entry::le(value)
+        } else {
+            Entry::lt(value)
+        }
     }
 }
 
@@ -113,10 +116,10 @@ mod tests {
 
     #[test]
     fn addition() {
-        assert_eq!(Entry::le(2).add(Entry::le(3)), Entry::le(5));
-        assert_eq!(Entry::le(2).add(Entry::lt(3)), Entry::lt(5));
-        assert_eq!(Entry::lt(-1).add(Entry::lt(1)), Entry::lt(0));
-        assert_eq!(Entry::le(2).add(Entry::INFINITY), Entry::INFINITY);
+        assert_eq!(Entry::le(2) + Entry::le(3), Entry::le(5));
+        assert_eq!(Entry::le(2) + Entry::lt(3), Entry::lt(5));
+        assert_eq!(Entry::lt(-1) + Entry::lt(1), Entry::lt(0));
+        assert_eq!(Entry::le(2) + Entry::INFINITY, Entry::INFINITY);
     }
 
     #[test]

@@ -99,7 +99,7 @@ impl Dbm {
                     continue;
                 }
                 for j in 0..dim {
-                    let candidate = dik.add(self.get(k, j));
+                    let candidate = dik + self.get(k, j);
                     if candidate < self.get(i, j) {
                         self.set(i, j, candidate);
                     }
@@ -149,7 +149,7 @@ impl Dbm {
         let dim = self.dim();
         for a in 0..dim {
             for b in 0..dim {
-                let via_ij = self.get(a, i).add(bound).add(self.get(j, b));
+                let via_ij = self.get(a, i) + bound + self.get(j, b);
                 if via_ij < self.get(a, b) {
                     self.set(a, b, via_ij);
                 }

@@ -134,9 +134,9 @@ pub fn explore_timed_with(
     let mut configurations = 0usize;
 
     let push = |state: StateId,
-                    zone: Dbm,
-                    seen: &mut HashMap<StateId, Vec<Dbm>>,
-                    queue: &mut VecDeque<(StateId, Dbm)>| {
+                zone: Dbm,
+                seen: &mut HashMap<StateId, Vec<Dbm>>,
+                queue: &mut VecDeque<(StateId, Dbm)>| {
         let zones = seen.entry(state).or_default();
         if zones.iter().any(|z| z.includes(&zone)) {
             return;

@@ -242,6 +242,9 @@ mod tests {
         let s0 = ts.initial_states()[0];
         let enabled = ts.enabled(s0);
         assert_eq!(enabled.len(), 1);
-        assert_eq!(ts.alphabet().name(*enabled.iter().next().unwrap()), "VALID0-");
+        assert_eq!(
+            ts.alphabet().name(*enabled.iter().next().unwrap()),
+            "VALID0-"
+        );
     }
 }

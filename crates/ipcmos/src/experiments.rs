@@ -17,11 +17,11 @@
 
 use std::time::Instant;
 
-use tts::{compose, compose_timed_all, ComposeError, TimedTransitionSystem, TransitionSystem};
 use transyt::{
     check_refinement, verify, ProofReport, ProofStep, RefinementObligation, SafetyProperty,
     Verdict, VerificationReport, VerifyOptions,
 };
+use tts::{compose, compose_timed_all, ComposeError, TimedTransitionSystem, TransitionSystem};
 
 use crate::env::{a_in, a_out, in_env, out_env, spec, Interface};
 use crate::stage::{stage_model, StageSignals};
@@ -63,7 +63,10 @@ fn model_err<E: std::fmt::Display>(e: E) -> ExperimentError {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn abstract_pipeline() -> Result<TransitionSystem, ExperimentError> {
-    Ok(compose(&a_in(0).map_err(model_err)?, &a_out(0).map_err(model_err)?)?)
+    Ok(compose(
+        &a_in(0).map_err(model_err)?,
+        &a_out(0).map_err(model_err)?,
+    )?)
 }
 
 /// Experiment 1: `A_in ∥ A_out ⊑ S` (plus deadlock-freedom of the closed
@@ -81,7 +84,8 @@ pub fn experiment_1() -> Result<Verdict, ExperimentError> {
         abstraction: &observer,
         watched: vec![interface.valid_fall.clone(), interface.ack_rise.clone()],
     };
-    let containment = check_refinement(&obligation, &VerifyOptions::default()).map_err(model_err)?;
+    let containment =
+        check_refinement(&obligation, &VerifyOptions::default()).map_err(model_err)?;
     if !containment.is_verified() {
         return Ok(containment);
     }
@@ -186,12 +190,16 @@ pub fn experiment_5() -> Result<Verdict, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn table_1() -> Result<ProofReport, ExperimentError> {
+    type Experiment = fn() -> Result<Verdict, ExperimentError>;
     let mut report = ProofReport::new();
-    let experiments: [(&str, fn() -> Result<Verdict, ExperimentError>); 5] = [
+    let experiments: [(&str, Experiment); 5] = [
         ("A_in || A_out |= S", experiment_1),
         ("A_in || I || OUT <= A_in || A_out", experiment_2),
         ("IN || I || A_out <= A_in || A_out", experiment_3),
-        ("A_in || I || A_out <= A_in || A_out (fixed point)", experiment_4),
+        (
+            "A_in || I || A_out <= A_in || A_out (fixed point)",
+            experiment_4,
+        ),
         ("IN || I || OUT |= S (transistor level)", experiment_5),
     ];
     for (name, run) in experiments {

@@ -20,8 +20,8 @@
 //! buffer stacks; `DESIGN.md` documents this substitution.
 
 use cmos_circuit::{
-    elaborate, Circuit, CircuitBuilder, CircuitError, CircuitModel, DriveStrength,
-    ElaborateError, ElaborateOptions,
+    elaborate, Circuit, CircuitBuilder, CircuitError, CircuitModel, DriveStrength, ElaborateError,
+    ElaborateOptions,
 };
 use tts::{DelayInterval, Time};
 
@@ -119,7 +119,13 @@ pub fn stage_circuit(index: usize) -> Result<Circuit, CircuitError> {
         d(1, 2),
         DriveStrength::Normal,
     )?;
-    b.add_stack(&vint, &[(clkr.as_str(), false)], true, d(1, 2), DriveStrength::Normal)?;
+    b.add_stack(
+        &vint,
+        &[(clkr.as_str(), false)],
+        true,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
     // Z is the inverted request: it rises quickly when Vint falls and resets
     // more slowly (its reset races against ACK_out-; see Fig. 13(d)).
     b.add_inverter_with(&z, &vint, d(1, 2), d(3, 4))?;
@@ -162,12 +168,48 @@ pub fn stage_circuit(index: usize) -> Result<Circuit, CircuitError> {
     )?;
     // Local clock pulse, delay-matching path and VALID towards the consumer
     // (lumped strobe / delay / valid modules).
-    b.add_stack(&clke, &[(vint.as_str(), true)], true, d(3, 4), DriveStrength::Lumped)?;
-    b.add_stack(&clke, &[(vint.as_str(), false)], false, d(3, 4), DriveStrength::Lumped)?;
-    b.add_stack(&w, &[(clke.as_str(), true)], true, d(2, 3), DriveStrength::Lumped)?;
-    b.add_stack(&w, &[(clke.as_str(), false)], false, d(2, 3), DriveStrength::Lumped)?;
-    b.add_stack(&signals.valid_out, &[(w.as_str(), true)], true, d(1, 2), DriveStrength::Normal)?;
-    b.add_stack(&signals.valid_out, &[(w.as_str(), false)], false, d(1, 2), DriveStrength::Normal)?;
+    b.add_stack(
+        &clke,
+        &[(vint.as_str(), true)],
+        true,
+        d(3, 4),
+        DriveStrength::Lumped,
+    )?;
+    b.add_stack(
+        &clke,
+        &[(vint.as_str(), false)],
+        false,
+        d(3, 4),
+        DriveStrength::Lumped,
+    )?;
+    b.add_stack(
+        &w,
+        &[(clke.as_str(), true)],
+        true,
+        d(2, 3),
+        DriveStrength::Lumped,
+    )?;
+    b.add_stack(
+        &w,
+        &[(clke.as_str(), false)],
+        false,
+        d(2, 3),
+        DriveStrength::Lumped,
+    )?;
+    b.add_stack(
+        &signals.valid_out,
+        &[(w.as_str(), true)],
+        true,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
+    b.add_stack(
+        &signals.valid_out,
+        &[(w.as_str(), false)],
+        false,
+        d(1, 2),
+        DriveStrength::Normal,
+    )?;
     // Reset clock from the reset module: it goes low (starting the precharge
     // of Vint) once the consumer has acknowledged *and* the input switch is
     // off (Y low), so that the precharge never fights the pass transistor no
@@ -285,6 +327,10 @@ mod tests {
         // what the verification (with the proper IN/OUT models and timing)
         // must rule out.
         let model = stage_model(1).unwrap();
-        assert!(!model.timed().underlying().marked_reachable_states().is_empty());
+        assert!(!model
+            .timed()
+            .underlying()
+            .marked_reachable_states()
+            .is_empty());
     }
 }

@@ -150,7 +150,12 @@ impl StgBuilder {
 
     /// Adds an anonymous place connecting `from` to `to` (the usual way of
     /// drawing STG causality arcs), optionally carrying an initial token.
-    pub fn connect(&mut self, from: TransitionId, to: TransitionId, initial_tokens: u32) -> PlaceId {
+    pub fn connect(
+        &mut self,
+        from: TransitionId,
+        to: TransitionId,
+        initial_tokens: u32,
+    ) -> PlaceId {
         let name = format!(
             "{}->{}",
             self.transitions[from.index()].label,

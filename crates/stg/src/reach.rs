@@ -149,14 +149,10 @@ pub fn expand_with(net: &Stg, options: ExpandOptions) -> Result<TransitionSystem
         }
         let from = ids[&marking];
         for t in net.enabled(&marking) {
-            let next = net
-                .fire(&marking, t)
-                .expect("enabled transitions can fire");
+            let next = net.fire(&marking, t).expect("enabled transitions can fire");
             if let Some(p) = next.iter().position(|&tokens| tokens > options.token_bound) {
                 return Err(ExpandError::Unbounded {
-                    place: net
-                        .place_name(crate::net::PlaceId(p as u32))
-                        .to_owned(),
+                    place: net.place_name(crate::net::PlaceId(p as u32)).to_owned(),
                     bound: options.token_bound,
                 });
             }
@@ -240,7 +236,13 @@ fn marking_name(marking: &Marking) -> String {
         .iter()
         .enumerate()
         .filter(|(_, &t)| t > 0)
-        .map(|(i, &t)| if t == 1 { format!("p{i}") } else { format!("p{i}*{t}") })
+        .map(|(i, &t)| {
+            if t == 1 {
+                format!("p{i}")
+            } else {
+                format!("p{i}*{t}")
+            }
+        })
         .collect();
     if tokens.is_empty() {
         "{}".to_owned()

@@ -143,10 +143,10 @@ pub fn compose_with(
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
 
     let add_state = |builder: &mut TsBuilder,
-                         queue: &mut VecDeque<(StateId, StateId)>,
-                         product_states: &mut HashMap<(StateId, StateId), StateId>,
-                         l: StateId,
-                         r: StateId|
+                     queue: &mut VecDeque<(StateId, StateId)>,
+                     product_states: &mut HashMap<(StateId, StateId), StateId>,
+                     l: StateId,
+                     r: StateId|
      -> StateId {
         if let Some(&id) = product_states.get(&(l, r)) {
             return id;
@@ -183,8 +183,7 @@ pub fn compose_with(
             match right_names.get(name) {
                 Some(&re) => {
                     for rto in right.successors(r, re) {
-                        let to =
-                            add_state(&mut builder, &mut queue, &mut product_states, lto, rto);
+                        let to = add_state(&mut builder, &mut queue, &mut product_states, lto, rto);
                         builder.add_transition(from, name, to);
                     }
                 }
@@ -221,10 +220,7 @@ pub fn compose_with(
     Ok(builder.build()?)
 }
 
-fn interface_union(
-    left: &TransitionSystem,
-    right: &TransitionSystem,
-) -> Vec<(String, EventRole)> {
+fn interface_union(left: &TransitionSystem, right: &TransitionSystem) -> Vec<(String, EventRole)> {
     let mut roles: HashMap<String, EventRole> = HashMap::new();
     for ts in [left, right] {
         for (id, name) in ts.alphabet().iter() {
@@ -250,7 +246,10 @@ fn interface_union(
 ///
 /// Panics if `systems` is empty.
 pub fn compose_all(systems: &[&TransitionSystem]) -> Result<TransitionSystem, ComposeError> {
-    assert!(!systems.is_empty(), "compose_all requires at least one system");
+    assert!(
+        !systems.is_empty(),
+        "compose_all requires at least one system"
+    );
     let mut acc = systems[0].clone();
     for ts in &systems[1..] {
         acc = compose(&acc, ts)?;
@@ -435,10 +434,19 @@ mod tests {
     #[test]
     fn timed_composition_intersects_delays() {
         let mut left = TimedTransitionSystem::new(handshake("p", true));
-        left.set_delay_by_name("req", DelayInterval::new(Time::new(1), Time::new(5)).unwrap());
+        left.set_delay_by_name(
+            "req",
+            DelayInterval::new(Time::new(1), Time::new(5)).unwrap(),
+        );
         let mut right = TimedTransitionSystem::new(handshake("c", false));
-        right.set_delay_by_name("req", DelayInterval::new(Time::new(3), Time::new(8)).unwrap());
-        right.set_delay_by_name("ack", DelayInterval::new(Time::new(2), Time::new(2)).unwrap());
+        right.set_delay_by_name(
+            "req",
+            DelayInterval::new(Time::new(3), Time::new(8)).unwrap(),
+        );
+        right.set_delay_by_name(
+            "ack",
+            DelayInterval::new(Time::new(2), Time::new(2)).unwrap(),
+        );
         let composed = compose_timed(&left, &right).unwrap();
         assert_eq!(
             composed.delay_by_name("req"),
@@ -453,9 +461,15 @@ mod tests {
     #[test]
     fn timed_composition_rejects_disjoint_delays() {
         let mut left = TimedTransitionSystem::new(handshake("p", true));
-        left.set_delay_by_name("req", DelayInterval::new(Time::new(1), Time::new(2)).unwrap());
+        left.set_delay_by_name(
+            "req",
+            DelayInterval::new(Time::new(1), Time::new(2)).unwrap(),
+        );
         let mut right = TimedTransitionSystem::new(handshake("c", false));
-        right.set_delay_by_name("req", DelayInterval::new(Time::new(5), Time::new(8)).unwrap());
+        right.set_delay_by_name(
+            "req",
+            DelayInterval::new(Time::new(5), Time::new(8)).unwrap(),
+        );
         let err = compose_timed(&left, &right).unwrap_err();
         assert!(matches!(err, ComposeError::IncompatibleDelays(_)));
         assert!(err.to_string().contains("req"));

@@ -135,10 +135,7 @@ impl TimedTransitionSystem {
 
     /// Number of events that carry a non-default delay interval.
     pub fn timed_event_count(&self) -> usize {
-        self.delays
-            .values()
-            .filter(|d| !d.is_unbounded())
-            .count()
+        self.delays.values().filter(|d| !d.is_unbounded()).count()
     }
 
     /// Returns a copy of the system with every event renamed through `f`,
@@ -171,7 +168,12 @@ impl From<TransitionSystem> for TimedTransitionSystem {
 
 impl fmt::Display for TimedTransitionSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [timed: {} events]", self.ts, self.timed_event_count())
+        write!(
+            f,
+            "{} [timed: {} events]",
+            self.ts,
+            self.timed_event_count()
+        )
     }
 }
 

@@ -104,8 +104,7 @@ impl EnablingTrace {
             states.push(to);
             current = to;
         }
-        let enabled_sets: Vec<BTreeSet<EventId>> =
-            states.iter().map(|&s| ts.enabled(s)).collect();
+        let enabled_sets: Vec<BTreeSet<EventId>> = states.iter().map(|&s| ts.enabled(s)).collect();
         let mut steps = Vec::with_capacity(run.len());
         for (i, &(event, to)) in run.iter().enumerate() {
             // Walk backwards to find the enabling point: the earliest state

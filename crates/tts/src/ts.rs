@@ -286,10 +286,10 @@ impl TransitionSystem {
 
     /// All transitions as `(source, event, target)` triples.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, EventId, StateId)> + '_ {
-        self.outgoing.iter().enumerate().flat_map(|(i, row)| {
-            row.iter()
-                .map(move |&(e, to)| (StateId(i as u32), e, to))
-        })
+        self.outgoing
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |&(e, to)| (StateId(i as u32), e, to)))
     }
 
     /// The set of events enabled in `state` (events with at least one
@@ -303,7 +303,9 @@ impl TransitionSystem {
 
     /// Returns `true` if `event` is enabled in `state`.
     pub fn is_enabled(&self, state: StateId, event: EventId) -> bool {
-        self.outgoing[state.index()].iter().any(|&(e, _)| e == event)
+        self.outgoing[state.index()]
+            .iter()
+            .any(|&(e, _)| e == event)
     }
 
     /// Successor states reached from `state` by `event`.
@@ -445,9 +447,7 @@ impl TransitionSystem {
         for &e in &self.outputs {
             builder.declare_output(f(self.alphabet.name(e)));
         }
-        builder
-            .build()
-            .expect("renaming preserves well-formedness")
+        builder.build().expect("renaming preserves well-formedness")
     }
 
     /// Returns a copy with a different name.

@@ -17,10 +17,7 @@ fn random_dag() -> impl Strategy<Value = RandomDag> {
         let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..(n * 2));
         (delays, edges).prop_map(move |(delays, edges)| RandomDag {
             delays: delays.into_iter().map(|(l, e)| (l, l + e)).collect(),
-            edges: edges
-                .into_iter()
-                .filter(|(a, b)| a < b)
-                .collect(),
+            edges: edges.into_iter().filter(|(a, b)| a < b).collect(),
         })
     })
 }

@@ -1,0 +1,159 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so this vendored
+//! crate provides the small surface our bench targets use: `Criterion`,
+//! `Bencher`, `BenchmarkGroup`, `BenchmarkId` and the `criterion_group!` /
+//! `criterion_main!` macros. Measurements are wall-clock means over
+//! `sample_size` iterations — good enough for coarse regression tracking,
+//! trivially replaceable by the real crate once the registry is reachable.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time a single closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Per-benchmark measurement state handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing each invocation.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up pass.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<55} (no samples)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters);
+        println!("{id:<55} time: {per_iter} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark one parameterised case of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        bencher.report(&full);
+        self
+    }
+
+    /// Finish the group (a no-op in this subset; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter value alone.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Build an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, D: Display>(function: S, parameter: D) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
