@@ -1,7 +1,10 @@
 //! Scaling (§3.2): cost of building/exploring flat pipelines of growing
-//! length versus the constant-size abstraction obligations.
+//! length versus the constant-size abstraction obligations, plus the cost
+//! profile of the shared exploration core (sequential vs. parallel, zone
+//! subsumption on vs. off).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbm::{explore_timed_with, ZoneExplorationOptions};
 
 fn scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/flat_pipeline_untimed_reachability");
@@ -17,6 +20,31 @@ fn scaling(c: &mut Criterion) {
     c.bench_function("scaling/abstraction_obligation_fixed_point", |b| {
         b.iter(|| ipcmos::experiment_4().expect("experiment 4 builds"))
     });
+
+    // Zone exploration of a 1-stage pipeline under the four interesting
+    // driver configurations (bounded so a single iteration stays cheap).
+    let pipeline = ipcmos::flat_pipeline(1).expect("pipeline builds");
+    let mut group = c.benchmark_group("scaling/zone_exploration");
+    for (name, threads, subsumption) in [
+        ("sequential_subsumption", 1usize, true),
+        ("sequential_exact", 1, false),
+        ("parallel2_subsumption", 2, true),
+        ("parallel4_subsumption", 4, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                explore_timed_with(
+                    &pipeline,
+                    ZoneExplorationOptions {
+                        configuration_limit: 3_000,
+                        threads,
+                        subsumption,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {

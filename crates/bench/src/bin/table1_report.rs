@@ -1,10 +1,40 @@
 //! Regenerates Table 1 of the paper: the five verification obligations with
 //! wall-clock time and refinement counts.
+//!
+//! ```text
+//! table1_report [--threads N] [--json PATH]
+//! ```
+//!
+//! With `--json PATH` a machine-readable document (the `BENCH_table1.json`
+//! artifact of CI) is written in addition to the human-readable table.
+
+use bench::json::Value;
+use transyt::VerifyOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut threads: usize = 1;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?
+            }
+            "--json" => json_path = Some(args.next().ok_or("--json needs a path")?),
+            other => return Err(format!("bad argument `{other}`").into()),
+        }
+    }
+
     println!("Reproduction of Table 1 (DATE 2002 IPCMOS case study)");
     println!("paper reference: (1) <1min/0, (2) 28min/7, (3) 9min/3, (4) 10min/3, (5) 35min/40 on an 866MHz PIII\n");
-    let report = ipcmos::table_1()?;
+    let options = VerifyOptions {
+        threads,
+        ..VerifyOptions::default()
+    };
+    let report = ipcmos::table_1_with(&options)?;
     println!("{report}");
     for (i, step) in report.steps().iter().enumerate() {
         println!(
@@ -17,6 +47,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("\nall five obligations verified");
     } else {
         println!("\nWARNING: not all obligations verified");
+    }
+
+    if let Some(path) = json_path {
+        let experiments: Vec<Value> = report
+            .steps()
+            .iter()
+            .map(|step| {
+                let r = step.verdict.report();
+                Value::object()
+                    .field("name", step.name.as_str())
+                    .field("verified", step.verdict.is_verified())
+                    .field("refinements", r.refinements)
+                    .field("constraints", r.constraints.len())
+                    .field("explored_states", r.explored_states)
+                    .field("millis", step.elapsed.as_millis())
+            })
+            .collect();
+        let doc = Value::object()
+            .field("benchmark", "table1")
+            .field("threads", threads)
+            .field("all_verified", report.all_verified())
+            .field("total_refinements", report.total_refinements())
+            .field("experiments", experiments);
+        std::fs::write(&path, doc.render() + "\n")?;
+        println!("wrote {path}");
     }
     Ok(())
 }

@@ -8,6 +8,8 @@
 
 use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
 
+pub mod json;
+
 /// Delay helper.
 fn d(l: i64, u: i64) -> DelayInterval {
     DelayInterval::new(Time::new(l), Time::new(u)).expect("static delay interval")

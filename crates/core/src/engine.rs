@@ -19,11 +19,13 @@
 //! deliverable of the paper's methodology. The zone-based explorer of the
 //! `dbm` crate provides an independent exact check on small models.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
+use std::convert::Infallible;
 use std::fmt;
 
 use ces::{check_consistency, extract_ces, RelativeTimingConstraint, SeparationAnalysis};
-use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem};
+use explore::{ExploreOptions, ExploreOutcome, SearchSpace};
+use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem, TransitionSystem};
 
 use crate::property::SafetyProperty;
 
@@ -35,6 +37,9 @@ pub struct VerifyOptions {
     /// Relative-timing constraints assumed up front (e.g. documented
     /// environment requirements).
     pub assumed_constraints: Vec<RelativeTimingConstraint>,
+    /// Worker threads for each exploration pass of the refinement loop
+    /// (`1` = sequential; any value produces the identical verdict).
+    pub threads: usize,
 }
 
 impl Default for VerifyOptions {
@@ -42,6 +47,7 @@ impl Default for VerifyOptions {
         VerifyOptions {
             max_refinements: 200,
             assumed_constraints: Vec::new(),
+            threads: 1,
         }
     }
 }
@@ -193,6 +199,89 @@ struct Failure {
     start: StateId,
 }
 
+/// The constraint-pruned untimed state space of one refinement iteration:
+/// configurations are discrete states, successors the transitions whose
+/// firing is not blocked by an active relative-timing constraint (the lazy
+/// semantics: enabling is untouched, only the firing is delayed). The space
+/// halts the shared exploration engine at the first failure in breadth-first
+/// order.
+struct PrunedSpace<'a> {
+    ts: &'a TransitionSystem,
+    property: &'a SafetyProperty,
+    resolved: Vec<(EventId, EventId)>,
+}
+
+impl PrunedSpace<'_> {
+    fn blocked(&self, state: StateId, event: EventId) -> bool {
+        self.resolved.iter().any(|&(before, after)| {
+            after == event && before != event && self.ts.is_enabled(state, before)
+        })
+    }
+
+    /// The first persistency violation triggered by the allowed firings from
+    /// `state`, if any: the pending event disabled and the index of the
+    /// violating successor.
+    fn persistency_violation(
+        &self,
+        state: StateId,
+        successors: &[(EventId, StateId)],
+    ) -> Option<(EventId, usize)> {
+        if self.property.persistent_events().is_empty() {
+            return None;
+        }
+        let alphabet = self.ts.alphabet();
+        for (k, &(event, target)) in successors.iter().enumerate() {
+            for &pending in &self.ts.enabled(state) {
+                if pending == event || !self.ts.is_enabled(state, pending) {
+                    continue;
+                }
+                let name = alphabet.name(pending);
+                if self.property.persistent_events().contains(name)
+                    && !self.ts.is_enabled(target, pending)
+                {
+                    return Some((pending, k));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl SearchSpace for PrunedSpace<'_> {
+    type Config = StateId;
+    type Key = StateId;
+    type Edge = EventId;
+    type Error = Infallible;
+
+    fn initial(&self) -> Result<Vec<StateId>, Infallible> {
+        Ok(self.ts.initial_states().to_vec())
+    }
+
+    fn key(&self, config: &StateId) -> StateId {
+        *config
+    }
+
+    fn expand(&self, &state: &StateId) -> Result<Vec<(EventId, StateId)>, Infallible> {
+        Ok(self
+            .ts
+            .transitions_from(state)
+            .iter()
+            .copied()
+            .filter(|&(event, _)| !self.blocked(state, event))
+            .collect())
+    }
+
+    fn should_halt(&self, &state: &StateId, successors: &[(EventId, StateId)]) -> bool {
+        if self.property.checks_marked_states() && !self.ts.violations(state).is_empty() {
+            return true;
+        }
+        if self.ts.transitions_from(state).is_empty() {
+            return self.property.checks_deadlock();
+        }
+        self.persistency_violation(state, successors).is_some()
+    }
+}
+
 /// Verifies `property` on the timed system using the iterative
 /// relative-timing refinement flow.
 ///
@@ -258,21 +347,35 @@ pub fn verify(
     let mut refinements = 0usize;
 
     loop {
-        let resolved = resolve(&constraints);
-        let blocked = |state: StateId, event: EventId| -> bool {
-            resolved.iter().any(|&(before, after)| {
-                after == event && before != event && ts.is_enabled(state, before)
-            })
+        // Breadth-first exploration of the pruned (lazy) state space on the
+        // shared exploration engine. The engine halts at the first failure in
+        // breadth-first order; the recorded nodes are then replayed to
+        // rebuild predecessor links and classify the failure exactly as the
+        // historical in-line search did.
+        let space = PrunedSpace {
+            ts,
+            property,
+            resolved: resolve(&constraints),
+        };
+        let search = match explore::explore(
+            &space,
+            &ExploreOptions {
+                threads: options.threads,
+                record_edges: true,
+                ..ExploreOptions::default()
+            },
+        ) {
+            Ok(ExploreOutcome::Completed(report)) => report,
+            Ok(ExploreOutcome::LimitExceeded { .. }) => {
+                unreachable!("the pruned search configures no limits")
+            }
+            Err(infallible) => match infallible {},
         };
 
-        // Breadth-first exploration of the pruned (lazy) state space.
         let mut pred: HashMap<StateId, (StateId, EventId)> = HashMap::new();
         let mut visited: BTreeSet<StateId> = BTreeSet::new();
-        let mut queue: VecDeque<StateId> = VecDeque::new();
         for &s in ts.initial_states() {
-            if visited.insert(s) {
-                queue.push_back(s);
-            }
+            visited.insert(s);
         }
         let mut failure: Option<Failure> = None;
         let mut stuck_state: Option<StateId> = None;
@@ -288,67 +391,67 @@ pub fn verify(
             (cur, run)
         };
 
-        'search: while let Some(state) = queue.pop_front() {
-            if property.checks_marked_states() && !ts.violations(state).is_empty() {
-                let (start, run) = reconstruct(state, &pred);
-                failure = Some(Failure {
-                    kind: FailureKind::MarkedState {
-                        message: ts.violations(state)[0].clone(),
-                    },
-                    run,
-                    start,
-                });
-                break 'search;
-            }
-            let transitions = ts.transitions_from(state);
-            if transitions.is_empty() {
-                if property.checks_deadlock() {
+        // The driver halts at the *first* node whose halt condition fires,
+        // so when `search.halted` is set the failure is exactly the last
+        // recorded node; every earlier node only contributes predecessor
+        // links. The failure is classified with the same predicates the
+        // search space's halt condition uses, so halt and replay cannot
+        // drift apart.
+        for node in &search.nodes {
+            let state = node.config;
+            let is_failure_node =
+                search.halted && std::ptr::eq(node, search.nodes.last().expect("halted => nodes"));
+            if is_failure_node {
+                if property.checks_marked_states() && !ts.violations(state).is_empty() {
+                    let (start, run) = reconstruct(state, &pred);
+                    failure = Some(Failure {
+                        kind: FailureKind::MarkedState {
+                            message: ts.violations(state)[0].clone(),
+                        },
+                        run,
+                        start,
+                    });
+                } else if ts.transitions_from(state).is_empty() {
                     let (start, run) = reconstruct(state, &pred);
                     failure = Some(Failure {
                         kind: FailureKind::Deadlock,
                         run,
                         start,
                     });
-                    break 'search;
-                }
-                continue;
-            }
-            let mut any_allowed = false;
-            for &(event, target) in transitions {
-                if blocked(state, event) {
-                    continue;
-                }
-                any_allowed = true;
-                // Persistency check on the allowed firing.
-                if !property.persistent_events().is_empty() {
-                    for &pending in &ts.enabled(state) {
-                        if pending == event || !ts.is_enabled(state, pending) {
-                            continue;
-                        }
-                        let name = alphabet.name(pending);
-                        if property.persistent_events().contains(name)
-                            && !ts.is_enabled(target, pending)
-                        {
-                            let (start, mut run) = reconstruct(state, &pred);
-                            run.push((event, target));
-                            failure = Some(Failure {
-                                kind: FailureKind::PersistencyViolation {
-                                    disabled: name.to_owned(),
-                                    by: alphabet.name(event).to_owned(),
-                                },
-                                run,
-                                start,
-                            });
-                            break 'search;
+                } else if let Some((pending, k)) =
+                    space.persistency_violation(state, &node.successors)
+                {
+                    // Targets of the firings preceding the violating one
+                    // were discovered before the search broke off.
+                    for &(event, target) in &node.successors[..k] {
+                        if visited.insert(target) {
+                            pred.insert(target, (state, event));
                         }
                     }
+                    let (event, target) = node.successors[k];
+                    let (start, mut run) = reconstruct(state, &pred);
+                    run.push((event, target));
+                    failure = Some(Failure {
+                        kind: FailureKind::PersistencyViolation {
+                            disabled: alphabet.name(pending).to_owned(),
+                            by: alphabet.name(event).to_owned(),
+                        },
+                        run,
+                        start,
+                    });
                 }
+                debug_assert!(failure.is_some(), "halted search without a failure node");
+                break;
+            }
+            for &(event, target) in &node.successors {
                 if visited.insert(target) {
                     pred.insert(target, (state, event));
-                    queue.push_back(target);
                 }
             }
-            if !any_allowed && stuck_state.is_none() {
+            if node.successors.is_empty()
+                && !ts.transitions_from(state).is_empty()
+                && stuck_state.is_none()
+            {
                 stuck_state = Some(state);
             }
         }

@@ -202,6 +202,21 @@ impl Dbm {
     pub fn satisfies(&self, i: usize, j: usize, bound: Entry) -> bool {
         !self.get(j, i).conflicts_with(bound)
     }
+
+    /// Feeds a cheap, deterministic sample of the matrix into a hasher.
+    ///
+    /// Hashing every entry of a large canonical DBM costs more than a table
+    /// lookup saves, so interners hash the dimension plus a fixed stride of
+    /// entries. Equal zones always sample equally; unequal zones may collide
+    /// and must be separated by full equality.
+    pub fn sample_hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use std::hash::Hash;
+        self.clocks.hash(state);
+        let stride = (self.entries.len() / 16).max(1);
+        for entry in self.entries.iter().step_by(stride) {
+            entry.hash(state);
+        }
+    }
 }
 
 impl fmt::Display for Dbm {

@@ -11,9 +11,22 @@
 //!    which cross-checks the relative-timing engine.
 //! 2. **Baseline** — its blow-up with pipeline depth quantifies the paper's
 //!    motivation for abstraction and relative timing (the scaling benchmark).
+//!
+//! The frontier/dedup loop itself lives in the [`explore`] crate; this module
+//! contributes the search space: configurations are `(state, zone)` pairs,
+//! and — with [`ZoneExplorationOptions::subsumption`] enabled — a
+//! configuration whose zone is *included* in an already-seen zone of the same
+//! state is skipped entirely, including configurations that were already
+//! enqueued when the wider zone arrived (the pop-time subsumption check the
+//! hand-rolled loop lacked). Zones are interned behind [`Arc`]s, so the many
+//! configurations sharing a zone after clock resets share one canonical DBM
+//! allocation.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashSet};
+use std::convert::Infallible;
+use std::sync::{Arc, Mutex};
 
+use explore::{ExploreOptions, ExploreOutcome, SearchSpace};
 use tts::{Bound, EventId, StateId, TimedTransitionSystem};
 
 use crate::entry::Entry;
@@ -24,27 +37,43 @@ use crate::matrix::Dbm;
 pub struct ZoneExplorationOptions {
     /// Maximum number of symbolic configurations to explore before aborting.
     pub configuration_limit: usize,
+    /// Number of worker threads (`1` = sequential; any value produces the
+    /// identical report).
+    pub threads: usize,
+    /// Skip a `(state, zone)` configuration when an already-seen zone for
+    /// that state includes it. Sound (inclusion preserves reachability) and
+    /// strictly reduces the configuration count on models with converging
+    /// timing; disable to enumerate exact-duplicate zones only.
+    pub subsumption: bool,
 }
 
 impl Default for ZoneExplorationOptions {
     fn default() -> Self {
         ZoneExplorationOptions {
             configuration_limit: 200_000,
+            threads: 1,
+            subsumption: true,
         }
     }
 }
 
 /// Result of a completed zone-graph exploration.
+///
+/// All state lists are sorted by state id on construction, so reports are
+/// order-stable however the exploration was scheduled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ZoneReport {
-    /// Discrete states reachable in the timed semantics.
+    /// Discrete states reachable in the timed semantics (sorted).
     pub reachable_states: Vec<StateId>,
-    /// Reachable states that carry violation marks.
+    /// Reachable states that carry violation marks (sorted).
     pub violating_states: Vec<StateId>,
-    /// Reachable states from which no event can fire.
+    /// Reachable states from which no event can fire (sorted).
     pub deadlock_states: Vec<StateId>,
     /// Number of symbolic configurations (state, zone) explored.
     pub configurations: usize,
+    /// Enqueued configurations skipped because a subsuming zone for the same
+    /// state arrived before their turn (0 when subsumption is disabled).
+    pub subsumed_configurations: usize,
 }
 
 impl ZoneReport {
@@ -66,6 +95,9 @@ pub enum ZoneOutcome {
     LimitExceeded {
         /// Number of configurations explored before aborting.
         explored: usize,
+        /// Enqueued configurations skipped by zone subsumption before the
+        /// abort (0 when subsumption is disabled).
+        subsumed: usize,
     },
 }
 
@@ -76,6 +108,151 @@ impl ZoneOutcome {
             ZoneOutcome::Completed(r) => Some(r),
             ZoneOutcome::LimitExceeded { .. } => None,
         }
+    }
+}
+
+/// Interner entry with a cheap sampled hash: hashing every entry of a large
+/// canonical DBM costs more than the lookup saves, so only a stride of the
+/// matrix feeds the hasher. Equality stays exact, so collisions merely cost
+/// a probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InternedZone(Arc<Dbm>);
+
+impl std::hash::Hash for InternedZone {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.sample_hash(state);
+    }
+}
+
+/// The timed search space: configurations pair a discrete state with an
+/// interned clock zone.
+struct ZoneSpace<'a> {
+    timed: &'a TimedTransitionSystem,
+    subsumption: bool,
+    /// Canonical-DBM interning table: equal zones share one allocation, so
+    /// bucket storage and queued clones are reference bumps. Only locked
+    /// from the driver's single-threaded merge. The usize counts inserts
+    /// since the last sweep of dead entries (zones no longer referenced by
+    /// any bucket or queue, e.g. after subsumption pruning).
+    interner: Mutex<(HashSet<InternedZone>, usize)>,
+}
+
+/// Inserts between sweeps of unreferenced interner entries.
+const INTERNER_SWEEP_INTERVAL: usize = 4096;
+
+impl ZoneSpace<'_> {
+    fn clock_of(event: EventId) -> usize {
+        event.index() + 1
+    }
+
+    /// Lets time elapse only as far as the upper delay bounds of the events
+    /// enabled in `state` allow (the state's invariant).
+    fn apply_invariant(&self, zone: &mut Dbm, state: StateId) {
+        let ts = self.timed.underlying();
+        for &event in &ts.enabled(state) {
+            if let Bound::Finite(upper) = self.timed.delay(event).upper() {
+                zone.constrain_upper(Self::clock_of(event), upper.as_i64());
+            }
+        }
+    }
+}
+
+impl SearchSpace for ZoneSpace<'_> {
+    type Config = (StateId, Arc<Dbm>);
+    /// With subsumption the key is the discrete state (zones of one state
+    /// form the bucket); without it the zone joins the key, giving exact
+    /// `(state, zone)` deduplication.
+    type Key = (StateId, Option<Arc<Dbm>>);
+    type Edge = ();
+    type Error = Infallible;
+
+    fn initial(&self) -> Result<Vec<Self::Config>, Infallible> {
+        let ts = self.timed.underlying();
+        let clock_count = ts.alphabet().len();
+        let mut initial = Vec::new();
+        for &s0 in ts.initial_states() {
+            let mut zone = Dbm::zero(clock_count);
+            zone.up();
+            self.apply_invariant(&mut zone, s0);
+            zone.canonicalize();
+            if !zone.is_empty() {
+                initial.push((s0, Arc::new(zone)));
+            }
+        }
+        Ok(initial)
+    }
+
+    fn key(&self, (state, zone): &Self::Config) -> Self::Key {
+        if self.subsumption {
+            (*state, None)
+        } else {
+            (*state, Some(zone.clone()))
+        }
+    }
+
+    fn expand(&self, (state, zone): &Self::Config) -> Result<Vec<((), Self::Config)>, Infallible> {
+        let ts = self.timed.underlying();
+        let enabled_here = ts.enabled(*state);
+        let mut successors = Vec::new();
+        for &(event, target) in ts.transitions_from(*state) {
+            // Guard: the event's clock has reached its lower bound.
+            let lower = self.timed.delay(event).lower().as_i64();
+            let mut next = (**zone).clone();
+            next.constrain(0, Self::clock_of(event), Entry::le(-lower));
+            if next.is_empty() {
+                continue;
+            }
+            // Fire: reset the clocks of freshly enabled occurrences.
+            let enabled_after = ts.enabled(target);
+            for &e in &enabled_after {
+                let freshly_enabled = e == event || !enabled_here.contains(&e);
+                if freshly_enabled {
+                    next.reset(Self::clock_of(e));
+                }
+            }
+            next.canonicalize();
+            // Let time elapse under the target invariant.
+            next.up();
+            self.apply_invariant(&mut next, target);
+            next.canonicalize();
+            if next.is_empty() {
+                continue;
+            }
+            successors.push(((), (target, Arc::new(next))));
+        }
+        Ok(successors)
+    }
+
+    fn subsumes(&self, stored: &Self::Config, candidate: &Self::Config) -> bool {
+        if self.subsumption {
+            stored.1.includes(&candidate.1)
+        } else {
+            // Equal keys imply equal zones: exact deduplication.
+            true
+        }
+    }
+
+    fn uses_subsumption(&self) -> bool {
+        self.subsumption
+    }
+
+    fn intern(&self, (state, zone): Self::Config) -> Self::Config {
+        let mut guard = self.interner.lock().expect("zone interner poisoned");
+        let (interner, inserts) = &mut *guard;
+        let probe = InternedZone(zone.clone());
+        if let Some(shared) = interner.get(&probe) {
+            return (state, shared.0.clone());
+        }
+        interner.insert(probe);
+        *inserts += 1;
+        if *inserts >= INTERNER_SWEEP_INTERVAL {
+            // Drop entries only the interner still references (their zones
+            // were pruned from every bucket and queue), so peak memory
+            // follows the live antichain rather than every zone ever seen.
+            interner.retain(|entry| Arc::strong_count(&entry.0) > 1);
+            *inserts = 0;
+        }
+        (state, zone)
     }
 }
 
@@ -114,100 +291,54 @@ pub fn explore_timed_with(
     timed: &TimedTransitionSystem,
     options: ZoneExplorationOptions,
 ) -> ZoneOutcome {
-    let ts = timed.underlying();
-    let clock_count = ts.alphabet().len();
-    let clock_of = |e: EventId| e.index() + 1;
-
-    let apply_invariant = |zone: &mut Dbm, state: StateId| {
-        for &event in &ts.enabled(state) {
-            if let Bound::Finite(upper) = timed.delay(event).upper() {
-                zone.constrain_upper(clock_of(event), upper.as_i64());
-            }
-        }
+    let space = ZoneSpace {
+        timed,
+        subsumption: options.subsumption,
+        interner: Mutex::new((HashSet::new(), 0)),
     };
-
-    // Per-state list of maximal zones seen so far.
-    let mut seen: HashMap<StateId, Vec<Dbm>> = HashMap::new();
-    let mut queue: VecDeque<(StateId, Dbm)> = VecDeque::new();
-    let mut reachable: BTreeSet<StateId> = BTreeSet::new();
-    let mut deadlocks: BTreeSet<StateId> = BTreeSet::new();
-    let mut configurations = 0usize;
-
-    let push = |state: StateId,
-                zone: Dbm,
-                seen: &mut HashMap<StateId, Vec<Dbm>>,
-                queue: &mut VecDeque<(StateId, Dbm)>| {
-        let zones = seen.entry(state).or_default();
-        if zones.iter().any(|z| z.includes(&zone)) {
-            return;
-        }
-        zones.retain(|z| !zone.includes(z));
-        zones.push(zone.clone());
-        queue.push_back((state, zone));
+    let outcome = match explore::explore(
+        &space,
+        &ExploreOptions {
+            threads: options.threads,
+            expanded_limit: options.configuration_limit,
+            ..ExploreOptions::default()
+        },
+    ) {
+        Ok(outcome) => outcome,
+        Err(infallible) => match infallible {},
     };
-
-    for &s0 in ts.initial_states() {
-        let mut zone = Dbm::zero(clock_count);
-        zone.up();
-        apply_invariant(&mut zone, s0);
-        zone.canonicalize();
-        if !zone.is_empty() {
-            push(s0, zone, &mut seen, &mut queue);
-        }
-    }
-
-    while let Some((state, zone)) = queue.pop_front() {
-        configurations += 1;
-        if configurations > options.configuration_limit {
+    let report = match outcome {
+        ExploreOutcome::Completed(report) => report,
+        ExploreOutcome::LimitExceeded {
+            expanded,
+            subsumption_skips,
+            ..
+        } => {
             return ZoneOutcome::LimitExceeded {
-                explored: configurations,
-            };
-        }
-        reachable.insert(state);
-        let enabled_here = ts.enabled(state);
-        let mut fired_any = false;
-        for &(event, target) in ts.transitions_from(state) {
-            // Guard: the event's clock has reached its lower bound.
-            let lower = timed.delay(event).lower().as_i64();
-            let mut next = zone.clone();
-            next.constrain(0, clock_of(event), Entry::le(-lower));
-            if next.is_empty() {
-                continue;
+                explored: expanded,
+                subsumed: subsumption_skips,
             }
-            // Fire: reset the clocks of freshly enabled occurrences.
-            let enabled_after = ts.enabled(target);
-            for &e in &enabled_after {
-                let freshly_enabled = e == event || !enabled_here.contains(&e);
-                if freshly_enabled {
-                    next.reset(clock_of(e));
-                }
-            }
-            next.canonicalize();
-            // Let time elapse under the target invariant.
-            next.up();
-            apply_invariant(&mut next, target);
-            next.canonicalize();
-            if next.is_empty() {
-                continue;
-            }
-            fired_any = true;
-            push(target, next, &mut seen, &mut queue);
         }
-        if !fired_any && ts.transitions_from(state).is_empty() {
-            deadlocks.insert(state);
-        }
-    }
+    };
 
+    let ts = timed.underlying();
+    let reachable: BTreeSet<StateId> = report.nodes.iter().map(|node| node.config.0).collect();
     let violating_states = reachable
         .iter()
         .copied()
         .filter(|&s| !ts.violations(s).is_empty())
         .collect();
+    let deadlock_states = reachable
+        .iter()
+        .copied()
+        .filter(|&s| ts.transitions_from(s).is_empty())
+        .collect();
     ZoneOutcome::Completed(ZoneReport {
         reachable_states: reachable.iter().copied().collect(),
         violating_states,
-        deadlock_states: deadlocks.into_iter().collect(),
-        configurations,
+        deadlock_states,
+        configurations: report.expanded,
+        subsumed_configurations: report.subsumption_skips,
     })
 }
 
@@ -218,6 +349,16 @@ mod tests {
 
     fn d(l: i64, u: i64) -> DelayInterval {
         DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
+    }
+
+    fn sorted(ids: &[StateId]) -> bool {
+        ids.windows(2).all(|w| w[0] < w[1])
+    }
+
+    fn assert_sorted(report: &ZoneReport) {
+        assert!(sorted(&report.reachable_states), "reachable unsorted");
+        assert!(sorted(&report.violating_states), "violating unsorted");
+        assert!(sorted(&report.deadlock_states), "deadlocks unsorted");
     }
 
     /// The race example: fast [1,2] vs slow [5,9].
@@ -249,6 +390,7 @@ mod tests {
         // `both` has no outgoing transitions.
         assert_eq!(report.deadlock_states.len(), 1);
         assert!(!report.is_safe());
+        assert_sorted(report);
     }
 
     #[test]
@@ -289,6 +431,7 @@ mod tests {
             &race(),
             ZoneExplorationOptions {
                 configuration_limit: 1,
+                ..ZoneExplorationOptions::default()
             },
         );
         assert!(matches!(outcome, ZoneOutcome::LimitExceeded { .. }));
@@ -320,5 +463,69 @@ mod tests {
         timed.set_delay_by_name("g", d(1, 1));
         let report = explore_timed(&timed).report().unwrap().clone();
         assert!(report.violating_states.is_empty());
+    }
+
+    /// An oscillator with a reconvergent choice: both branches re-enter the
+    /// same state with different clock histories, so inclusion between
+    /// same-state zones actually occurs.
+    fn reconvergent() -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("reconv");
+        let s0 = b.add_state("s0");
+        let sa = b.add_state("a-first");
+        let sb = b.add_state("b-first");
+        let s1 = b.add_state("joined");
+        let a = b.add_transition(s0, "a", sa);
+        let bb = b.add_transition(s0, "b", sb);
+        b.add_transition_by_id(sa, bb, s1);
+        b.add_transition_by_id(sb, a, s1);
+        b.add_transition(s1, "r", s0);
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("a", d(1, 5));
+        timed.set_delay_by_name("b", d(1, 5));
+        timed.set_delay_by_name("r", d(0, 3));
+        timed
+    }
+
+    #[test]
+    fn subsumption_explores_no_more_than_exact_dedup() {
+        let timed = reconvergent();
+        let on = explore_timed(&timed).report().unwrap().clone();
+        let off = explore_timed_with(
+            &timed,
+            ZoneExplorationOptions {
+                subsumption: false,
+                ..ZoneExplorationOptions::default()
+            },
+        )
+        .report()
+        .unwrap()
+        .clone();
+        assert!(on.configurations <= off.configurations);
+        assert_eq!(off.subsumed_configurations, 0);
+        // Verdict-bearing sets agree.
+        assert_eq!(on.reachable_states, off.reachable_states);
+        assert_eq!(on.violating_states, off.violating_states);
+        assert_eq!(on.deadlock_states, off.deadlock_states);
+        assert_sorted(&on);
+        assert_sorted(&off);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_exactly() {
+        for timed in [race(), reconvergent()] {
+            for subsumption in [true, false] {
+                let base = ZoneExplorationOptions {
+                    subsumption,
+                    ..ZoneExplorationOptions::default()
+                };
+                let sequential = explore_timed_with(&timed, base);
+                for threads in [2, 4] {
+                    let parallel =
+                        explore_timed_with(&timed, ZoneExplorationOptions { threads, ..base });
+                    assert_eq!(sequential, parallel, "threads={threads}");
+                }
+            }
+        }
     }
 }

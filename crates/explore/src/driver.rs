@@ -1,0 +1,592 @@
+//! The exploration driver: sequential FIFO search and the deterministic
+//! level-synchronous parallel search.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::seen::SeenMap;
+use crate::space::SearchSpace;
+
+/// Options for [`explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Number of worker threads. `1` (the default) is the plain sequential
+    /// breadth-first loop; higher values expand each breadth-first level in
+    /// parallel. The result is identical for every value.
+    pub threads: usize,
+    /// Abort once more than this many configurations have been expanded.
+    pub expanded_limit: usize,
+    /// Abort once more than this many configurations have been discovered
+    /// (stored in the seen set) at the moment another expansion starts.
+    pub discovered_limit: usize,
+    /// Record each node's `(edge, successor)` list in the report (needed by
+    /// callers that rebuild a graph or replay the search; costs memory).
+    pub record_edges: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            threads: 1,
+            expanded_limit: usize::MAX,
+            discovered_limit: usize::MAX,
+            record_edges: false,
+        }
+    }
+}
+
+/// One expanded configuration and (if recorded) its successor edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploredNode<C, E> {
+    /// The configuration, as stored (interned).
+    pub config: C,
+    /// Its `(edge, successor)` expansion, in [`SearchSpace::expand`] order.
+    /// Empty unless [`ExploreOptions::record_edges`] is set.
+    pub successors: Vec<(E, C)>,
+}
+
+/// Result of a completed exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport<C, E> {
+    /// Expanded configurations, in deterministic breadth-first order.
+    pub nodes: Vec<ExploredNode<C, E>>,
+    /// Number of configurations expanded (`nodes.len()`).
+    pub expanded: usize,
+    /// Number of configurations ever stored in the seen set (monotone count;
+    /// under subsumption, later arrivals may prune earlier ones).
+    pub discovered: usize,
+    /// Enqueued configurations skipped without expansion because a subsuming
+    /// configuration arrived after they were enqueued.
+    pub subsumption_skips: usize,
+    /// `true` if [`SearchSpace::should_halt`] stopped the search; the last
+    /// node is then the halting configuration (with its successors recorded
+    /// even when `record_edges` is off).
+    pub halted: bool,
+}
+
+/// Outcome of [`explore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreOutcome<C, E> {
+    /// The frontier drained (or the space halted the search).
+    Completed(ExploreReport<C, E>),
+    /// A limit of [`ExploreOptions`] was exceeded.
+    LimitExceeded {
+        /// Configurations expanded when the search aborted.
+        expanded: usize,
+        /// Configurations discovered when the search aborted.
+        discovered: usize,
+        /// Enqueued configurations skipped by pop-time subsumption before
+        /// the search aborted.
+        subsumption_skips: usize,
+    },
+}
+
+impl<C, E> ExploreOutcome<C, E> {
+    /// The report, if the exploration completed.
+    pub fn report(&self) -> Option<&ExploreReport<C, E>> {
+        match self {
+            ExploreOutcome::Completed(report) => Some(report),
+            ExploreOutcome::LimitExceeded { .. } => None,
+        }
+    }
+}
+
+/// Explores `space` breadth-first and returns the expanded configurations in
+/// deterministic order.
+///
+/// The search keeps, per dedup key, the stored configurations maximal under
+/// [`SearchSpace::subsumes`]; a successor subsumed by a stored configuration
+/// is dropped, and an enqueued configuration that has been pruned by a later,
+/// subsuming arrival is skipped when its turn comes (the pop-time subsumption
+/// check — with exact deduplication neither ever triggers spuriously).
+///
+/// With `threads > 1` each breadth-first level is expanded speculatively in
+/// parallel (workers claim chunks of the frozen frontier from an atomic
+/// cursor) and committed by a single-threaded merge that walks the level in
+/// order, so the outcome — including all counters — is identical to the
+/// sequential search.
+///
+/// # Errors
+///
+/// Returns the first [`SearchSpace::Error`] in deterministic breadth-first
+/// order (errors of speculatively expanded configurations that the merge
+/// skips are discarded, exactly as if they had never been expanded).
+pub fn explore<S: SearchSpace>(
+    space: &S,
+    options: &ExploreOptions,
+) -> Result<ExploreOutcome<S::Config, S::Edge>, S::Error> {
+    let threads = options.threads.max(1);
+    let seen: SeenMap<S> = SeenMap::new(if threads == 1 { 1 } else { threads * 4 });
+    // With exact deduplication (the default `subsumes`) a stored
+    // configuration is never pruned, so the pop-time staleness check can
+    // never fire and is skipped entirely.
+    let stale_possible = space.uses_subsumption();
+
+    let mut nodes: Vec<ExploredNode<S::Config, S::Edge>> = Vec::new();
+    let mut expanded = 0usize;
+    let mut discovered = 0usize;
+    let mut subsumption_skips = 0usize;
+    let mut halted = false;
+
+    let mut frontier: Vec<S::Config> = Vec::new();
+    for config in space.initial()? {
+        if let Some(stored) = seen.push(space, config) {
+            discovered += 1;
+            frontier.push(stored);
+        }
+    }
+
+    // Cap on the number of configurations expanded speculatively before the
+    // merge commits them: bounds the memory held in in-flight successor
+    // lists and keeps the prefilter snapshot fresh, which shrinks the
+    // speculative waste under subsumption. Batch boundaries are a pure
+    // function of the frontier, so determinism is unaffected.
+    let batch_size = threads * 32;
+
+    'search: while !frontier.is_empty() && !halted {
+        let mut next: Vec<S::Config> = Vec::new();
+        for batch_start in (0..frontier.len()).step_by(batch_size.max(1)) {
+            let batch = &frontier[batch_start..(batch_start + batch_size).min(frontier.len())];
+            // Expand the batch speculatively when it is wide enough to
+            // amortise thread startup; otherwise expand lazily during the
+            // merge (which also skips expansion work for pruned entries).
+            let mut expansions = if threads > 1 && batch.len() >= threads * 2 {
+                Some(expand_level(
+                    space,
+                    batch,
+                    threads,
+                    &seen,
+                    !options.record_edges,
+                ))
+            } else {
+                None
+            };
+
+            // Deterministic merge: walk the batch in order and perform
+            // exactly the operations of the sequential FIFO loop.
+            for (i, config) in batch.iter().enumerate() {
+                if stale_possible && !seen.contains(space, config) {
+                    subsumption_skips += 1;
+                    continue;
+                }
+                if discovered > options.discovered_limit {
+                    return Ok(ExploreOutcome::LimitExceeded {
+                        expanded,
+                        discovered,
+                        subsumption_skips,
+                    });
+                }
+                expanded += 1;
+                if expanded > options.expanded_limit {
+                    return Ok(ExploreOutcome::LimitExceeded {
+                        expanded,
+                        discovered,
+                        subsumption_skips,
+                    });
+                }
+                let (halt, successors) = match expansions.as_mut().and_then(|slots| slots[i].take())
+                {
+                    Some(result) => result?,
+                    None => {
+                        let successors = space.expand(config)?;
+                        let halt = space.should_halt(config, &successors);
+                        (halt, successors)
+                    }
+                };
+                if halt {
+                    nodes.push(ExploredNode {
+                        config: config.clone(),
+                        successors,
+                    });
+                    halted = true;
+                    break 'search;
+                }
+                for (_, successor) in &successors {
+                    if let Some(stored) = seen.push(space, successor.clone()) {
+                        discovered += 1;
+                        next.push(stored);
+                    }
+                }
+                nodes.push(ExploredNode {
+                    config: config.clone(),
+                    successors: if options.record_edges {
+                        successors
+                    } else {
+                        Vec::new()
+                    },
+                });
+            }
+        }
+        frontier = next;
+    }
+
+    Ok(ExploreOutcome::Completed(ExploreReport {
+        nodes,
+        expanded,
+        discovered,
+        subsumption_skips,
+        halted,
+    }))
+}
+
+type Expansion<S> = Result<
+    (
+        bool,
+        Vec<(<S as SearchSpace>::Edge, <S as SearchSpace>::Config)>,
+    ),
+    <S as SearchSpace>::Error,
+>;
+
+/// Expands every configuration of `frontier` on `threads` workers. Workers
+/// claim chunks through a shared atomic cursor (cheap work stealing over a
+/// frozen level) and never mutate the seen set, so the per-configuration
+/// results are independent of scheduling. [`SearchSpace::should_halt`] is
+/// evaluated on the **unfiltered** expansion (matching the sequential path)
+/// and its verdict is carried alongside the successors.
+///
+/// When `prefilter` is set (edge recording off), workers consult the seen
+/// shards to drop successors already subsumed by stored configurations and —
+/// under genuine subsumption — to skip expanding entries that have been
+/// pruned since they were enqueued. Both checks read the frozen pre-batch
+/// state of the map and can only discard work the merge would discard
+/// anyway; the successor list of a halting configuration is never filtered.
+fn expand_level<S: SearchSpace>(
+    space: &S,
+    frontier: &[S::Config],
+    threads: usize,
+    seen: &SeenMap<S>,
+    prefilter: bool,
+) -> Vec<Option<Expansion<S>>> {
+    let cursor = AtomicUsize::new(0);
+    let chunk = (frontier.len() / (threads * 4)).max(1);
+    let stale_possible = space.uses_subsumption();
+    let collected: Mutex<Vec<(usize, Expansion<S>)>> =
+        Mutex::new(Vec::with_capacity(frontier.len()));
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Expansion<S>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= frontier.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(frontier.len());
+                    for (i, config) in frontier.iter().enumerate().take(end).skip(start) {
+                        if prefilter && stale_possible && !seen.contains(space, config) {
+                            // Pruned since it was enqueued: the merge will
+                            // skip it, so its expansion is never read.
+                            local.push((i, Ok((false, Vec::new()))));
+                            continue;
+                        }
+                        let result = space.expand(config).map(|mut successors| {
+                            let halt = space.should_halt(config, &successors);
+                            if prefilter && !halt {
+                                successors.retain(|(_, c)| !seen.covers(space, c));
+                            }
+                            (halt, successors)
+                        });
+                        local.push((i, result));
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("expansion collector poisoned")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut slots: Vec<Option<Expansion<S>>> = frontier.iter().map(|_| None).collect();
+    for (i, result) in collected
+        .into_inner()
+        .expect("expansion collector poisoned")
+    {
+        slots[i] = Some(result);
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    /// Bounded grid walk: configs are `(x, y)`, moves increment one
+    /// coordinate. Exact dedup, edge labels name the axis.
+    struct Grid {
+        side: u64,
+    }
+
+    impl SearchSpace for Grid {
+        type Config = (u64, u64);
+        type Key = (u64, u64);
+        type Edge = char;
+        type Error = Infallible;
+
+        fn initial(&self) -> Result<Vec<(u64, u64)>, Infallible> {
+            Ok(vec![(0, 0)])
+        }
+
+        fn key(&self, config: &(u64, u64)) -> (u64, u64) {
+            *config
+        }
+
+        fn expand(&self, &(x, y): &(u64, u64)) -> Result<Vec<(char, (u64, u64))>, Infallible> {
+            let mut next = Vec::new();
+            if x + 1 < self.side {
+                next.push(('x', (x + 1, y)));
+            }
+            if y + 1 < self.side {
+                next.push(('y', (x, y + 1)));
+            }
+            Ok(next)
+        }
+    }
+
+    /// Interval space with genuine subsumption: configs are `(lo, hi)`
+    /// intervals at a single key; wider intervals subsume narrower ones.
+    struct Widening;
+
+    impl SearchSpace for Widening {
+        type Config = (u64, u64);
+        type Key = ();
+        type Edge = ();
+        type Error = Infallible;
+
+        fn initial(&self) -> Result<Vec<(u64, u64)>, Infallible> {
+            Ok(vec![(4, 4)])
+        }
+
+        fn key(&self, _: &(u64, u64)) {}
+
+        fn expand(&self, &(lo, hi): &(u64, u64)) -> Result<Vec<((), (u64, u64))>, Infallible> {
+            if hi - lo >= 8 {
+                return Ok(Vec::new());
+            }
+            // Two successors: a narrow shifted interval and a widening one.
+            // The widening successor subsumes the narrow one, which must
+            // then be skipped at pop time.
+            Ok(vec![((), (lo, hi + 1)), ((), (lo - 1, hi + 1))])
+        }
+
+        fn subsumes(&self, stored: &(u64, u64), candidate: &(u64, u64)) -> bool {
+            stored.0 <= candidate.0 && stored.1 >= candidate.1
+        }
+
+        fn uses_subsumption(&self) -> bool {
+            true
+        }
+    }
+
+    fn completed<S: SearchSpace>(
+        space: &S,
+        options: &ExploreOptions,
+    ) -> ExploreReport<S::Config, S::Edge>
+    where
+        S::Error: std::fmt::Debug,
+    {
+        match explore(space, options).expect("no error") {
+            ExploreOutcome::Completed(report) => report,
+            ExploreOutcome::LimitExceeded { .. } => panic!("unexpected limit"),
+        }
+    }
+
+    #[test]
+    fn sequential_bfs_visits_each_config_once_in_level_order() {
+        let report = completed(
+            &Grid { side: 4 },
+            &ExploreOptions {
+                record_edges: true,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(report.expanded, 16);
+        assert_eq!(report.discovered, 16);
+        assert_eq!(report.subsumption_skips, 0);
+        assert!(!report.halted);
+        // Breadth-first: Manhattan distance never decreases.
+        let distances: Vec<u64> = report
+            .nodes
+            .iter()
+            .map(|n| n.config.0 + n.config.1)
+            .collect();
+        assert!(distances.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        for side in [1u64, 2, 5, 9] {
+            let sequential = completed(
+                &Grid { side },
+                &ExploreOptions {
+                    record_edges: true,
+                    ..ExploreOptions::default()
+                },
+            );
+            for threads in [2, 4, 8] {
+                let parallel = completed(
+                    &Grid { side },
+                    &ExploreOptions {
+                        threads,
+                        record_edges: true,
+                        ..ExploreOptions::default()
+                    },
+                );
+                assert_eq!(sequential, parallel, "threads={threads} side={side}");
+            }
+        }
+    }
+
+    #[test]
+    fn subsumption_prunes_enqueued_configs() {
+        let sequential = completed(&Widening, &ExploreOptions::default());
+        // The widening successor always subsumes the narrow one, so narrow
+        // intervals enqueued earlier get pruned and skipped.
+        assert!(sequential.subsumption_skips > 0, "no pop-time skips");
+        assert!(sequential.expanded < sequential.discovered);
+        let parallel = completed(
+            &Widening,
+            &ExploreOptions {
+                threads: 4,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn expanded_limit_aborts_deterministically() {
+        for threads in [1, 4] {
+            let outcome = explore(
+                &Grid { side: 10 },
+                &ExploreOptions {
+                    threads,
+                    expanded_limit: 7,
+                    ..ExploreOptions::default()
+                },
+            )
+            .expect("no error");
+            match outcome {
+                ExploreOutcome::LimitExceeded {
+                    expanded,
+                    discovered,
+                    subsumption_skips,
+                } => {
+                    assert_eq!(expanded, 8, "aborts on the config exceeding the limit");
+                    assert!(discovered >= expanded);
+                    assert_eq!(subsumption_skips, 0);
+                }
+                ExploreOutcome::Completed(_) => panic!("expected limit abort"),
+            }
+        }
+    }
+
+    #[test]
+    fn discovered_limit_aborts_before_expanding() {
+        let outcome = explore(
+            &Grid { side: 10 },
+            &ExploreOptions {
+                discovered_limit: 0,
+                ..ExploreOptions::default()
+            },
+        )
+        .expect("no error");
+        assert!(matches!(
+            outcome,
+            ExploreOutcome::LimitExceeded { expanded: 0, .. }
+        ));
+        assert!(outcome.report().is_none());
+    }
+
+    /// A space that halts on a goal configuration.
+    struct GoalGrid {
+        side: u64,
+        goal: (u64, u64),
+    }
+
+    impl SearchSpace for GoalGrid {
+        type Config = (u64, u64);
+        type Key = (u64, u64);
+        type Edge = char;
+        type Error = Infallible;
+
+        fn initial(&self) -> Result<Vec<(u64, u64)>, Infallible> {
+            Ok(vec![(0, 0)])
+        }
+
+        fn key(&self, config: &(u64, u64)) -> (u64, u64) {
+            *config
+        }
+
+        fn expand(&self, config: &(u64, u64)) -> Result<Vec<(char, (u64, u64))>, Infallible> {
+            Grid { side: self.side }.expand(config)
+        }
+
+        fn should_halt(&self, config: &(u64, u64), _: &[(char, (u64, u64))]) -> bool {
+            *config == self.goal
+        }
+    }
+
+    #[test]
+    fn halting_stops_at_the_first_goal_in_bfs_order() {
+        for threads in [1, 4] {
+            let report = completed(
+                &GoalGrid {
+                    side: 6,
+                    goal: (2, 1),
+                },
+                &ExploreOptions {
+                    threads,
+                    ..ExploreOptions::default()
+                },
+            );
+            assert!(report.halted);
+            assert_eq!(report.nodes.last().unwrap().config, (2, 1));
+            // Only configs at distance <= 3 can have been expanded.
+            assert!(report.nodes.iter().all(|n| n.config.0 + n.config.1 <= 3));
+        }
+    }
+
+    /// A space whose expansion fails on one configuration.
+    struct Failing;
+
+    impl SearchSpace for Failing {
+        type Config = u32;
+        type Key = u32;
+        type Edge = ();
+        type Error = String;
+
+        fn initial(&self) -> Result<Vec<u32>, String> {
+            Ok(vec![0])
+        }
+
+        fn key(&self, config: &u32) -> u32 {
+            *config
+        }
+
+        fn expand(&self, config: &u32) -> Result<Vec<((), u32)>, String> {
+            if *config == 5 {
+                return Err("boom at 5".to_owned());
+            }
+            Ok(vec![((), config + 1), ((), config + 2)])
+        }
+    }
+
+    #[test]
+    fn errors_surface_at_the_deterministic_position() {
+        for threads in [1, 4] {
+            let err = explore(
+                &Failing,
+                &ExploreOptions {
+                    threads,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, "boom at 5");
+        }
+    }
+}

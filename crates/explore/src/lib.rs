@@ -1,0 +1,97 @@
+//! Generic breadth-first exploration with deduplication, subsumption and
+//! parallel expansion.
+//!
+//! Every verification path in this workspace is, at its core, the same loop:
+//! keep a frontier of configurations, expand each configuration into
+//! successors, and deduplicate against everything seen so far. The zone-graph
+//! explorer (`dbm`), the STG reachability expansion (`stg`) and the untimed
+//! failure search of the relative-timing engine (`transyt`) were three
+//! hand-rolled copies of that loop. This crate unifies them behind one
+//! engine:
+//!
+//! * [`SearchSpace`] — the problem description: initial configurations,
+//!   successor expansion, a dedup key, and (optionally) a *subsumption*
+//!   relation under which a configuration needs no exploration because an
+//!   already-stored one covers it (e.g. zone inclusion in the DBM explorer).
+//! * [`explore`] — the driver. With [`ExploreOptions::threads`]` == 1` it is
+//!   a plain FIFO breadth-first search, byte-for-byte equivalent to the
+//!   loops it replaced. With more threads each breadth-first level is
+//!   expanded speculatively in parallel and committed by a deterministic
+//!   ordered merge, so **any thread count produces the identical result**.
+//!
+//! # Determinism
+//!
+//! Expansion ([`SearchSpace::expand`]) must be a pure function of the
+//! configuration. The driver exploits this: worker threads only ever run
+//! `expand` on a frozen frontier (claiming chunks of it from a shared atomic
+//! cursor) while the `seen` map is read-only; all mutation — deduplication,
+//! subsumption pruning, configuration counting, limit checks — happens in a
+//! single-threaded merge that walks the level in frontier order. The merge
+//! performs exactly the operations the sequential FIFO loop performs, in the
+//! same order, so reports are identical for every `threads` value.
+//!
+//! Workers additionally *prefilter* successors against the seen map (sharded
+//! `Mutex<HashMap>` so shards can be consulted independently) when edge
+//! recording is off: a successor subsumed by a stored configuration can be
+//! dropped early. Subsumption is transitive, and stored configurations are
+//! only ever pruned by strictly larger ones, so a prefilter drop can never
+//! change a merge decision — it only saves allocation and interning work.
+//!
+//! # Example
+//!
+//! ```
+//! use explore::{explore, ExploreOptions, ExploreOutcome, SearchSpace};
+//!
+//! /// Collatz-style reachability over `u64` values below a cap.
+//! struct Collatz {
+//!     cap: u64,
+//! }
+//!
+//! impl SearchSpace for Collatz {
+//!     type Config = u64;
+//!     type Key = u64;
+//!     type Edge = ();
+//!     type Error = std::convert::Infallible;
+//!
+//!     fn initial(&self) -> Result<Vec<u64>, Self::Error> {
+//!         Ok(vec![1])
+//!     }
+//!
+//!     fn key(&self, config: &u64) -> u64 {
+//!         *config
+//!     }
+//!
+//!     fn expand(&self, config: &u64) -> Result<Vec<((), u64)>, Self::Error> {
+//!         let mut next = vec![((), config * 2)];
+//!         if config % 6 == 4 {
+//!             next.push(((), (config - 1) / 3));
+//!         }
+//!         next.retain(|&(_, v)| v <= self.cap);
+//!         Ok(next)
+//!     }
+//! }
+//!
+//! let outcome = explore(&Collatz { cap: 64 }, &ExploreOptions::default()).unwrap();
+//! let report = match outcome {
+//!     ExploreOutcome::Completed(report) => report,
+//!     ExploreOutcome::LimitExceeded { .. } => unreachable!(),
+//! };
+//! assert!(report.nodes.iter().any(|n| n.config == 64));
+//! // The parallel driver returns the identical result.
+//! let parallel = ExploreOptions {
+//!     threads: 4,
+//!     ..ExploreOptions::default()
+//! };
+//! let outcome2 = explore(&Collatz { cap: 64 }, &parallel).unwrap();
+//! assert!(matches!(outcome2, ExploreOutcome::Completed(r) if r.nodes.len() == report.nodes.len()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod seen;
+mod space;
+
+pub use driver::{explore, ExploreOptions, ExploreOutcome, ExploreReport, ExploredNode};
+pub use space::SearchSpace;

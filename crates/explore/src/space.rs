@@ -1,0 +1,98 @@
+//! The [`SearchSpace`] trait: what a breadth-first exploration problem must
+//! provide.
+
+use std::hash::Hash;
+
+/// A breadth-first exploration problem.
+///
+/// Implementations must be cheap to query concurrently: [`expand`] is called
+/// from worker threads (hence the `Sync` supertrait) and must be a **pure
+/// function** of the configuration — the deterministic parallel driver relies
+/// on being able to expand speculatively and discard results.
+///
+/// [`expand`]: SearchSpace::expand
+pub trait SearchSpace: Sync {
+    /// One exploration configuration (e.g. a state, a marking, or a
+    /// `(state, zone)` pair).
+    type Config: Clone + PartialEq + Send + Sync;
+
+    /// Deduplication key. Configurations with *different* keys never
+    /// interact; configurations with the same key are candidates for
+    /// subsumption (see [`subsumes`](SearchSpace::subsumes)).
+    type Key: Clone + Eq + Hash + Send + Sync;
+
+    /// Label attached to a generated successor (e.g. the event that fired).
+    /// Use `()` when callers do not need edges.
+    type Edge: Clone + Send;
+
+    /// Error aborting the whole exploration (use
+    /// [`std::convert::Infallible`] for total spaces).
+    type Error: Send;
+
+    /// The initial configurations, in deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Propagated verbatim from [`explore`](crate::explore).
+    fn initial(&self) -> Result<Vec<Self::Config>, Self::Error>;
+
+    /// The dedup key of a configuration.
+    fn key(&self, config: &Self::Config) -> Self::Key;
+
+    /// The successor configurations of `config`, in deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the exploration at the deterministic point where the
+    /// sequential search would have expanded `config`.
+    #[allow(clippy::type_complexity)]
+    fn expand(&self, config: &Self::Config)
+        -> Result<Vec<(Self::Edge, Self::Config)>, Self::Error>;
+
+    /// Returns `true` if the stored configuration `stored` makes exploring
+    /// `candidate` redundant. Only called for configurations with equal keys.
+    ///
+    /// The default (`true`) gives exact deduplication: if the key is the
+    /// whole configuration, any stored configuration with the same key *is*
+    /// the candidate. Override for genuine subsumption orders (e.g. zone
+    /// inclusion); the relation must be reflexive and transitive, and
+    /// [`uses_subsumption`](SearchSpace::uses_subsumption) must then return
+    /// `true`.
+    fn subsumes(&self, stored: &Self::Config, candidate: &Self::Config) -> bool {
+        let _ = (stored, candidate);
+        true
+    }
+
+    /// Returns `true` if [`subsumes`](SearchSpace::subsumes) can relate
+    /// non-identical configurations, i.e. stored configurations may be
+    /// pruned by later, wider arrivals. The driver then re-checks every
+    /// dequeued configuration against the seen set before expanding it (the
+    /// pop-time subsumption check); with the default (`false`) that check is
+    /// skipped — it could never fire under exact deduplication.
+    fn uses_subsumption(&self) -> bool {
+        false
+    }
+
+    /// Canonicalises a configuration before it is stored and enqueued.
+    ///
+    /// Called from the single-threaded merge, so implementations may use a
+    /// `Mutex` around shared interning tables without contention. The
+    /// returned configuration must be equal (`PartialEq`) to the argument;
+    /// only its representation may be shared (e.g. an interned `Arc`).
+    fn intern(&self, config: Self::Config) -> Self::Config {
+        config
+    }
+
+    /// Inspects a configuration at the moment it is committed (in
+    /// deterministic breadth-first order) together with its expansion.
+    /// Returning `true` records the node and stops the search — used by goal
+    /// searches that only need the first failure in breadth-first order.
+    fn should_halt(
+        &self,
+        config: &Self::Config,
+        successors: &[(Self::Edge, Self::Config)],
+    ) -> bool {
+        let _ = (config, successors);
+        false
+    }
+}

@@ -76,6 +76,16 @@ pub fn abstract_pipeline() -> Result<TransitionSystem, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn experiment_1() -> Result<Verdict, ExperimentError> {
+    experiment_1_with(&VerifyOptions::default())
+}
+
+/// [`experiment_1`] with explicit verification options (e.g. a
+/// parallel exploration thread count).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if a model cannot be built.
+pub fn experiment_1_with(options: &VerifyOptions) -> Result<Verdict, ExperimentError> {
     let closed = TimedTransitionSystem::new(abstract_pipeline()?);
     let observer = spec(0).map_err(model_err)?;
     let interface = Interface::new(0);
@@ -84,8 +94,7 @@ pub fn experiment_1() -> Result<Verdict, ExperimentError> {
         abstraction: &observer,
         watched: vec![interface.valid_fall.clone(), interface.ack_rise.clone()],
     };
-    let containment =
-        check_refinement(&obligation, &VerifyOptions::default()).map_err(model_err)?;
+    let containment = check_refinement(&obligation, options).map_err(model_err)?;
     if !containment.is_verified() {
         return Ok(containment);
     }
@@ -93,7 +102,7 @@ pub fn experiment_1() -> Result<Verdict, ExperimentError> {
     let deadlock = verify(
         &closed,
         &SafetyProperty::new("A_in || A_out deadlock-free").require_deadlock_freedom(),
-        &VerifyOptions::default(),
+        options,
     );
     if deadlock.is_verified() {
         Ok(containment)
@@ -109,6 +118,16 @@ pub fn experiment_1() -> Result<Verdict, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn experiment_2() -> Result<Verdict, ExperimentError> {
+    experiment_2_with(&VerifyOptions::default())
+}
+
+/// [`experiment_2`] with explicit verification options (e.g. a
+/// parallel exploration thread count).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if a model cannot be built.
+pub fn experiment_2_with(options: &VerifyOptions) -> Result<Verdict, ExperimentError> {
     let stage = stage_model(1).map_err(model_err)?;
     let left = TimedTransitionSystem::new(a_in(0).map_err(model_err)?);
     let right = out_env(1).map_err(model_err)?;
@@ -120,7 +139,7 @@ pub fn experiment_2() -> Result<Verdict, ExperimentError> {
         abstraction: &abstraction,
         watched: vec![interface.ack_rise.clone(), interface.ack_fall.clone()],
     };
-    check_refinement(&obligation, &VerifyOptions::default()).map_err(model_err)
+    check_refinement(&obligation, options).map_err(model_err)
 }
 
 /// Experiment 3: `IN ∥ I ∥ A_out ⊑ A_in ∥ A_out`, checking the `VALID`
@@ -130,6 +149,16 @@ pub fn experiment_2() -> Result<Verdict, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn experiment_3() -> Result<Verdict, ExperimentError> {
+    experiment_3_with(&VerifyOptions::default())
+}
+
+/// [`experiment_3`] with explicit verification options (e.g. a
+/// parallel exploration thread count).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if a model cannot be built.
+pub fn experiment_3_with(options: &VerifyOptions) -> Result<Verdict, ExperimentError> {
     let stage = stage_model(1).map_err(model_err)?;
     let left = in_env(0).map_err(model_err)?;
     let right = TimedTransitionSystem::new(a_out(1).map_err(model_err)?);
@@ -141,7 +170,7 @@ pub fn experiment_3() -> Result<Verdict, ExperimentError> {
         abstraction: &abstraction,
         watched: vec![interface.valid_fall.clone(), interface.valid_rise.clone()],
     };
-    check_refinement(&obligation, &VerifyOptions::default()).map_err(model_err)
+    check_refinement(&obligation, options).map_err(model_err)
 }
 
 /// Experiment 4: `A_in ∥ I ∥ A_out ⊑ A_in ∥ A_out` — the behavioural fixed
@@ -151,6 +180,16 @@ pub fn experiment_3() -> Result<Verdict, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn experiment_4() -> Result<Verdict, ExperimentError> {
+    experiment_4_with(&VerifyOptions::default())
+}
+
+/// [`experiment_4`] with explicit verification options (e.g. a
+/// parallel exploration thread count).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if a model cannot be built.
+pub fn experiment_4_with(options: &VerifyOptions) -> Result<Verdict, ExperimentError> {
     let stage = stage_model(1).map_err(model_err)?;
     let left = TimedTransitionSystem::new(a_in(0).map_err(model_err)?);
     let right = TimedTransitionSystem::new(a_out(1).map_err(model_err)?);
@@ -162,7 +201,7 @@ pub fn experiment_4() -> Result<Verdict, ExperimentError> {
         abstraction: &abstraction,
         watched: vec![interface.valid_fall.clone(), interface.valid_rise.clone()],
     };
-    check_refinement(&obligation, &VerifyOptions::default()).map_err(model_err)
+    check_refinement(&obligation, options).map_err(model_err)
 }
 
 /// Experiment 5: transistor-level verification of a 1-stage pipeline between
@@ -173,6 +212,16 @@ pub fn experiment_4() -> Result<Verdict, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn experiment_5() -> Result<Verdict, ExperimentError> {
+    experiment_5_with(&VerifyOptions::default())
+}
+
+/// [`experiment_5`] with explicit verification options (e.g. a
+/// parallel exploration thread count).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if a model cannot be built.
+pub fn experiment_5_with(options: &VerifyOptions) -> Result<Verdict, ExperimentError> {
     let stage = stage_model(1).map_err(model_err)?;
     let left = in_env(0).map_err(model_err)?;
     let right = out_env(1).map_err(model_err)?;
@@ -181,7 +230,7 @@ pub fn experiment_5() -> Result<Verdict, ExperimentError> {
         .forbid_marked_states()
         .require_deadlock_freedom()
         .require_persistency(stage.persistent_events().iter().cloned());
-    Ok(verify(&closed, &property, &VerifyOptions::default()))
+    Ok(verify(&closed, &property, options))
 }
 
 /// Runs the five experiments of Table 1 and returns the proof report.
@@ -190,21 +239,31 @@ pub fn experiment_5() -> Result<Verdict, ExperimentError> {
 ///
 /// Returns [`ExperimentError`] if a model cannot be built.
 pub fn table_1() -> Result<ProofReport, ExperimentError> {
-    type Experiment = fn() -> Result<Verdict, ExperimentError>;
+    table_1_with(&VerifyOptions::default())
+}
+
+/// [`table_1`] with explicit verification options shared by all five
+/// obligations (e.g. a parallel exploration thread count).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] if a model cannot be built.
+pub fn table_1_with(options: &VerifyOptions) -> Result<ProofReport, ExperimentError> {
+    type Experiment = fn(&VerifyOptions) -> Result<Verdict, ExperimentError>;
     let mut report = ProofReport::new();
     let experiments: [(&str, Experiment); 5] = [
-        ("A_in || A_out |= S", experiment_1),
-        ("A_in || I || OUT <= A_in || A_out", experiment_2),
-        ("IN || I || A_out <= A_in || A_out", experiment_3),
+        ("A_in || A_out |= S", experiment_1_with),
+        ("A_in || I || OUT <= A_in || A_out", experiment_2_with),
+        ("IN || I || A_out <= A_in || A_out", experiment_3_with),
         (
             "A_in || I || A_out <= A_in || A_out (fixed point)",
-            experiment_4,
+            experiment_4_with,
         ),
-        ("IN || I || OUT |= S (transistor level)", experiment_5),
+        ("IN || I || OUT |= S (transistor level)", experiment_5_with),
     ];
     for (name, run) in experiments {
         let started = Instant::now();
-        let verdict = run()?;
+        let verdict = run(options)?;
         report.push(ProofStep::new(name, verdict, started.elapsed()));
     }
     Ok(report)

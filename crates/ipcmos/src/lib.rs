@@ -36,9 +36,10 @@ mod stage;
 
 pub use env::{a_in, a_out, in_env, out_env, spec, Interface};
 pub use experiments::{
-    abstract_pipeline, experiment_1, experiment_2, experiment_3, experiment_4, experiment_5,
-    flat_pipeline, flat_pipeline_persistent_events, refinement_count, table_1, verification_report,
-    ExperimentError,
+    abstract_pipeline, experiment_1, experiment_1_with, experiment_2, experiment_2_with,
+    experiment_3, experiment_3_with, experiment_4, experiment_4_with, experiment_5,
+    experiment_5_with, flat_pipeline, flat_pipeline_persistent_events, refinement_count, table_1,
+    table_1_with, verification_report, ExperimentError,
 };
 pub use sim::{simulate, SimEvent, SimTrace};
 pub use stage::{stage_circuit, stage_model, transistor_count, StageSignals};

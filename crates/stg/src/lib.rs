@@ -38,4 +38,6 @@ mod net;
 mod reach;
 
 pub use net::{BuildStgError, Marking, PlaceId, SignalRole, Stg, StgBuilder, TransitionId};
-pub use reach::{expand, expand_with, signals, ExpandError, ExpandOptions};
+pub use reach::{
+    expand, expand_with, expand_with_report, signals, ExpandError, ExpandOptions, ReachReport,
+};

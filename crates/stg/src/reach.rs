@@ -7,13 +7,20 @@
 //! the paper are all safe nets) and *signal consistency*: along every
 //! reachable path, rising and falling edges of each signal must alternate,
 //! otherwise the STG does not describe a realisable signal.
+//!
+//! The marking search itself runs on the generic [`explore`] engine:
+//! markings are the configurations, firings are the edges, and the recorded
+//! breadth-first nodes are replayed afterwards to assemble the transition
+//! system with exactly the state numbering the historical sequential
+//! expansion produced — whatever [`ExpandOptions::threads`] was used.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use tts::{SignalEdge, TransitionSystem, TsBuilder};
+use explore::{ExploreOptions, ExploreOutcome, SearchSpace};
+use tts::{SignalEdge, StateId, TransitionSystem, TsBuilder};
 
-use crate::net::{Marking, SignalRole, Stg};
+use crate::net::{Marking, SignalRole, Stg, TransitionId};
 
 /// Errors produced while expanding an STG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +76,9 @@ pub struct ExpandOptions {
     pub marking_limit: usize,
     /// If `true`, verify rising/falling alternation of every signal.
     pub check_signal_consistency: bool,
+    /// Number of worker threads for the marking search (`1` = sequential;
+    /// any value produces the identical transition system and report).
+    pub threads: usize,
 }
 
 impl Default for ExpandOptions {
@@ -77,7 +87,67 @@ impl Default for ExpandOptions {
             token_bound: 1,
             marking_limit: 100_000,
             check_signal_consistency: true,
+            threads: 1,
         }
+    }
+}
+
+/// Statistics of a completed reachability expansion.
+///
+/// State lists are sorted by state id on construction, so reports are
+/// order-stable however the exploration was scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachReport {
+    /// States of the expanded reachability graph (sorted; state ids are
+    /// assigned in deterministic breadth-first discovery order).
+    pub reachable_states: Vec<StateId>,
+    /// States whose marking enables no transition (sorted).
+    pub deadlock_states: Vec<StateId>,
+    /// Number of distinct markings discovered.
+    pub markings: usize,
+    /// Number of arcs of the reachability graph (counting multiplicities).
+    pub firings: usize,
+}
+
+/// The token-game search space over markings.
+struct MarkingSpace<'a> {
+    net: &'a Stg,
+    token_bound: u32,
+}
+
+impl SearchSpace for MarkingSpace<'_> {
+    type Config = Marking;
+    type Key = Marking;
+    type Edge = TransitionId;
+    type Error = ExpandError;
+
+    fn initial(&self) -> Result<Vec<Marking>, ExpandError> {
+        Ok(vec![self.net.initial_marking()])
+    }
+
+    fn key(&self, config: &Marking) -> Marking {
+        config.clone()
+    }
+
+    fn expand(&self, marking: &Marking) -> Result<Vec<(TransitionId, Marking)>, ExpandError> {
+        let mut successors = Vec::new();
+        for t in self.net.enabled(marking) {
+            let next = self
+                .net
+                .fire(marking, t)
+                .expect("enabled transitions can fire");
+            if let Some(p) = next.iter().position(|&tokens| tokens > self.token_bound) {
+                return Err(ExpandError::Unbounded {
+                    place: self
+                        .net
+                        .place_name(crate::net::PlaceId(p as u32))
+                        .to_owned(),
+                    bound: self.token_bound,
+                });
+            }
+            successors.push((t, next));
+        }
+        Ok(successors)
     }
 }
 
@@ -116,17 +186,54 @@ pub fn expand(net: &Stg) -> Result<TransitionSystem, ExpandError> {
 ///
 /// See [`expand`].
 pub fn expand_with(net: &Stg, options: ExpandOptions) -> Result<TransitionSystem, ExpandError> {
+    expand_with_report(net, options).map(|(ts, _)| ts)
+}
+
+/// Expands an STG and additionally returns the [`ReachReport`] of the
+/// marking search.
+///
+/// # Errors
+///
+/// See [`expand`].
+pub fn expand_with_report(
+    net: &Stg,
+    options: ExpandOptions,
+) -> Result<(TransitionSystem, ReachReport), ExpandError> {
+    let space = MarkingSpace {
+        net,
+        token_bound: options.token_bound,
+    };
+    let outcome = explore::explore(
+        &space,
+        &ExploreOptions {
+            threads: options.threads,
+            discovered_limit: options.marking_limit,
+            record_edges: true,
+            ..ExploreOptions::default()
+        },
+    )?;
+    let search = match outcome {
+        ExploreOutcome::Completed(report) => report,
+        ExploreOutcome::LimitExceeded { .. } => {
+            return Err(ExpandError::TooManyMarkings {
+                limit: options.marking_limit,
+            })
+        }
+    };
+
+    // Replay the recorded breadth-first nodes to assemble the transition
+    // system: state ids follow discovery order (initial state first, then
+    // successors in firing order), which is exactly the numbering of the
+    // historical sequential expansion.
     let mut builder = TsBuilder::new(net.name());
-    let mut ids: HashMap<Marking, tts::StateId> = HashMap::new();
-    let mut queue: VecDeque<Marking> = VecDeque::new();
+    let mut ids: HashMap<Marking, StateId> = HashMap::new();
 
     let initial = net.initial_marking();
     let initial_id = builder.add_state(marking_name(&initial));
     builder.set_initial(initial_id);
-    ids.insert(initial.clone(), initial_id);
-    queue.push_back(initial);
+    ids.insert(initial, initial_id);
 
-    // Interface roles.
+    // Interface roles (also fixes the event interning order).
     for t in net.transitions() {
         match net.role(t) {
             SignalRole::Input => {
@@ -141,26 +248,19 @@ pub fn expand_with(net: &Stg, options: ExpandOptions) -> Result<TransitionSystem
         }
     }
 
-    while let Some(marking) = queue.pop_front() {
-        if ids.len() > options.marking_limit {
-            return Err(ExpandError::TooManyMarkings {
-                limit: options.marking_limit,
-            });
+    let mut firings = 0usize;
+    let mut deadlock_states = Vec::new();
+    for node in &search.nodes {
+        let from = ids[&node.config];
+        if node.successors.is_empty() {
+            deadlock_states.push(from);
         }
-        let from = ids[&marking];
-        for t in net.enabled(&marking) {
-            let next = net.fire(&marking, t).expect("enabled transitions can fire");
-            if let Some(p) = next.iter().position(|&tokens| tokens > options.token_bound) {
-                return Err(ExpandError::Unbounded {
-                    place: net.place_name(crate::net::PlaceId(p as u32)).to_owned(),
-                    bound: options.token_bound,
-                });
-            }
-            let to = *ids.entry(next.clone()).or_insert_with(|| {
-                queue.push_back(next.clone());
-                builder.add_state(marking_name(&next))
-            });
-            builder.add_transition(from, net.label(t), to);
+        for (t, next) in &node.successors {
+            firings += 1;
+            let to = *ids
+                .entry(next.clone())
+                .or_insert_with(|| builder.add_state(marking_name(next)));
+            builder.add_transition(from, net.label(*t), to);
         }
     }
 
@@ -171,7 +271,17 @@ pub fn expand_with(net: &Stg, options: ExpandOptions) -> Result<TransitionSystem
     if options.check_signal_consistency {
         check_signal_consistency(&ts)?;
     }
-    Ok(ts)
+
+    let mut reachable_states: Vec<StateId> = ids.values().copied().collect();
+    reachable_states.sort_unstable();
+    deadlock_states.sort_unstable();
+    let report = ReachReport {
+        reachable_states,
+        deadlock_states,
+        markings: search.discovered,
+        firings,
+    };
+    Ok((ts, report))
 }
 
 /// Verifies that along every reachable transition sequence, rising and
@@ -361,5 +471,41 @@ mod tests {
         b.connect(c, a, 1);
         let ts = expand(&b.build().unwrap()).unwrap();
         assert_eq!(ts.state_count(), 2);
+    }
+
+    #[test]
+    fn report_counts_markings_and_firings() {
+        let (ts, report) = expand_with_report(&toggle(), ExpandOptions::default()).unwrap();
+        assert_eq!(report.markings, 2);
+        assert_eq!(report.firings, 2);
+        assert_eq!(report.reachable_states.len(), ts.state_count());
+        assert!(report.deadlock_states.is_empty());
+        assert!(report.reachable_states.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parallel_expansion_matches_sequential_exactly() {
+        let mut b = StgBuilder::new("wide");
+        // Four concurrent toggles: 16 interleaved markings.
+        for name in ["A", "B", "C", "D"] {
+            let up = b.add_transition(format!("{name}+"), SignalRole::Output);
+            let down = b.add_transition(format!("{name}-"), SignalRole::Output);
+            b.connect(up, down, 0);
+            b.connect(down, up, 1);
+        }
+        let net = b.build().unwrap();
+        let sequential = expand_with_report(&net, ExpandOptions::default()).unwrap();
+        for threads in [2, 4] {
+            let parallel = expand_with_report(
+                &net,
+                ExpandOptions {
+                    threads,
+                    ..ExpandOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+        assert!(sequential.1.markings >= 16);
     }
 }

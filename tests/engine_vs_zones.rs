@@ -73,10 +73,11 @@ fn one_stage_pipeline_zone_exploration_blows_up_but_finds_no_violation() {
         &pipeline,
         ZoneExplorationOptions {
             configuration_limit: 3_000,
+            ..ZoneExplorationOptions::default()
         },
     );
     match outcome {
-        ZoneOutcome::LimitExceeded { explored } => assert!(explored > 3_000),
+        ZoneOutcome::LimitExceeded { explored, .. } => assert!(explored > 3_000),
         ZoneOutcome::Completed(report) => {
             assert!(report.violating_states.is_empty());
             assert!(report.deadlock_states.is_empty());

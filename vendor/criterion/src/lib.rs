@@ -111,6 +111,22 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Benchmark one named case of the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
     /// Finish the group (a no-op in this subset; kept for API parity).
     pub fn finish(self) {}
 }

@@ -248,8 +248,8 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact size or a half-open range,
-    /// mirroring the real proptest's `SizeRange` conversions.
+    /// Length specification for [`vec()`](fn@vec): an exact size or a half-open
+    /// range, mirroring the real proptest's `SizeRange` conversions.
     pub struct SizeRange(Range<usize>);
 
     impl From<usize> for SizeRange {
