@@ -1,0 +1,30 @@
+//! `transyt-cli` — the command-line front end of the TRANSYT reproduction.
+//!
+//! The paper's tool flow is a *tool*: circuits and environments go in as
+//! models, and a failed check comes back as a timed error trace the designer
+//! can read (the waveform-style diagnostics of Fig. 7/13). This crate is
+//! that front door for the workspace:
+//!
+//! * [`format`](mod@format) — the `.stg` / `.tts` textual model formats (hand-rolled
+//!   parser and canonical printer; grammar in `docs/FILE_FORMATS.md`), so
+//!   new circuits and environments can be fed in without writing Rust.
+//! * [`commands`] — the subcommands of the `transyt` binary: `verify`
+//!   (relative-timing engine with counterexample/witness traces), `reach`
+//!   (STG reachability with marking-path witnesses), `zones` (the
+//!   conventional zone-based exploration with symbolic timed traces),
+//!   `table1` (the paper's Table 1 reproduction) and `export` (the shipped
+//!   scenario library).
+//! * [`scenarios`] — the builders behind the `models/` directory: the 1–3
+//!   stage IPCMOS pipelines at pulse level, a C-element handshake, a ring
+//!   pipeline, the Fig. 1 introductory example and a failing race.
+//!
+//! Every trace the binary prints is replayable: integration tests walk the
+//! printed steps through the model, step by step, to the reported end
+//! state, at `--threads 1` and `--threads 4` alike.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod format;
+pub mod scenarios;

@@ -1,0 +1,203 @@
+//! The `transyt` binary: argument parsing and dispatch to
+//! [`transyt_cli::commands`].
+
+use std::process::ExitCode;
+
+use transyt_cli::commands::{
+    cmd_reach, cmd_table1, cmd_verify, cmd_zones, CliError, CommandResult, Options,
+};
+use transyt_cli::format::Model;
+use transyt_cli::scenarios;
+
+const USAGE: &str = "\
+transyt — relative-timing verification of timed circuits (DATE 2002 reproduction)
+
+USAGE:
+    transyt verify FILE [--threads N] [--trace] [--json PATH]
+    transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--json PATH]
+    transyt zones  FILE [--threads N] [--subsumption on|off] [--trace] [--limit N] [--json PATH]
+    transyt table1      [--threads N] [--json PATH]
+    transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
+
+FILE is a textual model in the .stg or .tts format (see docs/FILE_FORMATS.md;
+shipped examples live in models/). Every exploration accepts --threads N and
+produces identical output for every thread count.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing subcommand".to_owned()));
+    };
+    match command.as_str() {
+        "verify" | "reach" | "zones" => {
+            // Only flags the subcommand actually reads are accepted, so an
+            // option can never be silently ignored.
+            let allowed: &[&str] = match command.as_str() {
+                "verify" => &["--threads", "--trace", "--json"],
+                "reach" => &["--threads", "--trace", "--to", "--limit", "--json"],
+                _ => &["--threads", "--subsumption", "--trace", "--limit", "--json"],
+            };
+            let (file, options, json_path) = parse_common(&args[1..], command, allowed)?;
+            let file = file.ok_or_else(|| {
+                CliError::Usage(format!("`{command}` needs a model file argument"))
+            })?;
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| CliError::Run(format!("reading {file}: {e}")))?;
+            let model = Model::parse(&text)?;
+            let result = match command.as_str() {
+                "verify" => cmd_verify(&model, &options)?,
+                "reach" => cmd_reach(&model, &options)?,
+                _ => cmd_zones(&model, &options)?,
+            };
+            emit(result, json_path)
+        }
+        "table1" => {
+            let (file, options, json_path) =
+                parse_common(&args[1..], command, &["--threads", "--json"])?;
+            if file.is_some() {
+                return Err(CliError::Usage("`table1` takes no model file".to_owned()));
+            }
+            emit(cmd_table1(&options)?, json_path)
+        }
+        "export" => run_export(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn emit(result: CommandResult, json_path: Option<String>) -> Result<(), CliError> {
+    print!("{}", result.text);
+    if let Some(path) = json_path {
+        std::fs::write(&path, result.json.render() + "\n")
+            .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_common(
+    args: &[String],
+    command: &str,
+    allowed: &[&str],
+) -> Result<(Option<String>, Options, Option<String>), CliError> {
+    let mut file = None;
+    let mut options = Options::default();
+    let mut json_path = None;
+    let mut iter = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs a value"));
+    while let Some(arg) = iter.next() {
+        if arg.starts_with('-') && !allowed.contains(&arg.as_str()) {
+            return Err(CliError::Usage(format!(
+                "`{command}` does not accept `{arg}` (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+        match arg.as_str() {
+            "--threads" => {
+                options.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| missing("--threads"))?;
+            }
+            "--subsumption" => {
+                options.subsumption = match iter.next().map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => {
+                        return Err(CliError::Usage(
+                            "--subsumption needs `on` or `off`".to_owned(),
+                        ))
+                    }
+                };
+            }
+            "--trace" => options.trace = true,
+            "--limit" => {
+                options.limit = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| missing("--limit"))?,
+                );
+            }
+            "--to" => {
+                options.to_label = Some(iter.next().ok_or_else(|| missing("--to"))?.clone());
+            }
+            "--json" => {
+                json_path = Some(iter.next().ok_or_else(|| missing("--json"))?.clone());
+            }
+            other => {
+                if file.replace(other.to_owned()).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "`{command}` takes a single model file"
+                    )));
+                }
+            }
+        }
+    }
+    Ok((file, options, json_path))
+}
+
+fn run_export(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for scenario in scenarios::all() {
+                println!("{:<22} {}", scenario.file, scenario.summary);
+            }
+            Ok(())
+        }
+        Some("--all") => {
+            let dir = match (args.get(1).map(String::as_str), args.get(2)) {
+                (Some("--dir"), Some(dir)) => dir.clone(),
+                _ => return Err(CliError::Usage("use `export --all --dir DIR`".to_owned())),
+            };
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| CliError::Run(format!("creating {dir}: {e}")))?;
+            for scenario in scenarios::all() {
+                let path = format!("{dir}/{}", scenario.file);
+                std::fs::write(&path, scenario.model.to_text())
+                    .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        Some(name) if !name.starts_with('-') => {
+            let scenario = scenarios::find(name).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown scenario `{name}` (try `transyt export --list`)"
+                ))
+            })?;
+            let rendered = scenario.model.to_text();
+            match (args.get(1).map(String::as_str), args.get(2)) {
+                (Some("--out"), Some(path)) => {
+                    std::fs::write(path, rendered)
+                        .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
+                    println!("wrote {path}");
+                }
+                (None, _) => print!("{rendered}"),
+                _ => return Err(CliError::Usage("use `export NAME [--out PATH]`".to_owned())),
+            }
+            Ok(())
+        }
+        _ => Err(CliError::Usage(
+            "use `export NAME`, `export --list` or `export --all --dir DIR`".to_owned(),
+        )),
+    }
+}

@@ -1,0 +1,246 @@
+//! Integration tests of the `transyt` CLI: the shipped `models/` files stay
+//! in sync with the scenario builders, every printed trace replays
+//! step-by-step to its reported end state, and `--threads 1` and
+//! `--threads 4` produce identical output (the PR acceptance criterion).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use transyt_cli::commands::{
+    cmd_reach, cmd_verify, cmd_zones, replay_rendered, trace_of_verdict, Options,
+};
+use transyt_cli::format::Model;
+use transyt_cli::scenarios;
+
+fn models_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../models")
+}
+
+fn load(file: &str) -> Model {
+    let path = models_dir().join(file);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    Model::parse(&text).unwrap_or_else(|e| panic!("parsing {file}: {e}"))
+}
+
+#[test]
+fn shipped_models_match_their_scenario_builders() {
+    let scenarios = scenarios::all();
+    assert!(scenarios.len() >= 6, "at least six shipped scenarios");
+    for scenario in scenarios {
+        let path = models_dir().join(scenario.file);
+        let shipped = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        assert_eq!(
+            shipped,
+            scenario.model.to_text(),
+            "models/{} is stale; regenerate with `transyt export --all --dir models`",
+            scenario.file
+        );
+        // And the shipped text round-trips through the parser.
+        let reparsed = Model::parse(&shipped).unwrap();
+        assert_eq!(reparsed.to_text(), shipped);
+    }
+}
+
+/// The acceptance criterion: `transyt verify models/ipcmos_1stage.stg
+/// --trace` prints a timed witness trace that replays step-by-step to the
+/// reported end state, identically at `--threads 1` and `--threads 4`.
+#[test]
+fn ipcmos_1stage_trace_replays_identically_across_thread_counts() {
+    let model = load("ipcmos_1stage.stg");
+    let timed = model.timed_system().unwrap();
+    let mut outputs = Vec::new();
+    for threads in [1, 4] {
+        let options = Options {
+            threads,
+            trace: true,
+            ..Options::default()
+        };
+        let result = cmd_verify(&model, &options).unwrap();
+        assert!(result.text.contains("VERIFIED"), "{}", result.text);
+        assert!(result.text.contains("witness trace:"));
+        assert!(result.text.contains("end state:"));
+        assert!(result.text.contains("waveform"));
+
+        // Replay the trace the CLI would print, step by step.
+        let verdict = transyt::verify(
+            &timed,
+            &model.property(),
+            &transyt::VerifyOptions {
+                threads,
+                ..transyt::VerifyOptions::default()
+            },
+        );
+        let trace = trace_of_verdict(&verdict, &timed);
+        assert!(!trace.steps.is_empty());
+        assert!(
+            trace.steps.iter().all(|s| s.window.is_some()),
+            "timed steps"
+        );
+        let end = replay_rendered(&trace, timed.underlying())
+            .expect("witness trace replays step-by-step");
+        assert_eq!(end, trace.end, "replay reaches the reported end state");
+        outputs.push((result.text, trace));
+    }
+    assert_eq!(outputs[0], outputs[1], "threads 1 vs 4 output differs");
+}
+
+#[test]
+fn race_overlap_fails_with_a_replayable_timed_counterexample() {
+    let model = load("race_overlap.tts");
+    let timed = model.timed_system().unwrap();
+    for threads in [1, 4] {
+        let options = Options {
+            threads,
+            trace: true,
+            ..Options::default()
+        };
+        let result = cmd_verify(&model, &options).unwrap();
+        assert!(result.text.contains("FAILED"), "{}", result.text);
+        assert!(result.text.contains("counterexample trace:"));
+        let verdict = transyt::verify(
+            &timed,
+            &model.property(),
+            &transyt::VerifyOptions {
+                threads,
+                ..transyt::VerifyOptions::default()
+            },
+        );
+        let trace = trace_of_verdict(&verdict, &timed);
+        assert_eq!(trace.kind, "counterexample");
+        assert_eq!(trace.end, "slow-first");
+        let end = replay_rendered(&trace, timed.underlying()).unwrap();
+        assert_eq!(end, "slow-first");
+        // The counterexample carries its timed firing window.
+        assert_eq!(trace.steps[0].window.unwrap().to_string(), "[2, 4]");
+    }
+}
+
+#[test]
+fn every_shipped_model_verifies_to_its_documented_verdict() {
+    for (file, expect_verified) in [
+        ("ipcmos_1stage.stg", true),
+        ("ipcmos_2stage.stg", true),
+        ("c_element.stg", true),
+        ("ring_pipeline.stg", true),
+        ("intro_fig1.tts", true),
+        ("race_overlap.tts", false),
+    ] {
+        let model = load(file);
+        let result = cmd_verify(&model, &Options::default()).unwrap();
+        let verified = result.text.contains("VERIFIED");
+        assert_eq!(verified, expect_verified, "{file}: {}", result.text);
+    }
+}
+
+#[test]
+fn intro_example_needs_a_refinement_and_reports_constraints() {
+    let model = load("intro_fig1.tts");
+    let result = cmd_verify(&model, &Options::default()).unwrap();
+    assert!(result.text.contains("VERIFIED (1 refinements"));
+    assert!(result.text.contains("g < d"), "{}", result.text);
+}
+
+#[test]
+fn reach_finds_marking_paths_and_zones_find_symbolic_traces() {
+    let model = load("c_element.stg");
+    let options = Options {
+        to_label: Some("C+".to_owned()),
+        ..Options::default()
+    };
+    let result = cmd_reach(&model, &options).unwrap();
+    assert!(result.text.contains("path to first marking enabling `C+`"));
+    assert!(result.text.contains("--A+-->"));
+    assert!(result.text.contains("--B+-->"));
+
+    let model = load("race_overlap.tts");
+    let options = Options {
+        trace: true,
+        ..Options::default()
+    };
+    let result = cmd_zones(&model, &options).unwrap();
+    assert!(result.text.contains("symbolic timed trace"));
+    assert!(result.text.contains("end state: slow-first"));
+    assert!(result.text.contains("clock of slow on entry"));
+}
+
+#[test]
+fn zone_trace_is_identical_across_thread_counts_and_subsumption() {
+    let model = load("ipcmos_1stage.stg");
+    let mut texts = Vec::new();
+    for threads in [1, 4] {
+        for subsumption in [true, false] {
+            let options = Options {
+                threads,
+                subsumption,
+                trace: true,
+                ..Options::default()
+            };
+            // The pipeline has no violating or deadlocked state, so the
+            // trace search reports unreachability — but the exploration
+            // counters must agree between thread counts.
+            let result = cmd_zones(&model, &options).unwrap();
+            texts.push((subsumption, result.text));
+        }
+    }
+    assert_eq!(texts[0], texts[2], "threads 1 vs 4 (subsumption on)");
+    assert_eq!(texts[1], texts[3], "threads 1 vs 4 (subsumption off)");
+}
+
+#[test]
+fn the_binary_runs_end_to_end() {
+    let binary = env!("CARGO_BIN_EXE_transyt");
+    let model = models_dir().join("ipcmos_1stage.stg");
+    let output = Command::new(binary)
+        .args([
+            "verify",
+            model.to_str().unwrap(),
+            "--trace",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("VERIFIED"), "{stdout}");
+    assert!(stdout.contains("witness trace:"));
+    assert!(stdout.contains("end state:"));
+
+    // JSON output lands where --json points.
+    let json_path = std::env::temp_dir().join("transyt_cli_test_verify.json");
+    let output = Command::new(binary)
+        .args([
+            "verify",
+            model.to_str().unwrap(),
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"verdict\":\"verified\""), "{json}");
+    let _ = std::fs::remove_file(&json_path);
+
+    // Usage errors are reported, not panicked.
+    let output = Command::new(binary).args(["frobnicate"]).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+}
+
+#[test]
+fn export_list_covers_every_shipped_model() {
+    let binary = env!("CARGO_BIN_EXE_transyt");
+    let output = Command::new(binary)
+        .args(["export", "--list"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for scenario in scenarios::all() {
+        assert!(stdout.contains(scenario.file), "missing {}", scenario.file);
+    }
+}

@@ -19,12 +19,12 @@
 //! deliverable of the paper's methodology. The zone-based explorer of the
 //! `dbm` crate provides an independent exact check on small models.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::convert::Infallible;
 use std::fmt;
 
 use ces::{check_consistency, extract_ces, RelativeTimingConstraint, SeparationAnalysis};
-use explore::{ExploreOptions, ExploreOutcome, SearchSpace};
+use explore::{ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
 use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem, TransitionSystem};
 
 use crate::property::SafetyProperty;
@@ -91,11 +91,130 @@ pub struct Counterexample {
     pub kind: FailureKind,
     /// The event names fired along the trace, in order.
     pub events: Vec<String>,
+    /// The witness run itself: the fired transitions ending at the violating
+    /// (or deadlocked, or persistency-breaking) state, replayable against the
+    /// underlying transition system.
+    pub trace: FailureTrace,
 }
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} after [{}]", self.kind, self.events.join(", "))
+    }
+}
+
+/// The run of fired transitions leading from an initial state to a failure —
+/// the witness the engine reports alongside a [`Verdict::Failed`].
+///
+/// The trace is reconstructed from the parent links the shared exploration
+/// engine records, so it is identical for every [`VerifyOptions::threads`]
+/// value and every step is a genuine transition of the verified system.
+///
+/// # Examples
+///
+/// ```
+/// use transyt::{verify, SafetyProperty, Verdict, VerifyOptions};
+/// use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+///
+/// // `slow` can overtake `fast`: the failure is timing consistent.
+/// let mut b = TsBuilder::new("race");
+/// let s0 = b.add_state("s0");
+/// let ok = b.add_state("ok");
+/// let bad = b.add_state("bad");
+/// b.add_transition(s0, "fast", ok);
+/// b.add_transition(s0, "slow", bad);
+/// b.mark_violation(bad, "slow fired before fast");
+/// b.set_initial(s0);
+/// let mut timed = TimedTransitionSystem::new(b.build()?);
+/// timed.set_delay_by_name("fast", DelayInterval::new(Time::new(1), Time::new(4))?);
+/// timed.set_delay_by_name("slow", DelayInterval::new(Time::new(2), Time::new(9))?);
+///
+/// let property = SafetyProperty::new("order").forbid_marked_states();
+/// let verdict = verify(&timed, &property, &VerifyOptions::default());
+/// let Verdict::Failed { counterexample, .. } = verdict else {
+///     panic!("expected a counterexample");
+/// };
+/// // The trace replays step-by-step to the reported violating state.
+/// let end = counterexample.trace.replay(timed.underlying()).unwrap();
+/// assert_eq!(end, bad);
+/// assert_eq!(counterexample.trace.end_state(), bad);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureTrace {
+    start: StateId,
+    steps: Vec<(EventId, StateId)>,
+}
+
+impl FailureTrace {
+    /// Builds a trace from a start state and `(event, target)` steps.
+    pub fn new(start: StateId, steps: Vec<(EventId, StateId)>) -> Self {
+        FailureTrace { start, steps }
+    }
+
+    /// The initial state the trace starts from.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The fired `(event, target)` transitions, in order.
+    pub fn steps(&self) -> &[(EventId, StateId)] {
+        &self.steps
+    }
+
+    /// Number of fired transitions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the failure holds in the start state itself.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The failing state the trace ends at.
+    pub fn end_state(&self) -> StateId {
+        self.steps.last().map_or(self.start, |&(_, state)| state)
+    }
+
+    /// Replays the trace against `ts`, checking every step is an existing
+    /// transition. Returns the end state on success, `None` if some step
+    /// does not exist in the system.
+    pub fn replay(&self, ts: &TransitionSystem) -> Option<StateId> {
+        let mut state = self.start;
+        for &(event, target) in &self.steps {
+            if !ts.successors(state, event).contains(&target) {
+                return None;
+            }
+            state = target;
+        }
+        Some(state)
+    }
+
+    /// Renders the trace with state and event names from `ts`.
+    pub fn display<'a>(&'a self, ts: &'a TransitionSystem) -> FailureTraceDisplay<'a> {
+        FailureTraceDisplay { trace: self, ts }
+    }
+}
+
+/// Helper returned by [`FailureTrace::display`].
+pub struct FailureTraceDisplay<'a> {
+    trace: &'a FailureTrace,
+    ts: &'a TransitionSystem,
+}
+
+impl fmt::Display for FailureTraceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ts.state_name(self.trace.start))?;
+        for &(event, target) in &self.trace.steps {
+            write!(
+                f,
+                " --{}--> {}",
+                self.ts.alphabet().name(event),
+                self.ts.state_name(target)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -362,6 +481,7 @@ pub fn verify(
             &ExploreOptions {
                 threads: options.threads,
                 record_edges: true,
+                trace: TraceOptions::parents(),
                 ..ExploreOptions::default()
             },
         ) {
@@ -372,7 +492,6 @@ pub fn verify(
             Err(infallible) => match infallible {},
         };
 
-        let mut pred: HashMap<StateId, (StateId, EventId)> = HashMap::new();
         let mut visited: BTreeSet<StateId> = BTreeSet::new();
         for &s in ts.initial_states() {
             visited.insert(s);
@@ -380,30 +499,32 @@ pub fn verify(
         let mut failure: Option<Failure> = None;
         let mut stuck_state: Option<StateId> = None;
 
-        let reconstruct = |state: StateId, pred: &HashMap<StateId, (StateId, EventId)>| {
-            let mut run = Vec::new();
-            let mut cur = state;
-            while let Some(&(prev, event)) = pred.get(&cur) {
-                run.push((event, cur));
-                cur = prev;
-            }
-            run.reverse();
-            (cur, run)
+        // Reconstruct the run to a node from the parent links the driver
+        // recorded: the breadth-first discovery tree, identical for every
+        // thread count.
+        let reconstruct = |node: usize| {
+            let (root, steps) = search
+                .path_to(node)
+                .expect("the engine search records parents");
+            let run: Vec<(EventId, StateId)> = steps
+                .into_iter()
+                .map(|(event, target)| (event, search.nodes[target].config))
+                .collect();
+            (search.nodes[root].config, run)
         };
 
         // The driver halts at the *first* node whose halt condition fires,
         // so when `search.halted` is set the failure is exactly the last
-        // recorded node; every earlier node only contributes predecessor
-        // links. The failure is classified with the same predicates the
-        // search space's halt condition uses, so halt and replay cannot
-        // drift apart.
-        for node in &search.nodes {
+        // recorded node; every earlier node only contributes state counts.
+        // The failure is classified with the same predicates the search
+        // space's halt condition uses, so halt and replay cannot drift
+        // apart.
+        for (index, node) in search.nodes.iter().enumerate() {
             let state = node.config;
-            let is_failure_node =
-                search.halted && std::ptr::eq(node, search.nodes.last().expect("halted => nodes"));
+            let is_failure_node = search.halted && index + 1 == search.nodes.len();
             if is_failure_node {
                 if property.checks_marked_states() && !ts.violations(state).is_empty() {
-                    let (start, run) = reconstruct(state, &pred);
+                    let (start, run) = reconstruct(index);
                     failure = Some(Failure {
                         kind: FailureKind::MarkedState {
                             message: ts.violations(state)[0].clone(),
@@ -412,7 +533,7 @@ pub fn verify(
                         start,
                     });
                 } else if ts.transitions_from(state).is_empty() {
-                    let (start, run) = reconstruct(state, &pred);
+                    let (start, run) = reconstruct(index);
                     failure = Some(Failure {
                         kind: FailureKind::Deadlock,
                         run,
@@ -423,13 +544,11 @@ pub fn verify(
                 {
                     // Targets of the firings preceding the violating one
                     // were discovered before the search broke off.
-                    for &(event, target) in &node.successors[..k] {
-                        if visited.insert(target) {
-                            pred.insert(target, (state, event));
-                        }
+                    for &(_, target) in &node.successors[..k] {
+                        visited.insert(target);
                     }
                     let (event, target) = node.successors[k];
-                    let (start, mut run) = reconstruct(state, &pred);
+                    let (start, mut run) = reconstruct(index);
                     run.push((event, target));
                     failure = Some(Failure {
                         kind: FailureKind::PersistencyViolation {
@@ -443,10 +562,8 @@ pub fn verify(
                 debug_assert!(failure.is_some(), "halted search without a failure node");
                 break;
             }
-            for &(event, target) in &node.successors {
-                if visited.insert(target) {
-                    pred.insert(target, (state, event));
-                }
+            for &(_, target) in &node.successors {
+                visited.insert(target);
             }
             if node.successors.is_empty()
                 && !ts.transitions_from(state).is_empty()
@@ -496,6 +613,7 @@ pub fn verify(
                 counterexample: Counterexample {
                     kind: failure.kind,
                     events,
+                    trace: FailureTrace::new(failure.start, failure.run),
                 },
                 report: make_report(refinements, &constraints, explored_states),
             };
@@ -670,9 +788,60 @@ mod tests {
                     counterexample.kind,
                     FailureKind::MarkedState { .. }
                 ));
+                // The witness trace replays to the reported violating state.
+                let ts = timed.underlying();
+                let end = counterexample.trace.replay(ts).expect("valid trace");
+                assert_eq!(end, counterexample.trace.end_state());
+                assert!(!ts.violations(end).is_empty());
+                assert!(counterexample
+                    .trace
+                    .display(ts)
+                    .to_string()
+                    .contains("--slow--> bad"));
             }
             other => panic!("expected failure, got {other}"),
         }
+    }
+
+    #[test]
+    fn counterexample_traces_are_identical_across_thread_counts() {
+        let timed = race(d(1, 4), d(2, 9));
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let sequential = verify(&timed, &property, &VerifyOptions::default());
+        let parallel = verify(
+            &timed,
+            &property,
+            &VerifyOptions {
+                threads: 4,
+                ..VerifyOptions::default()
+            },
+        );
+        assert_eq!(sequential, parallel);
+        let Verdict::Failed { counterexample, .. } = sequential else {
+            panic!("expected failure");
+        };
+        assert!(!counterexample.trace.is_empty());
+        assert_eq!(counterexample.trace.len(), counterexample.events.len());
+    }
+
+    #[test]
+    fn deadlock_counterexample_trace_ends_at_the_deadlock() {
+        let mut b = TsBuilder::new("dead");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("stuck");
+        b.add_transition(s0, "go", s1);
+        b.set_initial(s0);
+        let timed = TimedTransitionSystem::new(b.build().unwrap());
+        let property = SafetyProperty::new("live").require_deadlock_freedom();
+        let Verdict::Failed { counterexample, .. } =
+            verify(&timed, &property, &VerifyOptions::default())
+        else {
+            panic!("expected deadlock failure");
+        };
+        let end = counterexample.trace.replay(timed.underlying()).unwrap();
+        assert_eq!(end, s1);
+        assert!(timed.underlying().transitions_from(end).is_empty());
+        assert_eq!(counterexample.trace.start(), s0);
     }
 
     #[test]

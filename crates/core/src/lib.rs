@@ -65,7 +65,10 @@ pub use assume_guarantee::{ProofReport, ProofStep};
 pub use contain::{
     build_containment_monitor, check_refinement, ContainError, RefinementObligation,
 };
-pub use engine::{verify, Counterexample, FailureKind, Verdict, VerificationReport, VerifyOptions};
+pub use engine::{
+    verify, Counterexample, FailureKind, FailureTrace, FailureTraceDisplay, Verdict,
+    VerificationReport, VerifyOptions,
+};
 pub use property::SafetyProperty;
 
 // Re-export the constraint type users receive in reports.

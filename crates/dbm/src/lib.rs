@@ -39,5 +39,6 @@ mod zone_graph;
 pub use entry::Entry;
 pub use matrix::Dbm;
 pub use zone_graph::{
-    explore_timed, explore_timed_with, ZoneExplorationOptions, ZoneOutcome, ZoneReport,
+    explore_timed, explore_timed_with, find_witness, path_firing_windows, FiringWindow,
+    SymbolicTrace, WitnessGoal, WitnessOutcome, ZoneExplorationOptions, ZoneOutcome, ZoneReport,
 };

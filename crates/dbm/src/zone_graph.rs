@@ -26,8 +26,8 @@ use std::collections::{BTreeSet, HashSet};
 use std::convert::Infallible;
 use std::sync::{Arc, Mutex};
 
-use explore::{ExploreOptions, ExploreOutcome, SearchSpace};
-use tts::{Bound, EventId, StateId, TimedTransitionSystem};
+use explore::{ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use tts::{Bound, EventId, StateId, Time, TimedTransitionSystem};
 
 use crate::entry::Entry;
 use crate::matrix::Dbm;
@@ -124,11 +124,77 @@ impl std::hash::Hash for InternedZone {
     }
 }
 
+/// Index of the clock measuring the time since `event`'s current enabling
+/// (clock 0 is the DBM reference clock).
+fn clock_of(event: EventId) -> usize {
+    event.index() + 1
+}
+
+/// Lets time elapse only as far as the upper delay bounds of the events
+/// enabled in `state` allow (the state's invariant). The zone may have more
+/// clocks than the alphabet (the witness replay adds an absolute-time clock);
+/// extra clocks are simply never constrained.
+fn apply_invariant(timed: &TimedTransitionSystem, zone: &mut Dbm, state: StateId) {
+    let ts = timed.underlying();
+    for &event in &ts.enabled(state) {
+        if let Bound::Finite(upper) = timed.delay(event).upper() {
+            zone.constrain_upper(clock_of(event), upper.as_i64());
+        }
+    }
+}
+
+/// The zone reached by firing `event` from a state whose enabled events are
+/// `enabled_here` into `target`: guard on the fired clock, reset of freshly
+/// enabled clocks, time elapse and the target invariant. Returns `None` when
+/// the firing is not timed-feasible (the guard or the target invariant
+/// empties the zone). `enabled_here` is passed in so callers expanding
+/// several transitions of one configuration compute it once.
+///
+/// This single function defines the timed successor relation; the explorer
+/// and the witness replay both go through it, so a reconstructed trace
+/// replays to exactly the zones the search stored.
+fn timed_successor(
+    timed: &TimedTransitionSystem,
+    zone: &Dbm,
+    enabled_here: &std::collections::BTreeSet<EventId>,
+    event: EventId,
+    target: StateId,
+) -> Option<Dbm> {
+    let ts = timed.underlying();
+    // Guard: the event's clock has reached its lower bound.
+    let lower = timed.delay(event).lower().as_i64();
+    let mut next = zone.clone();
+    next.constrain(0, clock_of(event), Entry::le(-lower));
+    if next.is_empty() {
+        return None;
+    }
+    // Fire: reset the clocks of freshly enabled occurrences.
+    for &e in &ts.enabled(target) {
+        let freshly_enabled = e == event || !enabled_here.contains(&e);
+        if freshly_enabled {
+            next.reset(clock_of(e));
+        }
+    }
+    next.canonicalize();
+    // Let time elapse under the target invariant.
+    next.up();
+    apply_invariant(timed, &mut next, target);
+    next.canonicalize();
+    if next.is_empty() {
+        return None;
+    }
+    Some(next)
+}
+
 /// The timed search space: configurations pair a discrete state with an
 /// interned clock zone.
 struct ZoneSpace<'a> {
     timed: &'a TimedTransitionSystem,
     subsumption: bool,
+    /// Halt the search at the first committed configuration whose discrete
+    /// state satisfies this goal (the witness search); `None` explores
+    /// exhaustively.
+    goal: Option<WitnessGoal>,
     /// Canonical-DBM interning table: equal zones share one allocation, so
     /// bucket storage and queued clones are reference bumps. Only locked
     /// from the driver's single-threaded merge. The usize counts inserts
@@ -140,30 +206,13 @@ struct ZoneSpace<'a> {
 /// Inserts between sweeps of unreferenced interner entries.
 const INTERNER_SWEEP_INTERVAL: usize = 4096;
 
-impl ZoneSpace<'_> {
-    fn clock_of(event: EventId) -> usize {
-        event.index() + 1
-    }
-
-    /// Lets time elapse only as far as the upper delay bounds of the events
-    /// enabled in `state` allow (the state's invariant).
-    fn apply_invariant(&self, zone: &mut Dbm, state: StateId) {
-        let ts = self.timed.underlying();
-        for &event in &ts.enabled(state) {
-            if let Bound::Finite(upper) = self.timed.delay(event).upper() {
-                zone.constrain_upper(Self::clock_of(event), upper.as_i64());
-            }
-        }
-    }
-}
-
 impl SearchSpace for ZoneSpace<'_> {
     type Config = (StateId, Arc<Dbm>);
     /// With subsumption the key is the discrete state (zones of one state
     /// form the bucket); without it the zone joins the key, giving exact
     /// `(state, zone)` deduplication.
     type Key = (StateId, Option<Arc<Dbm>>);
-    type Edge = ();
+    type Edge = EventId;
     type Error = Infallible;
 
     fn initial(&self) -> Result<Vec<Self::Config>, Infallible> {
@@ -173,7 +222,7 @@ impl SearchSpace for ZoneSpace<'_> {
         for &s0 in ts.initial_states() {
             let mut zone = Dbm::zero(clock_count);
             zone.up();
-            self.apply_invariant(&mut zone, s0);
+            apply_invariant(self.timed, &mut zone, s0);
             zone.canonicalize();
             if !zone.is_empty() {
                 initial.push((s0, Arc::new(zone)));
@@ -190,37 +239,32 @@ impl SearchSpace for ZoneSpace<'_> {
         }
     }
 
-    fn expand(&self, (state, zone): &Self::Config) -> Result<Vec<((), Self::Config)>, Infallible> {
+    fn expand(
+        &self,
+        (state, zone): &Self::Config,
+    ) -> Result<Vec<(EventId, Self::Config)>, Infallible> {
         let ts = self.timed.underlying();
         let enabled_here = ts.enabled(*state);
         let mut successors = Vec::new();
         for &(event, target) in ts.transitions_from(*state) {
-            // Guard: the event's clock has reached its lower bound.
-            let lower = self.timed.delay(event).lower().as_i64();
-            let mut next = (**zone).clone();
-            next.constrain(0, Self::clock_of(event), Entry::le(-lower));
-            if next.is_empty() {
-                continue;
+            if let Some(next) = timed_successor(self.timed, zone, &enabled_here, event, target) {
+                successors.push((event, (target, Arc::new(next))));
             }
-            // Fire: reset the clocks of freshly enabled occurrences.
-            let enabled_after = ts.enabled(target);
-            for &e in &enabled_after {
-                let freshly_enabled = e == event || !enabled_here.contains(&e);
-                if freshly_enabled {
-                    next.reset(Self::clock_of(e));
-                }
-            }
-            next.canonicalize();
-            // Let time elapse under the target invariant.
-            next.up();
-            self.apply_invariant(&mut next, target);
-            next.canonicalize();
-            if next.is_empty() {
-                continue;
-            }
-            successors.push(((), (target, Arc::new(next))));
         }
         Ok(successors)
+    }
+
+    fn should_halt(
+        &self,
+        &(state, _): &Self::Config,
+        _successors: &[(EventId, Self::Config)],
+    ) -> bool {
+        let ts = self.timed.underlying();
+        match self.goal {
+            None => false,
+            Some(WitnessGoal::Violation) => !ts.violations(state).is_empty(),
+            Some(WitnessGoal::Deadlock) => ts.transitions_from(state).is_empty(),
+        }
     }
 
     fn subsumes(&self, stored: &Self::Config, candidate: &Self::Config) -> bool {
@@ -294,6 +338,7 @@ pub fn explore_timed_with(
     let space = ZoneSpace {
         timed,
         subsumption: options.subsumption,
+        goal: None,
         interner: Mutex::new((HashSet::new(), 0)),
     };
     let outcome = match explore::explore(
@@ -320,7 +365,14 @@ pub fn explore_timed_with(
             }
         }
     };
+    ZoneOutcome::Completed(aggregate_report(timed, &report))
+}
 
+/// Folds the raw exploration report into the state-level [`ZoneReport`].
+fn aggregate_report(
+    timed: &TimedTransitionSystem,
+    report: &explore::ExploreReport<(StateId, Arc<Dbm>), EventId>,
+) -> ZoneReport {
     let ts = timed.underlying();
     let reachable: BTreeSet<StateId> = report.nodes.iter().map(|node| node.config.0).collect();
     let violating_states = reachable
@@ -333,19 +385,338 @@ pub fn explore_timed_with(
         .copied()
         .filter(|&s| ts.transitions_from(s).is_empty())
         .collect();
-    ZoneOutcome::Completed(ZoneReport {
+    ZoneReport {
         reachable_states: reachable.iter().copied().collect(),
         violating_states,
         deadlock_states,
         configurations: report.expanded,
         subsumed_configurations: report.subsumption_skips,
-    })
+    }
+}
+
+/// The kind of state a symbolic witness search targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessGoal {
+    /// The first reachable state carrying a violation mark.
+    Violation,
+    /// The first reachable state with no outgoing transitions.
+    Deadlock,
+}
+
+/// A symbolic timed trace: the `(state, zone)` configurations along a
+/// breadth-first path of the zone graph, each zone carrying the clock bounds
+/// that hold on entry to its state.
+///
+/// Produced by [`find_witness`]; the path is a genuine timed execution (every
+/// step was generated by the timed successor relation), replayable with
+/// [`replay`](Self::replay) and annotatable with absolute firing-time windows
+/// through [`firing_windows`](Self::firing_windows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicTrace {
+    start: (StateId, Arc<Dbm>),
+    steps: Vec<(EventId, StateId, Arc<Dbm>)>,
+}
+
+/// The absolute-time window in which one step of a [`SymbolicTrace`] can
+/// fire, given everything that happened before it on the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiringWindow {
+    /// Earliest absolute time the step can fire.
+    pub earliest: Time,
+    /// Latest absolute time the step can fire (`Bound::Infinite` when the
+    /// prefix places no deadline on it).
+    pub latest: Bound,
+}
+
+impl std::fmt::Display for FiringWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.latest {
+            Bound::Finite(latest) => write!(f, "[{}, {}]", self.earliest, latest),
+            Bound::Infinite => write!(f, "[{}, inf)", self.earliest),
+        }
+    }
+}
+
+impl SymbolicTrace {
+    /// The initial configuration of the trace.
+    pub fn start(&self) -> (StateId, &Dbm) {
+        (self.start.0, &self.start.1)
+    }
+
+    /// The `(fired event, reached state, entry zone)` steps.
+    pub fn steps(&self) -> &[(EventId, StateId, Arc<Dbm>)] {
+        &self.steps
+    }
+
+    /// Number of fired events.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the trace fires no event (the goal holds initially).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The final (goal) state of the trace.
+    pub fn end_state(&self) -> StateId {
+        self.steps
+            .last()
+            .map_or(self.start.0, |&(_, state, _)| state)
+    }
+
+    /// The discrete `(event, target)` run underlying the trace, in the shape
+    /// the untimed trace utilities (e.g. `tts::EnablingTrace`) consume.
+    pub fn run(&self) -> Vec<(EventId, StateId)> {
+        self.steps
+            .iter()
+            .map(|&(event, state, _)| (event, state))
+            .collect()
+    }
+
+    /// Replays the trace through the timed successor relation and checks that
+    /// every recomputed zone equals the stored one. Returns the end state on
+    /// success, `None` if any step is infeasible or drifts from the recorded
+    /// zones (which would indicate a reconstruction bug).
+    pub fn replay(&self, timed: &TimedTransitionSystem) -> Option<StateId> {
+        let ts = timed.underlying();
+        let mut state = self.start.0;
+        let mut zone = self.start.1.clone();
+        for (event, target, recorded) in &self.steps {
+            if !ts.successors(state, *event).contains(target) {
+                return None;
+            }
+            let enabled_here = ts.enabled(state);
+            let next = timed_successor(timed, &zone, &enabled_here, *event, *target)?;
+            if next != **recorded {
+                return None;
+            }
+            zone = recorded.clone();
+            state = *target;
+        }
+        Some(state)
+    }
+
+    /// Absolute firing-time windows of the steps, computed by replaying the
+    /// path with one extra clock that is never reset (so its bounds at each
+    /// firing are the earliest and latest absolute times the step can happen
+    /// given the prefix). Returns `None` only if the path is infeasible,
+    /// which cannot happen for traces produced by [`find_witness`].
+    pub fn firing_windows(&self, timed: &TimedTransitionSystem) -> Option<Vec<FiringWindow>> {
+        path_firing_windows(timed, self.start.0, &self.run())
+    }
+}
+
+/// Computes the absolute firing-time window of every step of a discrete run
+/// through the timed semantics (see [`SymbolicTrace::firing_windows`]).
+///
+/// Works for any run of the underlying transition system, e.g. the failure
+/// trace of the relative-timing engine; returns `None` when some step is not
+/// a transition of the system or is not timed-feasible after its prefix.
+///
+/// # Examples
+///
+/// ```
+/// use dbm::path_firing_windows;
+/// use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+///
+/// let mut b = TsBuilder::new("chain");
+/// let s0 = b.add_state("s0");
+/// let s1 = b.add_state("s1");
+/// let s2 = b.add_state("s2");
+/// let a = b.add_transition(s0, "a", s1);
+/// let c = b.add_transition(s1, "b", s2);
+/// b.set_initial(s0);
+/// let mut timed = TimedTransitionSystem::new(b.build()?);
+/// timed.set_delay_by_name("a", DelayInterval::new(Time::new(1), Time::new(2))?);
+/// timed.set_delay_by_name("b", DelayInterval::new(Time::new(3), Time::new(4))?);
+/// let windows = path_firing_windows(&timed, s0, &[(a, s1), (c, s2)]).unwrap();
+/// // `a` fires at [1,2]; `b` fires 3 to 4 time units later.
+/// assert_eq!(windows[0].to_string(), "[1, 2]");
+/// assert_eq!(windows[1].to_string(), "[4, 6]");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn path_firing_windows(
+    timed: &TimedTransitionSystem,
+    start: StateId,
+    run: &[(EventId, StateId)],
+) -> Option<Vec<FiringWindow>> {
+    let ts = timed.underlying();
+    // One clock per event plus the absolute-time clock, which is never reset.
+    let absolute = ts.alphabet().len() + 1;
+    let mut zone = Dbm::zero(absolute);
+    zone.up();
+    apply_invariant(timed, &mut zone, start);
+    zone.canonicalize();
+    if zone.is_empty() {
+        return None;
+    }
+    let mut state = start;
+    let mut windows = Vec::with_capacity(run.len());
+    for &(event, target) in run {
+        if !ts.successors(state, event).contains(&target) {
+            return None;
+        }
+        // Constrain to the firing moment and read off the absolute clock.
+        let lower = timed.delay(event).lower().as_i64();
+        zone.constrain(0, clock_of(event), Entry::le(-lower));
+        if zone.is_empty() {
+            return None;
+        }
+        windows.push(FiringWindow {
+            earliest: Time::new(zone.lower_bound(absolute)),
+            latest: match zone.upper_bound(absolute) {
+                Some(value) => Bound::Finite(Time::new(value)),
+                None => Bound::Infinite,
+            },
+        });
+        // Commit the firing exactly as the successor relation does.
+        let enabled_here = ts.enabled(state);
+        for &e in &ts.enabled(target) {
+            if e == event || !enabled_here.contains(&e) {
+                zone.reset(clock_of(e));
+            }
+        }
+        zone.canonicalize();
+        zone.up();
+        apply_invariant(timed, &mut zone, target);
+        zone.canonicalize();
+        if zone.is_empty() {
+            return None;
+        }
+        state = target;
+    }
+    Some(windows)
+}
+
+/// Outcome of [`find_witness`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WitnessOutcome {
+    /// A goal state is timed-reachable; the trace ends at the first such
+    /// state in breadth-first order.
+    Found(SymbolicTrace),
+    /// The exploration completed without reaching the goal; the exact report
+    /// is attached.
+    Unreachable(ZoneReport),
+    /// The configuration limit was exceeded before the goal was decided.
+    LimitExceeded {
+        /// Number of configurations explored before aborting.
+        explored: usize,
+        /// Enqueued configurations skipped by zone subsumption (0 when
+        /// subsumption is disabled).
+        subsumed: usize,
+    },
+}
+
+impl WitnessOutcome {
+    /// The witness trace, if one was found.
+    pub fn trace(&self) -> Option<&SymbolicTrace> {
+        match self {
+            WitnessOutcome::Found(trace) => Some(trace),
+            _ => None,
+        }
+    }
+}
+
+/// Searches the timed state space for the first goal state in deterministic
+/// breadth-first order and reconstructs the symbolic trace leading to it.
+///
+/// The search runs on the shared exploration engine with parent tracking, so
+/// the returned trace — not just the verdict — is identical for every
+/// [`ZoneExplorationOptions::threads`] value, and subsumption only prunes
+/// configurations covered by already-found ones (the trace stays a genuine
+/// timed execution).
+///
+/// # Examples
+///
+/// ```
+/// use dbm::{find_witness, WitnessGoal, WitnessOutcome, ZoneExplorationOptions};
+/// use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
+///
+/// // With overlapping delays the slow event can overtake the fast one.
+/// let mut b = TsBuilder::new("race");
+/// let s0 = b.add_state("s0");
+/// let sf = b.add_state("fast-first");
+/// let ss = b.add_state("slow-first");
+/// b.add_transition(s0, "fast", sf);
+/// b.add_transition(s0, "slow", ss);
+/// b.mark_violation(ss, "slow overtook fast");
+/// b.set_initial(s0);
+/// let mut timed = TimedTransitionSystem::new(b.build()?);
+/// timed.set_delay_by_name("fast", DelayInterval::new(Time::new(1), Time::new(4))?);
+/// timed.set_delay_by_name("slow", DelayInterval::new(Time::new(2), Time::new(9))?);
+///
+/// let outcome = find_witness(
+///     &timed,
+///     ZoneExplorationOptions::default(),
+///     WitnessGoal::Violation,
+/// );
+/// let trace = outcome.trace().expect("violation is reachable");
+/// assert_eq!(trace.end_state(), ss);
+/// assert_eq!(trace.replay(&timed), Some(ss));
+/// let windows = trace.firing_windows(&timed).unwrap();
+/// // `slow` can fire first anywhere in [2, 4].
+/// assert_eq!(windows[0].to_string(), "[2, 4]");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn find_witness(
+    timed: &TimedTransitionSystem,
+    options: ZoneExplorationOptions,
+    goal: WitnessGoal,
+) -> WitnessOutcome {
+    let space = ZoneSpace {
+        timed,
+        subsumption: options.subsumption,
+        goal: Some(goal),
+        interner: Mutex::new((HashSet::new(), 0)),
+    };
+    let outcome = match explore::explore(
+        &space,
+        &ExploreOptions {
+            threads: options.threads,
+            expanded_limit: options.configuration_limit,
+            trace: TraceOptions::parents(),
+            ..ExploreOptions::default()
+        },
+    ) {
+        Ok(outcome) => outcome,
+        Err(infallible) => match infallible {},
+    };
+    let report = match outcome {
+        ExploreOutcome::Completed(report) => report,
+        ExploreOutcome::LimitExceeded {
+            expanded,
+            subsumption_skips,
+            ..
+        } => {
+            return WitnessOutcome::LimitExceeded {
+                explored: expanded,
+                subsumed: subsumption_skips,
+            }
+        }
+    };
+    if !report.halted {
+        return WitnessOutcome::Unreachable(aggregate_report(timed, &report));
+    }
+    let goal_node = report.nodes.len() - 1;
+    let (root, steps) = report
+        .path_to(goal_node)
+        .expect("witness search records parents");
+    let start = report.nodes[root].config.clone();
+    let steps = steps
+        .into_iter()
+        .map(|(event, node)| {
+            let (state, zone) = report.nodes[node].config.clone();
+            (event, state, zone)
+        })
+        .collect();
+    WitnessOutcome::Found(SymbolicTrace { start, steps })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tts::{DelayInterval, Time, TsBuilder};
+    use tts::{DelayInterval, TsBuilder};
 
     fn d(l: i64, u: i64) -> DelayInterval {
         DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
@@ -509,6 +880,120 @@ mod tests {
         assert_eq!(on.deadlock_states, off.deadlock_states);
         assert_sorted(&on);
         assert_sorted(&off);
+    }
+
+    /// The race with overlapping delays: the violating interleaving is
+    /// timed-reachable.
+    fn overlapping_race() -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("race");
+        let s0 = b.add_state("s0");
+        let sf = b.add_state("fast-first");
+        let ss = b.add_state("slow-first");
+        b.add_transition(s0, "fast", sf);
+        b.add_transition(s0, "slow", ss);
+        b.mark_violation(ss, "slow overtook fast");
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("fast", d(1, 4));
+        timed.set_delay_by_name("slow", d(2, 9));
+        timed
+    }
+
+    #[test]
+    fn witness_reaches_the_violating_state_and_replays() {
+        let timed = overlapping_race();
+        let outcome = find_witness(
+            &timed,
+            ZoneExplorationOptions::default(),
+            WitnessGoal::Violation,
+        );
+        let trace = outcome.trace().expect("violation reachable");
+        assert_eq!(trace.len(), 1);
+        let end = trace.end_state();
+        assert!(!timed.underlying().violations(end).is_empty());
+        assert_eq!(trace.replay(&timed), Some(end));
+        let windows = trace.firing_windows(&timed).unwrap();
+        assert_eq!(windows.len(), 1);
+        // `slow` must fire before `fast`'s deadline of 4 and after its own
+        // lower bound of 2.
+        assert_eq!(windows[0].earliest, Time::new(2));
+        assert_eq!(windows[0].latest, Bound::Finite(Time::new(4)));
+    }
+
+    #[test]
+    fn witness_is_identical_for_every_thread_count_and_subsumption() {
+        let timed = overlapping_race();
+        let base = find_witness(
+            &timed,
+            ZoneExplorationOptions::default(),
+            WitnessGoal::Violation,
+        );
+        for threads in [1, 2, 4] {
+            for subsumption in [true, false] {
+                let outcome = find_witness(
+                    &timed,
+                    ZoneExplorationOptions {
+                        threads,
+                        subsumption,
+                        ..ZoneExplorationOptions::default()
+                    },
+                    WitnessGoal::Violation,
+                );
+                let trace = outcome.trace().expect("violation reachable");
+                assert_eq!(trace.run(), base.trace().unwrap().run());
+                assert_eq!(trace.end_state(), base.trace().unwrap().end_state());
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_goal_returns_the_exact_report() {
+        let timed = race();
+        let outcome = find_witness(
+            &timed,
+            ZoneExplorationOptions::default(),
+            WitnessGoal::Violation,
+        );
+        match outcome {
+            WitnessOutcome::Unreachable(report) => {
+                let full = explore_timed(&timed).report().unwrap().clone();
+                assert_eq!(report, full);
+            }
+            other => panic!("expected unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_witness_walks_the_whole_race() {
+        let timed = race();
+        let outcome = find_witness(
+            &timed,
+            ZoneExplorationOptions::default(),
+            WitnessGoal::Deadlock,
+        );
+        let trace = outcome.trace().expect("deadlock reachable");
+        // fast then slow into the terminal `both` state.
+        assert_eq!(trace.len(), 2);
+        let end = trace.end_state();
+        assert!(timed.underlying().transitions_from(end).is_empty());
+        assert_eq!(trace.replay(&timed), Some(end));
+        let windows = trace.firing_windows(&timed).unwrap();
+        assert!(windows[0].earliest <= windows[1].earliest);
+    }
+
+    #[test]
+    fn witness_respects_the_configuration_limit() {
+        let timed = race();
+        let outcome = find_witness(
+            &timed,
+            ZoneExplorationOptions {
+                configuration_limit: 1,
+                ..ZoneExplorationOptions::default()
+            },
+            WitnessGoal::Deadlock,
+        );
+        assert!(matches!(outcome, WitnessOutcome::LimitExceeded { .. }));
+        assert!(outcome.trace().is_none());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct ExploreOptions {
     /// Record each node's `(edge, successor)` list in the report (needed by
     /// callers that rebuild a graph or replay the search; costs memory).
     pub record_edges: bool,
+    /// Witness-trace options (parent tracking). The default records nothing,
+    /// so the no-trace path keeps its memory profile untouched.
+    pub trace: TraceOptions,
 }
 
 impl Default for ExploreOptions {
@@ -32,6 +35,30 @@ impl Default for ExploreOptions {
             expanded_limit: usize::MAX,
             discovered_limit: usize::MAX,
             record_edges: false,
+            trace: TraceOptions::default(),
+        }
+    }
+}
+
+/// Options controlling witness-trace bookkeeping during an exploration.
+///
+/// Parent links are recorded by the single-threaded deterministic merge, so
+/// they are identical for every [`ExploreOptions::threads`] value; turning
+/// them on costs one `Option<(usize, Edge)>` per expanded node and per
+/// frontier entry, and nothing at all when left off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceOptions {
+    /// Record, for every expanded node, the node that first discovered it and
+    /// the edge it was discovered through (see [`ExploreReport::parents`] and
+    /// [`ExploreReport::path_to`]).
+    pub record_parents: bool,
+}
+
+impl TraceOptions {
+    /// Options with parent tracking switched on.
+    pub fn parents() -> Self {
+        TraceOptions {
+            record_parents: true,
         }
     }
 }
@@ -63,6 +90,40 @@ pub struct ExploreReport<C, E> {
     /// node is then the halting configuration (with its successors recorded
     /// even when `record_edges` is off).
     pub halted: bool,
+    /// Parent links, aligned with [`nodes`](Self::nodes): entry `i` names the
+    /// node that first discovered `nodes[i]` and the edge it was discovered
+    /// through (`None` for initial configurations). Empty unless
+    /// [`TraceOptions::record_parents`] was set.
+    pub parents: Vec<Option<(usize, E)>>,
+}
+
+impl<C, E: Clone> ExploreReport<C, E> {
+    /// Reconstructs the breadth-first discovery path from an initial
+    /// configuration to `nodes[node]` using the recorded parent links:
+    /// returns the root node index and the `(edge, node index)` steps fired
+    /// along the path. The path is a genuine path of the search space — every
+    /// recorded parent actually produced its child through
+    /// [`SearchSpace::expand`] — and is identical for every thread count.
+    ///
+    /// Returns `None` if parent tracking was off or `node` is out of range.
+    pub fn path_to(&self, node: usize) -> Option<(usize, Vec<(E, usize)>)> {
+        if self.parents.len() != self.nodes.len() {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut current = node;
+        loop {
+            match self.parents.get(current)? {
+                None => break,
+                Some((parent, edge)) => {
+                    steps.push((edge.clone(), current));
+                    current = *parent;
+                }
+            }
+        }
+        steps.reverse();
+        Some((current, steps))
+    }
 }
 
 /// Outcome of [`explore`].
@@ -123,17 +184,26 @@ pub fn explore<S: SearchSpace>(
     // never fire and is skipped entirely.
     let stale_possible = space.uses_subsumption();
 
+    let tracing = options.trace.record_parents;
+
     let mut nodes: Vec<ExploredNode<S::Config, S::Edge>> = Vec::new();
+    let mut parents: Vec<Option<(usize, S::Edge)>> = Vec::new();
     let mut expanded = 0usize;
     let mut discovered = 0usize;
     let mut subsumption_skips = 0usize;
     let mut halted = false;
 
     let mut frontier: Vec<S::Config> = Vec::new();
+    // Aligned with `frontier` when tracing: the committed node that
+    // discovered each enqueued configuration, and through which edge.
+    let mut frontier_parents: Vec<Option<(usize, S::Edge)>> = Vec::new();
     for config in space.initial()? {
         if let Some(stored) = seen.push(space, config) {
             discovered += 1;
             frontier.push(stored);
+            if tracing {
+                frontier_parents.push(None);
+            }
         }
     }
 
@@ -146,6 +216,7 @@ pub fn explore<S: SearchSpace>(
 
     'search: while !frontier.is_empty() && !halted {
         let mut next: Vec<S::Config> = Vec::new();
+        let mut next_parents: Vec<Option<(usize, S::Edge)>> = Vec::new();
         for batch_start in (0..frontier.len()).step_by(batch_size.max(1)) {
             let batch = &frontier[batch_start..(batch_start + batch_size).min(frontier.len())];
             // Expand the batch speculatively when it is wide enough to
@@ -194,6 +265,10 @@ pub fn explore<S: SearchSpace>(
                         (halt, successors)
                     }
                 };
+                let node_index = nodes.len();
+                if tracing {
+                    parents.push(frontier_parents[batch_start + i].clone());
+                }
                 if halt {
                     nodes.push(ExploredNode {
                         config: config.clone(),
@@ -202,10 +277,13 @@ pub fn explore<S: SearchSpace>(
                     halted = true;
                     break 'search;
                 }
-                for (_, successor) in &successors {
+                for (edge, successor) in &successors {
                     if let Some(stored) = seen.push(space, successor.clone()) {
                         discovered += 1;
                         next.push(stored);
+                        if tracing {
+                            next_parents.push(Some((node_index, edge.clone())));
+                        }
                     }
                 }
                 nodes.push(ExploredNode {
@@ -219,6 +297,7 @@ pub fn explore<S: SearchSpace>(
             }
         }
         frontier = next;
+        frontier_parents = next_parents;
     }
 
     Ok(ExploreOutcome::Completed(ExploreReport {
@@ -227,6 +306,7 @@ pub fn explore<S: SearchSpace>(
         discovered,
         subsumption_skips,
         halted,
+        parents,
     }))
 }
 
@@ -548,6 +628,78 @@ mod tests {
             // Only configs at distance <= 3 can have been expanded.
             assert!(report.nodes.iter().all(|n| n.config.0 + n.config.1 <= 3));
         }
+    }
+
+    #[test]
+    fn parent_tracking_reconstructs_breadth_first_paths() {
+        for threads in [1, 4] {
+            let report = completed(
+                &Grid { side: 4 },
+                &ExploreOptions {
+                    threads,
+                    trace: TraceOptions::parents(),
+                    ..ExploreOptions::default()
+                },
+            );
+            assert_eq!(report.parents.len(), report.nodes.len());
+            // Every node's path replays through the grid moves back to the
+            // origin, and its length is the node's Manhattan distance.
+            for (i, node) in report.nodes.iter().enumerate() {
+                let (root, steps) = report.path_to(i).expect("parents recorded");
+                assert_eq!(report.nodes[root].config, (0, 0));
+                assert_eq!(steps.len() as u64, node.config.0 + node.config.1);
+                let mut at = (0u64, 0u64);
+                for (edge, target) in &steps {
+                    match edge {
+                        'x' => at.0 += 1,
+                        'y' => at.1 += 1,
+                        other => panic!("unexpected edge {other}"),
+                    }
+                    assert_eq!(report.nodes[*target].config, at);
+                }
+                assert_eq!(at, node.config);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_tracking_is_identical_across_thread_counts() {
+        let options = |threads| ExploreOptions {
+            threads,
+            trace: TraceOptions::parents(),
+            ..ExploreOptions::default()
+        };
+        let sequential = completed(&Widening, &options(1));
+        let parallel = completed(&Widening, &options(4));
+        assert_eq!(sequential, parallel);
+        assert!(!sequential.parents.is_empty());
+    }
+
+    #[test]
+    fn path_to_without_tracking_returns_none() {
+        let report = completed(&Grid { side: 3 }, &ExploreOptions::default());
+        assert!(report.parents.is_empty());
+        assert!(report.path_to(0).is_none());
+    }
+
+    #[test]
+    fn halting_node_has_a_path() {
+        let report = completed(
+            &GoalGrid {
+                side: 6,
+                goal: (2, 1),
+            },
+            &ExploreOptions {
+                trace: TraceOptions::parents(),
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(report.halted);
+        let last = report.nodes.len() - 1;
+        let (root, steps) = report.path_to(last).expect("parents recorded");
+        assert_eq!(report.nodes[root].config, (0, 0));
+        assert_eq!(steps.len(), 3);
+        assert_eq!(report.nodes[steps.last().unwrap().1].config, (2, 1));
     }
 
     /// A space whose expansion fails on one configuration.

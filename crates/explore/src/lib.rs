@@ -18,6 +18,14 @@
 //!   loops it replaced. With more threads each breadth-first level is
 //!   expanded speculatively in parallel and committed by a deterministic
 //!   ordered merge, so **any thread count produces the identical result**.
+//! * [`TraceOptions`] — optional witness bookkeeping: with parent tracking
+//!   on, the report records for every expanded configuration the node that
+//!   first discovered it and the edge it was discovered through, and
+//!   [`ExploreReport::path_to`] reconstructs the breadth-first discovery
+//!   path to any node. Parents are recorded by the deterministic merge, so
+//!   reconstructed traces are identical for every thread count; the
+//!   counterexample traces of the `transyt` engine, the marking paths of
+//!   `stg` and the symbolic timed traces of `dbm` are all built on this.
 //!
 //! # Determinism
 //!
@@ -93,5 +101,7 @@ mod driver;
 mod seen;
 mod space;
 
-pub use driver::{explore, ExploreOptions, ExploreOutcome, ExploreReport, ExploredNode};
+pub use driver::{
+    explore, ExploreOptions, ExploreOutcome, ExploreReport, ExploredNode, TraceOptions,
+};
 pub use space::SearchSpace;

@@ -12,8 +12,13 @@ use crate::space::SearchSpace;
 ///
 /// Buckets are *antichains* of the subsumption relation: a configuration is
 /// only stored if no stored configuration subsumes it, and storing it prunes
-/// every stored configuration it subsumes. With the default exact-dedup
-/// relation every bucket therefore holds at most one configuration.
+/// every stored configuration it subsumes.
+///
+/// With the default exact-dedup relation any stored configuration with the
+/// same key *is* the candidate, so buckets are kept empty and the key's
+/// presence alone answers every query — spaces whose key is the whole
+/// configuration (e.g. the STG marking search) then store each
+/// configuration once instead of twice.
 ///
 /// Sharding lets worker threads consult the map (read-only prefilter) while
 /// holding each shard only briefly; all *mutation* happens in the
@@ -51,6 +56,17 @@ impl<S: SearchSpace> SeenMap<S> {
     pub(crate) fn push(&self, space: &S, config: S::Config) -> Option<S::Config> {
         let key = space.key(&config);
         let mut shard = self.shard(&key).lock().expect("seen shard poisoned");
+        if !space.uses_subsumption() {
+            // Exact deduplication: the key's presence is the whole answer,
+            // so nothing needs to live in the bucket.
+            return match shard.entry(key) {
+                std::collections::hash_map::Entry::Occupied(_) => None,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(Vec::new());
+                    Some(space.intern(config))
+                }
+            };
+        }
         let bucket = shard.entry(key).or_default();
         if bucket.iter().any(|stored| space.subsumes(stored, &config)) {
             return None;
@@ -63,10 +79,15 @@ impl<S: SearchSpace> SeenMap<S> {
 
     /// Returns `true` if `config` itself is still stored under its key —
     /// i.e. it has not been pruned by a strictly subsuming arrival since it
-    /// was enqueued (the pop-time subsumption check).
+    /// was enqueued (the pop-time subsumption check; under exact
+    /// deduplication stored configurations are never pruned, so the key's
+    /// presence suffices).
     pub(crate) fn contains(&self, space: &S, config: &S::Config) -> bool {
         let key = space.key(config);
         let shard = self.shard(&key).lock().expect("seen shard poisoned");
+        if !space.uses_subsumption() {
+            return shard.contains_key(&key);
+        }
         shard
             .get(&key)
             .is_some_and(|bucket| bucket.iter().any(|stored| stored == config))
@@ -78,6 +99,9 @@ impl<S: SearchSpace> SeenMap<S> {
     pub(crate) fn covers(&self, space: &S, candidate: &S::Config) -> bool {
         let key = space.key(candidate);
         let shard = self.shard(&key).lock().expect("seen shard poisoned");
+        if !space.uses_subsumption() {
+            return shard.contains_key(&key);
+        }
         shard.get(&key).is_some_and(|bucket| {
             bucket
                 .iter()

@@ -1,0 +1,224 @@
+//! Pulse-level STG models of closed IPCMOS pipelines, for export to the
+//! textual model format consumed by the `transyt` CLI.
+//!
+//! The transistor-level pipeline of [`flat_pipeline`](crate::flat_pipeline)
+//! is built by circuit elaboration and cannot be written down as a Petri
+//! net; this module instead models the same pipeline one level up, at the
+//! pulse-protocol granularity of §3.1 of the paper: negative `VALID` pulses
+//! carry data forward, positive `ACK` pulses acknowledge it, and each stage
+//! fires a local clock pulse `CLKE` when it captures an item. The result is
+//! a live, 1-safe marked graph whose expansion is a faithful abstraction of
+//! the interlocking behaviour (Fig. 7), small enough to ship as a readable
+//! text file yet rich enough to exercise every verifier of the workspace.
+
+use stg::{SignalRole, Stg, StgBuilder};
+use tts::{DelayInterval, Time};
+
+use crate::env::Interface;
+
+/// A pulse-level pipeline model ready for export: the net together with the
+/// delay annotations and the safety property of its verification.
+#[derive(Debug, Clone)]
+pub struct StgPipelineModel {
+    /// The closed pipeline net (supplier, `n` stages, consumer).
+    pub net: Stg,
+    /// Delay intervals per transition label (the Fig. 13 delay structure).
+    pub delays: Vec<(String, DelayInterval)>,
+    /// Events whose persistency the verification must establish (the local
+    /// clock edges of every stage).
+    pub persistent_events: Vec<String>,
+}
+
+fn d(l: i64, u: i64) -> DelayInterval {
+    DelayInterval::new(Time::new(l), Time::new(u)).expect("static delay interval")
+}
+
+/// Builds the pulse-level STG of a closed `n`-stage IPCMOS pipeline.
+///
+/// The net composes the pulse-driven supplier `IN` (interface 0), `n` stage
+/// control skeletons (local clock `CLKE_k`, acknowledge to the supplier,
+/// data launch to the consumer side) and the pulse-driven consumer `OUT`
+/// (interface `n`) into one marked graph. Delays follow the lumped paths of
+/// the transistor-level stage: `[1,2]` capture switch, `[3,4]` clock pulse,
+/// `[8,11]` acknowledge chain, `[15,20]` `VALID` pulse width.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+///
+/// # Examples
+///
+/// ```
+/// let model = ipcmos::pipeline_stg(1);
+/// let ts = stg::expand(&model.net).unwrap();
+/// assert!(ts.deadlock_states().is_empty());
+/// ```
+pub fn pipeline_stg(n: usize) -> StgPipelineModel {
+    assert!(n > 0, "a pipeline needs at least one stage");
+    let mut b = StgBuilder::new(format!("ipcmos_{n}stage"));
+
+    // All interface and clock transitions up front, so arcs can reference
+    // transitions of neighbouring blocks.
+    let interfaces: Vec<Interface> = (0..=n).map(Interface::new).collect();
+    let mut v_fall = Vec::new();
+    let mut v_rise = Vec::new();
+    let mut a_rise = Vec::new();
+    let mut a_fall = Vec::new();
+    for (i, interface) in interfaces.iter().enumerate() {
+        // The supplier drives interface 0; everything else is produced
+        // inside the closed model.
+        let valid_role = if i == 0 {
+            SignalRole::Input
+        } else {
+            SignalRole::Output
+        };
+        v_fall.push(b.add_transition(&interface.valid_fall, valid_role));
+        v_rise.push(b.add_transition(&interface.valid_rise, valid_role));
+        a_rise.push(b.add_transition(&interface.ack_rise, SignalRole::Output));
+        a_fall.push(b.add_transition(&interface.ack_fall, SignalRole::Output));
+    }
+    let mut clke_rise = Vec::new();
+    let mut clke_fall = Vec::new();
+    for k in 1..=n {
+        clke_rise.push(b.add_transition(format!("CLKE_{k}+"), SignalRole::Internal));
+        clke_fall.push(b.add_transition(format!("CLKE_{k}-"), SignalRole::Internal));
+    }
+
+    // Interface pulse shapes: VALID falls then rises, ACK rises then falls,
+    // and each pair alternates.
+    for i in 0..=n {
+        b.connect(v_fall[i], v_rise[i], 0);
+        b.connect(v_rise[i], v_fall[i], 1);
+        b.connect(a_rise[i], a_fall[i], 0);
+        b.connect(a_fall[i], a_rise[i], 1);
+        // Interlock: no new data on an interface before the acknowledge
+        // pulse of the previous item has completed (IN's behaviour on
+        // interface 0, each stage's on its output interface).
+        b.connect(a_fall[i], v_fall[i], 1);
+    }
+
+    // Stage k: data arrival on interface k-1 fires the local clock, which
+    // acknowledges upstream; the clock pulse ends once the acknowledge is
+    // out, and the item is launched downstream after the pulse — the
+    // interlocked sequencing of §3.1 that keeps neighbouring stages from
+    // racing each other.
+    for k in 1..=n {
+        let clke_up = clke_rise[k - 1];
+        let clke_down = clke_fall[k - 1];
+        b.connect(v_fall[k - 1], clke_up, 0);
+        b.connect(clke_down, clke_up, 1);
+        b.connect(clke_up, a_rise[k - 1], 0);
+        b.connect(a_rise[k - 1], clke_down, 0);
+        b.connect(clke_down, v_fall[k], 0);
+        // The stage only captures a new item once the previous one has been
+        // launched downstream (keeps the net 1-safe).
+        b.connect(v_fall[k], clke_up, 1);
+    }
+
+    // OUT: a low VALID on interface n is acknowledged with a positive pulse.
+    b.connect(v_fall[n], a_rise[n], 0);
+
+    let net = b.build().expect("pipeline net is well formed");
+
+    let mut delays = Vec::new();
+    for (i, interface) in interfaces.iter().enumerate() {
+        if i == 0 {
+            // Minimum spacing before the supplier offers new data.
+            delays.push((
+                interface.valid_fall.clone(),
+                DelayInterval::at_least(Time::new(5)).expect("static delay interval"),
+            ));
+        } else {
+            // Delay-matching path of the launching stage.
+            delays.push((interface.valid_fall.clone(), d(2, 3)));
+        }
+        // Pulse-width restriction of §3.1: the VALID pulse outlives the
+        // capture but ends before the stage re-arms.
+        delays.push((interface.valid_rise.clone(), d(15, 20)));
+        // Lumped acknowledge chain and its reset.
+        delays.push((interface.ack_rise.clone(), d(8, 11)));
+        delays.push((interface.ack_fall.clone(), d(6, 10)));
+    }
+    let mut persistent_events = Vec::new();
+    for k in 1..=n {
+        delays.push((format!("CLKE_{k}+"), d(1, 2)));
+        delays.push((format!("CLKE_{k}-"), d(3, 4)));
+        persistent_events.push(format!("CLKE_{k}+"));
+        persistent_events.push(format!("CLKE_{k}-"));
+    }
+
+    StgPipelineModel {
+        net,
+        delays,
+        persistent_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transyt::{verify, SafetyProperty, Verdict, VerifyOptions};
+    use tts::TimedTransitionSystem;
+
+    fn timed_model(n: usize) -> (StgPipelineModel, TimedTransitionSystem) {
+        let model = pipeline_stg(n);
+        let ts = stg::expand(&model.net).unwrap();
+        let mut timed = TimedTransitionSystem::new(ts);
+        for (label, delay) in &model.delays {
+            timed.set_delay_by_name(label, *delay);
+        }
+        (model, timed)
+    }
+
+    #[test]
+    fn pipelines_expand_to_live_consistent_graphs() {
+        for n in 1..=3 {
+            let model = pipeline_stg(n);
+            let ts = stg::expand(&model.net).unwrap();
+            assert!(
+                ts.deadlock_states().is_empty(),
+                "{n}-stage pipeline deadlocks"
+            );
+            assert!(ts.state_count() >= 4 * n);
+        }
+    }
+
+    #[test]
+    fn every_delay_label_names_a_transition() {
+        let model = pipeline_stg(2);
+        let by_label = model.net.transitions_by_label();
+        for (label, _) in &model.delays {
+            assert!(by_label.contains_key(label.as_str()), "unknown {label}");
+        }
+        for label in &model.persistent_events {
+            assert!(by_label.contains_key(label.as_str()), "unknown {label}");
+        }
+    }
+
+    #[test]
+    fn one_stage_pipeline_verifies() {
+        let (model, timed) = timed_model(1);
+        let property = SafetyProperty::new("ipcmos_1stage pulse protocol")
+            .require_deadlock_freedom()
+            .require_persistency(model.persistent_events.iter().cloned());
+        let verdict = verify(&timed, &property, &VerifyOptions::default());
+        assert!(
+            matches!(verdict, Verdict::Verified(_)),
+            "1-stage pulse model: {verdict}"
+        );
+    }
+
+    #[test]
+    fn pipeline_moves_items_through_every_stage() {
+        let (_, timed) = timed_model(2);
+        let trace = crate::simulate(&timed, 60);
+        for signal in [
+            "VALID0-", "ACK0+", "CLKE_1+", "VALID1-", "CLKE_2+", "VALID2-", "ACK2+",
+        ] {
+            assert!(
+                !trace.times_of(signal).is_empty(),
+                "{signal} never fires in the pulse-level pipeline"
+            );
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 mod env;
 mod experiments;
+mod export;
 mod sim;
 mod stage;
 
@@ -41,5 +42,6 @@ pub use experiments::{
     experiment_5_with, flat_pipeline, flat_pipeline_persistent_events, refinement_count, table_1,
     table_1_with, verification_report, ExperimentError,
 };
+pub use export::{pipeline_stg, StgPipelineModel};
 pub use sim::{simulate, SimEvent, SimTrace};
 pub use stage::{stage_circuit, stage_model, transistor_count, StageSignals};

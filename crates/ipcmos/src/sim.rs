@@ -26,6 +26,13 @@ pub struct SimTrace {
 }
 
 impl SimTrace {
+    /// Builds a trace from pre-computed events (e.g. a verifier's witness run
+    /// annotated with firing times), so any timed trace can reuse the
+    /// [`waveform`](Self::waveform) rendering.
+    pub fn from_events(events: Vec<SimEvent>) -> Self {
+        SimTrace { events }
+    }
+
     /// The fired events in firing order.
     pub fn events(&self) -> &[SimEvent] {
         &self.events

@@ -39,5 +39,6 @@ mod reach;
 
 pub use net::{BuildStgError, Marking, PlaceId, SignalRole, Stg, StgBuilder, TransitionId};
 pub use reach::{
-    expand, expand_with, expand_with_report, signals, ExpandError, ExpandOptions, ReachReport,
+    expand, expand_with, expand_with_report, find_marking_path, signals, ExpandError,
+    ExpandOptions, MarkingPath, ReachReport,
 };

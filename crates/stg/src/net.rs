@@ -19,6 +19,11 @@ impl PlaceId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Creates an id from a raw index (must be below the net's place count).
+    pub fn from_index(index: usize) -> Self {
+        PlaceId(index as u32)
+    }
 }
 
 impl fmt::Display for PlaceId {
@@ -35,6 +40,12 @@ impl TransitionId {
     /// Returns the raw index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Creates an id from a raw index (must be below the net's transition
+    /// count).
+    pub fn from_index(index: usize) -> Self {
+        TransitionId(index as u32)
     }
 }
 

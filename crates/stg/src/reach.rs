@@ -17,7 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use explore::{ExploreOptions, ExploreOutcome, SearchSpace};
+use explore::{ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
 use tts::{SignalEdge, StateId, TransitionSystem, TsBuilder};
 
 use crate::net::{Marking, SignalRole, Stg, TransitionId};
@@ -195,6 +195,23 @@ pub fn expand_with(net: &Stg, options: ExpandOptions) -> Result<TransitionSystem
 /// # Errors
 ///
 /// See [`expand`].
+///
+/// # Examples
+///
+/// ```
+/// use stg::{expand_with_report, ExpandOptions, SignalRole, StgBuilder};
+/// let mut b = StgBuilder::new("toggle");
+/// let up = b.add_transition("X+", SignalRole::Output);
+/// let down = b.add_transition("X-", SignalRole::Output);
+/// b.connect(up, down, 0);
+/// b.connect(down, up, 1);
+/// let (ts, report) = expand_with_report(&b.build()?, ExpandOptions::default())?;
+/// assert_eq!(report.markings, 2);
+/// assert_eq!(report.firings, 2);
+/// assert_eq!(report.reachable_states.len(), ts.state_count());
+/// assert!(report.deadlock_states.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn expand_with_report(
     net: &Stg,
     options: ExpandOptions,
@@ -282,6 +299,163 @@ pub fn expand_with_report(
         firings,
     };
     Ok((ts, report))
+}
+
+/// A witness firing sequence from the initial marking to a target marking.
+///
+/// Produced by [`find_marking_path`]; replayable through the token game with
+/// [`replay`](Self::replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkingPath {
+    /// The marking the path starts from (the net's initial marking).
+    pub start: Marking,
+    /// The fired `(transition, reached marking)` steps, in firing order.
+    pub steps: Vec<(TransitionId, Marking)>,
+}
+
+impl MarkingPath {
+    /// The marking the path ends at.
+    pub fn end(&self) -> &Marking {
+        self.steps.last().map_or(&self.start, |(_, m)| m)
+    }
+
+    /// Number of fired transitions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the goal already holds in the initial marking.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The labels of the fired transitions, in order.
+    pub fn labels<'a>(&self, net: &'a Stg) -> Vec<&'a str> {
+        self.steps.iter().map(|&(t, _)| net.label(t)).collect()
+    }
+
+    /// Replays the path through the token game of `net`, checking each step
+    /// fires an enabled transition into the recorded marking. Returns the end
+    /// marking on success, `None` on any mismatch.
+    pub fn replay(&self, net: &Stg) -> Option<Marking> {
+        let mut marking = self.start.clone();
+        for (t, recorded) in &self.steps {
+            let next = net.fire(&marking, *t)?;
+            if next != *recorded {
+                return None;
+            }
+            marking = next;
+        }
+        Some(marking)
+    }
+}
+
+/// The marking space extended with a goal predicate that halts the search.
+struct GoalSpace<'a, G> {
+    inner: MarkingSpace<'a>,
+    goal: G,
+}
+
+impl<G: Fn(&Marking) -> bool + Sync> SearchSpace for GoalSpace<'_, G> {
+    type Config = Marking;
+    type Key = Marking;
+    type Edge = TransitionId;
+    type Error = ExpandError;
+
+    fn initial(&self) -> Result<Vec<Marking>, ExpandError> {
+        self.inner.initial()
+    }
+
+    fn key(&self, config: &Marking) -> Marking {
+        self.inner.key(config)
+    }
+
+    fn expand(&self, marking: &Marking) -> Result<Vec<(TransitionId, Marking)>, ExpandError> {
+        self.inner.expand(marking)
+    }
+
+    fn should_halt(&self, marking: &Marking, _: &[(TransitionId, Marking)]) -> bool {
+        (self.goal)(marking)
+    }
+}
+
+/// Searches the reachability graph breadth-first for the first marking
+/// satisfying `goal` and returns the witness firing sequence leading to it,
+/// or `None` when no reachable marking satisfies the goal.
+///
+/// The search runs on the shared exploration engine with parent tracking, so
+/// the returned path — not just its existence — is identical for every
+/// [`ExpandOptions::threads`] value.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] if the net is unbounded or the marking limit is
+/// exceeded before the goal is decided.
+///
+/// # Examples
+///
+/// ```
+/// use stg::{find_marking_path, ExpandOptions, SignalRole, StgBuilder};
+/// let mut b = StgBuilder::new("toggle");
+/// let up = b.add_transition("X+", SignalRole::Output);
+/// let down = b.add_transition("X-", SignalRole::Output);
+/// b.connect(up, down, 0);
+/// b.connect(down, up, 1);
+/// let net = b.build()?;
+/// // Path to the first marking that enables X-.
+/// let path = find_marking_path(&net, ExpandOptions::default(), |m| {
+///     net.enabled(m).iter().any(|&t| net.label(t) == "X-")
+/// })?
+/// .expect("X- becomes enabled");
+/// assert_eq!(path.labels(&net), vec!["X+"]);
+/// assert_eq!(path.replay(&net).as_ref(), Some(path.end()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn find_marking_path<G>(
+    net: &Stg,
+    options: ExpandOptions,
+    goal: G,
+) -> Result<Option<MarkingPath>, ExpandError>
+where
+    G: Fn(&Marking) -> bool + Sync,
+{
+    let space = GoalSpace {
+        inner: MarkingSpace {
+            net,
+            token_bound: options.token_bound,
+        },
+        goal,
+    };
+    let outcome = explore::explore(
+        &space,
+        &ExploreOptions {
+            threads: options.threads,
+            discovered_limit: options.marking_limit,
+            trace: TraceOptions::parents(),
+            ..ExploreOptions::default()
+        },
+    )?;
+    let search = match outcome {
+        ExploreOutcome::Completed(report) => report,
+        ExploreOutcome::LimitExceeded { .. } => {
+            return Err(ExpandError::TooManyMarkings {
+                limit: options.marking_limit,
+            })
+        }
+    };
+    if !search.halted {
+        return Ok(None);
+    }
+    let goal_node = search.nodes.len() - 1;
+    let (root, steps) = search
+        .path_to(goal_node)
+        .expect("goal search records parents");
+    let start = search.nodes[root].config.clone();
+    let steps = steps
+        .into_iter()
+        .map(|(transition, node)| (transition, search.nodes[node].config.clone()))
+        .collect();
+    Ok(Some(MarkingPath { start, steps }))
 }
 
 /// Verifies that along every reachable transition sequence, rising and
@@ -481,6 +655,78 @@ mod tests {
         assert_eq!(report.reachable_states.len(), ts.state_count());
         assert!(report.deadlock_states.is_empty());
         assert!(report.reachable_states.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn marking_path_reaches_a_deadlock_and_replays() {
+        // X+ then X- into a sink: the final marking is a deadlock.
+        let mut b = StgBuilder::new("sink");
+        let up = b.add_transition("X+", SignalRole::Output);
+        let down = b.add_transition("X-", SignalRole::Output);
+        b.connect(up, down, 0);
+        let start = b.add_place("start", 1);
+        b.arc_in(start, up);
+        let net = b.build().unwrap();
+        let path = find_marking_path(&net, ExpandOptions::default(), |m| {
+            net.enabled(m).is_empty()
+        })
+        .unwrap()
+        .expect("deadlock reachable");
+        assert_eq!(path.labels(&net), vec!["X+", "X-"]);
+        let end = path.replay(&net).unwrap();
+        assert_eq!(&end, path.end());
+        assert!(net.enabled(&end).is_empty());
+    }
+
+    #[test]
+    fn marking_path_is_identical_across_thread_counts() {
+        let mut b = StgBuilder::new("wide");
+        for name in ["A", "B", "C"] {
+            let up = b.add_transition(format!("{name}+"), SignalRole::Output);
+            let down = b.add_transition(format!("{name}-"), SignalRole::Output);
+            b.connect(up, down, 0);
+            b.connect(down, up, 1);
+        }
+        let net = b.build().unwrap();
+        // Goal: all three signals high at once.
+        let goal = |m: &Marking| net.enabled(m).iter().all(|&t| net.label(t).ends_with('-'));
+        let sequential = find_marking_path(&net, ExpandOptions::default(), goal)
+            .unwrap()
+            .expect("reachable");
+        for threads in [2, 4] {
+            let parallel = find_marking_path(
+                &net,
+                ExpandOptions {
+                    threads,
+                    ..ExpandOptions::default()
+                },
+                goal,
+            )
+            .unwrap()
+            .expect("reachable");
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+        assert_eq!(sequential.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_goal_returns_none() {
+        let net = toggle();
+        let path = find_marking_path(&net, ExpandOptions::default(), |m| {
+            m.iter().all(|&t| t == 0)
+        })
+        .unwrap();
+        assert!(path.is_none());
+    }
+
+    #[test]
+    fn goal_holding_initially_yields_the_empty_path() {
+        let net = toggle();
+        let path = find_marking_path(&net, ExpandOptions::default(), |_| true)
+            .unwrap()
+            .expect("initial marking satisfies the goal");
+        assert!(path.is_empty());
+        assert_eq!(path.end(), &net.initial_marking());
     }
 
     #[test]
