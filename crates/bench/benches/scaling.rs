@@ -39,6 +39,7 @@ fn scaling(c: &mut Criterion) {
                         configuration_limit: 3_000,
                         threads,
                         subsumption,
+                        ..ZoneExplorationOptions::default()
                     },
                 )
             })

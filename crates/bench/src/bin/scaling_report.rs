@@ -101,6 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     configuration_limit: limit,
                     threads: spec.threads,
                     subsumption: spec.subsumption,
+                    ..ZoneExplorationOptions::default()
                 },
             );
             let millis = started.elapsed().as_millis();
@@ -111,7 +112,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     report.subsumed_configurations,
                     report.configurations.to_string(),
                 ),
-                ZoneOutcome::LimitExceeded { explored, subsumed } => (
+                ZoneOutcome::LimitExceeded { explored, subsumed }
+                | ZoneOutcome::Cancelled { explored, subsumed } => (
                     false,
                     *explored,
                     *subsumed,

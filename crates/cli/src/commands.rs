@@ -16,10 +16,11 @@ use dbm::{
 };
 use ipcmos::{SimEvent, SimTrace};
 use stg::{ExpandOptions, Marking, Stg};
-use transyt::{Verdict, VerifyOptions};
+use transyt::{CancelToken, Verdict, VerifyOptions};
 use tts::{Bound, EventId, SignalEdge, StateId, Time, TimedTransitionSystem, TransitionSystem};
 
 use crate::format::{Model, ModelSource};
+use crate::json::{self, ReachGoal};
 
 /// Options shared by the subcommands (parsed from the command line).
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct Options {
     pub limit: Option<usize>,
     /// Target label for `reach --to LABEL`.
     pub to_label: Option<String>,
+    /// Cooperative cancellation of the command's explorations (used by the
+    /// server's job queue; the one-shot CLI leaves the inert default).
+    pub cancel: CancelToken,
 }
 
 impl Default for Options {
@@ -45,6 +49,7 @@ impl Default for Options {
             trace: false,
             limit: None,
             to_label: None,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -130,35 +135,6 @@ impl RenderedTrace {
         out.push_str(&format!("  end state: {}\n", self.end));
     }
 
-    fn json(&self) -> Value {
-        let steps: Vec<Value> = self
-            .steps
-            .iter()
-            .map(|step| {
-                let mut doc = Value::object()
-                    .field("event", step.event.as_str())
-                    .field("state", step.state.as_str());
-                if let Some(window) = step.window {
-                    doc = doc
-                        .field("earliest", window.earliest.as_i64().max(0) as usize)
-                        .field(
-                            "latest",
-                            match window.latest {
-                                Bound::Finite(t) => Value::UInt(t.as_i64().max(0) as u128),
-                                Bound::Infinite => Value::Str("inf".to_owned()),
-                            },
-                        );
-                }
-                doc
-            })
-            .collect();
-        Value::object()
-            .field("kind", self.kind)
-            .field("start", self.start.as_str())
-            .field("end", self.end.as_str())
-            .field("steps", steps)
-    }
-
     /// Renders an ASCII waveform of the trace's signal edges (reusing the
     /// Fig. 7 renderer), or `None` when fewer than two steps carry a signal
     /// edge and a firing time.
@@ -230,27 +206,6 @@ pub fn asap_run(timed: &TimedTransitionSystem, max_events: usize) -> Vec<(EventI
     steps
 }
 
-fn verdict_json(verdict: &Verdict) -> Value {
-    let report = verdict.report();
-    let constraints: Vec<Value> = report
-        .constraints
-        .iter()
-        .map(|c| Value::Str(c.to_string()))
-        .collect();
-    Value::object()
-        .field(
-            "verdict",
-            match verdict {
-                Verdict::Verified(_) => "verified",
-                Verdict::Failed { .. } => "failed",
-                Verdict::Inconclusive { .. } => "inconclusive",
-            },
-        )
-        .field("refinements", report.refinements)
-        .field("explored_states", report.explored_states)
-        .field("constraints", constraints)
-}
-
 /// `transyt verify FILE`: run the relative-timing engine on the model's
 /// property and (with `--trace`) print a timed counterexample or witness.
 pub fn cmd_verify(model: &Model, options: &Options) -> Result<CommandResult, CliError> {
@@ -258,6 +213,7 @@ pub fn cmd_verify(model: &Model, options: &Options) -> Result<CommandResult, Cli
     let property = model.property();
     let verify_options = VerifyOptions {
         threads: options.threads,
+        cancel: options.cancel.clone(),
         ..VerifyOptions::default()
     };
     let verdict = transyt::verify(&timed, &property, &verify_options);
@@ -271,17 +227,15 @@ pub fn cmd_verify(model: &Model, options: &Options) -> Result<CommandResult, Cli
     text.push_str("relative-timing constraints:\n");
     text.push_str(&format!("{}\n", verdict.report().constraint_listing()));
 
-    let mut json = verdict_json(&verdict).field("model", model.name.as_str());
-
-    if options.trace {
-        let rendered = trace_of_verdict(&verdict, &timed);
+    let rendered = options.trace.then(|| trace_of_verdict(&verdict, &timed));
+    if let Some(rendered) = &rendered {
         rendered.render(&mut text);
         if let Some(waveform) = rendered.waveform() {
             text.push_str("waveform (earliest firing times):\n");
             text.push_str(&waveform);
         }
-        json = json.field("trace", rendered.json());
     }
+    let json = json::verify_document(model.name.as_str(), &verdict, rendered.as_ref());
     Ok(CommandResult { text, json })
 }
 
@@ -374,9 +328,10 @@ pub fn cmd_reach(model: &Model, options: &Options) -> Result<CommandResult, CliE
     let expand_options = ExpandOptions {
         threads: options.threads,
         marking_limit: options.limit.unwrap_or(100_000),
+        cancel: options.cancel.clone(),
         ..ExpandOptions::default()
     };
-    let (ts, report) = stg::expand_with_report(net, expand_options)
+    let (ts, report) = stg::expand_with_report(net, expand_options.clone())
         .map_err(|e| CliError::Run(format!("expanding `{}`: {e}", model.name)))?;
 
     let mut text = String::new();
@@ -392,12 +347,9 @@ pub fn cmd_reach(model: &Model, options: &Options) -> Result<CommandResult, CliE
         report.firings,
         report.deadlock_states.len()
     ));
-    let mut json = Value::object()
-        .field("model", model.name.as_str())
-        .field("markings", report.markings)
-        .field("firings", report.firings)
-        .field("deadlock_markings", report.deadlock_states.len())
-        .field("states", ts.state_count());
+    let states = ts.state_count();
+    let document =
+        |goal: &ReachGoal| json::reach_document(model.name.as_str(), &report, states, goal);
 
     let goal_description;
     let path = if let Some(label) = &options.to_label {
@@ -421,11 +373,12 @@ pub fn cmd_reach(model: &Model, options: &Options) -> Result<CommandResult, CliE
             net.enabled(marking).is_empty()
         })
     } else {
+        let json = document(&ReachGoal::None);
         return Ok(CommandResult { text, json });
     }
     .map_err(|e| CliError::Run(format!("goal search in `{}`: {e}", model.name)))?;
 
-    match path {
+    let goal = match path {
         Some(path) => {
             text.push_str(&format!("path to {goal_description}:\n"));
             text.push_str(&format!("  {}\n", marking_name(net, &path.start)));
@@ -440,22 +393,16 @@ pub fn cmd_reach(model: &Model, options: &Options) -> Result<CommandResult, CliE
                 "  end marking: {}\n",
                 marking_name(net, path.end())
             ));
-            let steps: Vec<Value> = path
-                .labels(net)
-                .into_iter()
-                .map(|l| Value::Str(l.to_owned()))
-                .collect();
-            json = json.field("path_found", true).field("path", steps);
+            ReachGoal::Found(path.labels(net).into_iter().map(str::to_owned).collect())
         }
         None => {
             text.push_str(&format!(
                 "no reachable marking matches: {goal_description}\n"
             ));
-            json = json
-                .field("path_found", false)
-                .field("path", Value::Array(Vec::new()));
+            ReachGoal::NotFound
         }
-    }
+    };
+    let json = document(&goal);
     Ok(CommandResult { text, json })
 }
 
@@ -471,47 +418,42 @@ pub fn cmd_zones(model: &Model, options: &Options) -> Result<CommandResult, CliE
         threads: options.threads,
         subsumption: options.subsumption,
         configuration_limit: options.limit.unwrap_or(50_000),
+        cancel: options.cancel.clone(),
     };
     let ts = timed.underlying();
 
     let mut text = String::new();
     text.push_str(&format!("model: {} ({})\n", model.name, ts));
-    let mut json = Value::object().field("model", model.name.as_str());
 
-    let summarise = |outcome: &ZoneOutcome, text: &mut String, json: Value| -> Value {
-        match outcome {
-            ZoneOutcome::Completed(report) => {
-                text.push_str(&format!(
-                    "timed state space: {} configurations ({} subsumed), {} reachable states, \
-                     {} violating, {} deadlocked\n",
-                    report.configurations,
-                    report.subsumed_configurations,
-                    report.reachable_states.len(),
-                    report.violating_states.len(),
-                    report.deadlock_states.len()
-                ));
-                json.field("configurations", report.configurations)
-                    .field("subsumed", report.subsumed_configurations)
-                    .field("reachable_states", report.reachable_states.len())
-                    .field("violating_states", report.violating_states.len())
-                    .field("deadlock_states", report.deadlock_states.len())
-                    .field("completed", true)
-            }
-            ZoneOutcome::LimitExceeded { explored, subsumed } => {
-                text.push_str(&format!(
-                    "aborted: configuration limit exceeded after {explored} configurations \
-                     ({subsumed} subsumed)\n"
-                ));
-                json.field("configurations", *explored)
-                    .field("subsumed", *subsumed)
-                    .field("completed", false)
-            }
+    let summarise = |outcome: &ZoneOutcome, text: &mut String| match outcome {
+        ZoneOutcome::Completed(report) => {
+            text.push_str(&format!(
+                "timed state space: {} configurations ({} subsumed), {} reachable states, \
+                 {} violating, {} deadlocked\n",
+                report.configurations,
+                report.subsumed_configurations,
+                report.reachable_states.len(),
+                report.violating_states.len(),
+                report.deadlock_states.len()
+            ));
+        }
+        ZoneOutcome::LimitExceeded { explored, subsumed } => {
+            text.push_str(&format!(
+                "aborted: configuration limit exceeded after {explored} configurations \
+                 ({subsumed} subsumed)\n"
+            ));
+        }
+        ZoneOutcome::Cancelled { explored, subsumed } => {
+            text.push_str(&format!(
+                "cancelled after {explored} configurations ({subsumed} subsumed)\n"
+            ));
         }
     };
 
     if !options.trace {
         let outcome = dbm::explore_timed_with(&timed, zone_options);
-        json = summarise(&outcome, &mut text, json);
+        summarise(&outcome, &mut text);
+        let json = json::zones_document(model.name.as_str(), &outcome, None);
         return Ok(CommandResult { text, json });
     }
 
@@ -519,79 +461,86 @@ pub fn cmd_zones(model: &Model, options: &Options) -> Result<CommandResult, CliE
     // unreachable it has already explored the whole space and carries the
     // exact report, so the summary comes for free; only a found witness
     // (which halts the search early) needs the separate full exploration.
-    {
-        let goal = if ts.has_marked_states() {
-            WitnessGoal::Violation
-        } else {
-            WitnessGoal::Deadlock
-        };
-        let goal_name = match goal {
-            WitnessGoal::Violation => "violating state",
-            WitnessGoal::Deadlock => "deadlock state",
-        };
-        match find_witness(&timed, zone_options, goal) {
-            WitnessOutcome::Found(trace) => {
-                let outcome = dbm::explore_timed_with(&timed, zone_options);
-                json = summarise(&outcome, &mut text, json);
-                let windows = trace.firing_windows(&timed).unwrap_or_default();
-                text.push_str(&format!("symbolic timed trace to the first {goal_name}:\n"));
-                let (start, _) = trace.start();
-                text.push_str(&format!("  {}\n", ts.state_name(start)));
-                let mut rendered_steps = Vec::new();
-                for (i, (event, state, zone)) in trace.steps().iter().enumerate() {
-                    let window = windows.get(i).copied();
-                    let clock = event.index() + 1;
-                    let entry_lower = zone.lower_bound(clock);
-                    let entry_upper = zone.upper_bound(clock);
-                    let entry = match entry_upper {
-                        Some(u) => format!("[{entry_lower}, {u}]"),
-                        None => format!("[{entry_lower}, inf)"),
-                    };
-                    let window_text = window.map(|w| format!(" @ {w}")).unwrap_or_default();
-                    text.push_str(&format!(
-                        "    --{}{window_text}--> {}  (clock of {} on entry: {entry})\n",
-                        ts.alphabet().name(*event),
-                        ts.state_name(*state),
-                        ts.alphabet().name(*event),
-                    ));
-                    rendered_steps.push(TraceStep {
-                        event: ts.alphabet().name(*event).to_owned(),
-                        state: ts.state_name(*state).to_owned(),
-                        window,
-                    });
-                }
-                text.push_str(&format!(
-                    "  end state: {}\n",
-                    ts.state_name(trace.end_state())
-                ));
-                let rendered = RenderedTrace {
-                    kind: "witness",
-                    start: ts.state_name(start).to_owned(),
-                    steps: rendered_steps,
-                    end: ts.state_name(trace.end_state()).to_owned(),
+    let goal = if ts.has_marked_states() {
+        WitnessGoal::Violation
+    } else {
+        WitnessGoal::Deadlock
+    };
+    let goal_name = match goal {
+        WitnessGoal::Violation => "violating state",
+        WitnessGoal::Deadlock => "deadlock state",
+    };
+    let (outcome, rendered) = match find_witness(&timed, zone_options.clone(), goal) {
+        WitnessOutcome::Found(trace) => {
+            let outcome = dbm::explore_timed_with(&timed, zone_options);
+            summarise(&outcome, &mut text);
+            let windows = trace.firing_windows(&timed).unwrap_or_default();
+            text.push_str(&format!("symbolic timed trace to the first {goal_name}:\n"));
+            let (start, _) = trace.start();
+            text.push_str(&format!("  {}\n", ts.state_name(start)));
+            let mut rendered_steps = Vec::new();
+            for (i, (event, state, zone)) in trace.steps().iter().enumerate() {
+                let window = windows.get(i).copied();
+                let clock = event.index() + 1;
+                let entry_lower = zone.lower_bound(clock);
+                let entry_upper = zone.upper_bound(clock);
+                let entry = match entry_upper {
+                    Some(u) => format!("[{entry_lower}, {u}]"),
+                    None => format!("[{entry_lower}, inf)"),
                 };
-                if let Some(waveform) = rendered.waveform() {
-                    text.push_str("waveform (earliest firing times):\n");
-                    text.push_str(&waveform);
-                }
-                json = json.field("trace", rendered.json());
-            }
-            WitnessOutcome::Unreachable(report) => {
-                json = summarise(&ZoneOutcome::Completed(report), &mut text, json);
-                text.push_str(&format!("no {goal_name} is timed-reachable\n"));
-            }
-            WitnessOutcome::LimitExceeded { explored, subsumed } => {
-                json = summarise(
-                    &ZoneOutcome::LimitExceeded { explored, subsumed },
-                    &mut text,
-                    json,
-                );
+                let window_text = window.map(|w| format!(" @ {w}")).unwrap_or_default();
                 text.push_str(&format!(
-                    "witness search aborted after {explored} configurations\n"
+                    "    --{}{window_text}--> {}  (clock of {} on entry: {entry})\n",
+                    ts.alphabet().name(*event),
+                    ts.state_name(*state),
+                    ts.alphabet().name(*event),
                 ));
+                rendered_steps.push(TraceStep {
+                    event: ts.alphabet().name(*event).to_owned(),
+                    state: ts.state_name(*state).to_owned(),
+                    window,
+                });
             }
+            text.push_str(&format!(
+                "  end state: {}\n",
+                ts.state_name(trace.end_state())
+            ));
+            let rendered = RenderedTrace {
+                kind: "witness",
+                start: ts.state_name(start).to_owned(),
+                steps: rendered_steps,
+                end: ts.state_name(trace.end_state()).to_owned(),
+            };
+            if let Some(waveform) = rendered.waveform() {
+                text.push_str("waveform (earliest firing times):\n");
+                text.push_str(&waveform);
+            }
+            (outcome, Some(rendered))
         }
-    }
+        WitnessOutcome::Unreachable(report) => {
+            let outcome = ZoneOutcome::Completed(report);
+            summarise(&outcome, &mut text);
+            text.push_str(&format!("no {goal_name} is timed-reachable\n"));
+            (outcome, None)
+        }
+        WitnessOutcome::LimitExceeded { explored, subsumed } => {
+            let outcome = ZoneOutcome::LimitExceeded { explored, subsumed };
+            summarise(&outcome, &mut text);
+            text.push_str(&format!(
+                "witness search aborted after {explored} configurations\n"
+            ));
+            (outcome, None)
+        }
+        WitnessOutcome::Cancelled { explored, subsumed } => {
+            let outcome = ZoneOutcome::Cancelled { explored, subsumed };
+            summarise(&outcome, &mut text);
+            text.push_str(&format!(
+                "witness search cancelled after {explored} configurations\n"
+            ));
+            (outcome, None)
+        }
+    };
+    let json = json::zones_document(model.name.as_str(), &outcome, rendered.as_ref());
     Ok(CommandResult { text, json })
 }
 
@@ -600,6 +549,7 @@ pub fn cmd_zones(model: &Model, options: &Options) -> Result<CommandResult, CliE
 pub fn cmd_table1(options: &Options) -> Result<CommandResult, CliError> {
     let verify_options = VerifyOptions {
         threads: options.threads,
+        cancel: options.cancel.clone(),
         ..VerifyOptions::default()
     };
     let report = ipcmos::table_1_with(&verify_options)
@@ -612,26 +562,7 @@ pub fn cmd_table1(options: &Options) -> Result<CommandResult, CliError> {
     } else {
         text.push_str("WARNING: not all obligations verified\n");
     }
-    let experiments: Vec<Value> = report
-        .steps()
-        .iter()
-        .map(|step| {
-            let r = step.verdict.report();
-            Value::object()
-                .field("name", step.name.as_str())
-                .field("verified", step.verdict.is_verified())
-                .field("refinements", r.refinements)
-                .field("constraints", r.constraints.len())
-                .field("explored_states", r.explored_states)
-                .field("millis", step.elapsed.as_millis())
-        })
-        .collect();
-    let json = Value::object()
-        .field("benchmark", "table1")
-        .field("threads", options.threads)
-        .field("all_verified", report.all_verified())
-        .field("total_refinements", report.total_refinements())
-        .field("experiments", experiments);
+    let json = json::table1_document(options.threads, &report);
     Ok(CommandResult { text, json })
 }
 

@@ -441,6 +441,22 @@ fn parse_stg(name: String, body: &[(usize, Vec<String>)]) -> Result<Model, Model
                     }
                 }
             }
+            "violation" => {
+                if tokens.len() < 3 || tokens[1] != "when" {
+                    return Err(ModelError::new(
+                        line,
+                        "expected `violation when <place-id>…` (a conjunction of marked places)",
+                    ));
+                }
+                let mut conjunction = Vec::with_capacity(tokens.len() - 2);
+                for id in &tokens[2..] {
+                    let p = find_place(&place_ids, id).ok_or_else(|| {
+                        ModelError::new(line, format!("violation names unknown place `{id}`"))
+                    })?;
+                    conjunction.push(p);
+                }
+                builder.forbid_marking(conjunction);
+            }
             "connect" => {
                 if tokens.len() != 3 && tokens.len() != 4 {
                     return Err(ModelError::new(
@@ -511,6 +527,17 @@ fn print_stg(model: &Model, net: &Stg) -> String {
         }
         for p in net.postset(t) {
             out.push_str(&format!("arc t{i} p{}\n", p.index()));
+        }
+    }
+    if !net.forbidden_markings().is_empty() {
+        out.push('\n');
+        out.push_str("# forbidden markings: a violation when every listed place is marked\n");
+        for conjunction in net.forbidden_markings() {
+            let ids: Vec<String> = conjunction
+                .iter()
+                .map(|p| format!("p{}", p.index()))
+                .collect();
+            out.push_str(&format!("violation when {}\n", ids.join(" ")));
         }
     }
     print_common(model, &mut out);
@@ -732,6 +759,51 @@ property persistent X+
         let printed = model.to_text();
         let reparsed = Model::parse(&printed).unwrap();
         assert_eq!(printed, reparsed.to_text());
+    }
+
+    #[test]
+    fn violation_when_marks_the_forbidden_marking() {
+        // Two toggles; both "high" places marked at once is the violation.
+        let text = "stg mutex\n\
+                    transition t0 A+ output\ntransition t1 A- output\n\
+                    transition t2 B+ output\ntransition t3 B- output\n\
+                    place p0 1\nplace p1 0 a_high\nplace p2 1\nplace p3 0 b_high\n\
+                    arc p0 t0\narc t0 p1\narc p1 t1\narc t1 p0\n\
+                    arc p2 t2\narc t2 p3\narc p3 t3\narc t3 p2\n\
+                    violation when p1 p3\n\
+                    property forbid-marked\n";
+        let model = Model::parse(text).unwrap();
+        let ModelSource::Stg(net) = &model.source else {
+            panic!("expected an stg");
+        };
+        assert_eq!(net.forbidden_markings().len(), 1);
+        // Canonical printing round-trips the directive.
+        let printed = model.to_text();
+        assert!(printed.contains("violation when p1 p3\n"), "{printed}");
+        let reparsed = Model::parse(&printed).unwrap();
+        assert_eq!(reparsed.to_text(), printed);
+        // The expanded system carries the violation mark and verification
+        // (untimed: no delays keep the toggles apart) finds it.
+        let timed = model.timed_system().unwrap();
+        let marked = timed
+            .underlying()
+            .states()
+            .filter(|&s| !timed.underlying().violations(s).is_empty())
+            .count();
+        assert_eq!(marked, 1);
+        let verdict = transyt::verify(
+            &timed,
+            &model.property(),
+            &transyt::VerifyOptions::default(),
+        );
+        assert!(matches!(verdict, transyt::Verdict::Failed { .. }));
+
+        // Unknown places are rejected with the offending line.
+        let err = Model::parse(
+            "stg x\ntransition t0 A+ output\nplace p0 1\narc p0 t0\narc t0 p0\nviolation when p9\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown place"));
     }
 
     #[test]

@@ -27,4 +27,6 @@
 
 pub mod commands;
 pub mod format;
+pub mod json;
+pub mod remote;
 pub mod scenarios;

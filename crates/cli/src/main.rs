@@ -7,6 +7,7 @@ use transyt_cli::commands::{
     cmd_reach, cmd_table1, cmd_verify, cmd_zones, CliError, CommandResult, Options,
 };
 use transyt_cli::format::Model;
+use transyt_cli::remote::{self, SubmitArgs};
 use transyt_cli::scenarios;
 
 const USAGE: &str = "\
@@ -18,10 +19,18 @@ USAGE:
     transyt zones  FILE [--threads N] [--subsumption on|off] [--trace] [--limit N] [--json PATH]
     transyt table1      [--threads N] [--json PATH]
     transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
+    transyt serve       [--addr HOST:PORT] [--workers N]
+    transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
+                        [--threads N] [--subsumption on|off] [--trace] [--limit N]
+                        [--to LABEL] [--json PATH]
+    transyt status [JOBID] --server HOST:PORT
 
 FILE is a textual model in the .stg or .tts format (see docs/FILE_FORMATS.md;
 shipped examples live in models/). Every exploration accepts --threads N and
-produces identical output for every thread count.
+produces identical output for every thread count. `serve` runs the long-lived
+verification server (model cache + job queue; docs/SERVER.md); `submit` and
+`status` are thin clients for it, and `submit --wait --json PATH` writes a
+document byte-identical to the one-shot command's --json output.
 ";
 
 fn main() -> ExitCode {
@@ -75,6 +84,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
             emit(cmd_table1(&options)?, json_path)
         }
         "export" => run_export(&args[1..]),
+        "serve" => run_serve(&args[1..]),
+        "submit" => run_submit(&args[1..]),
+        "status" => run_status(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -86,7 +98,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
 fn emit(result: CommandResult, json_path: Option<String>) -> Result<(), CliError> {
     print!("{}", result.text);
     if let Some(path) = json_path {
-        std::fs::write(&path, result.json.render() + "\n")
+        // The one canonical rendering — the same bytes the server serves.
+        std::fs::write(&path, transyt_cli::json::render_document(&result.json))
             .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
         println!("wrote {path}");
     }
@@ -153,6 +166,174 @@ fn parse_common(
         }
     }
     Ok((file, options, json_path))
+}
+
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut workers = 4usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--addr needs a value".to_owned()))?
+                    .clone();
+            }
+            "--workers" => {
+                workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage("--workers needs a positive number".to_owned())
+                    })?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "`serve` does not accept `{other}` (allowed: --addr, --workers)"
+                )))
+            }
+        }
+    }
+    remote::cmd_serve(&addr, workers)
+}
+
+fn run_submit(args: &[String]) -> Result<(), CliError> {
+    let mut file = None;
+    let mut server = None;
+    let mut command = "verify".to_owned();
+    let mut wait = false;
+    let mut json_path = None;
+    let mut options = Options::default();
+    let mut provided: Vec<&'static str> = Vec::new();
+    let mut iter = args.iter();
+    let missing = |flag: &str| CliError::Usage(format!("{flag} needs a value"));
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--server" => server = Some(iter.next().ok_or_else(|| missing("--server"))?.clone()),
+            "--command" => {
+                command = iter.next().ok_or_else(|| missing("--command"))?.clone();
+            }
+            "--wait" => wait = true,
+            "--json" => {
+                json_path = Some(iter.next().ok_or_else(|| missing("--json"))?.clone());
+            }
+            "--threads" => {
+                provided.push("--threads");
+                options.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| missing("--threads"))?;
+            }
+            "--subsumption" => {
+                provided.push("--subsumption");
+                options.subsumption = match iter.next().map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => {
+                        return Err(CliError::Usage(
+                            "--subsumption needs `on` or `off`".to_owned(),
+                        ))
+                    }
+                };
+            }
+            "--trace" => {
+                provided.push("--trace");
+                options.trace = true;
+            }
+            "--limit" => {
+                provided.push("--limit");
+                options.limit = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| missing("--limit"))?,
+                );
+            }
+            "--to" => {
+                provided.push("--to");
+                options.to_label = Some(iter.next().ok_or_else(|| missing("--to"))?.clone());
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "`submit` does not accept `{other}`"
+                )))
+            }
+            other => {
+                if file.replace(other.to_owned()).is_some() {
+                    return Err(CliError::Usage(
+                        "`submit` takes a single model file".to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+    // Mirror the one-shot subcommands' allowed lists so an option can never
+    // be silently ignored by the remote command either.
+    let allowed: &[&str] = match command.as_str() {
+        "verify" => &["--threads", "--trace"],
+        "reach" => &["--threads", "--trace", "--to", "--limit"],
+        "zones" => &["--threads", "--subsumption", "--trace", "--limit"],
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --command `{other}` (use verify, reach or zones)"
+            )))
+        }
+    };
+    if let Some(flag) = provided.iter().find(|flag| !allowed.contains(flag)) {
+        return Err(CliError::Usage(format!(
+            "`submit --command {command}` does not accept `{flag}` (allowed: {})",
+            allowed.join(", ")
+        )));
+    }
+    if json_path.is_some() && !wait {
+        return Err(CliError::Usage(
+            "`submit --json` needs `--wait` (the document exists once the job is done)".to_owned(),
+        ));
+    }
+    let args = SubmitArgs {
+        server: server
+            .ok_or_else(|| CliError::Usage("`submit` needs --server HOST:PORT".to_owned()))?,
+        file: file.ok_or_else(|| CliError::Usage("`submit` needs a model file".to_owned()))?,
+        command,
+        options,
+        wait,
+        json_path,
+    };
+    remote::cmd_submit(&args)
+}
+
+fn run_status(args: &[String]) -> Result<(), CliError> {
+    let mut server = None;
+    let mut job = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--server" => {
+                server = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--server needs a value".to_owned()))?
+                        .clone(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "`status` does not accept `{other}`"
+                )))
+            }
+            other => {
+                let id = other.parse().map_err(|_| {
+                    CliError::Usage(format!("job id must be a number, got `{other}`"))
+                })?;
+                if job.replace(id).is_some() {
+                    return Err(CliError::Usage("`status` takes a single job id".to_owned()));
+                }
+            }
+        }
+    }
+    let server =
+        server.ok_or_else(|| CliError::Usage("`status` needs --server HOST:PORT".to_owned()))?;
+    remote::cmd_status(&server, job)
 }
 
 fn run_export(args: &[String]) -> Result<(), CliError> {

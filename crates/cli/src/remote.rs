@@ -1,0 +1,218 @@
+//! Server mode: the CLI-backed job runner behind `transyt serve`, and the
+//! tiny `transyt submit` / `transyt status` client modes.
+//!
+//! The server crate (`transyt-server`) owns sockets, the model cache and the
+//! worker pool; this module plugs the CLI's own parser and [`commands`]
+//! layer in as its [`Backend`], so a job submitted over the wire runs
+//! through exactly the code path of the one-shot CLI and its result
+//! document is byte-identical to `transyt <command> --json` output.
+//!
+//! [`commands`]: crate::commands
+
+use transyt_server::{client, Backend, JobOutput, JobRequest, ModelInfo, Server, ServerConfig};
+
+use crate::commands::{cmd_reach, cmd_verify, cmd_zones, CliError, Options};
+use crate::format::{Model, ModelSource};
+use crate::json;
+
+/// The [`Backend`] wiring server jobs onto the CLI's command layer.
+pub struct CliBackend;
+
+impl Backend for CliBackend {
+    fn validate(&self, text: &str) -> Result<ModelInfo, String> {
+        let model = Model::parse(text).map_err(|e| e.to_string())?;
+        Ok(ModelInfo {
+            name: model.name.clone(),
+            kind: match model.source {
+                ModelSource::Stg(_) => "stg".to_owned(),
+                ModelSource::Tts(_) => "tts".to_owned(),
+            },
+        })
+    }
+
+    fn run(
+        &self,
+        model_text: &str,
+        request: &JobRequest,
+        cancel: &transyt_server::CancelToken,
+    ) -> Result<JobOutput, String> {
+        let model = Model::parse(model_text).map_err(|e| e.to_string())?;
+        let options = Options {
+            threads: request.threads,
+            subsumption: request.subsumption,
+            trace: request.trace,
+            limit: request.limit,
+            to_label: request.to_label.clone(),
+            cancel: cancel.clone(),
+        };
+        let result = match request.command.as_str() {
+            "verify" => cmd_verify(&model, &options),
+            "reach" => cmd_reach(&model, &options),
+            "zones" => cmd_zones(&model, &options),
+            other => return Err(format!("unknown command `{other}`")),
+        }
+        .map_err(|e| e.to_string())?;
+        Ok(JobOutput {
+            document: json::render_document(&result.json),
+            text: result.text,
+        })
+    }
+}
+
+/// `transyt serve`: bind, print the address, serve until SIGTERM / ctrl-c /
+/// `POST /shutdown`.
+pub fn cmd_serve(addr: &str, workers: usize) -> Result<(), CliError> {
+    let config = ServerConfig {
+        addr: addr.to_owned(),
+        workers,
+    };
+    let server = Server::bind(&config, Box::new(CliBackend))
+        .map_err(|e| CliError::Run(format!("binding {addr}: {e}")))?;
+    println!(
+        "transyt server listening on {} ({} worker{})",
+        server.local_addr(),
+        workers,
+        if workers == 1 { "" } else { "s" }
+    );
+    println!("endpoints: POST /models, POST /jobs, GET /jobs/<id>/result (see docs/SERVER.md)");
+    server
+        .run()
+        .map_err(|e| CliError::Run(format!("serving: {e}")))
+}
+
+/// What `transyt submit` sends: the model file, the command, the options and
+/// how to handle the result.
+pub struct SubmitArgs {
+    /// Server address (`HOST:PORT`).
+    pub server: String,
+    /// Path of the model file to upload.
+    pub file: String,
+    /// The job command: `verify`, `reach` or `zones`.
+    pub command: String,
+    /// The job options (the `cancel` field is ignored — cancellation of
+    /// remote jobs goes through `POST /jobs/<id>/cancel`).
+    pub options: Options,
+    /// Poll until the job finishes and print its text output.
+    pub wait: bool,
+    /// With `wait`: write the result document (byte-identical to one-shot
+    /// `--json` output) to this path.
+    pub json_path: Option<String>,
+}
+
+fn expect_status(what: &str, response: Result<(u16, String), String>) -> Result<String, CliError> {
+    let (status, body) = response.map_err(CliError::Run)?;
+    if status / 100 != 2 {
+        let detail = client::json_str_field(&body, "error").unwrap_or(body);
+        return Err(CliError::Run(format!(
+            "{what}: server said {status}: {detail}"
+        )));
+    }
+    Ok(body)
+}
+
+/// `transyt submit`: upload the model, enqueue the job, optionally wait for
+/// the result.
+pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| CliError::Run(format!("reading {}: {e}", args.file)))?;
+    let body = expect_status(
+        "uploading model",
+        client::request(&args.server, "POST", "/models", Some(text.as_bytes())),
+    )?;
+    let hash = client::json_str_field(&body, "hash")
+        .ok_or_else(|| CliError::Run(format!("upload response carried no hash: {body}")))?;
+    let name = client::json_str_field(&body, "name").unwrap_or_default();
+
+    let mut path = format!(
+        "/jobs?model={hash}&command={}",
+        transyt_server::http::percent_encode(&args.command)
+    );
+    let options = &args.options;
+    if options.threads != 1 {
+        path.push_str(&format!("&threads={}", options.threads));
+    }
+    if !options.subsumption {
+        path.push_str("&subsumption=off");
+    }
+    if options.trace {
+        path.push_str("&trace=true");
+    }
+    if let Some(limit) = options.limit {
+        path.push_str(&format!("&limit={limit}"));
+    }
+    if let Some(label) = &options.to_label {
+        path.push_str(&format!(
+            "&to={}",
+            transyt_server::http::percent_encode(label)
+        ));
+    }
+    let body = expect_status(
+        "submitting job",
+        client::request(&args.server, "POST", &path, None),
+    )?;
+    let job = client::json_uint_field(&body, "job")
+        .ok_or_else(|| CliError::Run(format!("submission response carried no job id: {body}")))?;
+    println!("submitted job {job} ({} {name} @ {hash})", args.command);
+    if !args.wait {
+        println!("poll with: transyt status {job} --server {}", args.server);
+        return Ok(());
+    }
+
+    let status = loop {
+        let body = expect_status(
+            "polling job",
+            client::request(&args.server, "GET", &format!("/jobs/{job}"), None),
+        )?;
+        let status = client::json_str_field(&body, "status").unwrap_or_default();
+        if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+            break status;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+    };
+    match status.as_str() {
+        "done" => {
+            let text = expect_status(
+                "fetching job text",
+                client::request(&args.server, "GET", &format!("/jobs/{job}/text"), None),
+            )?;
+            print!("{text}");
+            if let Some(path) = &args.json_path {
+                let document = expect_status(
+                    "fetching job result",
+                    client::request(&args.server, "GET", &format!("/jobs/{job}/result"), None),
+                )?;
+                std::fs::write(path, document)
+                    .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        "cancelled" => {
+            println!("job {job} was cancelled");
+            Ok(())
+        }
+        _ => {
+            let body = expect_status(
+                "reading job error",
+                client::request(&args.server, "GET", &format!("/jobs/{job}"), None),
+            )?;
+            let error = client::json_str_field(&body, "error")
+                .unwrap_or_else(|| "unknown error".to_owned());
+            Err(CliError::Run(format!("job {job} failed: {error}")))
+        }
+    }
+}
+
+/// `transyt status`: print the status document of one job, or the job list.
+pub fn cmd_status(server: &str, job: Option<usize>) -> Result<(), CliError> {
+    let path = match job {
+        Some(id) => format!("/jobs/{id}"),
+        None => "/jobs".to_owned(),
+    };
+    let body = expect_status(
+        "fetching status",
+        client::request(server, "GET", &path, None),
+    )?;
+    print!("{body}");
+    Ok(())
+}

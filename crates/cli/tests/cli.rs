@@ -231,6 +231,75 @@ fn the_binary_runs_end_to_end() {
     assert!(stderr.contains("unknown subcommand"), "{stderr}");
 }
 
+/// The `--json` documents are a wire format (CI artifacts diff them, the
+/// server serves them byte-identically): these goldens were captured before
+/// the rendering moved into the shared `transyt_cli::json` module and pin
+/// the exact bytes.
+#[test]
+fn json_documents_are_unchanged_golden() {
+    use transyt_cli::json::render_document;
+
+    let verify = |file: &str| {
+        let model = load(file);
+        let options = Options {
+            trace: true,
+            ..Options::default()
+        };
+        render_document(&cmd_verify(&model, &options).unwrap().json)
+    };
+    assert_eq!(
+        verify("race_overlap.tts"),
+        "{\"verdict\":\"failed\",\"refinements\":0,\"explored_states\":4,\"constraints\":[],\
+         \"model\":\"race_overlap\",\"trace\":{\"kind\":\"counterexample\",\"start\":\"s0\",\
+         \"end\":\"slow-first\",\"steps\":[{\"event\":\"slow\",\"state\":\"slow-first\",\
+         \"earliest\":2,\"latest\":4}]}}\n"
+    );
+    assert_eq!(
+        verify("intro_fig1.tts"),
+        "{\"verdict\":\"verified\",\"refinements\":1,\"explored_states\":7,\
+         \"constraints\":[\"g < a (slack 1)\",\"b < c (slack 3)\",\"g < c (slack 6)\",\
+         \"b < d (slack 3)\",\"g < d (slack 6)\",\"g < b (slack 1)\"],\
+         \"model\":\"fig1-intro\",\"trace\":{\"kind\":\"witness\",\"start\":\"a0b0c0g0d0\",\
+         \"end\":\"a1b1c1g1d1\",\"steps\":[\
+         {\"event\":\"g\",\"state\":\"a0b0c0g1d0\",\"earliest\":1,\"latest\":1},\
+         {\"event\":\"a\",\"state\":\"a1b0c0g1d0\",\"earliest\":2,\"latest\":2},\
+         {\"event\":\"b\",\"state\":\"a1b1c0g1d0\",\"earliest\":2,\"latest\":2},\
+         {\"event\":\"c\",\"state\":\"a1b1c1g1d0\",\"earliest\":7,\"latest\":7},\
+         {\"event\":\"d\",\"state\":\"a1b1c1g1d1\",\"earliest\":7,\"latest\":7}]}}\n"
+    );
+
+    let reach = {
+        let model = load("c_element.stg");
+        let options = Options {
+            to_label: Some("C+".to_owned()),
+            ..Options::default()
+        };
+        render_document(&cmd_reach(&model, &options).unwrap().json)
+    };
+    assert_eq!(
+        reach,
+        "{\"model\":\"c_element\",\"markings\":8,\"firings\":10,\"deadlock_markings\":0,\
+         \"states\":8,\"path_found\":true,\"path\":[\"A+\",\"B+\"]}\n"
+    );
+
+    let zones = {
+        let model = load("race_overlap.tts");
+        let options = Options {
+            trace: true,
+            ..Options::default()
+        };
+        render_document(&cmd_zones(&model, &options).unwrap().json)
+    };
+    assert_eq!(
+        zones,
+        "{\"model\":\"race_overlap\",\"configurations\":4,\"subsumed\":0,\
+         \"reachable_states\":4,\"violating_states\":1,\"deadlock_states\":1,\
+         \"completed\":true,\"trace\":{\"kind\":\"witness\",\"start\":\"s0\",\
+         \"end\":\"slow-first\",\"steps\":[{\"event\":\"slow\",\"state\":\"slow-first\",\
+         \"earliest\":2,\"latest\":4}]}}\n"
+    );
+}
+
 #[test]
 fn export_list_covers_every_shipped_model() {
     let binary = env!("CARGO_BIN_EXE_transyt");

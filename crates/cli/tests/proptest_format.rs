@@ -10,8 +10,13 @@ use transyt_cli::format::{Model, ModelSource, PropertySpec};
 use tts::{DelayInterval, Time, TimedTransitionSystem, TsBuilder};
 
 /// Builds a random live STG: alternating signal-edge transitions connected
-/// in a cycle, plus random forward arcs.
-fn random_stg(transitions: usize, extra_arcs: &[(usize, usize)]) -> stg::Stg {
+/// in a cycle, plus random forward arcs and random forbidden-marking
+/// conjunctions (`violation when …` directives).
+fn random_stg(
+    transitions: usize,
+    extra_arcs: &[(usize, usize)],
+    forbidden: &[Vec<usize>],
+) -> stg::Stg {
     let count = transitions.max(2);
     let mut b = StgBuilder::new("random");
     let ids: Vec<_> = (0..count)
@@ -28,16 +33,20 @@ fn random_stg(transitions: usize, extra_arcs: &[(usize, usize)]) -> stg::Stg {
             )
         })
         .collect();
+    let mut places = Vec::new();
     for (i, &t) in ids.iter().enumerate() {
         let next = ids[(i + 1) % ids.len()];
-        b.connect(t, next, u32::from(i + 1 == ids.len()));
+        places.push(b.connect(t, next, u32::from(i + 1 == ids.len())));
     }
     for &(from, to) in extra_arcs {
         let f = ids[from % ids.len()];
         let t = ids[to % ids.len()];
         if f != t {
-            b.connect(f, t, 0);
+            places.push(b.connect(f, t, 0));
         }
+    }
+    for conjunction in forbidden {
+        b.forbid_marking(conjunction.iter().map(|&p| places[p % places.len()]));
     }
     b.build().unwrap()
 }
@@ -87,8 +96,11 @@ proptest! {
         extra_arcs in proptest::collection::vec((0usize..10, 0usize..10), 0..4),
         delay_picks in proptest::collection::vec((0usize..10, 0i64..9, 0i64..9), 0..4),
         deadlock_free in any::<bool>(),
+        forbidden in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 1..4), 0..3),
     ) {
-        let net = random_stg(transitions, &extra_arcs);
+        let net = random_stg(transitions, &extra_arcs, &forbidden);
+        prop_assert_eq!(net.forbidden_markings().len(), forbidden.len());
         let labels: Vec<String> = net.transitions().map(|t| net.label(t).to_owned()).collect();
         let delays = delay_picks
             .iter()

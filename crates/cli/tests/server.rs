@@ -1,0 +1,318 @@
+//! Integration tests of `transyt serve`: a real server on a real socket,
+//! concurrent jobs, cancellation mid-flight, and — the acceptance criterion —
+//! result documents byte-identical to the one-shot CLI's `--json` output.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use transyt_cli::commands::{cmd_verify, Options};
+use transyt_cli::format::Model;
+use transyt_cli::json;
+use transyt_cli::remote::CliBackend;
+use transyt_server::{client, JobStatus, Server, ServerConfig, ServerHandle};
+
+fn models_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../models")
+}
+
+fn model_text(file: &str) -> String {
+    let path = models_dir().join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn start_server(workers: usize) -> (ServerHandle, String) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+    };
+    let server = Server::bind(&config, Box::new(CliBackend)).expect("bind 127.0.0.1:0");
+    let handle = server.spawn();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn upload(addr: &str, text: &str) -> String {
+    let (status, body) =
+        client::request(addr, "POST", "/models", Some(text.as_bytes())).expect("upload");
+    assert_eq!(status, 200, "{body}");
+    client::json_str_field(&body, "hash").expect("hash in upload response")
+}
+
+fn submit(addr: &str, query: &str) -> u64 {
+    let (status, body) =
+        client::request(addr, "POST", &format!("/jobs?{query}"), None).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    client::json_uint_field(&body, "job").expect("job id in response")
+}
+
+fn job_status(addr: &str, job: u64) -> String {
+    let (status, body) =
+        client::request(addr, "GET", &format!("/jobs/{job}"), None).expect("status");
+    assert_eq!(status, 200, "{body}");
+    client::json_str_field(&body, "status").expect("status field")
+}
+
+fn wait_for(addr: &str, job: u64, predicate: impl Fn(&str) -> bool, what: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = job_status(addr, job);
+        if predicate(&status) {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for job {job} to be {what} (status {status})"
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+fn terminal(status: &str) -> bool {
+    matches!(status, "done" | "failed" | "cancelled")
+}
+
+/// The document the one-shot CLI writes for `verify FILE --trace --json`.
+fn cli_verify_document(file: &str) -> String {
+    let model = Model::parse(&model_text(file)).expect("model parses");
+    let options = Options {
+        trace: true,
+        ..Options::default()
+    };
+    let result = cmd_verify(&model, &options).expect("cli verify runs");
+    json::render_document(&result.json)
+}
+
+/// The acceptance criterion: ≥4 concurrent verification jobs over a real
+/// socket — passing and failing models mixed, one job cancelled mid-flight —
+/// and every returned document is byte-identical to the one-shot CLI's.
+#[test]
+fn concurrent_jobs_match_the_one_shot_cli_byte_for_byte() {
+    let (handle, addr) = start_server(4);
+
+    // A long-running zones job first, so a worker picks it up immediately
+    // and the cancellation lands mid-exploration: the 2-stage pipeline's
+    // zone graph runs far beyond this test's patience without the cancel.
+    let big = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let cancel_job = submit(&addr, &format!("model={big}&command=zones&limit=100000000"));
+
+    // A mix of passing and failing models, all with traces.
+    let verify_files = [
+        "ipcmos_1stage.stg",
+        "race_overlap.tts",
+        "c_element.stg",
+        "intro_fig1.tts",
+        "ring_pipeline.stg",
+    ];
+    let jobs: Vec<(u64, &str)> = verify_files
+        .iter()
+        .map(|file| {
+            let hash = upload(&addr, &model_text(file));
+            (
+                submit(&addr, &format!("model={hash}&command=verify&trace=true")),
+                *file,
+            )
+        })
+        .collect();
+
+    // Cancel the zones job once it is running (with 4 workers it starts
+    // immediately; the verify jobs share the remaining workers).
+    wait_for(&addr, cancel_job, |s| s != "queued", "running");
+    let (status, _) =
+        client::request(&addr, "POST", &format!("/jobs/{cancel_job}/cancel"), None).unwrap();
+    assert_eq!(status, 200);
+    let cancelled = wait_for(&addr, cancel_job, terminal, "terminal");
+    assert_eq!(cancelled, "cancelled", "cancel stops the exploration early");
+    // A cancelled job serves no result document.
+    let (status, _) =
+        client::request(&addr, "GET", &format!("/jobs/{cancel_job}/result"), None).unwrap();
+    assert_eq!(status, 409);
+
+    for (job, file) in &jobs {
+        let status = wait_for(&addr, *job, terminal, "terminal");
+        assert_eq!(status, "done", "{file}");
+        let (status, document) =
+            client::request(&addr, "GET", &format!("/jobs/{job}/result"), None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            document,
+            cli_verify_document(file),
+            "{file}: server document differs from one-shot CLI --json output"
+        );
+    }
+
+    // The failing model's document carries the replayable counterexample.
+    let race = jobs
+        .iter()
+        .find(|(_, file)| *file == "race_overlap.tts")
+        .unwrap();
+    let (_, document) =
+        client::request(&addr, "GET", &format!("/jobs/{}/result", race.0), None).unwrap();
+    assert!(document.contains("\"verdict\":\"failed\""), "{document}");
+    assert!(
+        document.contains("\"kind\":\"counterexample\""),
+        "{document}"
+    );
+
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// Cancelling a queued job (single worker, long job hogging it) prevents it
+/// from ever running; shutting down cancels the rest of the queue.
+#[test]
+fn queued_jobs_cancel_without_running() {
+    let (handle, addr) = start_server(1);
+    let big = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let running = submit(&addr, &format!("model={big}&command=zones&limit=100000000"));
+    let small = upload(&addr, &model_text("race_overlap.tts"));
+    let queued = submit(&addr, &format!("model={small}&command=verify"));
+    let stays_queued = submit(&addr, &format!("model={small}&command=verify"));
+
+    wait_for(&addr, running, |s| s == "running", "running");
+    assert_eq!(job_status(&addr, queued), "queued");
+    let (status, body) =
+        client::request(&addr, "POST", &format!("/jobs/{queued}/cancel"), None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(job_status(&addr, queued), "cancelled");
+
+    // Graceful shutdown while the long job still occupies the only worker:
+    // everything queued is cancelled without ever running. Then cancel the
+    // running job so the worker can exit, and join. The listener is down
+    // after shutdown, so inspect the shared state directly.
+    let state = handle.state().clone();
+    state.shutdown();
+    assert_eq!(
+        state.job(stays_queued as usize).unwrap().status,
+        JobStatus::Cancelled
+    );
+    state.cancel(running as usize);
+    handle.shutdown().expect("graceful shutdown");
+    assert_eq!(
+        state.job(queued as usize).unwrap().status,
+        JobStatus::Cancelled
+    );
+    assert_eq!(
+        state.job(running as usize).unwrap().status,
+        JobStatus::Cancelled
+    );
+}
+
+/// The model cache, the job listing and the error paths of the HTTP API.
+#[test]
+fn model_cache_and_api_errors() {
+    let (handle, addr) = start_server(2);
+
+    // healthz answers.
+    let (status, body) = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""));
+
+    // Upload is content-addressed: the second upload of the same text hits
+    // the cache (parsed once), a different text gets a different hash.
+    let text = model_text("c_element.stg");
+    let (status, first) = client::request(&addr, "POST", "/models", Some(text.as_bytes())).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(client::json_str_field(&first, "cached").as_deref(), None);
+    assert!(first.contains("\"cached\":false"), "{first}");
+    assert!(first.contains("\"name\":\"c_element\""), "{first}");
+    assert!(first.contains("\"kind\":\"stg\""), "{first}");
+    let (_, second) = client::request(&addr, "POST", "/models", Some(text.as_bytes())).unwrap();
+    assert!(second.contains("\"cached\":true"), "{second}");
+    let other = upload(&addr, &model_text("race_overlap.tts"));
+    assert_ne!(client::json_str_field(&first, "hash").unwrap(), other);
+
+    let (status, listing) = client::request(&addr, "GET", "/models", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(listing.contains("c_element"), "{listing}");
+    assert!(listing.contains("race_overlap"), "{listing}");
+
+    // Error paths: bad model, unknown hash, unknown command, unknown job,
+    // unknown route, wrong method.
+    let (status, body) = client::request(&addr, "POST", "/models", Some(b"not a model")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) =
+        client::request(&addr, "POST", "/jobs?model=feedbeef&command=verify", None).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown model hash"), "{body}");
+    let (status, body) = client::request(
+        &addr,
+        "POST",
+        &format!("/jobs?model={other}&command=table1"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown command"), "{body}");
+    let (status, _) = client::request(&addr, "GET", "/jobs/99", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::request(&addr, "GET", "/frobnicate", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::request(&addr, "DELETE", "/models", None).unwrap();
+    assert_eq!(status, 405);
+
+    // A reach job with --to through the full query-string path.
+    let c_element = client::json_str_field(&first, "hash").unwrap();
+    let job = submit(&addr, &format!("model={c_element}&command=reach&to=C%2B"));
+    assert_eq!(wait_for(&addr, job, terminal, "terminal"), "done");
+    let (status, document) =
+        client::request(&addr, "GET", &format!("/jobs/{job}/result"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(document.contains("\"path_found\":true"), "{document}");
+    assert!(document.contains("\"path\":[\"A+\",\"B+\"]"), "{document}");
+
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// The `transyt submit` / `transyt status` client modes drive a server
+/// end-to-end, and `submit --wait --json` writes the byte-identical document.
+#[test]
+fn submit_and_status_client_modes_round_trip() {
+    let (handle, addr) = start_server(2);
+    let binary = env!("CARGO_BIN_EXE_transyt");
+    let model = models_dir().join("race_overlap.tts");
+    let json_path =
+        std::env::temp_dir().join(format!("transyt_submit_{}.json", std::process::id()));
+
+    let output = Command::new(binary)
+        .args([
+            "submit",
+            model.to_str().unwrap(),
+            "--server",
+            &addr,
+            "--trace",
+            "--wait",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("submitted job 0"), "{stdout}");
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains("counterexample trace:"), "{stdout}");
+
+    let document = std::fs::read_to_string(&json_path).unwrap();
+    assert_eq!(document, cli_verify_document("race_overlap.tts"));
+    let _ = std::fs::remove_file(&json_path);
+
+    let output = Command::new(binary)
+        .args(["status", "0", "--server", &addr])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"status\":\"done\""), "{stdout}");
+    let output = Command::new(binary)
+        .args(["status", "--server", &addr])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("\"jobs\":["));
+
+    handle.shutdown().expect("graceful shutdown");
+}

@@ -24,7 +24,7 @@ use std::convert::Infallible;
 use std::fmt;
 
 use ces::{check_consistency, extract_ces, RelativeTimingConstraint, SeparationAnalysis};
-use explore::{ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use explore::{CancelToken, ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
 use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem, TransitionSystem};
 
 use crate::property::SafetyProperty;
@@ -40,6 +40,11 @@ pub struct VerifyOptions {
     /// Worker threads for each exploration pass of the refinement loop
     /// (`1` = sequential; any value produces the identical verdict).
     pub threads: usize,
+    /// Cooperative cancellation: when the token fires, the current
+    /// exploration pass stops at its next batch boundary and the verdict is
+    /// [`Verdict::Inconclusive`] with reason `"verification cancelled"`. The
+    /// default token is inert.
+    pub cancel: CancelToken,
 }
 
 impl Default for VerifyOptions {
@@ -48,6 +53,7 @@ impl Default for VerifyOptions {
             max_refinements: 200,
             assumed_constraints: Vec::new(),
             threads: 1,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -482,12 +488,19 @@ pub fn verify(
                 threads: options.threads,
                 record_edges: true,
                 trace: TraceOptions::parents(),
+                cancel: options.cancel.clone(),
                 ..ExploreOptions::default()
             },
         ) {
             Ok(ExploreOutcome::Completed(report)) => report,
             Ok(ExploreOutcome::LimitExceeded { .. }) => {
                 unreachable!("the pruned search configures no limits")
+            }
+            Ok(ExploreOutcome::Cancelled { expanded, .. }) => {
+                return Verdict::Inconclusive {
+                    reason: "verification cancelled".to_owned(),
+                    report: make_report(refinements, &constraints, expanded),
+                }
             }
             Err(infallible) => match infallible {},
         };
@@ -932,6 +945,29 @@ mod tests {
         assert!(verdict.is_verified());
         assert_eq!(verdict.report().refinements, 0);
         assert_eq!(verdict.report().constraints.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_verification_is_inconclusive() {
+        let token = CancelToken::new();
+        token.cancel();
+        let timed = race(d(1, 2), d(5, 9));
+        let property = SafetyProperty::new("order").forbid_marked_states();
+        let verdict = verify(
+            &timed,
+            &property,
+            &VerifyOptions {
+                cancel: token,
+                ..VerifyOptions::default()
+            },
+        );
+        match verdict {
+            Verdict::Inconclusive { reason, report } => {
+                assert_eq!(reason, "verification cancelled");
+                assert_eq!(report.explored_states, 0);
+            }
+            other => panic!("expected inconclusive, got {other}"),
+        }
     }
 
     #[test]

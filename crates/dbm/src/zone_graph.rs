@@ -26,14 +26,14 @@ use std::collections::{BTreeSet, HashSet};
 use std::convert::Infallible;
 use std::sync::{Arc, Mutex};
 
-use explore::{ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use explore::{CancelToken, ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
 use tts::{Bound, EventId, StateId, Time, TimedTransitionSystem};
 
 use crate::entry::Entry;
 use crate::matrix::Dbm;
 
 /// Options for the zone-graph exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ZoneExplorationOptions {
     /// Maximum number of symbolic configurations to explore before aborting.
     pub configuration_limit: usize,
@@ -45,6 +45,10 @@ pub struct ZoneExplorationOptions {
     /// strictly reduces the configuration count on models with converging
     /// timing; disable to enumerate exact-duplicate zones only.
     pub subsumption: bool,
+    /// Cooperative cancellation: an exploration whose token fires stops at
+    /// the next batch boundary and returns [`ZoneOutcome::Cancelled`] (or
+    /// [`WitnessOutcome::Cancelled`]). The default token is inert.
+    pub cancel: CancelToken,
 }
 
 impl Default for ZoneExplorationOptions {
@@ -53,6 +57,7 @@ impl Default for ZoneExplorationOptions {
             configuration_limit: 200_000,
             threads: 1,
             subsumption: true,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -99,6 +104,15 @@ pub enum ZoneOutcome {
         /// abort (0 when subsumption is disabled).
         subsumed: usize,
     },
+    /// The [`ZoneExplorationOptions::cancel`] token fired before the
+    /// exploration finished.
+    Cancelled {
+        /// Number of configurations explored before the cancellation.
+        explored: usize,
+        /// Enqueued configurations skipped by zone subsumption before the
+        /// cancellation (0 when subsumption is disabled).
+        subsumed: usize,
+    },
 }
 
 impl ZoneOutcome {
@@ -106,7 +120,7 @@ impl ZoneOutcome {
     pub fn report(&self) -> Option<&ZoneReport> {
         match self {
             ZoneOutcome::Completed(r) => Some(r),
-            ZoneOutcome::LimitExceeded { .. } => None,
+            ZoneOutcome::LimitExceeded { .. } | ZoneOutcome::Cancelled { .. } => None,
         }
     }
 }
@@ -346,6 +360,7 @@ pub fn explore_timed_with(
         &ExploreOptions {
             threads: options.threads,
             expanded_limit: options.configuration_limit,
+            cancel: options.cancel.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -360,6 +375,16 @@ pub fn explore_timed_with(
             ..
         } => {
             return ZoneOutcome::LimitExceeded {
+                explored: expanded,
+                subsumed: subsumption_skips,
+            }
+        }
+        ExploreOutcome::Cancelled {
+            expanded,
+            subsumption_skips,
+            ..
+        } => {
+            return ZoneOutcome::Cancelled {
                 explored: expanded,
                 subsumed: subsumption_skips,
             }
@@ -606,6 +631,15 @@ pub enum WitnessOutcome {
         /// subsumption is disabled).
         subsumed: usize,
     },
+    /// The [`ZoneExplorationOptions::cancel`] token fired before the goal
+    /// was decided.
+    Cancelled {
+        /// Number of configurations explored before the cancellation.
+        explored: usize,
+        /// Enqueued configurations skipped by zone subsumption (0 when
+        /// subsumption is disabled).
+        subsumed: usize,
+    },
 }
 
 impl WitnessOutcome {
@@ -676,6 +710,7 @@ pub fn find_witness(
             threads: options.threads,
             expanded_limit: options.configuration_limit,
             trace: TraceOptions::parents(),
+            cancel: options.cancel.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -690,6 +725,16 @@ pub fn find_witness(
             ..
         } => {
             return WitnessOutcome::LimitExceeded {
+                explored: expanded,
+                subsumed: subsumption_skips,
+            }
+        }
+        ExploreOutcome::Cancelled {
+            expanded,
+            subsumption_skips,
+            ..
+        } => {
+            return WitnessOutcome::Cancelled {
                 explored: expanded,
                 subsumed: subsumption_skips,
             }
@@ -997,6 +1042,27 @@ mod tests {
     }
 
     #[test]
+    fn pre_cancelled_exploration_reports_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let options = ZoneExplorationOptions {
+            cancel: token.clone(),
+            ..ZoneExplorationOptions::default()
+        };
+        let outcome = explore_timed_with(&race(), options.clone());
+        assert_eq!(
+            outcome,
+            ZoneOutcome::Cancelled {
+                explored: 0,
+                subsumed: 0
+            }
+        );
+        let witness = find_witness(&race(), options, WitnessGoal::Deadlock);
+        assert!(matches!(witness, WitnessOutcome::Cancelled { .. }));
+        assert!(witness.trace().is_none());
+    }
+
+    #[test]
     fn parallel_exploration_matches_sequential_exactly() {
         for timed in [race(), reconvergent()] {
             for subsumption in [true, false] {
@@ -1004,10 +1070,15 @@ mod tests {
                     subsumption,
                     ..ZoneExplorationOptions::default()
                 };
-                let sequential = explore_timed_with(&timed, base);
+                let sequential = explore_timed_with(&timed, base.clone());
                 for threads in [2, 4] {
-                    let parallel =
-                        explore_timed_with(&timed, ZoneExplorationOptions { threads, ..base });
+                    let parallel = explore_timed_with(
+                        &timed,
+                        ZoneExplorationOptions {
+                            threads,
+                            ..base.clone()
+                        },
+                    );
                     assert_eq!(sequential, parallel, "threads={threads}");
                 }
             }

@@ -5,11 +5,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use crate::cancel::CancelToken;
 use crate::seen::SeenMap;
 use crate::space::SearchSpace;
 
 /// Options for [`explore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreOptions {
     /// Number of worker threads. `1` (the default) is the plain sequential
     /// breadth-first loop; higher values expand each breadth-first level in
@@ -26,6 +27,10 @@ pub struct ExploreOptions {
     /// Witness-trace options (parent tracking). The default records nothing,
     /// so the no-trace path keeps its memory profile untouched.
     pub trace: TraceOptions,
+    /// Cooperative cancellation: the driver checks this token once per merge
+    /// batch and returns [`ExploreOutcome::Cancelled`] as soon as it fires.
+    /// The default token is inert and costs nothing.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExploreOptions {
@@ -36,6 +41,7 @@ impl Default for ExploreOptions {
             discovered_limit: usize::MAX,
             record_edges: false,
             trace: TraceOptions::default(),
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -141,6 +147,17 @@ pub enum ExploreOutcome<C, E> {
         /// the search aborted.
         subsumption_skips: usize,
     },
+    /// The [`ExploreOptions::cancel`] token fired; the search stopped at the
+    /// next batch boundary without draining the frontier.
+    Cancelled {
+        /// Configurations expanded when the search was cancelled.
+        expanded: usize,
+        /// Configurations discovered when the search was cancelled.
+        discovered: usize,
+        /// Enqueued configurations skipped by pop-time subsumption before
+        /// the cancellation.
+        subsumption_skips: usize,
+    },
 }
 
 impl<C, E> ExploreOutcome<C, E> {
@@ -148,7 +165,7 @@ impl<C, E> ExploreOutcome<C, E> {
     pub fn report(&self) -> Option<&ExploreReport<C, E>> {
         match self {
             ExploreOutcome::Completed(report) => Some(report),
-            ExploreOutcome::LimitExceeded { .. } => None,
+            ExploreOutcome::LimitExceeded { .. } | ExploreOutcome::Cancelled { .. } => None,
         }
     }
 }
@@ -218,6 +235,16 @@ pub fn explore<S: SearchSpace>(
         let mut next: Vec<S::Config> = Vec::new();
         let mut next_parents: Vec<Option<(usize, S::Edge)>> = Vec::new();
         for batch_start in (0..frontier.len()).step_by(batch_size.max(1)) {
+            // Cooperative cancellation, checked once per merge batch so a
+            // cancelled search stops within one batch of expansions. The
+            // counters describe the committed (deterministic) prefix.
+            if options.cancel.is_cancelled() {
+                return Ok(ExploreOutcome::Cancelled {
+                    expanded,
+                    discovered,
+                    subsumption_skips,
+                });
+            }
             let batch = &frontier[batch_start..(batch_start + batch_size).min(frontier.len())];
             // Expand the batch speculatively when it is wide enough to
             // amortise thread startup; otherwise expand lazily during the
@@ -470,7 +497,7 @@ mod tests {
     {
         match explore(space, options).expect("no error") {
             ExploreOutcome::Completed(report) => report,
-            ExploreOutcome::LimitExceeded { .. } => panic!("unexpected limit"),
+            _ => panic!("expected completion"),
         }
     }
 
@@ -559,9 +586,108 @@ mod tests {
                     assert!(discovered >= expanded);
                     assert_eq!(subsumption_skips, 0);
                 }
-                ExploreOutcome::Completed(_) => panic!("expected limit abort"),
+                other => panic!("expected limit abort, got {other:?}"),
             }
         }
+    }
+
+    /// A grid whose expansion fires a cancel token after a fixed number of
+    /// expand calls — models an outside cancellation arriving mid-search.
+    struct CancellingGrid {
+        grid: Grid,
+        token: CancelToken,
+        after: usize,
+        calls: AtomicUsize,
+    }
+
+    impl SearchSpace for CancellingGrid {
+        type Config = (u64, u64);
+        type Key = (u64, u64);
+        type Edge = char;
+        type Error = Infallible;
+
+        fn initial(&self) -> Result<Vec<(u64, u64)>, Infallible> {
+            self.grid.initial()
+        }
+
+        fn key(&self, config: &(u64, u64)) -> (u64, u64) {
+            *config
+        }
+
+        fn expand(&self, config: &(u64, u64)) -> Result<Vec<(char, (u64, u64))>, Infallible> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.after {
+                self.token.cancel();
+            }
+            self.grid.expand(config)
+        }
+    }
+
+    #[test]
+    fn cancellation_halts_early_and_reports_cancelled() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let space = CancellingGrid {
+                grid: Grid { side: 32 },
+                token: token.clone(),
+                after: 10,
+                calls: AtomicUsize::new(0),
+            };
+            let outcome = explore(
+                &space,
+                &ExploreOptions {
+                    threads,
+                    cancel: token,
+                    ..ExploreOptions::default()
+                },
+            )
+            .expect("no error");
+            match outcome {
+                ExploreOutcome::Cancelled {
+                    expanded,
+                    discovered,
+                    ..
+                } => {
+                    // Far fewer than the 1024 grid configurations were
+                    // expanded: the search stopped at a batch boundary.
+                    assert!(expanded >= 10, "threads={threads}: expanded={expanded}");
+                    assert!(expanded < 1024, "threads={threads}: expanded={expanded}");
+                    assert!(discovered >= expanded);
+                }
+                other => panic!("expected cancellation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_expansion() {
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = explore(
+            &Grid { side: 4 },
+            &ExploreOptions {
+                cancel: token,
+                ..ExploreOptions::default()
+            },
+        )
+        .expect("no error");
+        assert!(matches!(
+            outcome,
+            ExploreOutcome::Cancelled { expanded: 0, .. }
+        ));
+        assert!(outcome.report().is_none());
+    }
+
+    #[test]
+    fn inert_token_changes_nothing() {
+        let plain = completed(&Grid { side: 5 }, &ExploreOptions::default());
+        let with_token = completed(
+            &Grid { side: 5 },
+            &ExploreOptions {
+                cancel: CancelToken::default(),
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(plain, with_token);
     }
 
     #[test]

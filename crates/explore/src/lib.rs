@@ -18,6 +18,12 @@
 //!   loops it replaced. With more threads each breadth-first level is
 //!   expanded speculatively in parallel and committed by a deterministic
 //!   ordered merge, so **any thread count produces the identical result**.
+//! * [`CancelToken`] — cooperative cancellation: a shared flag the driver
+//!   checks once per merge batch, so a long-running exploration (e.g. a
+//!   server-side verification job) can be stopped from outside without
+//!   running to its limit. A cancelled search returns
+//!   [`ExploreOutcome::Cancelled`] with the counters of the committed
+//!   deterministic prefix.
 //! * [`TraceOptions`] — optional witness bookkeeping: with parent tracking
 //!   on, the report records for every expanded configuration the node that
 //!   first discovered it and the edge it was discovered through, and
@@ -82,7 +88,7 @@
 //! let outcome = explore(&Collatz { cap: 64 }, &ExploreOptions::default()).unwrap();
 //! let report = match outcome {
 //!     ExploreOutcome::Completed(report) => report,
-//!     ExploreOutcome::LimitExceeded { .. } => unreachable!(),
+//!     _ => unreachable!(),
 //! };
 //! assert!(report.nodes.iter().any(|n| n.config == 64));
 //! // The parallel driver returns the identical result.
@@ -97,10 +103,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod driver;
 mod seen;
 mod space;
 
+pub use cancel::CancelToken;
 pub use driver::{
     explore, ExploreOptions, ExploreOutcome, ExploreReport, ExploredNode, TraceOptions,
 };

@@ -1,0 +1,122 @@
+//! A tiny blocking HTTP client speaking the server's one-shot dialect, plus
+//! field scanners for the server's own JSON responses. Powers the `transyt
+//! submit` / `transyt status` client modes and the integration tests; no
+//! external tooling (curl, jq) is needed to drive a server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Performs one HTTP request against `addr` (e.g. `127.0.0.1:7171`) and
+/// returns `(status, body)`.
+///
+/// # Errors
+///
+/// A human-readable message on connection or protocol failures.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let body = body.unwrap_or_default();
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .map_err(|e| format!("writing request: {e}"))?;
+    writer
+        .write_all(body)
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("writing request body: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
+    loop {
+        let mut header = String::new();
+        let read = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("reading headers: {e}"))?;
+        if read == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    // `Connection: close` semantics: the body runs to EOF.
+    let mut body = String::new();
+    reader
+        .read_to_string(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok((status, body))
+}
+
+/// Extracts the string value of a top-level `"name":"value"` field from a
+/// JSON document *rendered by this workspace's emitter* (compact, no spaces
+/// around separators). Handles the emitter's escapes; not a general parser.
+pub fn json_str_field(document: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\":\"");
+    let start = document.find(&needle)? + needle.len();
+    let mut value = String::new();
+    let mut chars = document[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(value),
+            '\\' => match chars.next()? {
+                'n' => value.push('\n'),
+                't' => value.push('\t'),
+                'r' => value.push('\r'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&code, 16).ok()?;
+                    value.push(char::from_u32(code)?);
+                }
+                escaped => value.push(escaped),
+            },
+            other => value.push(other),
+        }
+    }
+}
+
+/// Extracts an unsigned integer `"name":123` field from a JSON document
+/// rendered by this workspace's emitter.
+pub fn json_uint_field(document: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let start = document.find(&needle)? + needle.len();
+    let digits: String = document[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_scanners_read_the_emitter_dialect() {
+        let doc = r#"{"hash":"00ff","name":"a \"b\"\nc","job":17,"nested":{"job":99}}"#;
+        assert_eq!(json_str_field(doc, "hash").as_deref(), Some("00ff"));
+        assert_eq!(json_str_field(doc, "name").as_deref(), Some("a \"b\"\nc"));
+        assert_eq!(json_str_field(doc, "missing"), None);
+        assert_eq!(json_uint_field(doc, "job"), Some(17));
+        assert_eq!(json_uint_field(doc, "hash"), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! `transyt-server` — the long-running verification server behind `transyt
+//! serve`.
+//!
+//! The one-shot CLI parses a model, runs one exploration and exits; this
+//! crate turns the same `commands` layer into a service: clients upload
+//! textual `.stg` / `.tts` models once (parsed and validated on upload,
+//! cached by content hash), submit `verify` / `reach` / `zones` jobs with
+//! the same options the CLI takes, poll job status, cancel jobs mid-flight,
+//! and fetch results — including replayable witness traces — as JSON
+//! documents **byte-identical** to the CLI's `--json` output.
+//!
+//! The moving parts:
+//!
+//! * [`http`] — a hand-rolled, dependency-free HTTP/1.1 layer over
+//!   [`std::net::TcpListener`]: one request per connection, JSON in and out.
+//! * [`ServerState`] — the model cache, the job table and a FIFO queue; a
+//!   bounded pool of [`ServerConfig::workers`] threads drains the queue, so
+//!   N in-flight verifications share the machine without oversubscribing
+//!   the explorer's own thread pool.
+//! * [`Backend`] — the seam to the actual tool: the `transyt` binary plugs
+//!   in the CLI's parser and command layer; tests plug in stubs. Jobs
+//!   receive an [`explore::CancelToken`] that `POST /jobs/{id}/cancel`
+//!   fires, so a cancelled job stops its exploration at the next batch
+//!   boundary instead of running to its limit.
+//! * [`Server`] — the accept loop and graceful shutdown: SIGTERM / ctrl-c
+//!   (or `POST /shutdown`) stop the listener, cancel queued jobs, let
+//!   running jobs finish and join the pool.
+//! * [`client`] — a tiny blocking HTTP client for the `transyt submit` /
+//!   `transyt status` modes and the integration tests.
+//!
+//! The HTTP API is documented in `docs/SERVER.md`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod client;
+pub mod http;
+mod server;
+mod state;
+mod sys;
+
+pub use explore::CancelToken;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::{
+    content_hash, Backend, CachedModel, JobOutput, JobRequest, JobStatus, JobView, ModelInfo,
+    ServerState,
+};

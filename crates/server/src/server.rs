@@ -1,0 +1,368 @@
+//! The HTTP front end: socket handling, routing and the worker pool.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bench::json::Value;
+
+use crate::http::{Request, Response};
+use crate::state::{Backend, JobRequest, JobStatus, JobView, ServerState};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7171` (port `0` picks a free port —
+    /// handy for tests).
+    pub addr: String,
+    /// Worker threads draining the job queue: at most this many jobs run
+    /// concurrently; further submissions queue FIFO. Keep `workers ×
+    /// per-job --threads` at or below the machine's cores so concurrent
+    /// verifications don't oversubscribe the explorer's own thread pool.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            workers: 4,
+        }
+    }
+}
+
+/// A bound (but not yet serving) verification server.
+pub struct Server {
+    state: Arc<ServerState>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+/// Handle to a server running on background threads (see [`Server::spawn`]).
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for in-process inspection in tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Initiates a graceful shutdown and waits for the server to finish.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.state.shutdown();
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Binds the listening socket and prepares the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, …).
+    pub fn bind(config: &ServerConfig, backend: Box<dyn Backend>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            state: Arc::new(ServerState::new(backend)),
+            listener,
+            addr,
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (the actual port when the config asked for `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until shutdown, blocking the calling thread. SIGTERM and
+    /// SIGINT (ctrl-c) trigger the same graceful shutdown as `POST
+    /// /shutdown`: the listener stops accepting, queued jobs are cancelled,
+    /// running jobs finish (or observe their fired cancel token), the worker
+    /// pool drains and `run` returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the accept loop.
+    pub fn run(self) -> io::Result<()> {
+        crate::sys::install_shutdown_signals();
+        self.run_inner(true)
+    }
+
+    /// Runs the server on a background thread (no signal handlers — for
+    /// tests and embedding) and returns a handle to poll and stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let state = Arc::clone(&self.state);
+        let addr = self.addr;
+        let thread = thread::spawn(move || self.run_inner(false));
+        ServerHandle {
+            state,
+            addr,
+            thread,
+        }
+    }
+
+    fn run_inner(self, watch_signals: bool) -> io::Result<()> {
+        let mut workers = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let state = Arc::clone(&self.state);
+            workers.push(thread::spawn(move || state.worker_loop()));
+        }
+
+        // Non-blocking accept so the loop can observe shutdown (from a
+        // signal or `POST /shutdown`) without another connection arriving.
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.state.is_shutdown() || (watch_signals && crate::sys::signal_received()) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    thread::spawn(move || handle_connection(&state, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Idempotent: cancels queued jobs and wakes idle workers.
+        self.state.shutdown();
+        for worker in workers {
+            worker.join().expect("worker thread panicked");
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let response = match Request::read_from(&mut reader) {
+        Ok(Some(request)) => route(state, &request),
+        Ok(None) => return,
+        Err(e) => error_response(400, &format!("bad request: {e}")),
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        Value::object().field("error", message).render() + "\n",
+    )
+}
+
+fn job_document(view: &JobView) -> Value {
+    let mut doc = Value::object()
+        .field("job", view.id)
+        .field("status", view.status.to_string())
+        .field("command", view.request.command.as_str())
+        .field("model", view.request.model_hash.as_str())
+        .field("model_name", view.model_name.as_str())
+        .field("threads", view.request.threads)
+        .field("trace", view.request.trace)
+        .field("done", view.status.is_terminal());
+    if let Some(error) = &view.error {
+        doc = doc.field("error", error.as_str());
+    }
+    doc
+}
+
+fn route(state: &ServerState, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let (queued, running) = state.load();
+            Response::json(
+                200,
+                Value::object()
+                    .field("status", "ok")
+                    .field("queued", queued)
+                    .field("running", running)
+                    .render()
+                    + "\n",
+            )
+        }
+        ("POST", ["models"]) => {
+            let text = match String::from_utf8(request.body.clone()) {
+                Ok(text) => text,
+                Err(_) => return error_response(400, "model body is not UTF-8"),
+            };
+            match state.upload_model(&text) {
+                Ok((model, cached)) => Response::json(
+                    200,
+                    Value::object()
+                        .field("hash", model.hash.as_str())
+                        .field("name", model.name.as_str())
+                        .field("kind", model.kind.as_str())
+                        .field("cached", cached)
+                        .render()
+                        + "\n",
+                ),
+                Err(message) => error_response(400, &message),
+            }
+        }
+        ("GET", ["models"]) => {
+            let models: Vec<Value> = state
+                .models()
+                .iter()
+                .map(|m| {
+                    Value::object()
+                        .field("hash", m.hash.as_str())
+                        .field("name", m.name.as_str())
+                        .field("kind", m.kind.as_str())
+                        .field("bytes", m.text.len())
+                })
+                .collect();
+            Response::json(200, Value::object().field("models", models).render() + "\n")
+        }
+        ("POST", ["jobs"]) => {
+            let job_request = match parse_job_request(request) {
+                Ok(job_request) => job_request,
+                Err(message) => return error_response(400, &message),
+            };
+            match state.submit(job_request) {
+                Ok(id) => Response::json(
+                    202,
+                    Value::object()
+                        .field("job", id)
+                        .field("status", "queued")
+                        .render()
+                        + "\n",
+                ),
+                Err(message) => error_response(400, &message),
+            }
+        }
+        ("GET", ["jobs"]) => {
+            let jobs: Vec<Value> = state.jobs().iter().map(job_document).collect();
+            Response::json(200, Value::object().field("jobs", jobs).render() + "\n")
+        }
+        ("GET", ["jobs", id]) => match lookup(state, id) {
+            Ok(view) => Response::json(200, job_document(&view).render() + "\n"),
+            Err(response) => response,
+        },
+        ("GET", ["jobs", id, "result"]) => match lookup(state, id) {
+            Ok(view) => match (&view.output, view.status) {
+                // The raw document, byte-identical to the CLI's --json file.
+                (Some(output), JobStatus::Done) => Response::json(200, output.document.clone()),
+                (_, status) if status.is_terminal() => error_response(
+                    409,
+                    &format!("job {} produced no document (status {status})", view.id),
+                ),
+                _ => error_response(409, &format!("job {} is still {}", view.id, view.status)),
+            },
+            Err(response) => response,
+        },
+        ("GET", ["jobs", id, "text"]) => match lookup(state, id) {
+            Ok(view) => match &view.output {
+                Some(output) => Response::text(200, output.text.clone()),
+                None => error_response(409, &format!("job {} is {}", view.id, view.status)),
+            },
+            Err(response) => response,
+        },
+        ("POST", ["jobs", id, "cancel"]) => {
+            let id = match id.parse::<usize>() {
+                Ok(id) => id,
+                Err(_) => return error_response(400, "job id must be a number"),
+            };
+            match state.cancel(id) {
+                Some(status) => Response::json(
+                    200,
+                    Value::object()
+                        .field("job", id)
+                        .field("status", status.to_string())
+                        .render()
+                        + "\n",
+                ),
+                None => error_response(404, &format!("no job {id}")),
+            }
+        }
+        ("POST", ["shutdown"]) => {
+            state.shutdown();
+            Response::json(
+                200,
+                Value::object().field("status", "shutting down").render() + "\n",
+            )
+        }
+        (_, ["healthz" | "models" | "jobs" | "shutdown", ..]) => {
+            error_response(405, "method not allowed")
+        }
+        _ => error_response(404, &format!("no route for {}", request.path)),
+    }
+}
+
+fn lookup(state: &ServerState, id: &str) -> Result<JobView, Response> {
+    let id: usize = id
+        .parse()
+        .map_err(|_| error_response(400, "job id must be a number"))?;
+    state
+        .job(id)
+        .ok_or_else(|| error_response(404, &format!("no job {id}")))
+}
+
+fn parse_job_request(request: &Request) -> Result<JobRequest, String> {
+    let command = request
+        .query_param("command")
+        .ok_or("missing `command` parameter")?
+        .to_owned();
+    let model_hash = request
+        .query_param("model")
+        .ok_or("missing `model` parameter (upload via POST /models first)")?
+        .to_owned();
+    // Defaults mirror the CLI's option defaults exactly, so an omitted
+    // parameter means the same thing as an omitted flag.
+    let threads = match request.query_param("threads") {
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("bad `threads` value `{value}`"))?,
+        None => 1,
+    };
+    let subsumption = match request.query_param("subsumption") {
+        Some("on") | None => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("bad `subsumption` value `{other}` (use on|off)")),
+    };
+    let trace = match request.query_param("trace") {
+        Some("true") => true,
+        Some("false") | None => false,
+        Some(other) => return Err(format!("bad `trace` value `{other}` (use true|false)")),
+    };
+    let limit = match request.query_param("limit") {
+        Some(value) => Some(
+            value
+                .parse()
+                .map_err(|_| format!("bad `limit` value `{value}`"))?,
+        ),
+        None => None,
+    };
+    let to_label = request.query_param("to").map(str::to_owned);
+    Ok(JobRequest {
+        command,
+        model_hash,
+        threads,
+        subsumption,
+        trace,
+        limit,
+        to_label,
+    })
+}

@@ -1,0 +1,540 @@
+//! The server's shared state: the content-addressed model cache, the job
+//! table, and the FIFO queue the worker pool drains.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+use explore::CancelToken;
+
+/// What the embedding binary supplies: how to validate an uploaded model and
+/// how to run a job against it. The `transyt` binary wires in the CLI's own
+/// parser and `commands` layer, so server jobs produce byte-identical
+/// documents to one-shot CLI runs; tests can plug in stubs.
+pub trait Backend: Send + Sync + 'static {
+    /// Parses and validates an uploaded model text.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the text is not a valid model.
+    fn validate(&self, text: &str) -> Result<ModelInfo, String>;
+
+    /// Runs one job to completion. Implementations must poll `cancel`
+    /// cooperatively (the CLI backend threads it into every exploration) so
+    /// a cancelled job stops early instead of running to its limit.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the job cannot produce a document
+    /// (bad options, expansion limits, …).
+    fn run(
+        &self,
+        model_text: &str,
+        request: &JobRequest,
+        cancel: &CancelToken,
+    ) -> Result<JobOutput, String>;
+}
+
+/// Metadata of a successfully validated model.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// The model's declared name (from the `stg` / `tts` header).
+    pub name: String,
+    /// The model kind: `"stg"` or `"tts"`.
+    pub kind: String,
+}
+
+/// One verification job as submitted over the wire. Field defaults mirror
+/// the CLI's option defaults exactly, so an option left out of a submission
+/// means the same thing as a flag left off the command line.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The subcommand to run: `verify`, `reach` or `zones`.
+    pub command: String,
+    /// Content hash of the cached model to run against.
+    pub model_hash: String,
+    /// Worker threads of the job's own exploration (`--threads`).
+    pub threads: usize,
+    /// Zone subsumption (`--subsumption`).
+    pub subsumption: bool,
+    /// Include a witness / counterexample trace (`--trace`).
+    pub trace: bool,
+    /// Exploration size limit (`--limit`).
+    pub limit: Option<usize>,
+    /// Target label for `reach` (`--to`).
+    pub to_label: Option<String>,
+}
+
+/// What a finished job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The JSON document, rendered exactly as the CLI's `--json` file
+    /// (including the trailing newline).
+    pub document: String,
+    /// The human-readable text the CLI would have printed.
+    pub text: String,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the FIFO queue.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished with a document.
+    Done,
+    /// Finished with an error message.
+    Failed,
+    /// Cancelled before or while running.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Returns `true` once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A cached model: the raw text plus validation metadata, addressed by the
+/// FNV-1a hash of the text so re-uploads are free and submissions can name
+/// models without re-sending them.
+#[derive(Debug, Clone)]
+pub struct CachedModel {
+    /// Content hash (16 hex digits).
+    pub hash: String,
+    /// The model's declared name.
+    pub name: String,
+    /// The model kind: `"stg"` or `"tts"`.
+    pub kind: String,
+    /// The raw model text as uploaded.
+    pub text: String,
+}
+
+/// A job's externally visible state.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// The job id.
+    pub id: usize,
+    /// The request as submitted.
+    pub request: JobRequest,
+    /// The name of the model the job runs against.
+    pub model_name: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// The output, once `status` is `Done` (or `Cancelled` after producing
+    /// a partial document).
+    pub output: Option<JobOutput>,
+    /// The error message, once `status` is `Failed`.
+    pub error: Option<String>,
+}
+
+struct Job {
+    request: JobRequest,
+    model_name: String,
+    status: JobStatus,
+    output: Option<JobOutput>,
+    error: Option<String>,
+    cancel: CancelToken,
+}
+
+struct Inner {
+    models: Vec<CachedModel>,
+    jobs: Vec<Job>,
+    queue: VecDeque<usize>,
+    shutdown: bool,
+}
+
+/// The shared state behind the HTTP front end and the worker pool.
+pub struct ServerState {
+    backend: Box<dyn Backend>,
+    inner: Mutex<Inner>,
+    work: Condvar,
+}
+
+/// Content hash of a model text: 64-bit FNV-1a, printed as 16 hex digits.
+/// Not cryptographic — it keys a cache of files the operator controls.
+pub fn content_hash(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+impl ServerState {
+    /// Creates empty state around a backend.
+    pub fn new(backend: Box<dyn Backend>) -> ServerState {
+        ServerState {
+            backend,
+            inner: Mutex::new(Inner {
+                models: Vec::new(),
+                jobs: Vec::new(),
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("server state poisoned")
+    }
+
+    /// Validates and caches a model text. Returns the cache entry and
+    /// whether it was already cached.
+    ///
+    /// # Errors
+    ///
+    /// The backend's validation message for unparseable texts.
+    pub fn upload_model(&self, text: &str) -> Result<(CachedModel, bool), String> {
+        let info = self.backend.validate(text)?;
+        let hash = content_hash(text);
+        let mut inner = self.lock();
+        if let Some(existing) = inner.models.iter().find(|m| m.hash == hash) {
+            return Ok((existing.clone(), true));
+        }
+        let model = CachedModel {
+            hash,
+            name: info.name,
+            kind: info.kind,
+            text: text.to_owned(),
+        };
+        inner.models.push(model.clone());
+        Ok((model, false))
+    }
+
+    /// The cached models, oldest first.
+    pub fn models(&self) -> Vec<CachedModel> {
+        self.lock().models.clone()
+    }
+
+    /// Looks a cached model up by content hash.
+    pub fn model(&self, hash: &str) -> Option<CachedModel> {
+        self.lock().models.iter().find(|m| m.hash == hash).cloned()
+    }
+
+    /// Enqueues a job. Returns its id, or an error when the model hash is
+    /// unknown, the command is not one of `verify`/`reach`/`zones`, or the
+    /// server is shutting down.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message; nothing is enqueued.
+    pub fn submit(&self, request: JobRequest) -> Result<usize, String> {
+        if !matches!(request.command.as_str(), "verify" | "reach" | "zones") {
+            return Err(format!(
+                "unknown command `{}` (use verify, reach or zones)",
+                request.command
+            ));
+        }
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err("server is shutting down".to_owned());
+        }
+        let model_name = inner
+            .models
+            .iter()
+            .find(|m| m.hash == request.model_hash)
+            .map(|m| m.name.clone())
+            .ok_or_else(|| format!("unknown model hash `{}`", request.model_hash))?;
+        let id = inner.jobs.len();
+        inner.jobs.push(Job {
+            request,
+            model_name,
+            status: JobStatus::Queued,
+            output: None,
+            error: None,
+            cancel: CancelToken::new(),
+        });
+        inner.queue.push_back(id);
+        drop(inner);
+        self.work.notify_one();
+        Ok(id)
+    }
+
+    /// The externally visible state of one job.
+    pub fn job(&self, id: usize) -> Option<JobView> {
+        let inner = self.lock();
+        inner.jobs.get(id).map(|job| JobView {
+            id,
+            request: job.request.clone(),
+            model_name: job.model_name.clone(),
+            status: job.status,
+            output: job.output.clone(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// All jobs, in submission order.
+    pub fn jobs(&self) -> Vec<JobView> {
+        let inner = self.lock();
+        (0..inner.jobs.len())
+            .map(|id| {
+                let job = &inner.jobs[id];
+                JobView {
+                    id,
+                    request: job.request.clone(),
+                    model_name: job.model_name.clone(),
+                    status: job.status,
+                    output: job.output.clone(),
+                    error: job.error.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Cancels a job: a queued job never starts, a running job's cancel
+    /// token fires so its exploration stops at the next batch boundary.
+    /// Returns the status after the cancellation request, or `None` for
+    /// unknown ids.
+    pub fn cancel(&self, id: usize) -> Option<JobStatus> {
+        let mut inner = self.lock();
+        let job = inner.jobs.get_mut(id)?;
+        match job.status {
+            JobStatus::Queued => {
+                job.status = JobStatus::Cancelled;
+                job.cancel.cancel();
+            }
+            JobStatus::Running => {
+                // The worker observes the fired token when the command
+                // returns and records the terminal `Cancelled` state.
+                job.cancel.cancel();
+            }
+            _ => {}
+        }
+        Some(inner.jobs[id].status)
+    }
+
+    /// Asks the worker pool (and the accept loop polling
+    /// [`is_shutdown`](Self::is_shutdown)) to stop. Running jobs finish
+    /// (or observe their cancel token); queued jobs are cancelled.
+    pub fn shutdown(&self) {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        while let Some(id) = inner.queue.pop_front() {
+            let job = &mut inner.jobs[id];
+            if job.status == JobStatus::Queued {
+                job.status = JobStatus::Cancelled;
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Returns `true` once [`shutdown`](Self::shutdown) has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Counts of (queued, running) jobs.
+    pub fn load(&self) -> (usize, usize) {
+        let inner = self.lock();
+        let queued = inner
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Queued)
+            .count();
+        let running = inner
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Running)
+            .count();
+        (queued, running)
+    }
+
+    /// One worker's loop: claim jobs off the queue until shutdown. Run by
+    /// every thread of the pool.
+    pub fn worker_loop(&self) {
+        loop {
+            let (id, request, model_text, cancel) = {
+                let mut inner = self.lock();
+                loop {
+                    if inner.shutdown {
+                        return;
+                    }
+                    // Skip ids whose job was cancelled while queued.
+                    match inner.queue.pop_front() {
+                        Some(id) if inner.jobs[id].status == JobStatus::Queued => {
+                            inner.jobs[id].status = JobStatus::Running;
+                            let job = &inner.jobs[id];
+                            let text = inner
+                                .models
+                                .iter()
+                                .find(|m| m.hash == job.request.model_hash)
+                                .map(|m| m.text.clone())
+                                .expect("submitted jobs reference cached models");
+                            break (id, job.request.clone(), text, job.cancel.clone());
+                        }
+                        Some(_) => continue,
+                        None => inner = self.work.wait(inner).expect("server state poisoned"),
+                    }
+                }
+            };
+
+            // A panicking backend must not take the worker (and with it the
+            // whole queue) down; it fails the one job instead.
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.backend.run(&model_text, &request, &cancel)
+            }))
+            .unwrap_or_else(|_| Err("job panicked".to_owned()));
+
+            let mut inner = self.lock();
+            let job = &mut inner.jobs[id];
+            if cancel.is_cancelled() {
+                // Cancel wins any race with completion: a fired token means
+                // the client asked for the job to stop, and a run the token
+                // interrupted returns a *partial* document (e.g. a zones run
+                // with `"cancelled":true`) that must not be served as the
+                // job's result. Whatever output exists stays fetchable
+                // through the /text endpoint.
+                job.status = JobStatus::Cancelled;
+                if let Ok(output) = result {
+                    job.output = Some(output);
+                }
+            } else {
+                match result {
+                    Ok(output) => {
+                        job.status = JobStatus::Done;
+                        job.output = Some(output);
+                    }
+                    Err(message) => {
+                        job.status = JobStatus::Failed;
+                        job.error = Some(message);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A backend that accepts any text and echoes it, cancellably.
+    struct Echo;
+
+    impl Backend for Echo {
+        fn validate(&self, text: &str) -> Result<ModelInfo, String> {
+            if text.is_empty() {
+                return Err("empty model".to_owned());
+            }
+            Ok(ModelInfo {
+                name: text.lines().next().unwrap_or("").to_owned(),
+                kind: "stub".to_owned(),
+            })
+        }
+
+        fn run(
+            &self,
+            model_text: &str,
+            request: &JobRequest,
+            cancel: &CancelToken,
+        ) -> Result<JobOutput, String> {
+            if cancel.is_cancelled() {
+                return Err("cancelled".to_owned());
+            }
+            Ok(JobOutput {
+                document: format!("{{\"echo\":\"{}\"}}\n", request.command),
+                text: model_text.to_owned(),
+            })
+        }
+    }
+
+    fn request(hash: &str) -> JobRequest {
+        JobRequest {
+            command: "verify".to_owned(),
+            model_hash: hash.to_owned(),
+            threads: 1,
+            subsumption: true,
+            trace: false,
+            limit: None,
+            to_label: None,
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_distinguishes() {
+        assert_eq!(content_hash(""), "cbf29ce484222325");
+        assert_ne!(content_hash("a"), content_hash("b"));
+        assert_eq!(content_hash("model"), content_hash("model"));
+    }
+
+    #[test]
+    fn upload_deduplicates_by_content() {
+        let state = ServerState::new(Box::new(Echo));
+        let (first, cached) = state.upload_model("stub one").unwrap();
+        assert!(!cached);
+        let (second, cached) = state.upload_model("stub one").unwrap();
+        assert!(cached);
+        assert_eq!(first.hash, second.hash);
+        assert_eq!(state.models().len(), 1);
+        assert!(state.upload_model("").is_err());
+        assert!(state.model(&first.hash).is_some());
+        assert!(state.model("bogus").is_none());
+    }
+
+    #[test]
+    fn jobs_flow_queued_running_done() {
+        let state = ServerState::new(Box::new(Echo));
+        let (model, _) = state.upload_model("stub").unwrap();
+        assert!(state.submit(request("missing")).is_err());
+        let id = state.submit(request(&model.hash)).unwrap();
+        assert_eq!(state.job(id).unwrap().status, JobStatus::Queued);
+        // Drain the queue on this thread: shutdown pre-arms the exit, so the
+        // worker loop processes nothing after the queue empties.
+        let copy = state.submit(request(&model.hash)).unwrap();
+        state.cancel(copy);
+        std::thread::scope(|scope| {
+            scope.spawn(|| state.worker_loop());
+            while !state.job(id).unwrap().status.is_terminal() {
+                std::thread::yield_now();
+            }
+            state.shutdown();
+        });
+        let done = state.job(id).unwrap();
+        assert_eq!(done.status, JobStatus::Done);
+        assert_eq!(done.output.unwrap().document, "{\"echo\":\"verify\"}\n");
+        // The job cancelled while queued never ran.
+        assert_eq!(state.job(copy).unwrap().status, JobStatus::Cancelled);
+        assert!(state.job(copy).unwrap().output.is_none());
+        // Unknown commands are rejected outright.
+        let mut bad = request(&model.hash);
+        bad.command = "table1".to_owned();
+        assert!(state.submit(bad).is_err());
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs_and_stops_workers() {
+        let state = ServerState::new(Box::new(Echo));
+        let (model, _) = state.upload_model("stub").unwrap();
+        let id = state.submit(request(&model.hash)).unwrap();
+        state.shutdown();
+        assert!(state.is_shutdown());
+        assert_eq!(state.job(id).unwrap().status, JobStatus::Cancelled);
+        // Submissions after shutdown are refused.
+        assert!(state.submit(request(&model.hash)).is_err());
+        // A worker started after shutdown returns immediately.
+        state.worker_loop();
+    }
+}

@@ -110,6 +110,7 @@ pub struct StgBuilder {
     name: String,
     places: Vec<PlaceData>,
     transitions: Vec<TransitionData>,
+    forbidden: Vec<Vec<PlaceId>>,
 }
 
 impl StgBuilder {
@@ -178,6 +179,23 @@ impl StgBuilder {
         place
     }
 
+    /// Declares a marking predicate as a violation: any reachable marking
+    /// with a token on *every* listed place is an error state. The
+    /// reachability expansion marks matching states, so `property
+    /// forbid-marked` verification, the zone witness search and the engine's
+    /// counterexample machinery all pick the predicate up unchanged.
+    ///
+    /// Empty conjunctions are ignored (they would forbid every marking);
+    /// duplicate places within one conjunction are collapsed.
+    pub fn forbid_marking(&mut self, places: impl IntoIterator<Item = PlaceId>) {
+        let mut conjunction: Vec<PlaceId> = places.into_iter().collect();
+        conjunction.sort_unstable();
+        conjunction.dedup();
+        if !conjunction.is_empty() {
+            self.forbidden.push(conjunction);
+        }
+    }
+
     /// Finalises the net.
     ///
     /// # Errors
@@ -195,6 +213,7 @@ impl StgBuilder {
             name: self.name,
             places: self.places,
             transitions: self.transitions,
+            forbidden: self.forbidden,
         })
     }
 }
@@ -227,6 +246,7 @@ pub struct Stg {
     name: String,
     places: Vec<PlaceData>,
     transitions: Vec<TransitionData>,
+    forbidden: Vec<Vec<PlaceId>>,
 }
 
 /// A marking: the number of tokens per place.
@@ -317,6 +337,42 @@ impl Stg {
             next[p.index()] += 1;
         }
         Some(next)
+    }
+
+    /// The forbidden-marking conjunctions declared with
+    /// [`StgBuilder::forbid_marking`], each sorted by place id.
+    pub fn forbidden_markings(&self) -> &[Vec<PlaceId>] {
+        &self.forbidden
+    }
+
+    /// Returns the violation message of the first forbidden-marking
+    /// conjunction fully covered by `marking`, or `None` when the marking is
+    /// allowed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stg::{SignalRole, StgBuilder};
+    /// let mut b = StgBuilder::new("mutex");
+    /// let a = b.add_transition("A+", SignalRole::Output);
+    /// let c = b.add_transition("B+", SignalRole::Output);
+    /// let pa = b.connect(a, c, 1);
+    /// let pb = b.connect(c, a, 0);
+    /// b.forbid_marking([pa, pb]);
+    /// let net = b.build()?;
+    /// // Only pa is marked initially: allowed.
+    /// assert!(net.violation(&net.initial_marking()).is_none());
+    /// assert!(net.violation(&vec![1, 1]).is_some());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn violation(&self, marking: &Marking) -> Option<String> {
+        let covered = self.forbidden.iter().find(|conjunction| {
+            conjunction
+                .iter()
+                .all(|p| marking.get(p.index()).copied().unwrap_or(0) > 0)
+        })?;
+        let names: Vec<&str> = covered.iter().map(|&p| self.place_name(p)).collect();
+        Some(format!("forbidden marking: {{{}}}", names.join(", ")))
     }
 
     /// Groups transitions by label (several transitions may carry the same

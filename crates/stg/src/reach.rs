@@ -17,7 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use explore::{ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use explore::{CancelToken, ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
 use tts::{SignalEdge, StateId, TransitionSystem, TsBuilder};
 
 use crate::net::{Marking, SignalRole, Stg, TransitionId};
@@ -46,6 +46,9 @@ pub enum ExpandError {
     /// The expansion produced an invalid transition system (e.g. no
     /// transitions at all).
     Build(String),
+    /// The [`ExpandOptions::cancel`] token fired before the expansion
+    /// finished.
+    Cancelled,
 }
 
 impl fmt::Display for ExpandError {
@@ -61,6 +64,7 @@ impl fmt::Display for ExpandError {
                 write!(f, "signal `{signal}` has two same-direction edges in a row")
             }
             ExpandError::Build(msg) => write!(f, "expansion produced an invalid system: {msg}"),
+            ExpandError::Cancelled => write!(f, "expansion cancelled"),
         }
     }
 }
@@ -68,7 +72,7 @@ impl fmt::Display for ExpandError {
 impl std::error::Error for ExpandError {}
 
 /// Options for [`expand`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpandOptions {
     /// Per-place token bound (the paper's models are all 1-safe).
     pub token_bound: u32,
@@ -79,6 +83,10 @@ pub struct ExpandOptions {
     /// Number of worker threads for the marking search (`1` = sequential;
     /// any value produces the identical transition system and report).
     pub threads: usize,
+    /// Cooperative cancellation: an expansion whose token fires stops at the
+    /// next batch boundary with [`ExpandError::Cancelled`]. The default
+    /// token is inert.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExpandOptions {
@@ -88,6 +96,7 @@ impl Default for ExpandOptions {
             marking_limit: 100_000,
             check_signal_consistency: true,
             threads: 1,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -226,6 +235,7 @@ pub fn expand_with_report(
             threads: options.threads,
             discovered_limit: options.marking_limit,
             record_edges: true,
+            cancel: options.cancel.clone(),
             ..ExploreOptions::default()
         },
     )?;
@@ -236,6 +246,7 @@ pub fn expand_with_report(
                 limit: options.marking_limit,
             })
         }
+        ExploreOutcome::Cancelled { .. } => return Err(ExpandError::Cancelled),
     };
 
     // Replay the recorded breadth-first nodes to assemble the transition
@@ -248,6 +259,9 @@ pub fn expand_with_report(
     let initial = net.initial_marking();
     let initial_id = builder.add_state(marking_name(&initial));
     builder.set_initial(initial_id);
+    if let Some(message) = net.violation(&initial) {
+        builder.mark_violation(initial_id, message);
+    }
     ids.insert(initial, initial_id);
 
     // Interface roles (also fixes the event interning order).
@@ -274,9 +288,20 @@ pub fn expand_with_report(
         }
         for (t, next) in &node.successors {
             firings += 1;
-            let to = *ids
-                .entry(next.clone())
-                .or_insert_with(|| builder.add_state(marking_name(next)));
+            let to = match ids.get(next) {
+                Some(&id) => id,
+                None => {
+                    let id = builder.add_state(marking_name(next));
+                    // Forbidden-marking predicates become violation marks of
+                    // the expanded system, so the marked-state machinery
+                    // (engine, zone witness search) picks them up as-is.
+                    if let Some(message) = net.violation(next) {
+                        builder.mark_violation(id, message);
+                    }
+                    ids.insert(next.clone(), id);
+                    id
+                }
+            };
             builder.add_transition(from, net.label(*t), to);
         }
     }
@@ -432,6 +457,7 @@ where
             threads: options.threads,
             discovered_limit: options.marking_limit,
             trace: TraceOptions::parents(),
+            cancel: options.cancel.clone(),
             ..ExploreOptions::default()
         },
     )?;
@@ -442,6 +468,7 @@ where
                 limit: options.marking_limit,
             })
         }
+        ExploreOutcome::Cancelled { .. } => return Err(ExpandError::Cancelled),
     };
     if !search.halted {
         return Ok(None);
@@ -707,6 +734,55 @@ mod tests {
             assert_eq!(sequential, parallel, "threads={threads}");
         }
         assert_eq!(sequential.len(), 3);
+    }
+
+    #[test]
+    fn forbidden_markings_become_violation_marks() {
+        // Two independent toggles; both signals high at once is forbidden.
+        let mut b = StgBuilder::new("mutex");
+        let a_up = b.add_transition("A+", SignalRole::Output);
+        let a_down = b.add_transition("A-", SignalRole::Output);
+        let b_up = b.add_transition("B+", SignalRole::Output);
+        let b_down = b.add_transition("B-", SignalRole::Output);
+        let a_high = b.connect(a_up, a_down, 0);
+        b.connect(a_down, a_up, 1);
+        let b_high = b.connect(b_up, b_down, 0);
+        b.connect(b_down, b_up, 1);
+        b.forbid_marking([a_high, b_high]);
+        let net = b.build().unwrap();
+        assert_eq!(net.forbidden_markings().len(), 1);
+
+        let ts = expand(&net).unwrap();
+        let marked: Vec<_> = ts
+            .states()
+            .filter(|&s| !ts.violations(s).is_empty())
+            .collect();
+        assert_eq!(marked.len(), 1, "exactly the both-high marking is marked");
+        assert!(ts.violations(marked[0])[0].contains("forbidden marking"));
+
+        // The marking-path machinery reaches the forbidden marking.
+        let path = find_marking_path(&net, ExpandOptions::default(), |m| {
+            net.violation(m).is_some()
+        })
+        .unwrap()
+        .expect("forbidden marking reachable");
+        assert_eq!(path.len(), 2);
+        assert!(net.violation(path.end()).is_some());
+    }
+
+    #[test]
+    fn cancelled_expansion_reports_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let options = ExpandOptions {
+            cancel: token,
+            ..ExpandOptions::default()
+        };
+        let err = expand_with(&toggle(), options.clone()).unwrap_err();
+        assert_eq!(err, ExpandError::Cancelled);
+        let err = find_marking_path(&toggle(), options, |_| false).unwrap_err();
+        assert_eq!(err, ExpandError::Cancelled);
+        assert_eq!(err.to_string(), "expansion cancelled");
     }
 
     #[test]

@@ -96,7 +96,7 @@ proptest! {
             marking_limit: 2_000,
             ..ExpandOptions::default()
         };
-        let sequential = expand_with_report(&net, limited);
+        let sequential = expand_with_report(&net, limited.clone());
         let parallel = expand_with_report(
             &net,
             ExpandOptions {
@@ -124,8 +124,9 @@ proptest! {
                 configuration_limit: 600,
                 threads: 1,
                 subsumption,
+                ..dbm::ZoneExplorationOptions::default()
             };
-            let sequential = dbm::explore_timed_with(&timed, base);
+            let sequential = dbm::explore_timed_with(&timed, base.clone());
             let parallel = dbm::explore_timed_with(
                 &timed,
                 dbm::ZoneExplorationOptions { threads: 4, ..base },
@@ -153,6 +154,7 @@ proptest! {
                     configuration_limit: 1_500,
                     threads: 1,
                     subsumption,
+                    ..dbm::ZoneExplorationOptions::default()
                 },
             )
         };
