@@ -1,26 +1,31 @@
-//! The `transyt` subcommands: verification, reachability, zone exploration,
-//! the Table 1 reproduction and scenario export.
+//! The `transyt` subcommands: a thin rendering layer over
+//! [`transyt_session::Session`].
 //!
 //! Every command returns a [`CommandResult`]: the human-readable text the
 //! binary prints plus a machine-readable JSON document (written when the
-//! user passes `--json PATH`, uploaded as a CI artifact). The functions are
-//! plain library code so the integration tests drive them directly and
-//! replay the traces they print.
+//! user passes `--json PATH`, uploaded as a CI artifact). The actual
+//! execution — and the canonical renderings — live in `transyt-session`, so
+//! the one-shot CLI, the server and embedders all run through exactly one
+//! implementation; these functions only intern the model, lower [`Options`]
+//! into a [`TaskSpec`] and unpack the shared [`TaskResult`].
+//!
+//! [`TaskResult`]: transyt_session::TaskResult
 
 use std::fmt;
+use std::time::Duration;
 
 use bench::json::Value;
-use dbm::{
-    find_witness, path_firing_windows, FiringWindow, WitnessGoal, WitnessOutcome,
-    ZoneExplorationOptions, ZoneOutcome,
+use transyt_session::{
+    render, Completion, RunControl, Session, SessionError, TaskCommand, TaskSpec,
 };
-use ipcmos::{SimEvent, SimTrace};
-use stg::{ExpandOptions, Marking, Stg};
-use transyt::{CancelToken, Verdict, VerifyOptions};
-use tts::{Bound, EventId, SignalEdge, StateId, Time, TimedTransitionSystem, TransitionSystem};
+use transyt_session::{CancelToken, ProgressSink};
 
-use crate::format::{Model, ModelSource};
-use crate::json::{self, ReachGoal};
+use crate::format::Model;
+use crate::json;
+
+// Re-exported from the session layer for embedders and the integration
+// tests that replay printed traces (these types used to be defined here).
+pub use transyt_session::{asap_run, replay_rendered, trace_of_verdict, RenderedTrace, TraceStep};
 
 /// Options shared by the subcommands (parsed from the command line).
 #[derive(Debug, Clone)]
@@ -36,9 +41,15 @@ pub struct Options {
     pub limit: Option<usize>,
     /// Target label for `reach --to LABEL`.
     pub to_label: Option<String>,
-    /// Cooperative cancellation of the command's explorations (used by the
-    /// server's job queue; the one-shot CLI leaves the inert default).
+    /// Wall-clock deadline (`--timeout SECS`): when it expires the run is
+    /// cancelled and reported as timed out.
+    pub timeout: Option<Duration>,
+    /// Cooperative cancellation of the command's explorations (the one-shot
+    /// CLI leaves the inert default).
     pub cancel: CancelToken,
+    /// Progress events of the command's explorations (`--progress` wires a
+    /// stderr printer; default inert).
+    pub progress: ProgressSink,
 }
 
 impl Default for Options {
@@ -49,7 +60,40 @@ impl Default for Options {
             trace: false,
             limit: None,
             to_label: None,
+            timeout: None,
             cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
+        }
+    }
+}
+
+impl Options {
+    /// The options of `spec`, with inert cancellation and progress.
+    pub fn from_spec(spec: &TaskSpec) -> Options {
+        Options {
+            threads: spec.threads,
+            subsumption: spec.subsumption,
+            trace: spec.trace,
+            limit: spec.limit,
+            to_label: spec.to_label.clone(),
+            timeout: spec.deadline,
+            cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
+        }
+    }
+
+    /// Lowers these options into a [`TaskSpec`] for `command` against the
+    /// interned model `hash`.
+    pub fn to_spec(&self, command: TaskCommand, hash: &str) -> TaskSpec {
+        TaskSpec {
+            model: hash.to_owned(),
+            command,
+            threads: self.threads,
+            subsumption: self.subsumption,
+            trace: self.trace,
+            limit: self.limit,
+            to_label: self.to_label.clone(),
+            deadline: self.timeout,
         }
     }
 }
@@ -92,465 +136,76 @@ impl From<crate::format::ModelError> for CliError {
     }
 }
 
-/// One step of a rendered timed trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceStep {
-    /// Name of the fired event.
-    pub event: String,
-    /// Name of the reached state.
-    pub state: String,
-    /// Absolute firing window (exact for witnesses, path-relative bounds for
-    /// counterexamples), if timing information is available.
-    pub window: Option<FiringWindow>,
-}
-
-/// A rendered timed trace: what `--trace` prints, in structured form so
-/// tests can replay it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RenderedTrace {
-    /// `"counterexample"` (verification failed), `"witness"` (verified), or
-    /// `"example-run"` (verdict inconclusive — the run proves nothing).
-    pub kind: &'static str,
-    /// Name of the start state.
-    pub start: String,
-    /// The steps, in firing order.
-    pub steps: Vec<TraceStep>,
-    /// Name of the end state (the violating state for counterexamples).
-    pub end: String,
-}
-
-impl RenderedTrace {
-    fn render(&self, out: &mut String) {
-        out.push_str(&format!("{} trace:\n", self.kind));
-        if self.kind == "example-run" {
-            out.push_str(
-                "  (verdict inconclusive — this run exercises the model but proves nothing)\n",
-            );
-        }
-        out.push_str(&format!("  {}\n", self.start));
-        for step in &self.steps {
-            let window = step.window.map(|w| format!(" @ {w}")).unwrap_or_default();
-            out.push_str(&format!("    --{}{window}--> {}\n", step.event, step.state));
-        }
-        out.push_str(&format!("  end state: {}\n", self.end));
-    }
-
-    /// Renders an ASCII waveform of the trace's signal edges (reusing the
-    /// Fig. 7 renderer), or `None` when fewer than two steps carry a signal
-    /// edge and a firing time.
-    pub fn waveform(&self) -> Option<String> {
-        let mut signals: Vec<String> = Vec::new();
-        let mut events = Vec::new();
-        for step in &self.steps {
-            let Some(edge) = SignalEdge::parse(&step.event) else {
-                continue;
-            };
-            let Some(window) = step.window else { continue };
-            if !signals.iter().any(|s| s == edge.signal()) {
-                signals.push(edge.signal().to_owned());
+impl From<SessionError> for CliError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Model(e) => CliError::Model(e),
+            SessionError::Spec(msg) => CliError::Usage(msg),
+            SessionError::Run(msg) => CliError::Run(msg),
+            SessionError::Cancelled => CliError::Run("run cancelled".to_owned()),
+            SessionError::UnknownModel(hash) => {
+                CliError::Run(format!("unknown model hash `{hash}`"))
             }
-            events.push(SimEvent {
-                time: window.earliest,
-                event: step.event.clone(),
-            });
+            SessionError::Panicked => CliError::Run("job panicked".to_owned()),
         }
-        if events.len() < 2 {
-            return None;
-        }
-        let trace = SimTrace::from_events(events);
-        let names: Vec<&str> = signals.iter().map(String::as_str).collect();
-        Some(trace.waveform(&names, &Default::default()))
     }
 }
 
-/// A deterministic as-soon-as-possible run of the timed system: every
-/// enabled event is scheduled at its lower delay bound, the earliest
-/// scheduled event fires (ties broken by event id), and the run stops after
-/// `max_events` firings or at a deadlock. The witness `verify --trace`
-/// prints for systems that pass verification.
-pub fn asap_run(timed: &TimedTransitionSystem, max_events: usize) -> Vec<(EventId, StateId, Time)> {
-    let ts = timed.underlying();
-    let mut state = ts.initial_states()[0];
-    let mut now = Time::ZERO;
-    let mut enabled_since: Vec<(EventId, Time)> =
-        ts.enabled(state).into_iter().map(|e| (e, now)).collect();
-    let mut steps = Vec::new();
-    for _ in 0..max_events {
-        let Some((fire_time, event)) = enabled_since
-            .iter()
-            .map(|&(event, since)| (since + timed.delay(event).lower(), event))
-            .min()
-        else {
-            break;
-        };
-        now = now.max(fire_time);
-        let Some(&target) = ts.successors(state, event).first() else {
-            break;
-        };
-        steps.push((event, target, now));
-        let previously_enabled = ts.enabled(state);
-        state = target;
-        let now_enabled = ts.enabled(state);
-        enabled_since.retain(|&(e, _)| now_enabled.contains(&e));
-        for &e in &now_enabled {
-            let fresh = e == event || !previously_enabled.contains(&e);
-            if fresh {
-                enabled_since.retain(|&(other, _)| other != e);
-                enabled_since.push((e, now));
-            } else if !enabled_since.iter().any(|&(other, _)| other == e) {
-                enabled_since.push((e, now));
-            }
-        }
-        enabled_since.sort_by_key(|&(e, _)| e);
+/// Runs one session task against `model` and unpacks the result into the
+/// CLI's shape.
+fn run_command(
+    model: &Model,
+    command: TaskCommand,
+    options: &Options,
+) -> Result<CommandResult, CliError> {
+    let session = Session::new();
+    let cached = session.insert_model(model.clone());
+    let spec = options.to_spec(command, &cached.hash);
+    let control = RunControl {
+        cancel: options.cancel.clone(),
+        progress: options.progress.clone(),
+    };
+    let Completion::Finished(result) = session.run_task(&spec, control) else {
+        unreachable!("a one-shot command executes its own run and never detaches");
+    };
+    match &result.outcome {
+        Ok(outcome) => Ok(CommandResult {
+            text: result.text.clone(),
+            json: render::document(outcome),
+        }),
+        Err(error) => Err(error.clone().into()),
     }
-    steps
 }
 
 /// `transyt verify FILE`: run the relative-timing engine on the model's
 /// property and (with `--trace`) print a timed counterexample or witness.
 pub fn cmd_verify(model: &Model, options: &Options) -> Result<CommandResult, CliError> {
-    let timed = model.timed_system()?;
-    let property = model.property();
-    let verify_options = VerifyOptions {
-        threads: options.threads,
-        cancel: options.cancel.clone(),
-        ..VerifyOptions::default()
-    };
-    let verdict = transyt::verify(&timed, &property, &verify_options);
-
-    let mut text = String::new();
-    text.push_str(&format!("model: {} ({})\n", model.name, timed.underlying()));
-    if model.property.is_empty() {
-        text.push_str("note: the model declares no `property` directive; nothing to check\n");
-    }
-    text.push_str(&format!("{verdict}\n"));
-    text.push_str("relative-timing constraints:\n");
-    text.push_str(&format!("{}\n", verdict.report().constraint_listing()));
-
-    let rendered = options.trace.then(|| trace_of_verdict(&verdict, &timed));
-    if let Some(rendered) = &rendered {
-        rendered.render(&mut text);
-        if let Some(waveform) = rendered.waveform() {
-            text.push_str("waveform (earliest firing times):\n");
-            text.push_str(&waveform);
-        }
-    }
-    let json = json::verify_document(model.name.as_str(), &verdict, rendered.as_ref());
-    Ok(CommandResult { text, json })
-}
-
-/// The trace `verify --trace` prints: the engine's counterexample when
-/// verification failed (annotated with firing windows by replaying the path
-/// through the zone semantics), a deterministic ASAP witness run when it
-/// succeeded, and an `example-run` (explicitly *not* a witness — nothing was
-/// proved) when the verdict is inconclusive.
-pub fn trace_of_verdict(verdict: &Verdict, timed: &TimedTransitionSystem) -> RenderedTrace {
-    let ts = timed.underlying();
-    match verdict {
-        Verdict::Failed { counterexample, .. } => {
-            let trace = &counterexample.trace;
-            let windows = path_firing_windows(timed, trace.start(), trace.steps());
-            let steps = trace
-                .steps()
-                .iter()
-                .enumerate()
-                .map(|(i, &(event, target))| TraceStep {
-                    event: ts.alphabet().name(event).to_owned(),
-                    state: ts.state_name(target).to_owned(),
-                    window: windows.as_ref().map(|w| w[i]),
-                })
-                .collect();
-            RenderedTrace {
-                kind: "counterexample",
-                start: ts.state_name(trace.start()).to_owned(),
-                steps,
-                end: ts.state_name(trace.end_state()).to_owned(),
-            }
-        }
-        _ => {
-            let run = asap_run(timed, 40);
-            let start = ts.initial_states()[0];
-            let end = run.last().map_or(start, |&(_, state, _)| state);
-            let steps = run
-                .into_iter()
-                .map(|(event, state, time)| TraceStep {
-                    event: ts.alphabet().name(event).to_owned(),
-                    state: ts.state_name(state).to_owned(),
-                    window: Some(FiringWindow {
-                        earliest: time,
-                        latest: Bound::Finite(time),
-                    }),
-                })
-                .collect();
-            RenderedTrace {
-                // An inconclusive verdict proved nothing: label the run so
-                // neither a reader nor a JSON consumer mistakes it for a
-                // certificate.
-                kind: if matches!(verdict, Verdict::Verified(_)) {
-                    "witness"
-                } else {
-                    "example-run"
-                },
-                start: ts.state_name(start).to_owned(),
-                steps,
-                end: ts.state_name(end).to_owned(),
-            }
-        }
-    }
-}
-
-fn marking_name(net: &Stg, marking: &Marking) -> String {
-    let tokens: Vec<String> = marking
-        .iter()
-        .enumerate()
-        .filter(|&(_, &t)| t > 0)
-        .map(|(i, &t)| {
-            let name = net.place_name(stg::PlaceId::from_index(i));
-            if t == 1 {
-                name.to_owned()
-            } else {
-                format!("{name}*{t}")
-            }
-        })
-        .collect();
-    format!("{{{}}}", tokens.join(", "))
+    run_command(model, TaskCommand::Verify, options)
 }
 
 /// `transyt reach FILE`: expand the net's reachability graph; with `--to
 /// LABEL` print a witness firing sequence to the first marking enabling the
 /// label, with `--trace` a path to the first deadlock.
 pub fn cmd_reach(model: &Model, options: &Options) -> Result<CommandResult, CliError> {
-    let ModelSource::Stg(net) = &model.source else {
-        return Err(CliError::Usage(
-            "`reach` needs an .stg model (a .tts file already is a state graph)".to_owned(),
-        ));
-    };
-    let expand_options = ExpandOptions {
-        threads: options.threads,
-        marking_limit: options.limit.unwrap_or(100_000),
-        cancel: options.cancel.clone(),
-        ..ExpandOptions::default()
-    };
-    let (ts, report) = stg::expand_with_report(net, expand_options.clone())
-        .map_err(|e| CliError::Run(format!("expanding `{}`: {e}", model.name)))?;
-
-    let mut text = String::new();
-    text.push_str(&format!(
-        "model: {} ({} places, {} transitions)\n",
-        model.name,
-        net.place_count(),
-        net.transition_count()
-    ));
-    text.push_str(&format!(
-        "reachability graph: {} markings, {} firings, {} deadlock marking(s)\n",
-        report.markings,
-        report.firings,
-        report.deadlock_states.len()
-    ));
-    let states = ts.state_count();
-    let document =
-        |goal: &ReachGoal| json::reach_document(model.name.as_str(), &report, states, goal);
-
-    let goal_description;
-    let path = if let Some(label) = &options.to_label {
-        if options.trace {
-            return Err(CliError::Usage(
-                "--to already prints a witness path; drop either --to or --trace".to_owned(),
-            ));
-        }
-        if !net.transitions().any(|t| net.label(t) == label) {
-            return Err(CliError::Usage(format!(
-                "--to names unknown label `{label}`"
-            )));
-        }
-        goal_description = format!("first marking enabling `{label}`");
-        stg::find_marking_path(net, expand_options, |marking| {
-            net.enabled(marking).iter().any(|&t| net.label(t) == label)
-        })
-    } else if options.trace {
-        goal_description = "first deadlock marking".to_owned();
-        stg::find_marking_path(net, expand_options, |marking| {
-            net.enabled(marking).is_empty()
-        })
-    } else {
-        let json = document(&ReachGoal::None);
-        return Ok(CommandResult { text, json });
-    }
-    .map_err(|e| CliError::Run(format!("goal search in `{}`: {e}", model.name)))?;
-
-    let goal = match path {
-        Some(path) => {
-            text.push_str(&format!("path to {goal_description}:\n"));
-            text.push_str(&format!("  {}\n", marking_name(net, &path.start)));
-            for (t, marking) in &path.steps {
-                text.push_str(&format!(
-                    "    --{}--> {}\n",
-                    net.label(*t),
-                    marking_name(net, marking)
-                ));
-            }
-            text.push_str(&format!(
-                "  end marking: {}\n",
-                marking_name(net, path.end())
-            ));
-            ReachGoal::Found(path.labels(net).into_iter().map(str::to_owned).collect())
-        }
-        None => {
-            text.push_str(&format!(
-                "no reachable marking matches: {goal_description}\n"
-            ));
-            ReachGoal::NotFound
-        }
-    };
-    let json = document(&goal);
-    Ok(CommandResult { text, json })
+    run_command(model, TaskCommand::Reach, options)
 }
 
 /// `transyt zones FILE`: the conventional zone-based timed exploration, with
 /// `--trace` a symbolic timed witness to the first violating (or, lacking
 /// marked states, deadlocked) state.
 pub fn cmd_zones(model: &Model, options: &Options) -> Result<CommandResult, CliError> {
-    let timed = model.timed_system()?;
-    // The default limit is deliberately lower than the library default: the
-    // zone graph blows up with pipeline depth (the paper's motivation), and
-    // an interactive tool should abort early; raise it with `--limit`.
-    let zone_options = ZoneExplorationOptions {
-        threads: options.threads,
-        subsumption: options.subsumption,
-        configuration_limit: options.limit.unwrap_or(50_000),
-        cancel: options.cancel.clone(),
-    };
-    let ts = timed.underlying();
-
-    let mut text = String::new();
-    text.push_str(&format!("model: {} ({})\n", model.name, ts));
-
-    let summarise = |outcome: &ZoneOutcome, text: &mut String| match outcome {
-        ZoneOutcome::Completed(report) => {
-            text.push_str(&format!(
-                "timed state space: {} configurations ({} subsumed), {} reachable states, \
-                 {} violating, {} deadlocked\n",
-                report.configurations,
-                report.subsumed_configurations,
-                report.reachable_states.len(),
-                report.violating_states.len(),
-                report.deadlock_states.len()
-            ));
-        }
-        ZoneOutcome::LimitExceeded { explored, subsumed } => {
-            text.push_str(&format!(
-                "aborted: configuration limit exceeded after {explored} configurations \
-                 ({subsumed} subsumed)\n"
-            ));
-        }
-        ZoneOutcome::Cancelled { explored, subsumed } => {
-            text.push_str(&format!(
-                "cancelled after {explored} configurations ({subsumed} subsumed)\n"
-            ));
-        }
-    };
-
-    if !options.trace {
-        let outcome = dbm::explore_timed_with(&timed, zone_options);
-        summarise(&outcome, &mut text);
-        let json = json::zones_document(model.name.as_str(), &outcome, None);
-        return Ok(CommandResult { text, json });
-    }
-
-    // With --trace the witness search runs first: when the goal is
-    // unreachable it has already explored the whole space and carries the
-    // exact report, so the summary comes for free; only a found witness
-    // (which halts the search early) needs the separate full exploration.
-    let goal = if ts.has_marked_states() {
-        WitnessGoal::Violation
-    } else {
-        WitnessGoal::Deadlock
-    };
-    let goal_name = match goal {
-        WitnessGoal::Violation => "violating state",
-        WitnessGoal::Deadlock => "deadlock state",
-    };
-    let (outcome, rendered) = match find_witness(&timed, zone_options.clone(), goal) {
-        WitnessOutcome::Found(trace) => {
-            let outcome = dbm::explore_timed_with(&timed, zone_options);
-            summarise(&outcome, &mut text);
-            let windows = trace.firing_windows(&timed).unwrap_or_default();
-            text.push_str(&format!("symbolic timed trace to the first {goal_name}:\n"));
-            let (start, _) = trace.start();
-            text.push_str(&format!("  {}\n", ts.state_name(start)));
-            let mut rendered_steps = Vec::new();
-            for (i, (event, state, zone)) in trace.steps().iter().enumerate() {
-                let window = windows.get(i).copied();
-                let clock = event.index() + 1;
-                let entry_lower = zone.lower_bound(clock);
-                let entry_upper = zone.upper_bound(clock);
-                let entry = match entry_upper {
-                    Some(u) => format!("[{entry_lower}, {u}]"),
-                    None => format!("[{entry_lower}, inf)"),
-                };
-                let window_text = window.map(|w| format!(" @ {w}")).unwrap_or_default();
-                text.push_str(&format!(
-                    "    --{}{window_text}--> {}  (clock of {} on entry: {entry})\n",
-                    ts.alphabet().name(*event),
-                    ts.state_name(*state),
-                    ts.alphabet().name(*event),
-                ));
-                rendered_steps.push(TraceStep {
-                    event: ts.alphabet().name(*event).to_owned(),
-                    state: ts.state_name(*state).to_owned(),
-                    window,
-                });
-            }
-            text.push_str(&format!(
-                "  end state: {}\n",
-                ts.state_name(trace.end_state())
-            ));
-            let rendered = RenderedTrace {
-                kind: "witness",
-                start: ts.state_name(start).to_owned(),
-                steps: rendered_steps,
-                end: ts.state_name(trace.end_state()).to_owned(),
-            };
-            if let Some(waveform) = rendered.waveform() {
-                text.push_str("waveform (earliest firing times):\n");
-                text.push_str(&waveform);
-            }
-            (outcome, Some(rendered))
-        }
-        WitnessOutcome::Unreachable(report) => {
-            let outcome = ZoneOutcome::Completed(report);
-            summarise(&outcome, &mut text);
-            text.push_str(&format!("no {goal_name} is timed-reachable\n"));
-            (outcome, None)
-        }
-        WitnessOutcome::LimitExceeded { explored, subsumed } => {
-            let outcome = ZoneOutcome::LimitExceeded { explored, subsumed };
-            summarise(&outcome, &mut text);
-            text.push_str(&format!(
-                "witness search aborted after {explored} configurations\n"
-            ));
-            (outcome, None)
-        }
-        WitnessOutcome::Cancelled { explored, subsumed } => {
-            let outcome = ZoneOutcome::Cancelled { explored, subsumed };
-            summarise(&outcome, &mut text);
-            text.push_str(&format!(
-                "witness search cancelled after {explored} configurations\n"
-            ));
-            (outcome, None)
-        }
-    };
-    let json = json::zones_document(model.name.as_str(), &outcome, rendered.as_ref());
-    Ok(CommandResult { text, json })
+    run_command(model, TaskCommand::Zones, options)
 }
 
 /// `transyt table1`: the five Table 1 obligations of the paper (hard-wired
-/// IPCMOS models), matching the `table1_report` bench binary.
+/// IPCMOS models), matching the `table1_report` bench binary. Not a session
+/// task — it runs the `ipcmos` experiment suite, not a model file.
 pub fn cmd_table1(options: &Options) -> Result<CommandResult, CliError> {
-    let verify_options = VerifyOptions {
+    let verify_options = transyt::VerifyOptions {
         threads: options.threads,
         cancel: options.cancel.clone(),
-        ..VerifyOptions::default()
+        progress: options.progress.clone(),
+        ..transyt::VerifyOptions::default()
     };
     let report = ipcmos::table_1_with(&verify_options)
         .map_err(|e| CliError::Run(format!("table 1: {e}")))?;
@@ -564,29 +219,4 @@ pub fn cmd_table1(options: &Options) -> Result<CommandResult, CliError> {
     }
     let json = json::table1_document(options.threads, &report);
     Ok(CommandResult { text, json })
-}
-
-/// Checks that `ts` (the expanded model) and the verification verdict of a
-/// rendered trace agree — used by the integration tests to replay what the
-/// CLI printed, step by step, to the reported end state.
-pub fn replay_rendered(trace: &RenderedTrace, ts: &TransitionSystem) -> Option<String> {
-    // Resolve by names: walk the steps, requiring a transition with the
-    // step's event name into a state with the step's state name.
-    let mut current = ts.states().find(|&s| ts.state_name(s) == trace.start)?;
-    for step in &trace.steps {
-        let next = ts
-            .transitions_from(current)
-            .iter()
-            .find(|&&(event, target)| {
-                ts.alphabet().name(event) == step.event && ts.state_name(target) == step.state
-            })
-            .map(|&(_, target)| target)?;
-        current = next;
-    }
-    let end = ts.state_name(current).to_owned();
-    if end == trace.end {
-        Some(end)
-    } else {
-        None
-    }
 }

@@ -1,142 +1,16 @@
-//! The machine-readable JSON documents of the `transyt` tool, shared by the
-//! one-shot CLI (`--json PATH`) and the verification server (`transyt
-//! serve`).
+//! The machine-readable JSON documents of the `transyt` tool.
 //!
-//! Both front ends go through these builders — and through
-//! [`render_document`] for the final bytes — so a document fetched from a
-//! server job is **byte-identical** to the file the CLI writes for the same
-//! model and options (the property the server integration tests and the CI
-//! `server` job diff for).
+//! The task documents (verify / reach / zones, including traces) moved into
+//! [`transyt_session::render`] so the CLI, the server and embedders share
+//! one canonical rendering — they are re-exported here so existing callers
+//! keep working. Only [`table1_document`] is CLI-specific (the Table 1
+//! reproduction is an experiment suite, not a session task).
+
+pub use transyt_session::render::{
+    reach_document, render_document, trace_document, verify_document, zones_document, ReachGoal,
+};
 
 use bench::json::Value;
-use dbm::ZoneOutcome;
-use stg::ReachReport;
-use transyt::Verdict;
-use tts::Bound;
-
-use crate::commands::RenderedTrace;
-
-/// Renders a document exactly as the CLI writes it to a `--json` file (and
-/// as the server serves it): compact JSON plus one trailing newline.
-pub fn render_document(doc: &Value) -> String {
-    doc.render() + "\n"
-}
-
-/// The document of a rendered timed trace (`"trace"` field of verify / zones
-/// documents).
-pub fn trace_document(trace: &RenderedTrace) -> Value {
-    let steps: Vec<Value> = trace
-        .steps
-        .iter()
-        .map(|step| {
-            let mut doc = Value::object()
-                .field("event", step.event.as_str())
-                .field("state", step.state.as_str());
-            if let Some(window) = step.window {
-                doc = doc
-                    .field("earliest", window.earliest.as_i64().max(0) as usize)
-                    .field(
-                        "latest",
-                        match window.latest {
-                            Bound::Finite(t) => Value::UInt(t.as_i64().max(0) as u128),
-                            Bound::Infinite => Value::Str("inf".to_owned()),
-                        },
-                    );
-            }
-            doc
-        })
-        .collect();
-    Value::object()
-        .field("kind", trace.kind)
-        .field("start", trace.start.as_str())
-        .field("end", trace.end.as_str())
-        .field("steps", steps)
-}
-
-/// The document of a `transyt verify` run.
-pub fn verify_document(model: &str, verdict: &Verdict, trace: Option<&RenderedTrace>) -> Value {
-    let report = verdict.report();
-    let constraints: Vec<Value> = report
-        .constraints
-        .iter()
-        .map(|c| Value::Str(c.to_string()))
-        .collect();
-    let mut doc = Value::object()
-        .field(
-            "verdict",
-            match verdict {
-                Verdict::Verified(_) => "verified",
-                Verdict::Failed { .. } => "failed",
-                Verdict::Inconclusive { .. } => "inconclusive",
-            },
-        )
-        .field("refinements", report.refinements)
-        .field("explored_states", report.explored_states)
-        .field("constraints", constraints)
-        .field("model", model);
-    if let Some(trace) = trace {
-        doc = doc.field("trace", trace_document(trace));
-    }
-    doc
-}
-
-/// Outcome of the goal search of a `transyt reach` run, for
-/// [`reach_document`].
-pub enum ReachGoal {
-    /// No `--to` / `--trace` goal was given.
-    None,
-    /// A witness path was found; the fired labels in order.
-    Found(Vec<String>),
-    /// No reachable marking satisfies the goal.
-    NotFound,
-}
-
-/// The document of a `transyt reach` run.
-pub fn reach_document(model: &str, report: &ReachReport, states: usize, goal: &ReachGoal) -> Value {
-    let doc = Value::object()
-        .field("model", model)
-        .field("markings", report.markings)
-        .field("firings", report.firings)
-        .field("deadlock_markings", report.deadlock_states.len())
-        .field("states", states);
-    match goal {
-        ReachGoal::None => doc,
-        ReachGoal::Found(labels) => {
-            let steps: Vec<Value> = labels.iter().map(|l| Value::Str(l.clone())).collect();
-            doc.field("path_found", true).field("path", steps)
-        }
-        ReachGoal::NotFound => doc
-            .field("path_found", false)
-            .field("path", Value::Array(Vec::new())),
-    }
-}
-
-/// The document of a `transyt zones` run.
-pub fn zones_document(model: &str, outcome: &ZoneOutcome, trace: Option<&RenderedTrace>) -> Value {
-    let mut doc = Value::object().field("model", model);
-    doc = match outcome {
-        ZoneOutcome::Completed(report) => doc
-            .field("configurations", report.configurations)
-            .field("subsumed", report.subsumed_configurations)
-            .field("reachable_states", report.reachable_states.len())
-            .field("violating_states", report.violating_states.len())
-            .field("deadlock_states", report.deadlock_states.len())
-            .field("completed", true),
-        ZoneOutcome::LimitExceeded { explored, subsumed } => doc
-            .field("configurations", *explored)
-            .field("subsumed", *subsumed)
-            .field("completed", false),
-        ZoneOutcome::Cancelled { explored, subsumed } => doc
-            .field("configurations", *explored)
-            .field("subsumed", *subsumed)
-            .field("completed", false)
-            .field("cancelled", true),
-    };
-    if let Some(trace) = trace {
-        doc = doc.field("trace", trace_document(trace));
-    }
-    doc
-}
 
 /// The document of a `transyt table1` run.
 pub fn table1_document(threads: usize, report: &transyt::ProofReport) -> Value {

@@ -5,15 +5,18 @@
 //! can read (the waveform-style diagnostics of Fig. 7/13). This crate is
 //! that front door for the workspace:
 //!
-//! * [`format`](mod@format) — the `.stg` / `.tts` textual model formats (hand-rolled
-//!   parser and canonical printer; grammar in `docs/FILE_FORMATS.md`), so
-//!   new circuits and environments can be fed in without writing Rust.
-//! * [`commands`] — the subcommands of the `transyt` binary: `verify`
+//! * [`format`](mod@format) — the `.stg` / `.tts` textual model formats
+//!   (hand-rolled parser and canonical printer; grammar in
+//!   `docs/FILE_FORMATS.md`), re-exported from `transyt-session`, so new
+//!   circuits and environments can be fed in without writing Rust.
+//! * [`commands`] — the subcommands of the `transyt` binary, a thin
+//!   rendering layer over [`transyt_session::Session`]: `verify`
 //!   (relative-timing engine with counterexample/witness traces), `reach`
 //!   (STG reachability with marking-path witnesses), `zones` (the
 //!   conventional zone-based exploration with symbolic timed traces),
 //!   `table1` (the paper's Table 1 reproduction) and `export` (the shipped
-//!   scenario library).
+//!   scenario library). Flags lower into a `TaskSpec` through the same
+//!   `TaskSpec::parse` the server's query strings lower through.
 //! * [`scenarios`] — the builders behind the `models/` directory: the 1–3
 //!   stage IPCMOS pipelines at pulse level, a C-element handshake, a ring
 //!   pipeline, the Fig. 1 introductory example and a failing race.
@@ -26,7 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
-pub mod format;
+pub use transyt_session::format;
 pub mod json;
 pub mod remote;
 pub mod scenarios;

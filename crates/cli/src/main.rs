@@ -1,7 +1,13 @@
 //! The `transyt` binary: argument parsing and dispatch to
 //! [`transyt_cli::commands`].
+//!
+//! Task flags (`--threads`, `--trace`, …) are collected as `(name, value)`
+//! pairs and lowered through [`TaskSpec::parse`] — the same lowering the
+//! server applies to its query strings — so the two front ends share one
+//! set of option names, defaults and validity checks and can never drift.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use transyt_cli::commands::{
     cmd_reach, cmd_table1, cmd_verify, cmd_zones, CliError, CommandResult, Options,
@@ -9,28 +15,36 @@ use transyt_cli::commands::{
 use transyt_cli::format::Model;
 use transyt_cli::remote::{self, SubmitArgs};
 use transyt_cli::scenarios;
+use transyt_server::ServerConfig;
+use transyt_session::{ProgressEvent, ProgressSink, TaskSpec};
 
 const USAGE: &str = "\
 transyt — relative-timing verification of timed circuits (DATE 2002 reproduction)
 
 USAGE:
-    transyt verify FILE [--threads N] [--trace] [--json PATH]
-    transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--json PATH]
-    transyt zones  FILE [--threads N] [--subsumption on|off] [--trace] [--limit N] [--json PATH]
+    transyt verify FILE [--threads N] [--trace] [--timeout SECS] [--progress] [--json PATH]
+    transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--timeout SECS]
+                        [--progress] [--json PATH]
+    transyt zones  FILE [--threads N] [--subsumption on|off] [--trace] [--limit N]
+                        [--timeout SECS] [--progress] [--json PATH]
     transyt table1      [--threads N] [--json PATH]
     transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
-    transyt serve       [--addr HOST:PORT] [--workers N]
+    transyt serve       [--addr HOST:PORT] [--workers N] [--keep-results N]
+                        [--result-ttl SECS]
     transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
                         [--threads N] [--subsumption on|off] [--trace] [--limit N]
-                        [--to LABEL] [--json PATH]
+                        [--to LABEL] [--timeout SECS] [--json PATH]
     transyt status [JOBID] --server HOST:PORT
 
 FILE is a textual model in the .stg or .tts format (see docs/FILE_FORMATS.md;
 shipped examples live in models/). Every exploration accepts --threads N and
-produces identical output for every thread count. `serve` runs the long-lived
-verification server (model cache + job queue; docs/SERVER.md); `submit` and
-`status` are thin clients for it, and `submit --wait --json PATH` writes a
-document byte-identical to the one-shot command's --json output.
+produces identical output for every thread count; --timeout cancels the run at
+the deadline, --progress streams exploration progress to stderr. `serve` runs
+the long-lived verification server (model cache + deduplicated job queue with
+result eviction; docs/SERVER.md); `submit` and `status` are thin clients for
+it, and `submit --wait --json PATH` writes a document byte-identical to the
+one-shot command's --json output. The embeddable library API behind all of
+this is `transyt-session` (docs/API.md).
 ";
 
 fn main() -> ExitCode {
@@ -54,34 +68,52 @@ fn run(args: &[String]) -> Result<(), CliError> {
     };
     match command.as_str() {
         "verify" | "reach" | "zones" => {
-            // Only flags the subcommand actually reads are accepted, so an
-            // option can never be silently ignored.
-            let allowed: &[&str] = match command.as_str() {
-                "verify" => &["--threads", "--trace", "--json"],
-                "reach" => &["--threads", "--trace", "--to", "--limit", "--json"],
-                _ => &["--threads", "--subsumption", "--trace", "--limit", "--json"],
-            };
-            let (file, options, json_path) = parse_common(&args[1..], command, allowed)?;
-            let file = file.ok_or_else(|| {
+            let parsed = collect_args(&args[1..], command)?;
+            // One shared lowering with the server's query-string path: the
+            // spec owns names, per-command acceptance and defaults.
+            let spec = TaskSpec::parse(command, &parsed.pairs)
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let file = parsed.file.ok_or_else(|| {
                 CliError::Usage(format!("`{command}` needs a model file argument"))
             })?;
             let text = std::fs::read_to_string(&file)
                 .map_err(|e| CliError::Run(format!("reading {file}: {e}")))?;
             let model = Model::parse(&text)?;
+            let mut options = Options::from_spec(&spec);
+            if parsed.progress {
+                options.progress = progress_printer();
+            }
             let result = match command.as_str() {
                 "verify" => cmd_verify(&model, &options)?,
                 "reach" => cmd_reach(&model, &options)?,
                 _ => cmd_zones(&model, &options)?,
             };
-            emit(result, json_path)
+            emit(result, parsed.json_path)
         }
         "table1" => {
-            let (file, options, json_path) =
-                parse_common(&args[1..], command, &["--threads", "--json"])?;
-            if file.is_some() {
+            let parsed = collect_args(&args[1..], command)?;
+            if parsed.file.is_some() {
                 return Err(CliError::Usage("`table1` takes no model file".to_owned()));
             }
-            emit(cmd_table1(&options)?, json_path)
+            let mut options = Options::default();
+            for (name, value) in &parsed.pairs {
+                match name.as_str() {
+                    "threads" => {
+                        options.threads = value.parse().map_err(|_| {
+                            CliError::Usage(format!("bad `threads` value `{value}`"))
+                        })?;
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "`table1` does not accept `--{other}` (allowed: --threads, --json)"
+                        )))
+                    }
+                }
+            }
+            if parsed.progress {
+                options.progress = progress_printer();
+            }
+            emit(cmd_table1(&options)?, parsed.json_path)
         }
         "export" => run_export(&args[1..]),
         "serve" => run_serve(&args[1..]),
@@ -95,6 +127,24 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// A `--progress` sink: level, refinement and cancellation milestones on
+/// stderr (batch events are deliberately skipped — they fire per merge
+/// batch, which is too chatty for a terminal).
+fn progress_printer() -> ProgressSink {
+    ProgressSink::new(|event| match event {
+        ProgressEvent::Level { index, frontier } => {
+            eprintln!("progress: level {index} done, next frontier {frontier}");
+        }
+        ProgressEvent::Refinement { iteration } => {
+            eprintln!("progress: refinement pass {iteration}");
+        }
+        ProgressEvent::Cancelled { expanded } => {
+            eprintln!("progress: cancelled after {expanded} configurations");
+        }
+        ProgressEvent::Batch { .. } => {}
+    })
+}
+
 fn emit(result: CommandResult, json_path: Option<String>) -> Result<(), CliError> {
     print!("{}", result.text);
     if let Some(path) = json_path {
@@ -106,58 +156,45 @@ fn emit(result: CommandResult, json_path: Option<String>) -> Result<(), CliError
     Ok(())
 }
 
-#[allow(clippy::type_complexity)]
-fn parse_common(
-    args: &[String],
-    command: &str,
-    allowed: &[&str],
-) -> Result<(Option<String>, Options, Option<String>), CliError> {
-    let mut file = None;
-    let mut options = Options::default();
-    let mut json_path = None;
+/// Flags collected from a task subcommand's arguments: task parameters as
+/// `(name, value)` pairs for [`TaskSpec::parse`], plus the CLI-only bits.
+struct CollectedArgs {
+    file: Option<String>,
+    pairs: Vec<(String, String)>,
+    json_path: Option<String>,
+    progress: bool,
+}
+
+/// Task flags that take a value (lowered as `(name, value)` pairs).
+const VALUE_FLAGS: &[&str] = &["threads", "subsumption", "limit", "to", "timeout"];
+
+fn collect_args(args: &[String], command: &str) -> Result<CollectedArgs, CliError> {
+    let mut collected = CollectedArgs {
+        file: None,
+        pairs: Vec::new(),
+        json_path: None,
+        progress: false,
+    };
     let mut iter = args.iter();
     let missing = |flag: &str| CliError::Usage(format!("{flag} needs a value"));
     while let Some(arg) = iter.next() {
-        if arg.starts_with('-') && !allowed.contains(&arg.as_str()) {
-            return Err(CliError::Usage(format!(
-                "`{command}` does not accept `{arg}` (allowed: {})",
-                allowed.join(", ")
-            )));
-        }
         match arg.as_str() {
-            "--threads" => {
-                options.threads = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| missing("--threads"))?;
-            }
-            "--subsumption" => {
-                options.subsumption = match iter.next().map(String::as_str) {
-                    Some("on") => true,
-                    Some("off") => false,
-                    _ => {
-                        return Err(CliError::Usage(
-                            "--subsumption needs `on` or `off`".to_owned(),
-                        ))
-                    }
-                };
-            }
-            "--trace" => options.trace = true,
-            "--limit" => {
-                options.limit = Some(
-                    iter.next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| missing("--limit"))?,
-                );
-            }
-            "--to" => {
-                options.to_label = Some(iter.next().ok_or_else(|| missing("--to"))?.clone());
-            }
             "--json" => {
-                json_path = Some(iter.next().ok_or_else(|| missing("--json"))?.clone());
+                collected.json_path = Some(iter.next().ok_or_else(|| missing("--json"))?.clone());
+            }
+            "--progress" => collected.progress = true,
+            "--trace" => collected.pairs.push(("trace".into(), "true".into())),
+            flag if flag.starts_with("--") && VALUE_FLAGS.contains(&&flag[2..]) => {
+                let value = iter.next().ok_or_else(|| missing(flag))?.clone();
+                collected.pairs.push((flag[2..].to_owned(), value));
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "`{command}` does not accept `{other}`"
+                )));
             }
             other => {
-                if file.replace(other.to_owned()).is_some() {
+                if collected.file.replace(other.to_owned()).is_some() {
                     return Err(CliError::Usage(format!(
                         "`{command}` takes a single model file"
                     )));
@@ -165,23 +202,22 @@ fn parse_common(
             }
         }
     }
-    Ok((file, options, json_path))
+    Ok(collected)
 }
 
 fn run_serve(args: &[String]) -> Result<(), CliError> {
-    let mut addr = "127.0.0.1:7171".to_owned();
-    let mut workers = 4usize;
+    let mut config = ServerConfig::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--addr" => {
-                addr = iter
+                config.addr = iter
                     .next()
                     .ok_or_else(|| CliError::Usage("--addr needs a value".to_owned()))?
                     .clone();
             }
             "--workers" => {
-                workers = iter
+                config.workers = iter
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&w| w > 0)
@@ -189,14 +225,36 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                         CliError::Usage("--workers needs a positive number".to_owned())
                     })?;
             }
+            "--keep-results" => {
+                config.keep_results = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage("--keep-results needs a positive number".to_owned())
+                    })?;
+            }
+            "--result-ttl" => {
+                let seconds: u64 = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage(
+                            "--result-ttl needs a positive number of seconds".to_owned(),
+                        )
+                    })?;
+                config.result_ttl = Some(Duration::from_secs(seconds));
+            }
             other => {
                 return Err(CliError::Usage(format!(
-                    "`serve` does not accept `{other}` (allowed: --addr, --workers)"
+                    "`serve` does not accept `{other}` \
+                     (allowed: --addr, --workers, --keep-results, --result-ttl)"
                 )))
             }
         }
     }
-    remote::cmd_serve(&addr, workers)
+    remote::cmd_serve(&config)
 }
 
 fn run_submit(args: &[String]) -> Result<(), CliError> {
@@ -205,8 +263,7 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
     let mut command = "verify".to_owned();
     let mut wait = false;
     let mut json_path = None;
-    let mut options = Options::default();
-    let mut provided: Vec<&'static str> = Vec::new();
+    let mut pairs: Vec<(String, String)> = Vec::new();
     let mut iter = args.iter();
     let missing = |flag: &str| CliError::Usage(format!("{flag} needs a value"));
     while let Some(arg) = iter.next() {
@@ -219,40 +276,10 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
             "--json" => {
                 json_path = Some(iter.next().ok_or_else(|| missing("--json"))?.clone());
             }
-            "--threads" => {
-                provided.push("--threads");
-                options.threads = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| missing("--threads"))?;
-            }
-            "--subsumption" => {
-                provided.push("--subsumption");
-                options.subsumption = match iter.next().map(String::as_str) {
-                    Some("on") => true,
-                    Some("off") => false,
-                    _ => {
-                        return Err(CliError::Usage(
-                            "--subsumption needs `on` or `off`".to_owned(),
-                        ))
-                    }
-                };
-            }
-            "--trace" => {
-                provided.push("--trace");
-                options.trace = true;
-            }
-            "--limit" => {
-                provided.push("--limit");
-                options.limit = Some(
-                    iter.next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| missing("--limit"))?,
-                );
-            }
-            "--to" => {
-                provided.push("--to");
-                options.to_label = Some(iter.next().ok_or_else(|| missing("--to"))?.clone());
+            "--trace" => pairs.push(("trace".into(), "true".into())),
+            flag if flag.starts_with("--") && VALUE_FLAGS.contains(&&flag[2..]) => {
+                let value = iter.next().ok_or_else(|| missing(flag))?.clone();
+                pairs.push((flag[2..].to_owned(), value));
             }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!(
@@ -268,24 +295,9 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
             }
         }
     }
-    // Mirror the one-shot subcommands' allowed lists so an option can never
-    // be silently ignored by the remote command either.
-    let allowed: &[&str] = match command.as_str() {
-        "verify" => &["--threads", "--trace"],
-        "reach" => &["--threads", "--trace", "--to", "--limit"],
-        "zones" => &["--threads", "--subsumption", "--trace", "--limit"],
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown --command `{other}` (use verify, reach or zones)"
-            )))
-        }
-    };
-    if let Some(flag) = provided.iter().find(|flag| !allowed.contains(flag)) {
-        return Err(CliError::Usage(format!(
-            "`submit --command {command}` does not accept `{flag}` (allowed: {})",
-            allowed.join(", ")
-        )));
-    }
+    // The same lowering the server applies to the query string, so a spec
+    // the client refuses is exactly a spec the server would refuse.
+    let spec = TaskSpec::parse(&command, &pairs).map_err(|e| CliError::Usage(e.to_string()))?;
     if json_path.is_some() && !wait {
         return Err(CliError::Usage(
             "`submit --json` needs `--wait` (the document exists once the job is done)".to_owned(),
@@ -296,7 +308,7 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Usage("`submit` needs --server HOST:PORT".to_owned()))?,
         file: file.ok_or_else(|| CliError::Usage("`submit` needs a model file".to_owned()))?,
         command,
-        options,
+        options: Options::from_spec(&spec),
         wait,
         json_path,
     };

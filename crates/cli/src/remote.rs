@@ -1,78 +1,30 @@
-//! Server mode: the CLI-backed job runner behind `transyt serve`, and the
-//! tiny `transyt submit` / `transyt status` client modes.
+//! Server mode: `transyt serve` and the tiny `transyt submit` / `transyt
+//! status` client modes.
 //!
-//! The server crate (`transyt-server`) owns sockets, the model cache and the
-//! worker pool; this module plugs the CLI's own parser and [`commands`]
-//! layer in as its [`Backend`], so a job submitted over the wire runs
-//! through exactly the code path of the one-shot CLI and its result
-//! document is byte-identical to `transyt <command> --json` output.
-//!
-//! [`commands`]: crate::commands
+//! The server crate (`transyt-server`) owns sockets, the job table and the
+//! worker pool; models and runs live in the embedded
+//! [`transyt_session::Session`] — the same layer the one-shot CLI renders
+//! over — so a job submitted over the wire runs through exactly the code
+//! path of the one-shot CLI and its result document is byte-identical to
+//! `transyt <command> --json` output. (The old `Backend` trait is gone: the
+//! session layer *is* the backend now.)
 
-use transyt_server::{client, Backend, JobOutput, JobRequest, ModelInfo, Server, ServerConfig};
+use transyt_server::{client, Server, ServerConfig};
 
-use crate::commands::{cmd_reach, cmd_verify, cmd_zones, CliError, Options};
-use crate::format::{Model, ModelSource};
-use crate::json;
-
-/// The [`Backend`] wiring server jobs onto the CLI's command layer.
-pub struct CliBackend;
-
-impl Backend for CliBackend {
-    fn validate(&self, text: &str) -> Result<ModelInfo, String> {
-        let model = Model::parse(text).map_err(|e| e.to_string())?;
-        Ok(ModelInfo {
-            name: model.name.clone(),
-            kind: match model.source {
-                ModelSource::Stg(_) => "stg".to_owned(),
-                ModelSource::Tts(_) => "tts".to_owned(),
-            },
-        })
-    }
-
-    fn run(
-        &self,
-        model_text: &str,
-        request: &JobRequest,
-        cancel: &transyt_server::CancelToken,
-    ) -> Result<JobOutput, String> {
-        let model = Model::parse(model_text).map_err(|e| e.to_string())?;
-        let options = Options {
-            threads: request.threads,
-            subsumption: request.subsumption,
-            trace: request.trace,
-            limit: request.limit,
-            to_label: request.to_label.clone(),
-            cancel: cancel.clone(),
-        };
-        let result = match request.command.as_str() {
-            "verify" => cmd_verify(&model, &options),
-            "reach" => cmd_reach(&model, &options),
-            "zones" => cmd_zones(&model, &options),
-            other => return Err(format!("unknown command `{other}`")),
-        }
-        .map_err(|e| e.to_string())?;
-        Ok(JobOutput {
-            document: json::render_document(&result.json),
-            text: result.text,
-        })
-    }
-}
+use crate::commands::{CliError, Options};
 
 /// `transyt serve`: bind, print the address, serve until SIGTERM / ctrl-c /
 /// `POST /shutdown`.
-pub fn cmd_serve(addr: &str, workers: usize) -> Result<(), CliError> {
-    let config = ServerConfig {
-        addr: addr.to_owned(),
-        workers,
-    };
-    let server = Server::bind(&config, Box::new(CliBackend))
-        .map_err(|e| CliError::Run(format!("binding {addr}: {e}")))?;
+pub fn cmd_serve(config: &ServerConfig) -> Result<(), CliError> {
+    let server =
+        Server::bind(config).map_err(|e| CliError::Run(format!("binding {}: {e}", config.addr)))?;
     println!(
-        "transyt server listening on {} ({} worker{})",
+        "transyt server listening on {} ({} worker{}, keeping {} result{})",
         server.local_addr(),
-        workers,
-        if workers == 1 { "" } else { "s" }
+        config.workers,
+        if config.workers == 1 { "" } else { "s" },
+        config.keep_results,
+        if config.keep_results == 1 { "" } else { "s" },
     );
     println!("endpoints: POST /models, POST /jobs, GET /jobs/<id>/result (see docs/SERVER.md)");
     server
@@ -89,8 +41,8 @@ pub struct SubmitArgs {
     pub file: String,
     /// The job command: `verify`, `reach` or `zones`.
     pub command: String,
-    /// The job options (the `cancel` field is ignored — cancellation of
-    /// remote jobs goes through `POST /jobs/<id>/cancel`).
+    /// The job options (the `cancel` / `progress` fields are ignored —
+    /// cancellation of remote jobs goes through `POST /jobs/<id>/cancel`).
     pub options: Options,
     /// Poll until the job finishes and print its text output.
     pub wait: bool,
@@ -146,6 +98,9 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
             transyt_server::http::percent_encode(label)
         ));
     }
+    if let Some(timeout) = options.timeout {
+        path.push_str(&format!("&timeout={}", timeout.as_secs().max(1)));
+    }
     let body = expect_status(
         "submitting job",
         client::request(&args.server, "POST", &path, None),
@@ -164,7 +119,10 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
             client::request(&args.server, "GET", &format!("/jobs/{job}"), None),
         )?;
         let status = client::json_str_field(&body, "status").unwrap_or_default();
-        if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+        if matches!(
+            status.as_str(),
+            "done" | "failed" | "cancelled" | "timed_out"
+        ) {
             break status;
         }
         std::thread::sleep(std::time::Duration::from_millis(150));
@@ -190,6 +148,18 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
         "cancelled" => {
             println!("job {job} was cancelled");
             Ok(())
+        }
+        "timed_out" => {
+            // The partial text (what the run saw before the deadline) is
+            // still fetchable; surface it, then report the timeout.
+            if let Ok(text) =
+                client::request(&args.server, "GET", &format!("/jobs/{job}/text"), None)
+            {
+                if text.0 == 200 {
+                    print!("{}", text.1);
+                }
+            }
+            Err(CliError::Run(format!("job {job} timed out")))
         }
         _ => {
             let body = expect_status(

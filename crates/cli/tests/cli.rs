@@ -300,6 +300,61 @@ fn json_documents_are_unchanged_golden() {
     );
 }
 
+/// `--timeout SECS` cancels a run at the deadline and reports it as timed
+/// out (with the partial exploration summary), instead of running to the
+/// limit.
+#[test]
+fn timeout_flag_reports_timed_out_with_partial_results() {
+    let binary = env!("CARGO_BIN_EXE_transyt");
+    let model = models_dir().join("ipcmos_2stage.stg");
+    let start = std::time::Instant::now();
+    let output = Command::new(binary)
+        .args([
+            "zones",
+            model.to_str().unwrap(),
+            "--limit",
+            "100000000",
+            "--timeout",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    // Far below the minutes the full exploration would take.
+    assert!(start.elapsed() < std::time::Duration::from_secs(60));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("TIMED OUT: `zones` on `ipcmos_2stage`"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("partial results at the deadline:"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("cancelled after"), "{stdout}");
+}
+
+/// `--progress` streams exploration milestones to stderr without touching
+/// stdout (whose bytes are pinned by the goldens).
+#[test]
+fn progress_flag_streams_milestones_to_stderr() {
+    let binary = env!("CARGO_BIN_EXE_transyt");
+    let model = models_dir().join("ipcmos_1stage.stg");
+    let plain = Command::new(binary)
+        .args(["verify", model.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let with_progress = Command::new(binary)
+        .args(["verify", model.to_str().unwrap(), "--progress"])
+        .output()
+        .expect("binary runs");
+    assert!(with_progress.status.success());
+    let stderr = String::from_utf8_lossy(&with_progress.stderr);
+    assert!(stderr.contains("progress: refinement pass 0"), "{stderr}");
+    assert!(stderr.contains("progress: level"), "{stderr}");
+    assert_eq!(plain.stdout, with_progress.stdout, "stdout must not change");
+}
+
 #[test]
 fn export_list_covers_every_shipped_model() {
     let binary = env!("CARGO_BIN_EXE_transyt");

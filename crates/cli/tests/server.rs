@@ -9,7 +9,6 @@ use std::time::{Duration, Instant};
 use transyt_cli::commands::{cmd_verify, Options};
 use transyt_cli::format::Model;
 use transyt_cli::json;
-use transyt_cli::remote::CliBackend;
 use transyt_server::{client, JobStatus, Server, ServerConfig, ServerHandle};
 
 fn models_dir() -> PathBuf {
@@ -22,11 +21,15 @@ fn model_text(file: &str) -> String {
 }
 
 fn start_server(workers: usize) -> (ServerHandle, String) {
-    let config = ServerConfig {
+    start_server_with(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers,
-    };
-    let server = Server::bind(&config, Box::new(CliBackend)).expect("bind 127.0.0.1:0");
+        ..ServerConfig::default()
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> (ServerHandle, String) {
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
     let handle = server.spawn();
     let addr = handle.addr().to_string();
     (handle, addr)
@@ -69,7 +72,7 @@ fn wait_for(addr: &str, job: u64, predicate: impl Fn(&str) -> bool, what: &str) 
 }
 
 fn terminal(status: &str) -> bool {
-    matches!(status, "done" | "failed" | "cancelled")
+    matches!(status, "done" | "failed" | "cancelled" | "timed_out")
 }
 
 /// The document the one-shot CLI writes for `verify FILE --trace --json`.
@@ -260,6 +263,105 @@ fn model_cache_and_api_errors() {
     assert!(document.contains("\"path_found\":true"), "{document}");
     assert!(document.contains("\"path\":[\"A+\",\"B+\"]"), "{document}");
 
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// Two identical concurrent submissions are batched into **one** underlying
+/// run: the session executes once, and both jobs hold references to the
+/// same result document.
+#[test]
+fn identical_concurrent_submissions_share_one_run() {
+    let (handle, addr) = start_server(2);
+    // The 2-stage pipeline zone exploration is slow enough that the second
+    // submission arrives while the first run is still in flight.
+    let hash = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let query = format!("model={hash}&command=zones&limit=3000");
+    let first = submit(&addr, &query);
+    let second = submit(&addr, &query);
+    assert_eq!(wait_for(&addr, first, terminal, "terminal"), "done");
+    assert_eq!(wait_for(&addr, second, terminal, "terminal"), "done");
+
+    let state = handle.state().clone();
+    let stats = state.session().stats();
+    assert_eq!(stats.runs_executed, 1, "one underlying run: {stats:?}");
+    assert_eq!(
+        stats.runs_attached + stats.memo_hits,
+        1,
+        "the duplicate attached or hit the memo: {stats:?}"
+    );
+    // Both jobs reference the *same* result allocation (not merely equal
+    // bytes).
+    let (_, a) = state.fetch_result(first as usize).unwrap();
+    let (_, b) = state.fetch_result(second as usize).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
+    // And the same document over the wire.
+    let (_, doc_a) = client::request(&addr, "GET", &format!("/jobs/{first}/result"), None).unwrap();
+    let (_, doc_b) =
+        client::request(&addr, "GET", &format!("/jobs/{second}/result"), None).unwrap();
+    assert_eq!(doc_a, doc_b);
+    // A differently-spelled but identical spec also reuses the completed
+    // run through the memo (still one execution).
+    let third = submit(&addr, &format!("{query}&subsumption=on&trace=false"));
+    assert_eq!(wait_for(&addr, third, terminal, "terminal"), "done");
+    assert_eq!(state.session().stats().runs_executed, 1);
+
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// A `timeout=SECS` submission whose run exceeds the deadline surfaces as
+/// status `timed_out` and a 409-with-reason on the result endpoint.
+#[test]
+fn job_deadlines_surface_as_timed_out() {
+    let (handle, addr) = start_server(1);
+    let hash = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let job = submit(
+        &addr,
+        &format!("model={hash}&command=zones&limit=100000000&timeout=1"),
+    );
+    assert_eq!(wait_for(&addr, job, terminal, "terminal"), "timed_out");
+    let (status, body) =
+        client::request(&addr, "GET", &format!("/jobs/{job}/result"), None).unwrap();
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("timed out"), "{body}");
+    // The partial text (explored-so-far summary) is still available.
+    let (status, text) = client::request(&addr, "GET", &format!("/jobs/{job}/text"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(text.contains("TIMED OUT"), "{text}");
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// The result store evicts beyond `--keep-results`: the oldest document is
+/// dropped, `GET /jobs` reports the evicted id, and its result endpoint
+/// answers 410.
+#[test]
+fn result_store_evicts_by_lru_cap() {
+    let (handle, addr) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        keep_results: 1,
+        result_ttl: None,
+    });
+    let hash = upload(&addr, &model_text("race_overlap.tts"));
+    // Distinct keys (different thread counts) so both actually run.
+    let first = submit(&addr, &format!("model={hash}&command=verify"));
+    let second = submit(&addr, &format!("model={hash}&command=verify&threads=2"));
+    assert_eq!(wait_for(&addr, first, terminal, "terminal"), "done");
+    assert_eq!(wait_for(&addr, second, terminal, "terminal"), "done");
+
+    let (status, listing) = client::request(&addr, "GET", "/jobs", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        listing.contains(&format!("\"evicted\":[{first}]")),
+        "{listing}"
+    );
+    let (status, body) =
+        client::request(&addr, "GET", &format!("/jobs/{first}/result"), None).unwrap();
+    assert_eq!(status, 410, "{body}");
+    assert!(body.contains("evicted"), "{body}");
+    // The younger job still serves.
+    let (status, _) =
+        client::request(&addr, "GET", &format!("/jobs/{second}/result"), None).unwrap();
+    assert_eq!(status, 200);
     handle.shutdown().expect("graceful shutdown");
 }
 

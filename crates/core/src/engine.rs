@@ -24,7 +24,10 @@ use std::convert::Infallible;
 use std::fmt;
 
 use ces::{check_consistency, extract_ces, RelativeTimingConstraint, SeparationAnalysis};
-use explore::{CancelToken, ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use explore::{
+    CancelToken, ExploreOptions, ExploreOutcome, ProgressEvent, ProgressSink, SearchSpace,
+    TraceOptions,
+};
 use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem, TransitionSystem};
 
 use crate::property::SafetyProperty;
@@ -45,6 +48,11 @@ pub struct VerifyOptions {
     /// [`Verdict::Inconclusive`] with reason `"verification cancelled"`. The
     /// default token is inert.
     pub cancel: CancelToken,
+    /// Progress reporting: each refinement pass announces itself with a
+    /// [`ProgressEvent::Refinement`] and forwards the sink to its
+    /// exploration, which emits batch/level events. The default sink is
+    /// inert.
+    pub progress: ProgressSink,
 }
 
 impl Default for VerifyOptions {
@@ -54,6 +62,7 @@ impl Default for VerifyOptions {
             assumed_constraints: Vec::new(),
             threads: 1,
             cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
         }
     }
 }
@@ -482,6 +491,9 @@ pub fn verify(
             property,
             resolved: resolve(&constraints),
         };
+        options.progress.emit(&ProgressEvent::Refinement {
+            iteration: refinements,
+        });
         let search = match explore::explore(
             &space,
             &ExploreOptions {
@@ -489,6 +501,7 @@ pub fn verify(
                 record_edges: true,
                 trace: TraceOptions::parents(),
                 cancel: options.cancel.clone(),
+                progress: options.progress.clone(),
                 ..ExploreOptions::default()
             },
         ) {

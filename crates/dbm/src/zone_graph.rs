@@ -26,7 +26,9 @@ use std::collections::{BTreeSet, HashSet};
 use std::convert::Infallible;
 use std::sync::{Arc, Mutex};
 
-use explore::{CancelToken, ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use explore::{
+    CancelToken, ExploreOptions, ExploreOutcome, ProgressSink, SearchSpace, TraceOptions,
+};
 use tts::{Bound, EventId, StateId, Time, TimedTransitionSystem};
 
 use crate::entry::Entry;
@@ -49,6 +51,10 @@ pub struct ZoneExplorationOptions {
     /// the next batch boundary and returns [`ZoneOutcome::Cancelled`] (or
     /// [`WitnessOutcome::Cancelled`]). The default token is inert.
     pub cancel: CancelToken,
+    /// Progress reporting: forwarded to the exploration driver, which emits
+    /// batch/level events from the deterministic merge. The default sink is
+    /// inert.
+    pub progress: ProgressSink,
 }
 
 impl Default for ZoneExplorationOptions {
@@ -58,6 +64,7 @@ impl Default for ZoneExplorationOptions {
             threads: 1,
             subsumption: true,
             cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
         }
     }
 }
@@ -361,6 +368,7 @@ pub fn explore_timed_with(
             threads: options.threads,
             expanded_limit: options.configuration_limit,
             cancel: options.cancel.clone(),
+            progress: options.progress.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -711,6 +719,7 @@ pub fn find_witness(
             expanded_limit: options.configuration_limit,
             trace: TraceOptions::parents(),
             cancel: options.cancel.clone(),
+            progress: options.progress.clone(),
             ..ExploreOptions::default()
         },
     ) {

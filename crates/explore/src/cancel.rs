@@ -52,6 +52,14 @@ impl CancelToken {
             .as_ref()
             .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
+
+    /// Returns `true` for the inert default token, which
+    /// [`cancel`](Self::cancel) cannot fire. Callers that need a token that
+    /// *can* fire (e.g. a deadline watchdog) must replace an inert one with
+    /// [`CancelToken::new`].
+    pub fn is_inert(&self) -> bool {
+        self.0.is_none()
+    }
 }
 
 impl fmt::Debug for CancelToken {

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use crate::cancel::CancelToken;
+use crate::progress::{ProgressEvent, ProgressSink};
 use crate::seen::SeenMap;
 use crate::space::SearchSpace;
 
@@ -31,6 +32,11 @@ pub struct ExploreOptions {
     /// batch and returns [`ExploreOutcome::Cancelled`] as soon as it fires.
     /// The default token is inert and costs nothing.
     pub cancel: CancelToken,
+    /// Progress reporting: the driver emits [`ProgressEvent::Batch`] after
+    /// every committed merge batch, [`ProgressEvent::Level`] after every
+    /// breadth-first level and [`ProgressEvent::Cancelled`] when the cancel
+    /// token stops the search. The default sink is inert and costs nothing.
+    pub progress: ProgressSink,
 }
 
 impl Default for ExploreOptions {
@@ -42,6 +48,7 @@ impl Default for ExploreOptions {
             record_edges: false,
             trace: TraceOptions::default(),
             cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
         }
     }
 }
@@ -231,6 +238,7 @@ pub fn explore<S: SearchSpace>(
     // function of the frontier, so determinism is unaffected.
     let batch_size = threads * 32;
 
+    let mut level = 0usize;
     'search: while !frontier.is_empty() && !halted {
         let mut next: Vec<S::Config> = Vec::new();
         let mut next_parents: Vec<Option<(usize, S::Edge)>> = Vec::new();
@@ -239,6 +247,9 @@ pub fn explore<S: SearchSpace>(
             // cancelled search stops within one batch of expansions. The
             // counters describe the committed (deterministic) prefix.
             if options.cancel.is_cancelled() {
+                options
+                    .progress
+                    .emit(&ProgressEvent::Cancelled { expanded });
                 return Ok(ExploreOutcome::Cancelled {
                     expanded,
                     discovered,
@@ -322,7 +333,17 @@ pub fn explore<S: SearchSpace>(
                     },
                 });
             }
+            options.progress.emit(&ProgressEvent::Batch {
+                expanded,
+                discovered,
+                subsumption_skips,
+            });
         }
+        options.progress.emit(&ProgressEvent::Level {
+            index: level,
+            frontier: next.len(),
+        });
+        level += 1;
         frontier = next;
         frontier_parents = next_parents;
     }
@@ -705,6 +726,79 @@ mod tests {
             ExploreOutcome::LimitExceeded { expanded: 0, .. }
         ));
         assert!(outcome.report().is_none());
+    }
+
+    #[test]
+    fn progress_events_are_identical_across_thread_counts() {
+        use crate::progress::{ProgressEvent, ProgressSink};
+        use std::sync::{Arc, Mutex};
+
+        let run = |threads| {
+            let events: Arc<Mutex<Vec<ProgressEvent>>> = Arc::default();
+            let sink_events = Arc::clone(&events);
+            let options = ExploreOptions {
+                threads,
+                progress: ProgressSink::new(move |event| {
+                    sink_events.lock().unwrap().push(*event);
+                }),
+                ..ExploreOptions::default()
+            };
+            completed(&Grid { side: 6 }, &options);
+            let collected = events.lock().unwrap().clone();
+            collected
+        };
+        let sequential = run(1);
+        assert!(!sequential.is_empty());
+        // Final batch counters match the completed report, and levels count
+        // the grid's 2*side - 1 breadth-first diagonals.
+        let batches: Vec<_> = sequential
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::Batch { .. }))
+            .collect();
+        assert!(
+            matches!(
+                batches.last(),
+                Some(ProgressEvent::Batch {
+                    expanded: 36,
+                    discovered: 36,
+                    ..
+                })
+            ),
+            "{batches:?}"
+        );
+        let levels = sequential
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::Level { .. }))
+            .count();
+        assert_eq!(levels, 11);
+        assert_eq!(sequential, run(4), "threads 1 vs 4 event stream differs");
+    }
+
+    #[test]
+    fn cancellation_emits_a_cancelled_event() {
+        use crate::progress::{ProgressEvent, ProgressSink};
+        use std::sync::{Arc, Mutex};
+
+        let token = CancelToken::new();
+        token.cancel();
+        let events: Arc<Mutex<Vec<ProgressEvent>>> = Arc::default();
+        let sink_events = Arc::clone(&events);
+        let outcome = explore(
+            &Grid { side: 4 },
+            &ExploreOptions {
+                cancel: token,
+                progress: ProgressSink::new(move |event| {
+                    sink_events.lock().unwrap().push(*event);
+                }),
+                ..ExploreOptions::default()
+            },
+        )
+        .expect("no error");
+        assert!(matches!(outcome, ExploreOutcome::Cancelled { .. }));
+        assert_eq!(
+            events.lock().unwrap().as_slice(),
+            &[ProgressEvent::Cancelled { expanded: 0 }]
+        );
     }
 
     /// A space that halts on a goal configuration.

@@ -24,6 +24,11 @@
 //!   running to its limit. A cancelled search returns
 //!   [`ExploreOutcome::Cancelled`] with the counters of the committed
 //!   deterministic prefix.
+//! * [`ProgressSink`] — progress reporting: a callback the driver feeds with
+//!   [`ProgressEvent`]s (batch committed, level finished, search cancelled)
+//!   from the deterministic merge, so long-running explorations can stream
+//!   "configs explored" counters to a UI or a server job table without
+//!   perturbing the result. The default sink is inert and costs nothing.
 //! * [`TraceOptions`] — optional witness bookkeeping: with parent tracking
 //!   on, the report records for every expanded configuration the node that
 //!   first discovered it and the edge it was discovered through, and
@@ -105,6 +110,7 @@
 
 mod cancel;
 mod driver;
+mod progress;
 mod seen;
 mod space;
 
@@ -112,4 +118,5 @@ pub use cancel::CancelToken;
 pub use driver::{
     explore, ExploreOptions, ExploreOutcome, ExploreReport, ExploredNode, TraceOptions,
 };
+pub use progress::{ProgressEvent, ProgressSink};
 pub use space::SearchSpace;

@@ -1,27 +1,33 @@
 //! `transyt-server` — the long-running verification server behind `transyt
 //! serve`.
 //!
-//! The one-shot CLI parses a model, runs one exploration and exits; this
-//! crate turns the same `commands` layer into a service: clients upload
-//! textual `.stg` / `.tts` models once (parsed and validated on upload,
-//! cached by content hash), submit `verify` / `reach` / `zones` jobs with
-//! the same options the CLI takes, poll job status, cancel jobs mid-flight,
-//! and fetch results — including replayable witness traces — as JSON
-//! documents **byte-identical** to the CLI's `--json` output.
+//! The one-shot CLI parses a model, runs one task and exits; this crate
+//! turns the shared [`transyt_session::Session`] into a service: clients
+//! upload textual `.stg` / `.tts` models once (parsed and validated on
+//! upload, interned by content hash), submit `verify` / `reach` / `zones`
+//! jobs with the same options the CLI takes, poll job status, cancel jobs
+//! mid-flight, and fetch results — including replayable witness traces — as
+//! JSON documents **byte-identical** to the CLI's `--json` output.
 //!
 //! The moving parts:
 //!
 //! * [`http`] — a hand-rolled, dependency-free HTTP/1.1 layer over
 //!   [`std::net::TcpListener`]: one request per connection, JSON in and out.
-//! * [`ServerState`] — the model cache, the job table and a FIFO queue; a
-//!   bounded pool of [`ServerConfig::workers`] threads drains the queue, so
-//!   N in-flight verifications share the machine without oversubscribing
-//!   the explorer's own thread pool.
-//! * [`Backend`] — the seam to the actual tool: the `transyt` binary plugs
-//!   in the CLI's parser and command layer; tests plug in stubs. Jobs
-//!   receive an [`explore::CancelToken`] that `POST /jobs/{id}/cancel`
-//!   fires, so a cancelled job stops its exploration at the next batch
-//!   boundary instead of running to its limit.
+//! * [`ServerState`] — the job table, a FIFO queue drained by a bounded
+//!   pool of [`ServerConfig::workers`] threads, and the result store with
+//!   LRU + TTL eviction ([`ServerConfig::keep_results`] /
+//!   [`ServerConfig::result_ttl`]); `GET /jobs` reports evicted ids.
+//! * [`transyt_session::Session`] — models and runs. Query strings lower
+//!   into [`transyt_session::TaskSpec`]s through the same
+//!   `TaskSpec::parse` the CLI flags lower through, and jobs are scheduled
+//!   by their canonical [`transyt_session::TaskKey`]: identical (model,
+//!   options) submissions are **batched into one run** — a worker claiming
+//!   a duplicate of an in-flight job attaches to that run and both jobs
+//!   end up holding the *same* result document.
+//! * Cancellation and deadlines — `POST /jobs/{id}/cancel` fires the job's
+//!   [`CancelToken`]; a `timeout=SECS` parameter arms a deadline whose
+//!   expiry surfaces as status `timed_out` and a 409-with-reason on the
+//!   result endpoint.
 //! * [`Server`] — the accept loop and graceful shutdown: SIGTERM / ctrl-c
 //!   (or `POST /shutdown`) stop the listener, cancel queued jobs, let
 //!   running jobs finish and join the pool.
@@ -41,7 +47,4 @@ mod sys;
 
 pub use explore::CancelToken;
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use state::{
-    content_hash, Backend, CachedModel, JobOutput, JobRequest, JobStatus, JobView, ModelInfo,
-    ServerState,
-};
+pub use state::{content_hash, CachedModel, JobStatus, JobView, ResultStoreConfig, ServerState};

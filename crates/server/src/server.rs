@@ -7,9 +7,10 @@ use std::thread;
 use std::time::Duration;
 
 use bench::json::Value;
+use transyt_session::{Session, TaskSpec};
 
 use crate::http::{Request, Response};
-use crate::state::{Backend, JobRequest, JobStatus, JobView, ServerState};
+use crate::state::{JobStatus, JobView, ResultStoreConfig, ServerState};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -22,13 +23,22 @@ pub struct ServerConfig {
     /// per-job --threads` at or below the machine's cores so concurrent
     /// verifications don't oversubscribe the explorer's own thread pool.
     pub workers: usize,
+    /// Result-store cap: keep at most this many result documents, evicting
+    /// the least recently fetched (`serve --keep-results N`).
+    pub keep_results: usize,
+    /// Result TTL: evict documents this long after completion
+    /// (`serve --result-ttl SECS`; `None` = keep until the cap evicts).
+    pub result_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let store = ResultStoreConfig::default();
         ServerConfig {
             addr: "127.0.0.1:7171".to_owned(),
             workers: 4,
+            keep_results: store.keep_results,
+            result_ttl: store.result_ttl,
         }
     }
 }
@@ -67,16 +77,30 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds the listening socket and prepares the shared state.
+    /// Binds the listening socket and prepares the shared state around a
+    /// fresh embedded [`Session`].
     ///
     /// # Errors
     ///
     /// Propagates socket errors (address in use, permission, …).
-    pub fn bind(config: &ServerConfig, backend: Box<dyn Backend>) -> io::Result<Server> {
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        Server::bind_with_session(config, Arc::new(Session::new()))
+    }
+
+    /// Binds around an existing session (embedders that pre-load models).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, …).
+    pub fn bind_with_session(config: &ServerConfig, session: Arc<Session>) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let store = ResultStoreConfig {
+            keep_results: config.keep_results,
+            result_ttl: config.result_ttl,
+        };
         Ok(Server {
-            state: Arc::new(ServerState::new(backend)),
+            state: Arc::new(ServerState::new(session, store)),
             listener,
             addr,
             workers: config.workers.max(1),
@@ -176,11 +200,14 @@ fn job_document(view: &JobView) -> Value {
     let mut doc = Value::object()
         .field("job", view.id)
         .field("status", view.status.to_string())
-        .field("command", view.request.command.as_str())
-        .field("model", view.request.model_hash.as_str())
+        .field("command", view.spec.command.name())
+        .field("model", view.spec.model.as_str())
         .field("model_name", view.model_name.as_str())
-        .field("threads", view.request.threads)
-        .field("trace", view.request.trace)
+        .field("threads", view.spec.threads)
+        .field("trace", view.spec.trace)
+        .field("key", view.key.fingerprint())
+        .field("explored", view.explored)
+        .field("evicted", view.evicted)
         .field("done", view.status.is_terminal());
     if let Some(error) = &view.error {
         doc = doc.field("error", error.as_str());
@@ -237,11 +264,11 @@ fn route(state: &ServerState, request: &Request) -> Response {
             Response::json(200, Value::object().field("models", models).render() + "\n")
         }
         ("POST", ["jobs"]) => {
-            let job_request = match parse_job_request(request) {
-                Ok(job_request) => job_request,
+            let spec = match parse_job_request(request) {
+                Ok(spec) => spec,
                 Err(message) => return error_response(400, &message),
             };
-            match state.submit(job_request) {
+            match state.submit(spec) {
                 Ok(id) => Response::json(
                     202,
                     Value::object()
@@ -255,28 +282,62 @@ fn route(state: &ServerState, request: &Request) -> Response {
         }
         ("GET", ["jobs"]) => {
             let jobs: Vec<Value> = state.jobs().iter().map(job_document).collect();
-            Response::json(200, Value::object().field("jobs", jobs).render() + "\n")
+            let evicted: Vec<Value> = state
+                .evicted_jobs()
+                .into_iter()
+                .map(|id| Value::UInt(id as u128))
+                .collect();
+            Response::json(
+                200,
+                Value::object()
+                    .field("jobs", jobs)
+                    .field("evicted", evicted)
+                    .render()
+                    + "\n",
+            )
         }
         ("GET", ["jobs", id]) => match lookup(state, id) {
             Ok(view) => Response::json(200, job_document(&view).render() + "\n"),
             Err(response) => response,
         },
-        ("GET", ["jobs", id, "result"]) => match lookup(state, id) {
-            Ok(view) => match (&view.output, view.status) {
+        ("GET", ["jobs", id, "result"]) => {
+            let id = match parse_id(id) {
+                Ok(id) => id,
+                Err(response) => return response,
+            };
+            match state.fetch_result(id) {
                 // The raw document, byte-identical to the CLI's --json file.
-                (Some(output), JobStatus::Done) => Response::json(200, output.document.clone()),
-                (_, status) if status.is_terminal() => error_response(
-                    409,
-                    &format!("job {} produced no document (status {status})", view.id),
-                ),
-                _ => error_response(409, &format!("job {} is still {}", view.id, view.status)),
-            },
-            Err(response) => response,
-        },
+                Some((_, Some(result))) => Response::json(200, result.document.clone()),
+                Some((view, None)) => {
+                    let reason = match view.status {
+                        JobStatus::Done if view.evicted => {
+                            return error_response(
+                                410,
+                                &format!("job {} result evicted (LRU/TTL)", view.id),
+                            )
+                        }
+                        JobStatus::TimedOut => format!(
+                            "job {} timed out after {:?}",
+                            view.id,
+                            view.spec.deadline.unwrap_or_default()
+                        ),
+                        status if status.is_terminal() => {
+                            format!("job {} produced no document (status {status})", view.id)
+                        }
+                        status => format!("job {} is still {status}", view.id),
+                    };
+                    error_response(409, &reason)
+                }
+                None => error_response(404, &format!("no job {id}")),
+            }
+        }
         ("GET", ["jobs", id, "text"]) => match lookup(state, id) {
-            Ok(view) => match &view.output {
-                Some(output) => Response::text(200, output.text.clone()),
-                None => error_response(409, &format!("job {} is {}", view.id, view.status)),
+            // Failed runs store a result whose text is empty — serving an
+            // empty 200 would read as success, so only non-empty text
+            // answers 200.
+            Ok(view) => match &view.result {
+                Some(result) if !result.text.is_empty() => Response::text(200, result.text.clone()),
+                _ => error_response(409, &format!("job {} is {}", view.id, view.status)),
             },
             Err(response) => response,
         },
@@ -311,16 +372,22 @@ fn route(state: &ServerState, request: &Request) -> Response {
     }
 }
 
+fn parse_id(id: &str) -> Result<usize, Response> {
+    id.parse()
+        .map_err(|_| error_response(400, "job id must be a number"))
+}
+
 fn lookup(state: &ServerState, id: &str) -> Result<JobView, Response> {
-    let id: usize = id
-        .parse()
-        .map_err(|_| error_response(400, "job id must be a number"))?;
+    let id = parse_id(id)?;
     state
         .job(id)
         .ok_or_else(|| error_response(404, &format!("no job {id}")))
 }
 
-fn parse_job_request(request: &Request) -> Result<JobRequest, String> {
+/// Lowers the query string into a [`TaskSpec`] through the session layer's
+/// shared [`TaskSpec::parse`] — the same names, defaults and validity
+/// checks the CLI flags lower through, so the two can never drift.
+fn parse_job_request(request: &Request) -> Result<TaskSpec, String> {
     let command = request
         .query_param("command")
         .ok_or("missing `command` parameter")?
@@ -329,40 +396,12 @@ fn parse_job_request(request: &Request) -> Result<JobRequest, String> {
         .query_param("model")
         .ok_or("missing `model` parameter (upload via POST /models first)")?
         .to_owned();
-    // Defaults mirror the CLI's option defaults exactly, so an omitted
-    // parameter means the same thing as an omitted flag.
-    let threads = match request.query_param("threads") {
-        Some(value) => value
-            .parse()
-            .map_err(|_| format!("bad `threads` value `{value}`"))?,
-        None => 1,
-    };
-    let subsumption = match request.query_param("subsumption") {
-        Some("on") | None => true,
-        Some("off") => false,
-        Some(other) => return Err(format!("bad `subsumption` value `{other}` (use on|off)")),
-    };
-    let trace = match request.query_param("trace") {
-        Some("true") => true,
-        Some("false") | None => false,
-        Some(other) => return Err(format!("bad `trace` value `{other}` (use true|false)")),
-    };
-    let limit = match request.query_param("limit") {
-        Some(value) => Some(
-            value
-                .parse()
-                .map_err(|_| format!("bad `limit` value `{value}`"))?,
-        ),
-        None => None,
-    };
-    let to_label = request.query_param("to").map(str::to_owned);
-    Ok(JobRequest {
-        command,
-        model_hash,
-        threads,
-        subsumption,
-        trace,
-        limit,
-        to_label,
-    })
+    let params: Vec<(String, String)> = request
+        .query
+        .iter()
+        .filter(|(name, _)| name != "command" && name != "model")
+        .cloned()
+        .collect();
+    let spec = TaskSpec::parse(&command, &params).map_err(|e| e.to_string())?;
+    Ok(spec.for_model(model_hash))
 }

@@ -1,80 +1,23 @@
-//! The server's shared state: the content-addressed model cache, the job
-//! table, and the FIFO queue the worker pool drains.
+//! The server's shared state: the job table, the FIFO queue the worker pool
+//! drains, and the result store with LRU + TTL eviction.
+//!
+//! Models and runs themselves live in the embedded
+//! [`transyt_session::Session`]: the server schedules [`TaskSpec`]s by
+//! their canonical [`TaskKey`], so queued duplicate jobs attach to the
+//! in-flight run (or hit the session's memo) and share one result document.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use explore::CancelToken;
+use transyt_session::{
+    CancelToken, Completion, Outcome, ProgressEvent, ProgressSink, RunControl, Session, TaskKey,
+    TaskResult, TaskSpec,
+};
 
-/// What the embedding binary supplies: how to validate an uploaded model and
-/// how to run a job against it. The `transyt` binary wires in the CLI's own
-/// parser and `commands` layer, so server jobs produce byte-identical
-/// documents to one-shot CLI runs; tests can plug in stubs.
-pub trait Backend: Send + Sync + 'static {
-    /// Parses and validates an uploaded model text.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable message when the text is not a valid model.
-    fn validate(&self, text: &str) -> Result<ModelInfo, String>;
-
-    /// Runs one job to completion. Implementations must poll `cancel`
-    /// cooperatively (the CLI backend threads it into every exploration) so
-    /// a cancelled job stops early instead of running to its limit.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable message when the job cannot produce a document
-    /// (bad options, expansion limits, …).
-    fn run(
-        &self,
-        model_text: &str,
-        request: &JobRequest,
-        cancel: &CancelToken,
-    ) -> Result<JobOutput, String>;
-}
-
-/// Metadata of a successfully validated model.
-#[derive(Debug, Clone)]
-pub struct ModelInfo {
-    /// The model's declared name (from the `stg` / `tts` header).
-    pub name: String,
-    /// The model kind: `"stg"` or `"tts"`.
-    pub kind: String,
-}
-
-/// One verification job as submitted over the wire. Field defaults mirror
-/// the CLI's option defaults exactly, so an option left out of a submission
-/// means the same thing as a flag left off the command line.
-#[derive(Debug, Clone)]
-pub struct JobRequest {
-    /// The subcommand to run: `verify`, `reach` or `zones`.
-    pub command: String,
-    /// Content hash of the cached model to run against.
-    pub model_hash: String,
-    /// Worker threads of the job's own exploration (`--threads`).
-    pub threads: usize,
-    /// Zone subsumption (`--subsumption`).
-    pub subsumption: bool,
-    /// Include a witness / counterexample trace (`--trace`).
-    pub trace: bool,
-    /// Exploration size limit (`--limit`).
-    pub limit: Option<usize>,
-    /// Target label for `reach` (`--to`).
-    pub to_label: Option<String>,
-}
-
-/// What a finished job produced.
-#[derive(Debug, Clone)]
-pub struct JobOutput {
-    /// The JSON document, rendered exactly as the CLI's `--json` file
-    /// (including the trailing newline).
-    pub document: String,
-    /// The human-readable text the CLI would have printed.
-    pub text: String,
-}
+pub use transyt_session::CachedModel;
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +32,8 @@ pub enum JobStatus {
     Failed,
     /// Cancelled before or while running.
     Cancelled,
+    /// The job's deadline expired before the run finished.
+    TimedOut,
 }
 
 impl JobStatus {
@@ -96,7 +41,7 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
         )
     }
 }
@@ -109,24 +54,10 @@ impl fmt::Display for JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed_out",
         };
         write!(f, "{name}")
     }
-}
-
-/// A cached model: the raw text plus validation metadata, addressed by the
-/// FNV-1a hash of the text so re-uploads are free and submissions can name
-/// models without re-sending them.
-#[derive(Debug, Clone)]
-pub struct CachedModel {
-    /// Content hash (16 hex digits).
-    pub hash: String,
-    /// The model's declared name.
-    pub name: String,
-    /// The model kind: `"stg"` or `"tts"`.
-    pub kind: String,
-    /// The raw model text as uploaded.
-    pub text: String,
 }
 
 /// A job's externally visible state.
@@ -134,137 +65,166 @@ pub struct CachedModel {
 pub struct JobView {
     /// The job id.
     pub id: usize,
-    /// The request as submitted.
-    pub request: JobRequest,
+    /// The task as submitted.
+    pub spec: TaskSpec,
+    /// The task's canonical key.
+    pub key: TaskKey,
     /// The name of the model the job runs against.
     pub model_name: String,
     /// Current lifecycle state.
     pub status: JobStatus,
-    /// The output, once `status` is `Done` (or `Cancelled` after producing
-    /// a partial document).
-    pub output: Option<JobOutput>,
+    /// The shared result, once the job finished (also present for
+    /// `Cancelled` / `TimedOut` jobs that produced a partial document —
+    /// fetchable through `/text`, but not served as `/result`).
+    pub result: Option<Arc<TaskResult>>,
     /// The error message, once `status` is `Failed`.
     pub error: Option<String>,
+    /// `true` once the result store evicted this job's document (LRU cap or
+    /// TTL).
+    pub evicted: bool,
+    /// Configurations explored so far (live progress for running jobs).
+    pub explored: usize,
 }
 
 struct Job {
-    request: JobRequest,
+    spec: TaskSpec,
+    key: TaskKey,
     model_name: String,
     status: JobStatus,
-    output: Option<JobOutput>,
+    result: Option<Arc<TaskResult>>,
     error: Option<String>,
+    evicted: bool,
     cancel: CancelToken,
+    explored: Arc<AtomicUsize>,
+    completed_at: Option<Instant>,
+}
+
+impl Job {
+    fn view(&self, id: usize) -> JobView {
+        JobView {
+            id,
+            spec: self.spec.clone(),
+            key: self.key.clone(),
+            model_name: self.model_name.clone(),
+            status: self.status,
+            result: self.result.clone(),
+            error: self.error.clone(),
+            evicted: self.evicted,
+            explored: self.explored.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Inner {
-    models: Vec<CachedModel>,
     jobs: Vec<Job>,
     queue: VecDeque<usize>,
+    /// Job ids holding a result, least recently accessed first.
+    access: Vec<usize>,
     shutdown: bool,
+}
+
+/// Eviction policy of the result store.
+#[derive(Debug, Clone, Copy)]
+pub struct ResultStoreConfig {
+    /// Keep at most this many result documents; beyond it the least
+    /// recently fetched is evicted (`serve --keep-results N`).
+    pub keep_results: usize,
+    /// Evict results older than this, regardless of the cap
+    /// (`serve --result-ttl SECS`; `None` = no TTL).
+    pub result_ttl: Option<Duration>,
+}
+
+impl Default for ResultStoreConfig {
+    fn default() -> Self {
+        ResultStoreConfig {
+            keep_results: 256,
+            result_ttl: None,
+        }
+    }
 }
 
 /// The shared state behind the HTTP front end and the worker pool.
 pub struct ServerState {
-    backend: Box<dyn Backend>,
+    session: Arc<Session>,
+    store: ResultStoreConfig,
     inner: Mutex<Inner>,
     work: Condvar,
 }
 
-/// Content hash of a model text: 64-bit FNV-1a, printed as 16 hex digits.
-/// Not cryptographic — it keys a cache of files the operator controls.
-pub fn content_hash(text: &str) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in text.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{hash:016x}")
-}
-
 impl ServerState {
-    /// Creates empty state around a backend.
-    pub fn new(backend: Box<dyn Backend>) -> ServerState {
+    /// Creates empty state around a session.
+    pub fn new(session: Arc<Session>, store: ResultStoreConfig) -> ServerState {
         ServerState {
-            backend,
+            session,
+            store,
             inner: Mutex::new(Inner {
-                models: Vec::new(),
                 jobs: Vec::new(),
                 queue: VecDeque::new(),
+                access: Vec::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
         }
     }
 
+    /// The embedded session (models, dedup stats) — also the seam the tests
+    /// use to assert that duplicate submissions shared one run.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().expect("server state poisoned")
     }
 
-    /// Validates and caches a model text. Returns the cache entry and
-    /// whether it was already cached.
+    /// Validates and interns a model text. Returns the cache entry and
+    /// whether it was already interned.
     ///
     /// # Errors
     ///
-    /// The backend's validation message for unparseable texts.
+    /// The parse error message for unparseable texts.
     pub fn upload_model(&self, text: &str) -> Result<(CachedModel, bool), String> {
-        let info = self.backend.validate(text)?;
-        let hash = content_hash(text);
-        let mut inner = self.lock();
-        if let Some(existing) = inner.models.iter().find(|m| m.hash == hash) {
-            return Ok((existing.clone(), true));
-        }
-        let model = CachedModel {
-            hash,
-            name: info.name,
-            kind: info.kind,
-            text: text.to_owned(),
-        };
-        inner.models.push(model.clone());
-        Ok((model, false))
+        self.session.add_model(text).map_err(|e| e.to_string())
     }
 
-    /// The cached models, oldest first.
+    /// The interned models, oldest first.
     pub fn models(&self) -> Vec<CachedModel> {
-        self.lock().models.clone()
+        self.session.models()
     }
 
-    /// Looks a cached model up by content hash.
+    /// Looks an interned model up by content hash.
     pub fn model(&self, hash: &str) -> Option<CachedModel> {
-        self.lock().models.iter().find(|m| m.hash == hash).cloned()
+        self.session.model(hash)
     }
 
     /// Enqueues a job. Returns its id, or an error when the model hash is
-    /// unknown, the command is not one of `verify`/`reach`/`zones`, or the
-    /// server is shutting down.
+    /// unknown or the server is shutting down.
     ///
     /// # Errors
     ///
     /// A human-readable message; nothing is enqueued.
-    pub fn submit(&self, request: JobRequest) -> Result<usize, String> {
-        if !matches!(request.command.as_str(), "verify" | "reach" | "zones") {
-            return Err(format!(
-                "unknown command `{}` (use verify, reach or zones)",
-                request.command
-            ));
-        }
+    pub fn submit(&self, spec: TaskSpec) -> Result<usize, String> {
+        let model_name = self
+            .session
+            .model(&spec.model)
+            .map(|m| m.name)
+            .ok_or_else(|| format!("unknown model hash `{}`", spec.model))?;
         let mut inner = self.lock();
         if inner.shutdown {
             return Err("server is shutting down".to_owned());
         }
-        let model_name = inner
-            .models
-            .iter()
-            .find(|m| m.hash == request.model_hash)
-            .map(|m| m.name.clone())
-            .ok_or_else(|| format!("unknown model hash `{}`", request.model_hash))?;
         let id = inner.jobs.len();
         inner.jobs.push(Job {
-            request,
+            key: spec.key(),
+            spec,
             model_name,
             status: JobStatus::Queued,
-            output: None,
+            result: None,
             error: None,
+            evicted: false,
             cancel: CancelToken::new(),
+            explored: Arc::new(AtomicUsize::new(0)),
+            completed_at: None,
         });
         inner.queue.push_back(id);
         drop(inner);
@@ -272,41 +232,61 @@ impl ServerState {
         Ok(id)
     }
 
-    /// The externally visible state of one job.
+    /// The externally visible state of one job. Counts as a result-store
+    /// access only through [`fetch_result`](Self::fetch_result).
     pub fn job(&self, id: usize) -> Option<JobView> {
-        let inner = self.lock();
-        inner.jobs.get(id).map(|job| JobView {
-            id,
-            request: job.request.clone(),
-            model_name: job.model_name.clone(),
-            status: job.status,
-            output: job.output.clone(),
-            error: job.error.clone(),
-        })
+        let mut inner = self.lock();
+        self.evict_expired(&mut inner);
+        inner.jobs.get(id).map(|job| job.view(id))
     }
 
     /// All jobs, in submission order.
     pub fn jobs(&self) -> Vec<JobView> {
-        let inner = self.lock();
-        (0..inner.jobs.len())
-            .map(|id| {
-                let job = &inner.jobs[id];
-                JobView {
-                    id,
-                    request: job.request.clone(),
-                    model_name: job.model_name.clone(),
-                    status: job.status,
-                    output: job.output.clone(),
-                    error: job.error.clone(),
-                }
-            })
+        let mut inner = self.lock();
+        self.evict_expired(&mut inner);
+        inner
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(id, job)| job.view(id))
             .collect()
     }
 
+    /// Ids of jobs whose result document has been evicted.
+    pub fn evicted_jobs(&self) -> Vec<usize> {
+        let mut inner = self.lock();
+        self.evict_expired(&mut inner);
+        inner
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| job.evicted)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Fetches a `Done` job's result document and refreshes its LRU
+    /// position. `None` for unknown ids; for known jobs without a servable
+    /// document the view tells why (still running, failed, cancelled,
+    /// timed out, or evicted).
+    pub fn fetch_result(&self, id: usize) -> Option<(JobView, Option<Arc<TaskResult>>)> {
+        let mut inner = self.lock();
+        self.evict_expired(&mut inner);
+        let job = inner.jobs.get(id)?;
+        let view = job.view(id);
+        let servable = job.status == JobStatus::Done && !job.evicted;
+        let result = servable.then(|| job.result.clone()).flatten();
+        if result.is_some() {
+            inner.access.retain(|&j| j != id);
+            inner.access.push(id);
+        }
+        Some((view, result))
+    }
+
     /// Cancels a job: a queued job never starts, a running job's cancel
-    /// token fires so its exploration stops at the next batch boundary.
-    /// Returns the status after the cancellation request, or `None` for
-    /// unknown ids.
+    /// token fires so its run stops at the next batch boundary (or, if the
+    /// job is attached to a shared run, detaches from it). Returns the
+    /// status after the cancellation request, or `None` for unknown ids.
     pub fn cancel(&self, id: usize) -> Option<JobStatus> {
         let mut inner = self.lock();
         let job = inner.jobs.get_mut(id)?;
@@ -316,8 +296,8 @@ impl ServerState {
                 job.cancel.cancel();
             }
             JobStatus::Running => {
-                // The worker observes the fired token when the command
-                // returns and records the terminal `Cancelled` state.
+                // The worker observes the fired token when the run returns
+                // and records the terminal `Cancelled` state.
                 job.cancel.cancel();
             }
             _ => {}
@@ -362,11 +342,66 @@ impl ServerState {
         (queued, running)
     }
 
+    /// TTL sweep: drops result documents older than the configured TTL.
+    /// Called under the lock from every read path.
+    fn evict_expired(&self, inner: &mut Inner) {
+        let Some(ttl) = self.store.result_ttl else {
+            return;
+        };
+        let now = Instant::now();
+        let expired: Vec<usize> = inner
+            .access
+            .iter()
+            .copied()
+            .filter(|&id| {
+                inner.jobs[id]
+                    .completed_at
+                    .is_some_and(|at| now.duration_since(at) >= ttl)
+            })
+            .collect();
+        for id in expired {
+            Self::evict_one(inner, id);
+        }
+    }
+
+    fn evict_one(inner: &mut Inner, id: usize) {
+        let job = &mut inner.jobs[id];
+        job.result = None;
+        job.evicted = true;
+        inner.access.retain(|&j| j != id);
+    }
+
+    /// Records a finished run and enforces the LRU cap.
+    fn finish(&self, id: usize, status: JobStatus, result: Option<Arc<TaskResult>>) {
+        let mut inner = self.lock();
+        let job = &mut inner.jobs[id];
+        job.status = status;
+        if let Some(result) = &result {
+            if let Err(error) = &result.outcome {
+                job.error = Some(error.to_string());
+            }
+        }
+        job.result = result;
+        job.completed_at = Some(Instant::now());
+        // Every stored result — including the partial documents of failed,
+        // cancelled and timed-out jobs — enters the store, so the LRU cap
+        // and the TTL bound *all* retained memory, not just `done` jobs.
+        if job.result.is_some() {
+            inner.access.push(id);
+            while inner.access.len() > self.store.keep_results.max(1) {
+                let oldest = inner.access[0];
+                Self::evict_one(&mut inner, oldest);
+            }
+        }
+    }
+
     /// One worker's loop: claim jobs off the queue until shutdown. Run by
-    /// every thread of the pool.
+    /// every thread of the pool. Identical (model, options) submissions
+    /// resolve to the same [`TaskKey`], so a worker claiming a duplicate of
+    /// an in-flight job attaches to that run instead of starting another.
     pub fn worker_loop(&self) {
         loop {
-            let (id, request, model_text, cancel) = {
+            let (id, spec, cancel, explored) = {
                 let mut inner = self.lock();
                 loop {
                     if inner.shutdown {
@@ -377,13 +412,12 @@ impl ServerState {
                         Some(id) if inner.jobs[id].status == JobStatus::Queued => {
                             inner.jobs[id].status = JobStatus::Running;
                             let job = &inner.jobs[id];
-                            let text = inner
-                                .models
-                                .iter()
-                                .find(|m| m.hash == job.request.model_hash)
-                                .map(|m| m.text.clone())
-                                .expect("submitted jobs reference cached models");
-                            break (id, job.request.clone(), text, job.cancel.clone());
+                            break (
+                                id,
+                                job.spec.clone(),
+                                job.cancel.clone(),
+                                Arc::clone(&job.explored),
+                            );
                         }
                         Some(_) => continue,
                         None => inner = self.work.wait(inner).expect("server state poisoned"),
@@ -391,86 +425,95 @@ impl ServerState {
                 }
             };
 
-            // A panicking backend must not take the worker (and with it the
-            // whole queue) down; it fails the one job instead.
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                self.backend.run(&model_text, &request, &cancel)
-            }))
-            .unwrap_or_else(|_| Err("job panicked".to_owned()));
+            let progress = ProgressSink::new(move |event: &ProgressEvent| {
+                if let ProgressEvent::Batch { expanded, .. }
+                | ProgressEvent::Cancelled { expanded } = event
+                {
+                    explored.store(*expanded, Ordering::Relaxed);
+                }
+            });
+            // The session isolates panics and deduplicates: this either
+            // executes the run or attaches to an identical in-flight one.
+            let completion = self.session.run_task(
+                &spec,
+                RunControl {
+                    cancel: cancel.clone(),
+                    progress,
+                },
+            );
 
-            let mut inner = self.lock();
-            let job = &mut inner.jobs[id];
-            if cancel.is_cancelled() {
-                // Cancel wins any race with completion: a fired token means
-                // the client asked for the job to stop, and a run the token
-                // interrupted returns a *partial* document (e.g. a zones run
-                // with `"cancelled":true`) that must not be served as the
-                // job's result. Whatever output exists stays fetchable
-                // through the /text endpoint.
-                job.status = JobStatus::Cancelled;
-                if let Ok(output) = result {
-                    job.output = Some(output);
-                }
-            } else {
-                match result {
-                    Ok(output) => {
-                        job.status = JobStatus::Done;
-                        job.output = Some(output);
+            let (status, result) = match completion {
+                // Attached to a shared run and cancelled out of it.
+                Completion::Detached => (JobStatus::Cancelled, None),
+                Completion::Finished(result) => match &result.outcome {
+                    // The deadline watchdog fires the job's own token, so
+                    // the timeout classification must precede the cancel
+                    // check.
+                    Ok(Outcome::TimedOut(_)) => (JobStatus::TimedOut, Some(result)),
+                    _ if cancel.is_cancelled() => {
+                        // Cancel wins any race with completion: a fired
+                        // token means the client asked for the job to stop,
+                        // and an interrupted run returns a *partial*
+                        // document that must not be served as the job's
+                        // result. Whatever output exists stays fetchable
+                        // through the /text endpoint.
+                        (JobStatus::Cancelled, Some(result))
                     }
-                    Err(message) => {
-                        job.status = JobStatus::Failed;
-                        job.error = Some(message);
+                    Ok(outcome) if outcome.was_cancelled() => {
+                        // A shared run another job cancelled: duplicates
+                        // share its fate.
+                        (JobStatus::Cancelled, Some(result))
                     }
-                }
-            }
+                    Ok(_) => (JobStatus::Done, Some(result)),
+                    // Same sharing for cancellations that surface as errors
+                    // (e.g. a cancelled `reach` expansion).
+                    Err(transyt_session::SessionError::Cancelled) => {
+                        (JobStatus::Cancelled, Some(result))
+                    }
+                    Err(_) => (JobStatus::Failed, Some(result)),
+                },
+            };
+            self.finish(id, status, result);
         }
     }
 }
+
+/// Re-exported so the binary and the tests share one hash implementation.
+pub use transyt_session::content_hash;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A backend that accepts any text and echoes it, cancellably.
-    struct Echo;
+    /// A minimal verifiable model (the engine's race example).
+    const RACE: &str = "tts race\n\
+        state s0 s0\n\
+        state s1 bad\n\
+        state s2 ok\n\
+        state s3 done\n\
+        initial s0\n\
+        violation s1 \"slow overtook fast\"\n\
+        trans s0 fast s2\n\
+        trans s0 slow s1\n\
+        trans s2 slow s3\n\
+        trans s1 fast s3\n\
+        delay fast [1,2]\n\
+        delay slow [5,9]\n\
+        property forbid-marked\n";
 
-    impl Backend for Echo {
-        fn validate(&self, text: &str) -> Result<ModelInfo, String> {
-            if text.is_empty() {
-                return Err("empty model".to_owned());
-            }
-            Ok(ModelInfo {
-                name: text.lines().next().unwrap_or("").to_owned(),
-                kind: "stub".to_owned(),
-            })
-        }
-
-        fn run(
-            &self,
-            model_text: &str,
-            request: &JobRequest,
-            cancel: &CancelToken,
-        ) -> Result<JobOutput, String> {
-            if cancel.is_cancelled() {
-                return Err("cancelled".to_owned());
-            }
-            Ok(JobOutput {
-                document: format!("{{\"echo\":\"{}\"}}\n", request.command),
-                text: model_text.to_owned(),
-            })
-        }
+    fn state_with(store: ResultStoreConfig) -> ServerState {
+        ServerState::new(Arc::new(Session::new()), store)
     }
 
-    fn request(hash: &str) -> JobRequest {
-        JobRequest {
-            command: "verify".to_owned(),
-            model_hash: hash.to_owned(),
-            threads: 1,
-            subsumption: true,
-            trace: false,
-            limit: None,
-            to_label: None,
-        }
+    fn drain(state: &ServerState) {
+        std::thread::scope(|scope| {
+            scope.spawn(|| state.worker_loop());
+            let done = |state: &ServerState| state.jobs().iter().all(|j| j.status.is_terminal());
+            while !done(state) {
+                std::thread::yield_now();
+            }
+            state.shutdown();
+        });
     }
 
     #[test]
@@ -482,59 +525,140 @@ mod tests {
 
     #[test]
     fn upload_deduplicates_by_content() {
-        let state = ServerState::new(Box::new(Echo));
-        let (first, cached) = state.upload_model("stub one").unwrap();
+        let state = state_with(ResultStoreConfig::default());
+        let (first, cached) = state.upload_model(RACE).unwrap();
         assert!(!cached);
-        let (second, cached) = state.upload_model("stub one").unwrap();
+        let (second, cached) = state.upload_model(RACE).unwrap();
         assert!(cached);
         assert_eq!(first.hash, second.hash);
         assert_eq!(state.models().len(), 1);
-        assert!(state.upload_model("").is_err());
+        assert!(state.upload_model("not a model").is_err());
         assert!(state.model(&first.hash).is_some());
         assert!(state.model("bogus").is_none());
     }
 
     #[test]
-    fn jobs_flow_queued_running_done() {
-        let state = ServerState::new(Box::new(Echo));
-        let (model, _) = state.upload_model("stub").unwrap();
-        assert!(state.submit(request("missing")).is_err());
-        let id = state.submit(request(&model.hash)).unwrap();
+    fn jobs_flow_queued_running_done_and_duplicates_share_a_run() {
+        let state = state_with(ResultStoreConfig::default());
+        let (model, _) = state.upload_model(RACE).unwrap();
+        assert!(state.submit(TaskSpec::verify("missing")).is_err());
+        let id = state.submit(TaskSpec::verify(&model.hash)).unwrap();
         assert_eq!(state.job(id).unwrap().status, JobStatus::Queued);
-        // Drain the queue on this thread: shutdown pre-arms the exit, so the
-        // worker loop processes nothing after the queue empties.
-        let copy = state.submit(request(&model.hash)).unwrap();
-        state.cancel(copy);
-        std::thread::scope(|scope| {
-            scope.spawn(|| state.worker_loop());
-            while !state.job(id).unwrap().status.is_terminal() {
-                std::thread::yield_now();
-            }
-            state.shutdown();
-        });
+        let twin = state.submit(TaskSpec::verify(&model.hash)).unwrap();
+        let cancelled = state
+            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .unwrap();
+        state.cancel(cancelled);
+        drain(&state);
+
         let done = state.job(id).unwrap();
         assert_eq!(done.status, JobStatus::Done);
-        assert_eq!(done.output.unwrap().document, "{\"echo\":\"verify\"}\n");
+        let twin_view = state.job(twin).unwrap();
+        assert_eq!(twin_view.status, JobStatus::Done);
+        // The duplicate shares the very same result allocation.
+        assert!(Arc::ptr_eq(
+            done.result.as_ref().unwrap(),
+            twin_view.result.as_ref().unwrap()
+        ));
+        let stats = state.session().stats();
+        assert_eq!(stats.runs_executed, 1, "{stats:?}");
+        assert_eq!(stats.runs_attached + stats.memo_hits, 1, "{stats:?}");
+        assert!(done
+            .result
+            .unwrap()
+            .document
+            .contains("\"verdict\":\"verified\""));
         // The job cancelled while queued never ran.
-        assert_eq!(state.job(copy).unwrap().status, JobStatus::Cancelled);
-        assert!(state.job(copy).unwrap().output.is_none());
-        // Unknown commands are rejected outright.
-        let mut bad = request(&model.hash);
-        bad.command = "table1".to_owned();
-        assert!(state.submit(bad).is_err());
+        assert_eq!(state.job(cancelled).unwrap().status, JobStatus::Cancelled);
+        assert!(state.job(cancelled).unwrap().result.is_none());
     }
 
     #[test]
     fn shutdown_cancels_queued_jobs_and_stops_workers() {
-        let state = ServerState::new(Box::new(Echo));
-        let (model, _) = state.upload_model("stub").unwrap();
-        let id = state.submit(request(&model.hash)).unwrap();
+        let state = state_with(ResultStoreConfig::default());
+        let (model, _) = state.upload_model(RACE).unwrap();
+        let id = state.submit(TaskSpec::verify(&model.hash)).unwrap();
         state.shutdown();
         assert!(state.is_shutdown());
         assert_eq!(state.job(id).unwrap().status, JobStatus::Cancelled);
         // Submissions after shutdown are refused.
-        assert!(state.submit(request(&model.hash)).is_err());
+        assert!(state.submit(TaskSpec::verify(&model.hash)).is_err());
         // A worker started after shutdown returns immediately.
         state.worker_loop();
+    }
+
+    #[test]
+    fn lru_cap_evicts_the_oldest_result() {
+        let state = state_with(ResultStoreConfig {
+            keep_results: 2,
+            result_ttl: None,
+        });
+        let (model, _) = state.upload_model(RACE).unwrap();
+        // Three distinct jobs (different thread counts → different keys),
+        // drained by a single worker so they complete in submission order.
+        let a = state
+            .submit(TaskSpec::verify(&model.hash).threads(1))
+            .unwrap();
+        let b = state
+            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .unwrap();
+        let c = state
+            .submit(TaskSpec::verify(&model.hash).threads(3))
+            .unwrap();
+        drain(&state);
+        // Cap 2, three results stored in completion order: the oldest was
+        // evicted when the third arrived.
+        assert_eq!(state.evicted_jobs(), vec![a]);
+        let (view, result) = state.fetch_result(a).unwrap();
+        assert!(view.evicted);
+        assert!(result.is_none());
+        assert_eq!(state.job(a).unwrap().status, JobStatus::Done);
+        // The other two still serve.
+        assert!(state.fetch_result(b).unwrap().1.is_some());
+        assert!(state.fetch_result(c).unwrap().1.is_some());
+    }
+
+    #[test]
+    fn ttl_evicts_results_after_expiry() {
+        let state = state_with(ResultStoreConfig {
+            keep_results: 16,
+            result_ttl: Some(Duration::from_millis(30)),
+        });
+        let (model, _) = state.upload_model(RACE).unwrap();
+        let id = state.submit(TaskSpec::verify(&model.hash)).unwrap();
+        drain(&state);
+        assert!(state.fetch_result(id).unwrap().1.is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        let (view, result) = state.fetch_result(id).unwrap();
+        assert!(view.evicted);
+        assert!(result.is_none());
+        assert_eq!(state.evicted_jobs(), vec![id]);
+        // Status survives eviction; only the document is gone.
+        assert_eq!(state.job(id).unwrap().status, JobStatus::Done);
+    }
+
+    #[test]
+    fn deadline_marks_jobs_timed_out() {
+        let state = state_with(ResultStoreConfig::default());
+        // The 2-stage pipeline zone graph runs far beyond 1ms.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../models/ipcmos_2stage.stg"
+        ))
+        .unwrap();
+        let (model, _) = state.upload_model(&text).unwrap();
+        let spec = TaskSpec::zones(&model.hash)
+            .limit(100_000_000)
+            .deadline(Duration::from_millis(1));
+        let id = state.submit(spec).unwrap();
+        drain(&state);
+        let view = state.job(id).unwrap();
+        assert_eq!(view.status, JobStatus::TimedOut);
+        assert!(matches!(
+            view.result.as_ref().unwrap().outcome,
+            Ok(Outcome::TimedOut(_))
+        ));
+        // Timed-out jobs serve no /result document.
+        assert!(state.fetch_result(id).unwrap().1.is_none());
     }
 }

@@ -1,0 +1,86 @@
+//! Embedding `transyt-session`: load a textual model, run a traced
+//! verification with progress events, and write the canonical JSON document
+//! — the same bytes `transyt verify FILE --trace --json` writes and
+//! `transyt serve` serves (the CI `api` job diffs all three).
+//!
+//! Usage: `embed_session MODEL_FILE [OUT_JSON]`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use transyt_session::{
+    render, Completion, Outcome, ProgressEvent, ProgressSink, RunControl, Session, TaskSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let file = args
+        .next()
+        .ok_or("usage: embed_session MODEL_FILE [OUT_JSON]")?;
+    let out = args.next();
+
+    // 1. Intern the model once; tasks name it by content hash.
+    let session = Session::new();
+    let text = std::fs::read_to_string(&file)?;
+    let (model, cached) = session.add_model(&text)?;
+    eprintln!(
+        "model `{}` ({}, hash {}, cached: {cached})",
+        model.name, model.kind, model.hash
+    );
+
+    // 2. A typed task spec; its key is the canonical identity of the run.
+    let spec = TaskSpec::verify(&model.hash).with_trace(true);
+    eprintln!("task key: {} ({})", spec.key(), spec.key().canonical());
+
+    // 3. Run with a progress sink counting exploration passes.
+    let passes = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&passes);
+    let control = RunControl {
+        progress: ProgressSink::new(move |event| {
+            if let ProgressEvent::Refinement { .. } = event {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }),
+        ..RunControl::default()
+    };
+    let Completion::Finished(result) = session.run_task(&spec, control) else {
+        unreachable!("nothing cancels this run");
+    };
+    let outcome = result.outcome.as_ref().map_err(|e| e.to_string())?;
+
+    // 4. The outcome is structured data...
+    if let Outcome::Verify(verify) = outcome {
+        eprintln!(
+            "verdict: {} after {} refinement(s), {} exploration pass(es) observed",
+            if verify.verdict.is_verified() {
+                "verified"
+            } else {
+                "not verified"
+            },
+            verify.verdict.report().refinements,
+            passes.load(Ordering::Relaxed),
+        );
+    }
+
+    // 5. ...and identical resubmissions are served by the same run.
+    let Completion::Finished(again) = session.run_task(&spec, RunControl::default()) else {
+        unreachable!("nothing cancels this run");
+    };
+    assert!(Arc::ptr_eq(&result, &again), "duplicate shares the result");
+    let stats = session.stats();
+    assert_eq!(stats.runs_executed, 1);
+    eprintln!(
+        "dedup: {} run executed, {} memo hit(s)",
+        stats.runs_executed, stats.memo_hits
+    );
+
+    // 6. The canonical renderings — byte-identical to the CLI and server.
+    match out {
+        Some(path) => {
+            std::fs::write(&path, render::render_document(&render::document(outcome)))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", render::text(outcome)),
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! `transyt-session` — the embeddable library API of the TRANSYT
+//! reproduction: [`Session`] / [`TaskSpec`] / [`Outcome`].
+//!
+//! The paper's flow — expand, verify, extract a counterexample structure,
+//! refine, re-verify — used to be reachable only through the CLI's
+//! command functions (string options in, pre-rendered text out). This crate
+//! is the stable programmatic surface underneath both front ends:
+//!
+//! * [`format`](mod@format) — the `.stg` / `.tts` textual model formats
+//!   (parser and canonical printer; grammar in `docs/FILE_FORMATS.md`).
+//! * [`Session`] — owns parsed models, interned by content hash
+//!   ([`Session::add_model`]); runs [`TaskSpec`]s against them.
+//! * [`TaskSpec`] — a typed task description (`verify` / `reach` / `zones`
+//!   × threads / subsumption / trace / limit / deadline) with one textual
+//!   lowering ([`TaskSpec::parse`]) shared by the CLI's flags and the
+//!   server's query strings, and a canonical [`TaskKey`] — the fingerprint
+//!   of model hash + normalized options that identical submissions share.
+//! * **Deduplicated batching** — [`Session::run_task`] serves submissions
+//!   with equal keys from a single underlying run: concurrent duplicates
+//!   *attach* to the in-flight run (sharing its progress stream and its
+//!   [`TaskResult`]), recent duplicates hit a bounded memo.
+//! * [`Outcome`] — structured results (verdict, reports, replayable
+//!   traces), with the canonical text / JSON renderings in
+//!   [`render`] — byte-identical to the one-shot CLI's output and to what
+//!   `transyt serve` serves.
+//! * [`ProgressEvent`]s — configurations explored, levels, refinement
+//!   iterations, cancellation — stream through a [`ProgressSink`] callback
+//!   threaded down into the exploration driver's deterministic merge.
+//! * Deadlines — [`TaskSpec::deadline`] arms a watchdog that trips the
+//!   run's [`CancelToken`] and surfaces the partial result as
+//!   [`Outcome::TimedOut`].
+//!
+//! See `docs/API.md` for a guided tour and `examples/embed_session.rs` for
+//! a complete embedding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+mod outcome;
+pub mod render;
+mod run;
+mod session;
+mod task;
+
+pub use explore::{CancelToken, ProgressEvent, ProgressSink};
+pub use outcome::{
+    asap_run, replay_rendered, trace_of_verdict, Outcome, ReachGoalOutcome, ReachOutcome,
+    ReachPath, RenderedTrace, TimedOutOutcome, TraceStep, VerifyOutcome, ZoneWitness, ZonesOutcome,
+};
+pub use session::{
+    content_hash, CachedModel, Completion, RunControl, Session, SessionError, SessionStats,
+    TaskHandle, TaskResult,
+};
+pub use task::{
+    SpecError, TaskCommand, TaskKey, TaskSpec, REACH_DEFAULT_LIMIT, ZONES_DEFAULT_LIMIT,
+};

@@ -1,0 +1,570 @@
+//! The [`Session`]: interned models, deduplicated task runs, deadlines and
+//! progress fan-out.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use explore::{CancelToken, ProgressEvent, ProgressSink};
+
+use crate::format::{Model, ModelError, ModelSource};
+use crate::outcome::{Outcome, TimedOutOutcome};
+use crate::render;
+use crate::task::{TaskKey, TaskSpec};
+
+/// Content hash of a model text: 64-bit FNV-1a, printed as 16 hex digits.
+/// Not cryptographic — it keys a cache of files the operator controls.
+pub fn content_hash(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// A model interned in a [`Session`]: the raw text, validation metadata and
+/// the parsed form, addressed by the FNV-1a hash of the text so re-uploads
+/// are free and tasks can name models without re-sending them.
+#[derive(Debug, Clone)]
+pub struct CachedModel {
+    /// Content hash (16 hex digits).
+    pub hash: String,
+    /// The model's declared name.
+    pub name: String,
+    /// The model kind: `"stg"` or `"tts"`.
+    pub kind: String,
+    /// The raw model text as interned.
+    pub text: String,
+    /// The parsed model (parsed once, shared by every run against it).
+    pub model: Arc<Model>,
+}
+
+/// Why a task could not produce an [`Outcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The model text could not be parsed or instantiated.
+    Model(ModelError),
+    /// The spec is inconsistent with the model or the command (a usage
+    /// error, not a tool failure).
+    Spec(String),
+    /// The run itself failed (expansion limits, internal errors).
+    Run(String),
+    /// The run's cancel token fired before it produced any result (the
+    /// cancellable explorations return partial *outcomes*; this variant is
+    /// for paths — e.g. `reach` expansion — whose cancellation is an
+    /// error).
+    Cancelled,
+    /// The spec names a content hash this session has not interned.
+    UnknownModel(String),
+    /// The run panicked (the panic is contained; the session stays usable).
+    Panicked,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Model(e) => write!(f, "model error: {e}"),
+            SessionError::Spec(msg) => write!(f, "usage error: {msg}"),
+            SessionError::Run(msg) => write!(f, "{msg}"),
+            SessionError::Cancelled => write!(f, "run cancelled"),
+            SessionError::UnknownModel(hash) => write!(f, "unknown model hash `{hash}`"),
+            SessionError::Panicked => write!(f, "job panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ModelError> for SessionError {
+    fn from(e: ModelError) -> Self {
+        SessionError::Model(e)
+    }
+}
+
+/// A finished task: the structured outcome plus the two canonical renderings
+/// (rendered once per underlying run and shared — duplicate submissions hold
+/// references to the *same* result).
+#[derive(Debug)]
+pub struct TaskResult {
+    /// The structured outcome, or why the run failed.
+    pub outcome: Result<Outcome, SessionError>,
+    /// The canonical human-readable text ([`render::text`]).
+    pub text: String,
+    /// The canonical JSON document bytes ([`render::document`] through
+    /// [`render::render_document`]), empty when the run failed.
+    pub document: String,
+}
+
+/// How one call to [`Session::run_task`] finished.
+#[derive(Debug)]
+pub enum Completion {
+    /// The run finished (executed here, attached to an in-flight duplicate,
+    /// or served from the memo); the result is shared between all of them.
+    Finished(Arc<TaskResult>),
+    /// This caller was *attached* to an in-flight duplicate run and its own
+    /// [`RunControl::cancel`] token fired while waiting: the caller detached
+    /// and the underlying run keeps going for the others.
+    Detached,
+}
+
+/// Per-call knobs of [`Session::run_task`]: this caller's cancel token and
+/// progress sink. The defaults are inert.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Cancels this caller's interest in the task. For the caller that ends
+    /// up *executing* the run this is the run's cancel token; for callers
+    /// attached to an in-flight duplicate it detaches them (the run
+    /// continues for the executor).
+    pub cancel: CancelToken,
+    /// Receives this caller's progress events. Attached callers start
+    /// receiving events from the moment they attach.
+    pub progress: ProgressSink,
+}
+
+/// Counters of a session's deduplication behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Runs actually executed.
+    pub runs_executed: u64,
+    /// Calls attached to an in-flight identical run.
+    pub runs_attached: u64,
+    /// Calls served from the completed-run memo without any run.
+    pub memo_hits: u64,
+}
+
+struct RunShared {
+    cancel: CancelToken,
+    sinks: Arc<Mutex<Vec<ProgressSink>>>,
+    done: Mutex<Option<Arc<TaskResult>>>,
+    finished: Condvar,
+}
+
+struct Inner {
+    models: Vec<CachedModel>,
+    inflight: HashMap<TaskKey, Arc<RunShared>>,
+    memo: VecDeque<(TaskKey, Arc<TaskResult>)>,
+    stats: SessionStats,
+}
+
+/// An embedding-friendly handle on the verification stack: a `Session` owns
+/// parsed models (interned by content hash) and runs [`TaskSpec`]s against
+/// them, deduplicating identical submissions into one underlying run.
+///
+/// * [`add_model`](Session::add_model) / [`insert_model`](Session::insert_model)
+///   intern a model once; every task names it by hash.
+/// * [`run`](Session::run) is the simple blocking entry point;
+///   [`run_task`](Session::run_task) adds cancellation and progress events;
+///   [`spawn`](Session::spawn) runs in the background.
+/// * Two calls whose specs share a [`TaskKey`] are served by a single run:
+///   the second **attaches** to the first (sharing its progress stream and,
+///   on completion, the very same [`TaskResult`]), or hits the bounded memo
+///   of recently completed runs. Partial results (cancelled or timed-out
+///   runs) are never memoized.
+///
+/// # Examples
+///
+/// ```
+/// use transyt_session::{render, Outcome, Session, TaskSpec};
+///
+/// let session = Session::new();
+/// let (cached, _fresh) = session.add_model(
+///     "tts race\n\
+///      state s0 s0\n\
+///      state s1 bad\n\
+///      state s2 ok\n\
+///      state s3 done\n\
+///      initial s0\n\
+///      violation s1 \"slow overtook fast\"\n\
+///      trans s0 fast s2\n\
+///      trans s0 slow s1\n\
+///      trans s2 slow s3\n\
+///      trans s1 fast s3\n\
+///      delay fast [1,2]\n\
+///      delay slow [5,9]\n\
+///      property forbid-marked\n",
+/// ).unwrap();
+/// let spec = TaskSpec::verify(&cached.hash).with_trace(true);
+/// let outcome = session.run(&spec).unwrap();
+/// let Outcome::Verify(verify) = &outcome else { panic!("verify outcome") };
+/// assert!(verify.verdict.is_verified());
+/// // The canonical renderings are what the CLI prints / serves.
+/// assert!(render::text(&outcome).contains("VERIFIED"));
+/// assert!(render::render_document(&render::document(&outcome))
+///     .contains("\"verdict\":\"verified\""));
+/// ```
+pub struct Session {
+    inner: Mutex<Inner>,
+    memo_capacity: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session with the default completed-run memo (64 results).
+    pub fn new() -> Session {
+        Session::with_memo_capacity(64)
+    }
+
+    /// An empty session whose completed-run memo keeps at most
+    /// `memo_capacity` results (`0` disables result reuse entirely; only
+    /// concurrent duplicates are then deduplicated).
+    pub fn with_memo_capacity(memo_capacity: usize) -> Session {
+        Session {
+            inner: Mutex::new(Inner {
+                models: Vec::new(),
+                inflight: HashMap::new(),
+                memo: VecDeque::new(),
+                stats: SessionStats::default(),
+            }),
+            memo_capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("session state poisoned")
+    }
+
+    /// Parses and interns a model text. Returns the cache entry and `true`
+    /// when the text was already interned.
+    ///
+    /// # Errors
+    ///
+    /// The parse error for unparseable texts; nothing is interned.
+    pub fn add_model(&self, text: &str) -> Result<(CachedModel, bool), ModelError> {
+        let hash = content_hash(text);
+        if let Some(existing) = self.model(&hash) {
+            return Ok((existing, true));
+        }
+        let model = Model::parse(text)?;
+        Ok(self.intern(hash, text.to_owned(), model))
+    }
+
+    /// Interns an already-parsed model under the hash of its canonical text
+    /// (the one-shot CLI path, and embedders that build models in code).
+    pub fn insert_model(&self, model: Model) -> CachedModel {
+        let text = model.to_text();
+        let hash = content_hash(&text);
+        self.intern(hash, text, model).0
+    }
+
+    /// Double-checked interning under the session lock. Returns the entry
+    /// and `true` when the hash was already interned (possibly by another
+    /// thread racing this call).
+    fn intern(&self, hash: String, text: String, model: Model) -> (CachedModel, bool) {
+        let entry = CachedModel {
+            hash: hash.clone(),
+            name: model.name.clone(),
+            kind: kind_of(&model).to_owned(),
+            text,
+            model: Arc::new(model),
+        };
+        let mut inner = self.lock();
+        if let Some(existing) = inner.models.iter().find(|m| m.hash == hash) {
+            return (existing.clone(), true);
+        }
+        inner.models.push(entry.clone());
+        (entry, false)
+    }
+
+    /// The interned models, oldest first.
+    pub fn models(&self) -> Vec<CachedModel> {
+        self.lock().models.clone()
+    }
+
+    /// Looks an interned model up by content hash.
+    pub fn model(&self, hash: &str) -> Option<CachedModel> {
+        self.lock().models.iter().find(|m| m.hash == hash).cloned()
+    }
+
+    /// The session's deduplication counters.
+    pub fn stats(&self) -> SessionStats {
+        self.lock().stats
+    }
+
+    /// Runs a task to completion on the calling thread and returns its
+    /// structured outcome. Identical concurrent or recent submissions share
+    /// one underlying run (see [`run_task`](Session::run_task) for the
+    /// sharing semantics and for cancellation / progress events).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] as recorded in the shared [`TaskResult`].
+    pub fn run(&self, spec: &TaskSpec) -> Result<Outcome, SessionError> {
+        match self.run_task(spec, RunControl::default()) {
+            Completion::Finished(result) => result.outcome.clone(),
+            Completion::Detached => {
+                unreachable!("the inert default cancel token never detaches a caller")
+            }
+        }
+    }
+
+    /// Runs a task with explicit cancellation and progress control,
+    /// deduplicating by [`TaskKey`]:
+    ///
+    /// * If an identical run is **in flight**, this call attaches to it:
+    ///   `control.progress` joins the run's fan-out and the call blocks
+    ///   until the shared result exists. Firing `control.cancel` while
+    ///   attached *detaches* this caller ([`Completion::Detached`]) without
+    ///   stopping the run.
+    /// * If an identical run **recently completed**, the memoized
+    ///   [`TaskResult`] is returned immediately.
+    /// * Otherwise this call **executes** the run on the calling thread;
+    ///   `control.cancel` is then the run's own token and cancelling it
+    ///   stops the exploration (every attached caller sees the partial
+    ///   result). A [`TaskSpec::deadline`] arms a watchdog that fires the
+    ///   token and wraps the result in [`Outcome::TimedOut`].
+    ///
+    /// Errors (unknown hash, usage errors, panics) are delivered through the
+    /// shared [`TaskResult::outcome`], so duplicates of a failing run share
+    /// the failure too.
+    pub fn run_task(&self, spec: &TaskSpec, control: RunControl) -> Completion {
+        let key = spec.key();
+        let shared = {
+            let mut inner = self.lock();
+            if let Some(position) = inner.memo.iter().position(|(k, _)| *k == key) {
+                inner.stats.memo_hits += 1;
+                // Refresh the LRU position.
+                let entry = inner.memo.remove(position).expect("position in range");
+                let result = Arc::clone(&entry.1);
+                inner.memo.push_back(entry);
+                return Completion::Finished(result);
+            }
+            if let Some(shared) = inner.inflight.get(&key).map(Arc::clone) {
+                inner.stats.runs_attached += 1;
+                if !control.progress.is_inert() {
+                    shared
+                        .sinks
+                        .lock()
+                        .expect("progress sinks poisoned")
+                        .push(control.progress.clone());
+                }
+                drop(inner);
+                return self.wait_attached(&shared, &control.cancel);
+            }
+            inner.stats.runs_executed += 1;
+            // A deadline needs a token the watchdog can actually fire: the
+            // inert default is upgraded to a live one (nothing is lost —
+            // an inert token could never have cancelled the run anyway).
+            let run_cancel = if spec.deadline.is_some() && control.cancel.is_inert() {
+                CancelToken::new()
+            } else {
+                control.cancel.clone()
+            };
+            let shared = Arc::new(RunShared {
+                cancel: run_cancel,
+                sinks: Arc::new(Mutex::new(if control.progress.is_inert() {
+                    Vec::new()
+                } else {
+                    vec![control.progress.clone()]
+                })),
+                done: Mutex::new(None),
+                finished: Condvar::new(),
+            });
+            inner.inflight.insert(key.clone(), Arc::clone(&shared));
+            shared
+        };
+
+        // Execute outside the session lock. The fan-out sink forwards every
+        // event to the sinks registered at that moment, so late attachers
+        // start receiving events mid-run.
+        let fan_out = {
+            let sinks = Arc::clone(&shared.sinks);
+            ProgressSink::new(move |event: &ProgressEvent| {
+                for sink in sinks.lock().expect("progress sinks poisoned").iter() {
+                    sink.emit(event);
+                }
+            })
+        };
+        let outcome = self.execute_guarded(spec, &shared.cancel, &fan_out);
+        // Rendering runs over model-derived data too: guard it like the run
+        // itself, so a panic still publishes a result and attached
+        // duplicates never hang on an inflight entry that would otherwise
+        // leak.
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            let text = outcome.as_ref().map(render::text).unwrap_or_default();
+            let document = outcome
+                .as_ref()
+                .map(|outcome| render::render_document(&render::document(outcome)))
+                .unwrap_or_default();
+            (text, document)
+        })) {
+            Ok((text, document)) => Arc::new(TaskResult {
+                text,
+                document,
+                outcome,
+            }),
+            Err(_) => Arc::new(TaskResult {
+                text: String::new(),
+                document: String::new(),
+                outcome: Err(SessionError::Panicked),
+            }),
+        };
+
+        let mut inner = self.lock();
+        inner.inflight.remove(&key);
+        let cacheable = matches!(&result.outcome, Ok(outcome) if !outcome.was_cancelled());
+        if cacheable && self.memo_capacity > 0 {
+            if inner.memo.len() >= self.memo_capacity {
+                inner.memo.pop_front();
+            }
+            inner.memo.push_back((key, Arc::clone(&result)));
+        }
+        drop(inner);
+        *shared.done.lock().expect("run result poisoned") = Some(Arc::clone(&result));
+        shared.finished.notify_all();
+        Completion::Finished(result)
+    }
+
+    /// Runs a task on a new thread; the returned [`TaskHandle`] can cancel
+    /// it and join for the result.
+    pub fn spawn(self: &Arc<Self>, spec: &TaskSpec, control: RunControl) -> TaskHandle {
+        let key = spec.key();
+        let cancel = control.cancel.clone();
+        let session = Arc::clone(self);
+        let spec = spec.clone();
+        let thread = thread::spawn(move || session.run_task(&spec, control));
+        TaskHandle {
+            key,
+            cancel,
+            thread,
+        }
+    }
+
+    fn wait_attached(&self, shared: &RunShared, cancel: &CancelToken) -> Completion {
+        let mut done = shared.done.lock().expect("run result poisoned");
+        loop {
+            if let Some(result) = done.as_ref() {
+                return Completion::Finished(Arc::clone(result));
+            }
+            if cancel.is_cancelled() && cancel != &shared.cancel {
+                // This caller loses interest; the run continues for the
+                // executor (and any other attached duplicates).
+                return Completion::Detached;
+            }
+            let (guard, _timeout) = shared
+                .finished
+                .wait_timeout(done, Duration::from_millis(25))
+                .expect("run result poisoned");
+            done = guard;
+        }
+    }
+
+    /// Executes with panic isolation and the optional deadline watchdog.
+    fn execute_guarded(
+        &self,
+        spec: &TaskSpec,
+        cancel: &CancelToken,
+        progress: &ProgressSink,
+    ) -> Result<Outcome, SessionError> {
+        let Some(cached) = self.model(&spec.model) else {
+            return Err(SessionError::UnknownModel(spec.model.clone()));
+        };
+        let run = || {
+            catch_unwind(AssertUnwindSafe(|| {
+                crate::run::execute(&cached.model, spec, cancel, progress)
+            }))
+            .unwrap_or(Err(SessionError::Panicked))
+        };
+
+        let Some(deadline) = spec.deadline else {
+            return run();
+        };
+
+        // Watchdog: a scoped thread that sleeps until the deadline (or until
+        // the run finishes) and then fires the run's cancel token. The run's
+        // explorations observe the token at their next batch boundary and
+        // return partial outcomes, which are wrapped as `TimedOut` below.
+        let gate: Mutex<bool> = Mutex::new(false);
+        let finished = Condvar::new();
+        let expired = std::sync::atomic::AtomicBool::new(false);
+        let outcome = thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut done = gate.lock().expect("deadline gate poisoned");
+                let mut remaining = deadline;
+                loop {
+                    if *done {
+                        return;
+                    }
+                    let start = std::time::Instant::now();
+                    let (guard, timeout) = finished
+                        .wait_timeout(done, remaining)
+                        .expect("deadline gate poisoned");
+                    done = guard;
+                    if *done {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        expired.store(true, std::sync::atomic::Ordering::SeqCst);
+                        cancel.cancel();
+                        return;
+                    }
+                    // Spurious wakeup: keep waiting out the remainder.
+                    remaining = remaining.saturating_sub(start.elapsed());
+                }
+            });
+            let outcome = run();
+            *gate.lock().expect("deadline gate poisoned") = true;
+            finished.notify_all();
+            outcome
+        });
+
+        if !expired.load(std::sync::atomic::Ordering::SeqCst) {
+            return outcome;
+        }
+        // Only calls the deadline actually interrupted become `TimedOut`; a
+        // run that completed in the same instant keeps its full result.
+        let timed_out = |partial: Option<Box<Outcome>>| {
+            Ok(Outcome::TimedOut(TimedOutOutcome {
+                model: cached.name.clone(),
+                command: spec.command,
+                deadline,
+                partial,
+            }))
+        };
+        match outcome {
+            Ok(outcome) if outcome.was_cancelled() => timed_out(Some(Box::new(outcome))),
+            Err(SessionError::Cancelled) => timed_out(None),
+            other => other,
+        }
+    }
+}
+
+/// Handle on a task started with [`Session::spawn`].
+pub struct TaskHandle {
+    key: TaskKey,
+    cancel: CancelToken,
+    thread: thread::JoinHandle<Completion>,
+}
+
+impl TaskHandle {
+    /// The task's canonical key.
+    pub fn key(&self) -> &TaskKey {
+        &self.key
+    }
+
+    /// Fires the task's cancel token (see [`Session::run_task`] for what
+    /// that means for executing vs. attached tasks).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Waits for the task and returns its completion.
+    pub fn join(self) -> Completion {
+        self.thread.join().expect("session task panicked")
+    }
+}
+
+fn kind_of(model: &Model) -> &'static str {
+    match model.source {
+        ModelSource::Stg(_) => "stg",
+        ModelSource::Tts(_) => "tts",
+    }
+}

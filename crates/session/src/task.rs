@@ -1,0 +1,421 @@
+//! Typed task specifications and their canonical keys.
+//!
+//! A [`TaskSpec`] describes one run of the tool — which command, against
+//! which interned model, with which options — and a [`TaskKey`] is its
+//! canonical fingerprint: the model's content hash plus the *normalized*
+//! options (per-command default limits resolved, options the command ignores
+//! erased). Two specs with the same key are guaranteed to produce the same
+//! result document, which is what lets a [`Session`](crate::Session)
+//! deduplicate identical submissions into one underlying run.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The commands a [`Session`](crate::Session) can run. (`table1` and
+/// `export` are CLI conveniences built on other crates, not session tasks.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskCommand {
+    /// The relative-timing verification engine (`transyt verify`).
+    Verify,
+    /// Untimed STG reachability (`transyt reach`).
+    Reach,
+    /// The conventional zone-graph exploration (`transyt zones`).
+    Zones,
+}
+
+impl TaskCommand {
+    /// The command's wire name: `verify`, `reach` or `zones`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskCommand::Verify => "verify",
+            TaskCommand::Reach => "reach",
+            TaskCommand::Zones => "zones",
+        }
+    }
+
+    /// Parses a wire name back into a command.
+    pub fn parse(name: &str) -> Option<TaskCommand> {
+        match name {
+            "verify" => Some(TaskCommand::Verify),
+            "reach" => Some(TaskCommand::Reach),
+            "zones" => Some(TaskCommand::Zones),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TaskCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The default `--limit` of `transyt reach` (markings).
+pub const REACH_DEFAULT_LIMIT: usize = 100_000;
+
+/// The default `--limit` of `transyt zones` (configurations). Deliberately
+/// lower than the library default: the zone graph blows up with pipeline
+/// depth (the paper's motivation), and an interactive tool should abort
+/// early; raise it with `--limit`.
+pub const ZONES_DEFAULT_LIMIT: usize = 50_000;
+
+/// One task: a command, the content hash of the model to run it against, and
+/// the options. Construct with the builder methods, or lower textual
+/// parameters (CLI flags, server query strings) through [`TaskSpec::parse`]
+/// so both front ends share one set of names, defaults and validity checks.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use transyt_session::TaskSpec;
+///
+/// let spec = TaskSpec::zones("0011223344556677")
+///     .threads(4)
+///     .subsumption(false)
+///     .with_trace(true)
+///     .limit(80_000)
+///     .deadline(Duration::from_secs(30));
+/// assert_eq!(spec.key().canonical(),
+///     "model=0011223344556677 command=zones threads=4 subsumption=off \
+///      trace=yes limit=80000 to=- deadline=30000ms");
+///
+/// // Identical submissions — however they were spelled — share a key.
+/// let parsed = TaskSpec::parse("zones", &[
+///     ("threads".into(), "4".into()),
+///     ("subsumption".into(), "off".into()),
+///     ("trace".into(), "true".into()),
+///     ("limit".into(), "80000".into()),
+///     ("timeout".into(), "30".into()),
+/// ]).unwrap().for_model("0011223344556677");
+/// assert_eq!(parsed.key(), spec.key());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Content hash of the interned model to run against.
+    pub model: String,
+    /// The command to run.
+    pub command: TaskCommand,
+    /// Worker threads for every exploration (default 1; any value produces
+    /// identical output).
+    pub threads: usize,
+    /// Zone subsumption (`zones` only; default on).
+    pub subsumption: bool,
+    /// Produce a witness / counterexample trace.
+    pub trace: bool,
+    /// Exploration size limit (default per command).
+    pub limit: Option<usize>,
+    /// Target label for `reach --to LABEL`.
+    pub to_label: Option<String>,
+    /// Wall-clock deadline: when it expires the run's cancel token fires and
+    /// the outcome is [`Outcome::TimedOut`](crate::Outcome::TimedOut).
+    pub deadline: Option<Duration>,
+}
+
+/// A malformed or inconsistent task parameter set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl TaskSpec {
+    /// A spec with the command's defaults (the unspecified-flag defaults of
+    /// the CLI and the omitted-parameter defaults of the server alike).
+    pub fn new(command: TaskCommand, model_hash: impl Into<String>) -> TaskSpec {
+        TaskSpec {
+            model: model_hash.into(),
+            command,
+            threads: 1,
+            subsumption: true,
+            trace: false,
+            limit: None,
+            to_label: None,
+            deadline: None,
+        }
+    }
+
+    /// A `verify` spec with default options.
+    pub fn verify(model_hash: impl Into<String>) -> TaskSpec {
+        TaskSpec::new(TaskCommand::Verify, model_hash)
+    }
+
+    /// A `reach` spec with default options.
+    pub fn reach(model_hash: impl Into<String>) -> TaskSpec {
+        TaskSpec::new(TaskCommand::Reach, model_hash)
+    }
+
+    /// A `zones` spec with default options.
+    pub fn zones(model_hash: impl Into<String>) -> TaskSpec {
+        TaskSpec::new(TaskCommand::Zones, model_hash)
+    }
+
+    /// Sets the worker thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> TaskSpec {
+        self.threads = threads;
+        self
+    }
+
+    /// Switches zone subsumption on or off.
+    #[must_use]
+    pub fn subsumption(mut self, on: bool) -> TaskSpec {
+        self.subsumption = on;
+        self
+    }
+
+    /// Requests a witness / counterexample trace.
+    #[must_use]
+    pub fn with_trace(mut self, on: bool) -> TaskSpec {
+        self.trace = on;
+        self
+    }
+
+    /// Sets the exploration size limit.
+    #[must_use]
+    pub fn limit(mut self, limit: usize) -> TaskSpec {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the `reach` goal label.
+    #[must_use]
+    pub fn to(mut self, label: impl Into<String>) -> TaskSpec {
+        self.to_label = Some(label.into());
+        self
+    }
+
+    /// Arms a wall-clock deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> TaskSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Rebinds the spec to another interned model.
+    #[must_use]
+    pub fn for_model(mut self, model_hash: impl Into<String>) -> TaskSpec {
+        self.model = model_hash.into();
+        self
+    }
+
+    /// The parameter names `command` accepts — the single source of truth
+    /// behind the CLI's per-subcommand allowed flag lists and the server's
+    /// query-string validation.
+    pub fn allowed_params(command: TaskCommand) -> &'static [&'static str] {
+        match command {
+            TaskCommand::Verify => &["threads", "trace", "timeout"],
+            TaskCommand::Reach => &["threads", "trace", "to", "limit", "timeout"],
+            TaskCommand::Zones => &["threads", "subsumption", "trace", "limit", "timeout"],
+        }
+    }
+
+    /// Lowers textual `(name, value)` parameters into a spec: the one place
+    /// where option names, defaults and per-command validity are defined.
+    /// The CLI lowers its flags (stripped of `--`) through this and the
+    /// server its query-string parameters, so the two can never drift.
+    ///
+    /// The model hash is not a parameter; bind it with
+    /// [`for_model`](Self::for_model).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] for unknown commands, parameters the command does not
+    /// accept, and malformed values.
+    pub fn parse(command: &str, params: &[(String, String)]) -> Result<TaskSpec, SpecError> {
+        let command = TaskCommand::parse(command).ok_or_else(|| {
+            SpecError(format!(
+                "unknown command `{command}` (use verify, reach or zones)"
+            ))
+        })?;
+        let allowed = TaskSpec::allowed_params(command);
+        let mut spec = TaskSpec::new(command, String::new());
+        for (name, value) in params {
+            if !allowed.contains(&name.as_str()) {
+                return Err(SpecError(format!(
+                    "`{command}` does not accept `{name}` (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+            match name.as_str() {
+                "threads" => {
+                    spec.threads = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad `threads` value `{value}`")))?;
+                }
+                "subsumption" => {
+                    spec.subsumption = match value.as_str() {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(SpecError(format!(
+                                "bad `subsumption` value `{other}` (use on|off)"
+                            )))
+                        }
+                    };
+                }
+                "trace" => {
+                    spec.trace = match value.as_str() {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(SpecError(format!(
+                                "bad `trace` value `{other}` (use true|false)"
+                            )))
+                        }
+                    };
+                }
+                "limit" => {
+                    spec.limit = Some(
+                        value
+                            .parse()
+                            .map_err(|_| SpecError(format!("bad `limit` value `{value}`")))?,
+                    );
+                }
+                "to" => spec.to_label = Some(value.clone()),
+                "timeout" => {
+                    let seconds: u64 = value
+                        .parse()
+                        .ok()
+                        .filter(|&s| s > 0)
+                        .ok_or_else(|| SpecError(format!("bad `timeout` value `{value}`")))?;
+                    spec.deadline = Some(Duration::from_secs(seconds));
+                }
+                _ => unreachable!("parameter validated against the allowed list"),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The exploration size limit the run will actually use: the explicit
+    /// limit, or the command's default.
+    pub fn effective_limit(&self) -> Option<usize> {
+        match self.command {
+            TaskCommand::Verify => None,
+            TaskCommand::Reach => Some(self.limit.unwrap_or(REACH_DEFAULT_LIMIT)),
+            TaskCommand::Zones => Some(self.limit.unwrap_or(ZONES_DEFAULT_LIMIT)),
+        }
+    }
+
+    /// The canonical key of this task: model hash + normalized options.
+    /// Options the command ignores are erased and default limits resolved,
+    /// so two submissions that would produce the same document — however
+    /// they were spelled — share a key.
+    pub fn key(&self) -> TaskKey {
+        let subsumption = match self.command {
+            TaskCommand::Zones => {
+                if self.subsumption {
+                    "on"
+                } else {
+                    "off"
+                }
+            }
+            _ => "-",
+        };
+        let limit = match self.effective_limit() {
+            Some(limit) => limit.to_string(),
+            None => "-".to_owned(),
+        };
+        let to = match (self.command, &self.to_label) {
+            (TaskCommand::Reach, Some(label)) => label.as_str(),
+            _ => "-",
+        };
+        let deadline = match self.deadline {
+            Some(deadline) => format!("{}ms", deadline.as_millis()),
+            None => "none".to_owned(),
+        };
+        TaskKey {
+            canonical: format!(
+                "model={} command={} threads={} subsumption={subsumption} trace={} \
+                 limit={limit} to={to} deadline={deadline}",
+                self.model,
+                self.command,
+                self.threads,
+                if self.trace { "yes" } else { "no" },
+            ),
+        }
+    }
+}
+
+/// The canonical identity of a task: equal keys mean "the same run" — the
+/// handle the [`Session`](crate::Session) deduplicates on, the server
+/// batches on and caches by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskKey {
+    canonical: String,
+}
+
+impl TaskKey {
+    /// The canonical, human-readable form (model hash + normalized options).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// A compact 16-hex-digit FNV-1a fingerprint of the canonical form, for
+    /// logs and job listings.
+    pub fn fingerprint(&self) -> String {
+        crate::session::content_hash(&self.canonical)
+    }
+}
+
+/// `Display` prints the fingerprint (the canonical form is available through
+/// [`TaskKey::canonical`]).
+impl fmt::Display for TaskKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_normalize_into_the_key() {
+        // An explicit default limit and the implicit default share a key.
+        let explicit = TaskSpec::zones("abc").limit(ZONES_DEFAULT_LIMIT);
+        let implicit = TaskSpec::zones("abc");
+        assert_eq!(explicit.key(), implicit.key());
+        assert_ne!(explicit.key(), TaskSpec::zones("abc").limit(10).key());
+
+        // Options the command ignores are erased: subsumption is
+        // meaningless outside `zones`.
+        let a = TaskSpec::verify("abc").subsumption(false);
+        let b = TaskSpec::verify("abc");
+        assert_eq!(a.key(), b.key());
+        let a = TaskSpec::zones("abc").subsumption(false);
+        let b = TaskSpec::zones("abc");
+        assert_ne!(a.key(), b.key());
+
+        // Different models never collide.
+        assert_ne!(TaskSpec::verify("abc").key(), TaskSpec::verify("abd").key());
+        assert_eq!(TaskSpec::verify("abc").key().fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn parse_checks_names_values_and_commands() {
+        let pair = |name: &str, value: &str| (name.to_owned(), value.to_owned());
+        assert!(TaskSpec::parse("table1", &[]).is_err());
+        assert!(TaskSpec::parse("verify", &[pair("subsumption", "on")]).is_err());
+        assert!(TaskSpec::parse("zones", &[pair("threads", "x")]).is_err());
+        assert!(TaskSpec::parse("zones", &[pair("trace", "maybe")]).is_err());
+        assert!(TaskSpec::parse("verify", &[pair("timeout", "0")]).is_err());
+
+        let spec = TaskSpec::parse(
+            "reach",
+            &[pair("to", "C+"), pair("limit", "7"), pair("timeout", "5")],
+        )
+        .unwrap()
+        .for_model("ffff");
+        assert_eq!(spec.command, TaskCommand::Reach);
+        assert_eq!(spec.to_label.as_deref(), Some("C+"));
+        assert_eq!(spec.effective_limit(), Some(7));
+        assert_eq!(spec.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(spec.model, "ffff");
+    }
+}

@@ -17,7 +17,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use explore::{CancelToken, ExploreOptions, ExploreOutcome, SearchSpace, TraceOptions};
+use explore::{
+    CancelToken, ExploreOptions, ExploreOutcome, ProgressSink, SearchSpace, TraceOptions,
+};
 use tts::{SignalEdge, StateId, TransitionSystem, TsBuilder};
 
 use crate::net::{Marking, SignalRole, Stg, TransitionId};
@@ -87,6 +89,10 @@ pub struct ExpandOptions {
     /// next batch boundary with [`ExpandError::Cancelled`]. The default
     /// token is inert.
     pub cancel: CancelToken,
+    /// Progress reporting: forwarded to the exploration driver, which emits
+    /// batch/level events from the deterministic merge. The default sink is
+    /// inert.
+    pub progress: ProgressSink,
 }
 
 impl Default for ExpandOptions {
@@ -97,6 +103,7 @@ impl Default for ExpandOptions {
             check_signal_consistency: true,
             threads: 1,
             cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
         }
     }
 }
@@ -236,6 +243,7 @@ pub fn expand_with_report(
             discovered_limit: options.marking_limit,
             record_edges: true,
             cancel: options.cancel.clone(),
+            progress: options.progress.clone(),
             ..ExploreOptions::default()
         },
     )?;
@@ -458,6 +466,7 @@ where
             discovered_limit: options.marking_limit,
             trace: TraceOptions::parents(),
             cancel: options.cancel.clone(),
+            progress: options.progress.clone(),
             ..ExploreOptions::default()
         },
     )?;

@@ -16,6 +16,9 @@
 //!   checking and assume-guarantee bookkeeping.
 //! * [`ipcmos`] — the IPCMOS stage, environments, abstractions, experiments
 //!   and pulse-level simulator.
+//! * [`transyt_session`] — the embeddable orchestration API: sessions,
+//!   task specs/keys, deduplicated runs, progress events and the canonical
+//!   renderings (see `docs/API.md`).
 
 pub use ces;
 pub use cmos_circuit;
@@ -23,4 +26,5 @@ pub use dbm;
 pub use ipcmos;
 pub use stg;
 pub use transyt;
+pub use transyt_session;
 pub use tts;
