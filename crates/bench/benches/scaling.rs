@@ -4,7 +4,7 @@
 //! subsumption on vs. off).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbm::{explore_timed_with, ZoneExplorationOptions};
+use dbm::{explore_timed_with, ExploreSpec, ZoneExplorationOptions};
 
 fn scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/flat_pipeline_untimed_reachability");
@@ -36,10 +36,12 @@ fn scaling(c: &mut Criterion) {
                 explore_timed_with(
                     &pipeline,
                     ZoneExplorationOptions {
-                        configuration_limit: 3_000,
-                        threads,
-                        subsumption,
-                        ..ZoneExplorationOptions::default()
+                        spec: ExploreSpec {
+                            threads,
+                            subsumption,
+                            limit: Some(3_000),
+                            ..ExploreSpec::default()
+                        },
                     },
                 )
             })

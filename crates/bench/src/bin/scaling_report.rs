@@ -2,10 +2,12 @@
 //! pipeline (untimed state count + zone-based timed exploration) versus the
 //! constant-size assume-guarantee obligations.
 //!
-//! The zone exploration is run as three series — sequential with zone
-//! subsumption, sequential with exact-duplicate deduplication only, and
-//! parallel with subsumption — so the report quantifies both the algorithmic
-//! win (subsumption explores fewer configurations) and the parallel speedup.
+//! The zone exploration is run as five series — the exact semantics
+//! sequential with zone subsumption, with exact-duplicate deduplication
+//! only, and parallel with subsumption, plus the LU-extrapolated variants
+//! (`zones-lu`, `zones-lu-active`) — so the report quantifies the
+//! subsumption win, the parallel speedup, and the coarse-abstraction win of
+//! LU extrapolation and active-clock reduction.
 //!
 //! ```text
 //! scaling_report [MAX_STAGES] [--threads N] [--limit N] [--json PATH]
@@ -17,12 +19,13 @@
 use std::time::Instant;
 
 use bench::json::Value;
-use dbm::{explore_timed_with, ZoneExplorationOptions, ZoneOutcome};
+use dbm::{explore_timed_with, ExploreSpec, Extrapolation, ZoneExplorationOptions, ZoneOutcome};
 
 struct Series {
     name: &'static str,
     threads: usize,
     subsumption: bool,
+    extrapolation: Extrapolation,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -60,16 +63,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: "zone_sequential_subsumption",
             threads: 1,
             subsumption: true,
+            extrapolation: Extrapolation::None,
         },
         Series {
             name: "zone_sequential_exact",
             threads: 1,
             subsumption: false,
+            extrapolation: Extrapolation::None,
         },
         Series {
             name: "zone_parallel_subsumption",
             threads,
             subsumption: true,
+            extrapolation: Extrapolation::None,
+        },
+        Series {
+            name: "zones-lu",
+            threads: 1,
+            subsumption: true,
+            extrapolation: Extrapolation::Lu,
+        },
+        Series {
+            name: "zones-lu-active",
+            threads: 1,
+            subsumption: true,
+            extrapolation: Extrapolation::LuActive,
         },
     ];
 
@@ -84,8 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for spec in &series {
         println!(
-            "series `{}` (threads={}, subsumption={}):",
-            spec.name, spec.threads, spec.subsumption
+            "series `{}` (threads={}, subsumption={}, extrapolation={}):",
+            spec.name,
+            spec.threads,
+            spec.subsumption,
+            spec.extrapolation.name()
         );
         println!(
             "{:>7} {:>15} {:>15} {:>20} {:>10} {:>10}",
@@ -98,10 +119,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let outcome = explore_timed_with(
                 pipeline,
                 ZoneExplorationOptions {
-                    configuration_limit: limit,
-                    threads: spec.threads,
-                    subsumption: spec.subsumption,
-                    ..ZoneExplorationOptions::default()
+                    spec: ExploreSpec {
+                        threads: spec.threads,
+                        subsumption: spec.subsumption,
+                        limit: Some(limit),
+                        extrapolation: spec.extrapolation,
+                        ..ExploreSpec::default()
+                    },
                 },
             );
             let millis = started.elapsed().as_millis();
@@ -146,6 +170,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .field("name", spec.name)
                 .field("threads", spec.threads)
                 .field("subsumption", spec.subsumption)
+                .field("extrapolation", spec.extrapolation.name())
                 .field("points", points),
         );
     }

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Reproduction of Table 1 (DATE 2002 IPCMOS case study)");
     println!("paper reference: (1) <1min/0, (2) 28min/7, (3) 9min/3, (4) 10min/3, (5) 35min/40 on an 866MHz PIII\n");
     let options = VerifyOptions {
-        threads,
+        spec: transyt::ExploreSpec::threaded(threads),
         ..VerifyOptions::default()
     };
     let report = ipcmos::table_1_with(&options)?;

@@ -18,7 +18,7 @@ use bench::json::Value;
 use transyt_session::{
     render, Completion, RunControl, Session, SessionError, TaskCommand, TaskSpec,
 };
-use transyt_session::{CancelToken, ProgressSink};
+use transyt_session::{CancelToken, Extrapolation, ProgressSink};
 
 use crate::format::Model;
 use crate::json;
@@ -35,6 +35,9 @@ pub struct Options {
     pub threads: usize,
     /// Zone subsumption (`--subsumption on|off`, default on).
     pub subsumption: bool,
+    /// Zone abstraction mode (`--extrapolation none|lu|lu-active`, default
+    /// `lu-active`).
+    pub extrapolation: Extrapolation,
     /// Print a witness / counterexample trace (`--trace`).
     pub trace: bool,
     /// Exploration size limit (`--limit`, default per command).
@@ -57,6 +60,7 @@ impl Default for Options {
         Options {
             threads: 1,
             subsumption: true,
+            extrapolation: Extrapolation::default(),
             trace: false,
             limit: None,
             to_label: None,
@@ -73,6 +77,7 @@ impl Options {
         Options {
             threads: spec.threads,
             subsumption: spec.subsumption,
+            extrapolation: spec.extrapolation,
             trace: spec.trace,
             limit: spec.limit,
             to_label: spec.to_label.clone(),
@@ -90,6 +95,7 @@ impl Options {
             command,
             threads: self.threads,
             subsumption: self.subsumption,
+            extrapolation: self.extrapolation,
             trace: self.trace,
             limit: self.limit,
             to_label: self.to_label.clone(),
@@ -202,9 +208,12 @@ pub fn cmd_zones(model: &Model, options: &Options) -> Result<CommandResult, CliE
 /// task — it runs the `ipcmos` experiment suite, not a model file.
 pub fn cmd_table1(options: &Options) -> Result<CommandResult, CliError> {
     let verify_options = transyt::VerifyOptions {
-        threads: options.threads,
-        cancel: options.cancel.clone(),
-        progress: options.progress.clone(),
+        spec: transyt::ExploreSpec {
+            threads: options.threads,
+            cancel: options.cancel.clone(),
+            progress: options.progress.clone(),
+            ..transyt::ExploreSpec::default()
+        },
         ..transyt::VerifyOptions::default()
     };
     let report = ipcmos::table_1_with(&verify_options)

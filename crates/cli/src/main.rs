@@ -25,14 +25,16 @@ USAGE:
     transyt verify FILE [--threads N] [--trace] [--timeout SECS] [--progress] [--json PATH]
     transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--timeout SECS]
                         [--progress] [--json PATH]
-    transyt zones  FILE [--threads N] [--subsumption on|off] [--trace] [--limit N]
+    transyt zones  FILE [--threads N] [--subsumption on|off]
+                        [--extrapolation none|lu|lu-active] [--trace] [--limit N]
                         [--timeout SECS] [--progress] [--json PATH]
     transyt table1      [--threads N] [--json PATH]
     transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
     transyt serve       [--addr HOST:PORT] [--workers N] [--keep-results N]
                         [--result-ttl SECS]
     transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
-                        [--threads N] [--subsumption on|off] [--trace] [--limit N]
+                        [--threads N] [--subsumption on|off]
+                        [--extrapolation none|lu|lu-active] [--trace] [--limit N]
                         [--to LABEL] [--timeout SECS] [--json PATH]
     transyt status [JOBID] --server HOST:PORT
 
@@ -166,7 +168,14 @@ struct CollectedArgs {
 }
 
 /// Task flags that take a value (lowered as `(name, value)` pairs).
-const VALUE_FLAGS: &[&str] = &["threads", "subsumption", "limit", "to", "timeout"];
+const VALUE_FLAGS: &[&str] = &[
+    "threads",
+    "subsumption",
+    "extrapolation",
+    "limit",
+    "to",
+    "timeout",
+];
 
 fn collect_args(args: &[String], command: &str) -> Result<CollectedArgs, CliError> {
     let mut collected = CollectedArgs {

@@ -86,6 +86,9 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
     if !options.subsumption {
         path.push_str("&subsumption=off");
     }
+    if options.extrapolation != transyt_session::Extrapolation::default() {
+        path.push_str(&format!("&extrapolation={}", options.extrapolation.name()));
+    }
     if options.trace {
         path.push_str("&trace=true");
     }

@@ -68,7 +68,7 @@ fn ipcmos_1stage_trace_replays_identically_across_thread_counts() {
             &timed,
             &model.property(),
             &transyt::VerifyOptions {
-                threads,
+                spec: transyt::ExploreSpec::threaded(threads),
                 ..transyt::VerifyOptions::default()
             },
         );
@@ -103,7 +103,7 @@ fn race_overlap_fails_with_a_replayable_timed_counterexample() {
             &timed,
             &model.property(),
             &transyt::VerifyOptions {
-                threads,
+                spec: transyt::ExploreSpec::threaded(threads),
                 ..transyt::VerifyOptions::default()
             },
         );
@@ -294,6 +294,8 @@ fn json_documents_are_unchanged_golden() {
         zones,
         "{\"model\":\"race_overlap\",\"configurations\":4,\"subsumed\":0,\
          \"reachable_states\":4,\"violating_states\":1,\"deadlock_states\":1,\
+         \"extrapolated_zones\":3,\"projected_clocks\":4,\
+         \"arena\":{\"allocated\":4,\"reused\":0,\"recycled\":1},\
          \"completed\":true,\"trace\":{\"kind\":\"witness\",\"start\":\"s0\",\
          \"end\":\"slow-first\",\"steps\":[{\"event\":\"slow\",\"state\":\"slow-first\",\
          \"earliest\":2,\"latest\":4}]}}\n"

@@ -93,6 +93,76 @@ fn cli_reach_and_zones_documents_match_the_pre_redesign_goldens() {
     assert_eq!(document, golden("reach_ring_pipeline_stg.json"));
 }
 
+/// Every document in `tests/golden/` — the exact set
+/// `scripts/regen-goldens.sh` writes — matches the current rendering: no
+/// golden drifts silently, and no orphan file sits in the directory without
+/// a test behind it.
+#[test]
+fn every_committed_golden_matches_current_rendering() {
+    use std::collections::BTreeMap;
+
+    let mut documents: BTreeMap<String, String> = BTreeMap::new();
+    for file in MODELS {
+        let model = Model::parse(&model_text(file)).expect("model parses");
+        let options = Options {
+            trace: true,
+            ..Options::default()
+        };
+        documents.insert(
+            golden_name("verify", file),
+            render_document(&cmd_verify(&model, &options).unwrap().json),
+        );
+    }
+    let model = Model::parse(&model_text("ipcmos_1stage.stg")).unwrap();
+    documents.insert(
+        golden_name("zones", "ipcmos_1stage.stg"),
+        render_document(&cmd_zones(&model, &Options::default()).unwrap().json),
+    );
+    let model = Model::parse(&model_text("race_overlap.tts")).unwrap();
+    let options = Options {
+        trace: true,
+        ..Options::default()
+    };
+    documents.insert(
+        golden_name("zones", "race_overlap.tts"),
+        render_document(&cmd_zones(&model, &options).unwrap().json),
+    );
+    let model = Model::parse(&model_text("c_element.stg")).unwrap();
+    let options = Options {
+        to_label: Some("C+".to_owned()),
+        ..Options::default()
+    };
+    documents.insert(
+        golden_name("reach", "c_element.stg"),
+        render_document(&cmd_reach(&model, &options).unwrap().json),
+    );
+    let model = Model::parse(&model_text("ring_pipeline.stg")).unwrap();
+    documents.insert(
+        golden_name("reach", "ring_pipeline.stg"),
+        render_document(&cmd_reach(&model, &Options::default()).unwrap().json),
+    );
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut committed: Vec<String> = std::fs::read_dir(&dir)
+        .expect("golden directory exists")
+        .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+        .collect();
+    committed.sort();
+    let expected: Vec<String> = documents.keys().cloned().collect();
+    assert_eq!(
+        committed, expected,
+        "tests/golden/ and the regen script disagree on the golden set"
+    );
+    for (name, document) in &documents {
+        assert_eq!(
+            document,
+            &golden(name),
+            "{name} drifted from the committed golden; \
+             review and run scripts/regen-goldens.sh"
+        );
+    }
+}
+
 /// The embedding API produces the same bytes directly, without the CLI.
 #[test]
 fn session_api_documents_match_the_pre_redesign_goldens() {

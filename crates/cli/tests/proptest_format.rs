@@ -184,7 +184,7 @@ proptest! {
         let parallel = transyt::verify(
             &timed,
             &property,
-            &VerifyOptions { threads: 4, ..VerifyOptions::default() },
+            &VerifyOptions { spec: transyt::ExploreSpec::threaded(4), ..VerifyOptions::default() },
         );
         // Identical verdicts — including the embedded failure trace.
         prop_assert_eq!(&sequential, &parallel);

@@ -1,0 +1,78 @@
+//! Property tests for the zone abstraction: LU-bounds extrapolation and
+//! active-clock reduction are *exact* abstractions — on randomized
+//! delay-window perturbations of the shipped models, every mode reports the
+//! same verdict and the same reachable / violating / deadlocked discrete
+//! state sets as the unabstracted exploration.
+
+use std::path::PathBuf;
+
+use dbm::{explore_timed_with, ExploreSpec, Extrapolation, ZoneExplorationOptions, ZoneOutcome};
+use proptest::prelude::*;
+use transyt_cli::format::Model;
+use tts::{DelayInterval, Time, TimedTransitionSystem};
+
+/// Small shipped models (the larger pipelines would dominate the proptest
+/// budget without exercising anything new).
+const MODELS: &[&str] = &["race_overlap.tts", "intro_fig1.tts", "c_element.stg"];
+
+fn model_text(file: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../models")
+        .join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The shipped model with every delay window replaced by a random one
+/// (`0 <= lower <= upper`, all finite, so the exact exploration terminates).
+fn perturbed(file: &str, picks: &[(i64, i64)]) -> TimedTransitionSystem {
+    let mut model = Model::parse(&model_text(file)).expect("shipped model parses");
+    for (slot, (_, delay)) in model.delays.iter_mut().enumerate() {
+        let (lower, width) = picks[slot % picks.len()];
+        *delay = DelayInterval::new(Time::new(lower), Time::new(lower + width)).unwrap();
+    }
+    model.timed_system().expect("shipped model instantiates")
+}
+
+fn explore(timed: &TimedTransitionSystem, extrapolation: Extrapolation) -> ZoneOutcome {
+    explore_timed_with(
+        timed,
+        ZoneExplorationOptions {
+            spec: ExploreSpec {
+                extrapolation,
+                limit: Some(100_000),
+                ..ExploreSpec::default()
+            },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn extrapolation_modes_report_identical_discrete_semantics(
+        picks in proptest::collection::vec((0i64..6, 0i64..6), 1..8),
+    ) {
+        for file in MODELS {
+            let timed = perturbed(file, &picks);
+            let ZoneOutcome::Completed(exact) = explore(&timed, Extrapolation::None) else {
+                panic!("{file}: exact exploration must terminate on bounded delays");
+            };
+            for mode in [Extrapolation::Lu, Extrapolation::LuActive] {
+                let ZoneOutcome::Completed(report) = explore(&timed, mode) else {
+                    panic!("{file}: abstracted exploration aborted under {mode}");
+                };
+                // The abstraction may merge zones (fewer configurations) but
+                // must not change what is discretely reachable — the
+                // verdicts of `transyt zones` are derived from these sets.
+                prop_assert_eq!(&report.reachable_states, &exact.reachable_states);
+                prop_assert_eq!(&report.violating_states, &exact.violating_states);
+                prop_assert_eq!(&report.deadlock_states, &exact.deadlock_states);
+                prop_assert!(
+                    report.configurations <= exact.configurations,
+                    "{file}: {mode} explored more configurations than exact"
+                );
+            }
+        }
+    }
+}

@@ -25,44 +25,39 @@ use std::fmt;
 
 use ces::{check_consistency, extract_ces, RelativeTimingConstraint, SeparationAnalysis};
 use explore::{
-    CancelToken, ExploreOptions, ExploreOutcome, ProgressEvent, ProgressSink, SearchSpace,
-    TraceOptions,
+    ExploreOptions, ExploreOutcome, ExploreSpec, ProgressEvent, SearchSpace, TraceOptions,
 };
 use tts::{EnablingTrace, EventId, StateId, TimedTransitionSystem, TransitionSystem};
 
 use crate::property::SafetyProperty;
 
 /// Options for [`verify`].
+///
+/// The shared exploration knobs live in the embedded [`ExploreSpec`]:
+/// `threads` drives every exploration pass of the refinement loop; when the
+/// `cancel` token fires, the current pass stops at its next batch boundary
+/// and the verdict is [`Verdict::Inconclusive`] with reason
+/// `"verification cancelled"`; the `progress` sink receives a
+/// [`ProgressEvent::Refinement`] per pass plus the exploration's batch/level
+/// events. The untimed failure search deduplicates exactly, so the spec's
+/// `subsumption`, `limit` and `extrapolation` fields are carried inert.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyOptions {
+    /// The shared exploration knobs.
+    pub spec: ExploreSpec,
     /// Maximum number of refinement iterations before giving up.
     pub max_refinements: usize,
     /// Relative-timing constraints assumed up front (e.g. documented
     /// environment requirements).
     pub assumed_constraints: Vec<RelativeTimingConstraint>,
-    /// Worker threads for each exploration pass of the refinement loop
-    /// (`1` = sequential; any value produces the identical verdict).
-    pub threads: usize,
-    /// Cooperative cancellation: when the token fires, the current
-    /// exploration pass stops at its next batch boundary and the verdict is
-    /// [`Verdict::Inconclusive`] with reason `"verification cancelled"`. The
-    /// default token is inert.
-    pub cancel: CancelToken,
-    /// Progress reporting: each refinement pass announces itself with a
-    /// [`ProgressEvent::Refinement`] and forwards the sink to its
-    /// exploration, which emits batch/level events. The default sink is
-    /// inert.
-    pub progress: ProgressSink,
 }
 
 impl Default for VerifyOptions {
     fn default() -> Self {
         VerifyOptions {
+            spec: ExploreSpec::default(),
             max_refinements: 200,
             assumed_constraints: Vec::new(),
-            threads: 1,
-            cancel: CancelToken::default(),
-            progress: ProgressSink::default(),
         }
     }
 }
@@ -122,7 +117,7 @@ impl fmt::Display for Counterexample {
 /// the witness the engine reports alongside a [`Verdict::Failed`].
 ///
 /// The trace is reconstructed from the parent links the shared exploration
-/// engine records, so it is identical for every [`VerifyOptions::threads`]
+/// engine records, so it is identical for every [`ExploreSpec::threads`]
 /// value and every step is a genuine transition of the verified system.
 ///
 /// # Examples
@@ -491,17 +486,17 @@ pub fn verify(
             property,
             resolved: resolve(&constraints),
         };
-        options.progress.emit(&ProgressEvent::Refinement {
+        options.spec.progress.emit(&ProgressEvent::Refinement {
             iteration: refinements,
         });
         let search = match explore::explore(
             &space,
             &ExploreOptions {
-                threads: options.threads,
+                threads: options.spec.threads,
                 record_edges: true,
                 trace: TraceOptions::parents(),
-                cancel: options.cancel.clone(),
-                progress: options.progress.clone(),
+                cancel: options.spec.cancel.clone(),
+                progress: options.spec.progress.clone(),
                 ..ExploreOptions::default()
             },
         ) {
@@ -838,7 +833,7 @@ mod tests {
             &timed,
             &property,
             &VerifyOptions {
-                threads: 4,
+                spec: ExploreSpec::threaded(4),
                 ..VerifyOptions::default()
             },
         );
@@ -962,7 +957,7 @@ mod tests {
 
     #[test]
     fn cancelled_verification_is_inconclusive() {
-        let token = CancelToken::new();
+        let token = explore::CancelToken::new();
         token.cancel();
         let timed = race(d(1, 2), d(5, 9));
         let property = SafetyProperty::new("order").forbid_marked_states();
@@ -970,7 +965,10 @@ mod tests {
             &timed,
             &property,
             &VerifyOptions {
-                cancel: token,
+                spec: ExploreSpec {
+                    cancel: token,
+                    ..ExploreSpec::default()
+                },
                 ..VerifyOptions::default()
             },
         );

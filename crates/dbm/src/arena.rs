@@ -1,0 +1,113 @@
+//! A free-list arena for DBM entry buffers.
+//!
+//! The zone-graph interner is the allocation hot path of a timed
+//! exploration: every committed configuration clones a candidate zone to
+//! normalise it, and periodic sweeps drop zones nothing references any more.
+//! [`DbmArena`] keeps the entry buffers of retired matrices on a bounded
+//! free list so those clones stop churning the global allocator.
+//!
+//! The arena is deliberately **not** thread-safe: it lives inside the
+//! interner's mutex and is only touched from the exploration driver's
+//! single-threaded deterministic merge, so its [`ArenaStats`] are identical
+//! for every thread count.
+
+use crate::entry::Entry;
+use crate::matrix::Dbm;
+
+/// How many retired buffers the free list keeps before dropping the rest.
+const FREE_LIST_CAP: usize = 256;
+
+/// Allocation counters of a [`DbmArena`], reported through `ZoneReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Matrices built from a fresh heap allocation.
+    pub allocated: usize,
+    /// Matrices built by reusing a recycled buffer.
+    pub reused: usize,
+    /// Buffers handed back to the free list (bounded by its capacity).
+    pub recycled: usize,
+}
+
+/// A bounded free list of DBM entry buffers, all for one clock count.
+#[derive(Debug, Default)]
+pub struct DbmArena {
+    free: Vec<Vec<Entry>>,
+    stats: ArenaStats,
+}
+
+impl DbmArena {
+    /// An empty arena.
+    pub fn new() -> DbmArena {
+        DbmArena::default()
+    }
+
+    /// Clones `src`, reusing a recycled buffer when one of the right size is
+    /// available.
+    pub fn clone_dbm(&mut self, src: &Dbm) -> Dbm {
+        let entries = src.entries();
+        match self.free.pop() {
+            Some(mut buffer) if buffer.capacity() >= entries.len() => {
+                self.stats.reused += 1;
+                buffer.clear();
+                buffer.extend_from_slice(entries);
+                Dbm::from_entries(src.clock_count(), buffer)
+            }
+            other => {
+                // A mismatched buffer (different model dimension) is useless
+                // here; drop it rather than hold the slot hostage.
+                drop(other);
+                self.stats.allocated += 1;
+                Dbm::from_entries(src.clock_count(), entries.to_vec())
+            }
+        }
+    }
+
+    /// Hands a retired matrix's buffer back to the free list (dropped
+    /// silently once the list is at capacity).
+    pub fn recycle(&mut self, dbm: Dbm) {
+        if self.free.len() < FREE_LIST_CAP {
+            self.stats.recycled += 1;
+            self.free.push(dbm.into_entries());
+        }
+    }
+
+    /// The arena's allocation counters so far.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_recycle_reuse_buffers() {
+        let mut arena = DbmArena::new();
+        let mut zone = Dbm::zero(2);
+        zone.up();
+
+        let first = arena.clone_dbm(&zone);
+        assert_eq!(first, zone);
+        assert_eq!(arena.stats().allocated, 1);
+        assert_eq!(arena.stats().reused, 0);
+
+        arena.recycle(first);
+        assert_eq!(arena.stats().recycled, 1);
+
+        let second = arena.clone_dbm(&zone);
+        assert_eq!(second, zone);
+        assert_eq!(arena.stats().reused, 1);
+        assert_eq!(arena.stats().allocated, 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut arena = DbmArena::new();
+        for _ in 0..FREE_LIST_CAP + 10 {
+            let zone = Dbm::zero(1);
+            arena.recycle(zone);
+        }
+        assert_eq!(arena.stats().recycled, FREE_LIST_CAP);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`Dbm`] — canonical difference bound matrices with the standard zone
 //!   operations (`up`, `reset`, `constrain`, inclusion, intersection).
 //! * [`explore_timed`] — symbolic reachability of a
-//!   [`tts::TimedTransitionSystem`] using one clock per event.
+//!   [`tts::TimedTransitionSystem`] using one clock per event, with optional
+//!   LU-bounds extrapolation and active-clock reduction
+//!   ([`Extrapolation`]) and a buffer-reusing [`DbmArena`] behind the zone
+//!   interner.
 //!
 //! # Example
 //!
@@ -32,13 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod entry;
 mod matrix;
 mod zone_graph;
 
+pub use arena::{ArenaStats, DbmArena};
 pub use entry::Entry;
+pub use explore::{ExploreSpec, Extrapolation};
 pub use matrix::Dbm;
 pub use zone_graph::{
     explore_timed, explore_timed_with, find_witness, path_firing_windows, FiringWindow,
     SymbolicTrace, WitnessGoal, WitnessOutcome, ZoneExplorationOptions, ZoneOutcome, ZoneReport,
+    DEFAULT_CONFIGURATION_LIMIT,
 };

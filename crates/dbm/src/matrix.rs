@@ -203,6 +203,97 @@ impl Dbm {
         !self.get(j, i).conflicts_with(bound)
     }
 
+    /// Returns `true` if the zone pins clock `x` to exactly 0 (both bounds
+    /// `≤ 0`). In canonical form the row and column of a pinned clock mirror
+    /// the reference row and column, so a pinned clock never needs resetting.
+    pub fn pins_to_zero(&self, x: usize) -> bool {
+        self.get(x, 0) == Entry::LE_ZERO && self.get(0, x) == Entry::LE_ZERO
+    }
+
+    /// Coarse LU-bounds extrapolation (`Extra_LU` of Behrmann, Bouyer,
+    /// Larsen and Pelánek, 2004): widens away every bound that the per-clock
+    /// constants render irrelevant, so zones differing only above the bounds
+    /// collapse to one representative. Sound and *exact* for discrete-state
+    /// reachability when `lower[x]` dominates every lower-comparison
+    /// constant (`x ≥ c` guards) and `upper[x]` every upper-comparison
+    /// constant (`x ≤ c` invariants) of clock `x`.
+    ///
+    /// `lower` / `upper` are indexed by clock (index 0 is the reference
+    /// clock and must hold 0); all constants must be non-negative — a clock
+    /// with no upper comparisons takes `upper[x] = 0`, the coarsest sound
+    /// choice.
+    ///
+    /// The matrix must be canonical on entry. Returns `true` if any entry
+    /// was widened; the result is then generally **not** canonical and the
+    /// caller must re-canonicalise before further zone operations.
+    pub fn extrapolate_lu(&mut self, lower: &[i64], upper: &[i64]) -> bool {
+        let dim = self.dim();
+        assert!(
+            lower.len() >= dim && upper.len() >= dim,
+            "LU bound vectors shorter than the dimension"
+        );
+        // The conditions consult the zone's original lower bounds (row 0),
+        // which the `i == 0` arm rewrites; snapshot them first.
+        let entry_bound: Vec<i64> = (0..dim)
+            .map(|j| self.get(0, j).value().map_or(0, |v| -v))
+            .collect();
+        let mut changed = false;
+        for i in 0..dim {
+            for j in 0..dim {
+                if i == j {
+                    continue;
+                }
+                let d = self.get(i, j);
+                if i > 0 {
+                    // Bounds involving x_i above L(x_i) are irrelevant: the
+                    // entry itself exceeds L, or the zone already starts
+                    // above L.
+                    if (!d.is_infinite() && d > Entry::le(lower[i])) || entry_bound[i] > lower[i] {
+                        if !d.is_infinite() {
+                            self.set(i, j, Entry::INFINITY);
+                            changed = true;
+                        }
+                        continue;
+                    }
+                }
+                if j > 0 && entry_bound[j] > upper[j] {
+                    // The zone's lower bound on x_j exceeds U(x_j): no upper
+                    // comparison can distinguish it any more. Row 0 keeps
+                    // the coarse `x_j > U(x_j)`, every other row drops the
+                    // bound entirely.
+                    let widened = if i == 0 {
+                        Entry::lt(-upper[j])
+                    } else {
+                        Entry::INFINITY
+                    };
+                    if widened > d {
+                        self.set(i, j, widened);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// The raw entry buffer (row-major), for the arena's buffer reuse.
+    pub(crate) fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Consumes the matrix and hands its buffer back, for the arena's
+    /// free list.
+    pub(crate) fn into_entries(self) -> Vec<Entry> {
+        self.entries
+    }
+
+    /// Rebuilds a matrix from a recycled buffer already holding the entries
+    /// of a `clocks`-clock DBM.
+    pub(crate) fn from_entries(clocks: usize, entries: Vec<Entry>) -> Dbm {
+        debug_assert_eq!(entries.len(), (clocks + 1) * (clocks + 1));
+        Dbm { clocks, entries }
+    }
+
     /// Feeds a cheap, deterministic sample of the matrix into a hasher.
     ///
     /// Hashing every entry of a large canonical DBM costs more than a table

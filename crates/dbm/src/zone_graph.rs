@@ -21,52 +21,60 @@
 //! hand-rolled loop lacked). Zones are interned behind [`Arc`]s, so the many
 //! configurations sharing a zone after clock resets share one canonical DBM
 //! allocation.
+//!
+//! # Zone abstraction
+//!
+//! With the default [`Extrapolation::LuActive`] the explorer applies the
+//! standard zone-abstraction toolkit, both *exact for discrete-state
+//! reachability* (the reachable / violating / deadlocked state sets are
+//! identical to the exact engine's):
+//!
+//! * **Active-clock reduction** — the clock of an event disabled in a state
+//!   carries no information (it is reset the moment the event is re-enabled,
+//!   and no guard or invariant of the state consults it), so successor
+//!   computation pins it to zero. Zones differing only in dead clock ages
+//!   collapse to one representative.
+//! * **LU-bounds extrapolation** (`Extra_LU`, Behrmann et al. 2004) — at
+//!   interning time, bounds above the per-clock lower/upper delay constants
+//!   of the model are widened away, so only finitely many zones exist per
+//!   state and cyclic systems with unbounded clock drift terminate.
+//!
+//! The widened matrices are cloned through a [`DbmArena`] free list living
+//! inside the interner lock, so the hot path reuses retired entry buffers
+//! instead of churning the global allocator; extrapolation, projection and
+//! arena counters surface in [`ZoneReport`] and stay identical for every
+//! thread count (they are only touched from the driver's deterministic
+//! merge).
 
 use std::collections::{BTreeSet, HashSet};
 use std::convert::Infallible;
 use std::sync::{Arc, Mutex};
 
 use explore::{
-    CancelToken, ExploreOptions, ExploreOutcome, ProgressSink, SearchSpace, TraceOptions,
+    ExploreOptions, ExploreOutcome, ExploreSpec, Extrapolation, SearchSpace, TraceOptions,
 };
 use tts::{Bound, EventId, StateId, Time, TimedTransitionSystem};
 
+use crate::arena::{ArenaStats, DbmArena};
 use crate::entry::Entry;
 use crate::matrix::Dbm;
 
-/// Options for the zone-graph exploration.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ZoneExplorationOptions {
-    /// Maximum number of symbolic configurations to explore before aborting.
-    pub configuration_limit: usize,
-    /// Number of worker threads (`1` = sequential; any value produces the
-    /// identical report).
-    pub threads: usize,
-    /// Skip a `(state, zone)` configuration when an already-seen zone for
-    /// that state includes it. Sound (inclusion preserves reachability) and
-    /// strictly reduces the configuration count on models with converging
-    /// timing; disable to enumerate exact-duplicate zones only.
-    pub subsumption: bool,
-    /// Cooperative cancellation: an exploration whose token fires stops at
-    /// the next batch boundary and returns [`ZoneOutcome::Cancelled`] (or
-    /// [`WitnessOutcome::Cancelled`]). The default token is inert.
-    pub cancel: CancelToken,
-    /// Progress reporting: forwarded to the exploration driver, which emits
-    /// batch/level events from the deterministic merge. The default sink is
-    /// inert.
-    pub progress: ProgressSink,
-}
+/// Configuration limit applied when [`ExploreSpec::limit`] is `None`.
+pub const DEFAULT_CONFIGURATION_LIMIT: usize = 200_000;
 
-impl Default for ZoneExplorationOptions {
-    fn default() -> Self {
-        ZoneExplorationOptions {
-            configuration_limit: 200_000,
-            threads: 1,
-            subsumption: true,
-            cancel: CancelToken::default(),
-            progress: ProgressSink::default(),
-        }
-    }
+/// Options for the zone-graph exploration: the shared [`ExploreSpec`] core
+/// (threads / subsumption / limit / extrapolation / cancel / progress).
+///
+/// An unset [`ExploreSpec::limit`] resolves to
+/// [`DEFAULT_CONFIGURATION_LIMIT`]. Subsumption skips a `(state, zone)`
+/// configuration when an already-seen zone for that state includes it —
+/// sound (inclusion preserves reachability) and strictly reducing on models
+/// with converging timing; disabling it enumerates exact-duplicate zones
+/// only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZoneExplorationOptions {
+    /// The shared exploration knobs.
+    pub spec: ExploreSpec,
 }
 
 /// Result of a completed zone-graph exploration.
@@ -86,6 +94,15 @@ pub struct ZoneReport {
     /// Enqueued configurations skipped because a subsuming zone for the same
     /// state arrived before their turn (0 when subsumption is disabled).
     pub subsumed_configurations: usize,
+    /// Stored configurations whose zone LU-bounds extrapolation actually
+    /// widened (0 under [`Extrapolation::None`]).
+    pub extrapolated_zones: usize,
+    /// Dead clock dimensions (clocks of disabled events, pinned to zero by
+    /// active-clock reduction) summed over stored configurations (0 unless
+    /// the mode is [`Extrapolation::LuActive`]).
+    pub projected_clocks: usize,
+    /// Allocation counters of the interner's DBM arena.
+    pub arena: ArenaStats,
 }
 
 impl ZoneReport {
@@ -111,7 +128,7 @@ pub enum ZoneOutcome {
         /// abort (0 when subsumption is disabled).
         subsumed: usize,
     },
-    /// The [`ZoneExplorationOptions::cancel`] token fired before the
+    /// The [`ExploreSpec::cancel`](explore::ExploreSpec::cancel) token fired before the
     /// exploration finished.
     Cancelled {
         /// Number of configurations explored before the cancellation.
@@ -151,6 +168,53 @@ fn clock_of(event: EventId) -> usize {
     event.index() + 1
 }
 
+/// The per-clock LU extrapolation constants of a model, indexed by clock
+/// (index 0 is the reference clock and stays 0).
+///
+/// In this semantics every comparison a clock faces is known from the delay
+/// window of its event: guards are the lower bounds `x ≥ δl` and invariants
+/// the upper bounds `x ≤ δu`, so `L = δl` and `U = δu` — with `U = 0` for
+/// events without an upper delay bound, the coarsest sound choice since no
+/// upper comparison ever consults such a clock.
+struct LuBounds {
+    lower: Vec<i64>,
+    upper: Vec<i64>,
+}
+
+impl LuBounds {
+    fn of(timed: &TimedTransitionSystem) -> LuBounds {
+        let events = timed.underlying().alphabet().len();
+        let mut lower = vec![0; events + 1];
+        let mut upper = vec![0; events + 1];
+        for index in 0..events {
+            let delay = timed.delay(EventId::from_index(index));
+            lower[index + 1] = delay.lower().as_i64();
+            if let Bound::Finite(u) = delay.upper() {
+                upper[index + 1] = u.as_i64();
+            }
+        }
+        LuBounds { lower, upper }
+    }
+}
+
+/// Active-clock reduction: pins the clocks of events disabled in `state` to
+/// zero. Sound because a disabled clock is never consulted again before it
+/// is reset (guards only read the fired — hence enabled — event's clock and
+/// invariants only enabled events' clocks), and canonical-form preserving
+/// (DBM reset keeps canonicity), so projected zones need no
+/// re-canonicalisation. Pure per configuration, which lets it run in the
+/// parallel expansion phase.
+fn project_inactive(timed: &TimedTransitionSystem, zone: &mut Dbm, state: StateId) {
+    let ts = timed.underlying();
+    let enabled = ts.enabled(state);
+    for index in 0..ts.alphabet().len() {
+        let clock = index + 1;
+        if !enabled.contains(&EventId::from_index(index)) && !zone.pins_to_zero(clock) {
+            zone.reset(clock);
+        }
+    }
+}
+
 /// Lets time elapse only as far as the upper delay bounds of the events
 /// enabled in `state` allow (the state's invariant). The zone may have more
 /// clocks than the alphabet (the witness replay adds an absolute-time clock);
@@ -173,13 +237,19 @@ fn apply_invariant(timed: &TimedTransitionSystem, zone: &mut Dbm, state: StateId
 ///
 /// This single function defines the timed successor relation; the explorer
 /// and the witness replay both go through it, so a reconstructed trace
-/// replays to exactly the zones the search stored.
+/// replays to exactly the zones the search stored. Under
+/// [`Extrapolation::LuActive`] the successor is additionally projected onto
+/// the clocks active in `target` (see [`project_inactive`]); the LU widening
+/// itself happens later, at interning time, because it must only apply to
+/// *stored* zones (it is a widening, so storing it keeps subsumption sound,
+/// whereas candidates must stay exact for the inclusion checks).
 fn timed_successor(
     timed: &TimedTransitionSystem,
     zone: &Dbm,
     enabled_here: &std::collections::BTreeSet<EventId>,
     event: EventId,
     target: StateId,
+    extrapolation: Extrapolation,
 ) -> Option<Dbm> {
     let ts = timed.underlying();
     // Guard: the event's clock has reached its lower bound.
@@ -204,7 +274,41 @@ fn timed_successor(
     if next.is_empty() {
         return None;
     }
+    if extrapolation == Extrapolation::LuActive {
+        project_inactive(timed, &mut next, target);
+    }
     Some(next)
+}
+
+/// The interner's mutable state: the canonical-zone table, the DBM arena
+/// backing its clones, and the abstraction counters. One lock, only taken
+/// from the driver's single-threaded merge, so every field is deterministic
+/// for every thread count.
+struct InternerState {
+    /// Canonical-DBM interning table: equal zones share one allocation, so
+    /// bucket storage and queued clones are reference bumps.
+    zones: HashSet<InternedZone>,
+    /// Inserts since the last sweep of dead entries (zones no longer
+    /// referenced by any bucket or queue, e.g. after subsumption pruning).
+    inserts: usize,
+    /// Free list of retired DBM buffers, reused by extrapolation clones.
+    arena: DbmArena,
+    /// Stored zones that LU extrapolation actually widened.
+    extrapolated: usize,
+    /// Dead clock dimensions summed over stored configurations.
+    projected: usize,
+}
+
+impl InternerState {
+    fn new() -> Mutex<InternerState> {
+        Mutex::new(InternerState {
+            zones: HashSet::new(),
+            inserts: 0,
+            arena: DbmArena::new(),
+            extrapolated: 0,
+            projected: 0,
+        })
+    }
 }
 
 /// The timed search space: configurations pair a discrete state with an
@@ -212,16 +316,39 @@ fn timed_successor(
 struct ZoneSpace<'a> {
     timed: &'a TimedTransitionSystem,
     subsumption: bool,
+    extrapolation: Extrapolation,
+    /// Per-clock LU constants of the model (unused under
+    /// [`Extrapolation::None`]).
+    bounds: LuBounds,
     /// Halt the search at the first committed configuration whose discrete
     /// state satisfies this goal (the witness search); `None` explores
     /// exhaustively.
     goal: Option<WitnessGoal>,
-    /// Canonical-DBM interning table: equal zones share one allocation, so
-    /// bucket storage and queued clones are reference bumps. Only locked
-    /// from the driver's single-threaded merge. The usize counts inserts
-    /// since the last sweep of dead entries (zones no longer referenced by
-    /// any bucket or queue, e.g. after subsumption pruning).
-    interner: Mutex<(HashSet<InternedZone>, usize)>,
+    interner: Mutex<InternerState>,
+}
+
+impl<'a> ZoneSpace<'a> {
+    fn new(
+        timed: &'a TimedTransitionSystem,
+        spec: &ExploreSpec,
+        goal: Option<WitnessGoal>,
+    ) -> ZoneSpace<'a> {
+        ZoneSpace {
+            timed,
+            subsumption: spec.subsumption,
+            extrapolation: spec.extrapolation,
+            bounds: LuBounds::of(timed),
+            goal,
+            interner: InternerState::new(),
+        }
+    }
+
+    /// The abstraction counters accumulated so far (consumed once the
+    /// exploration is over).
+    fn abstraction_stats(self) -> (usize, usize, ArenaStats) {
+        let state = self.interner.into_inner().expect("zone interner poisoned");
+        (state.extrapolated, state.projected, state.arena.stats())
+    }
 }
 
 /// Inserts between sweeps of unreferenced interner entries.
@@ -246,6 +373,9 @@ impl SearchSpace for ZoneSpace<'_> {
             apply_invariant(self.timed, &mut zone, s0);
             zone.canonicalize();
             if !zone.is_empty() {
+                if self.extrapolation == Extrapolation::LuActive {
+                    project_inactive(self.timed, &mut zone, s0);
+                }
                 initial.push((s0, Arc::new(zone)));
             }
         }
@@ -268,7 +398,14 @@ impl SearchSpace for ZoneSpace<'_> {
         let enabled_here = ts.enabled(*state);
         let mut successors = Vec::new();
         for &(event, target) in ts.transitions_from(*state) {
-            if let Some(next) = timed_successor(self.timed, zone, &enabled_here, event, target) {
+            if let Some(next) = timed_successor(
+                self.timed,
+                zone,
+                &enabled_here,
+                event,
+                target,
+                self.extrapolation,
+            ) {
                 successors.push((event, (target, Arc::new(next))));
             }
         }
@@ -303,19 +440,59 @@ impl SearchSpace for ZoneSpace<'_> {
 
     fn intern(&self, (state, zone): Self::Config) -> Self::Config {
         let mut guard = self.interner.lock().expect("zone interner poisoned");
-        let (interner, inserts) = &mut *guard;
+        let st = &mut *guard;
+        // LU-bounds extrapolation: widen the zone about to be stored. The
+        // widened zone subsumes the candidate, exactly what the intern
+        // contract allows for subsumption spaces; exact-dedup spaces key
+        // buckets by the pre-intern (exact) zone, so distinct exact zones
+        // that widen to one representative still dedup against each other's
+        // successors. The clone goes through the arena so an unchanged zone
+        // costs only a recycled buffer.
+        let zone = if self.extrapolation == Extrapolation::None {
+            zone
+        } else {
+            if self.extrapolation == Extrapolation::LuActive {
+                let ts = self.timed.underlying();
+                st.projected += ts.alphabet().len() - ts.enabled(state).len();
+            }
+            let mut widened = st.arena.clone_dbm(&zone);
+            if widened.extrapolate_lu(&self.bounds.lower, &self.bounds.upper) {
+                widened.canonicalize();
+                st.extrapolated += 1;
+                Arc::new(widened)
+            } else {
+                st.arena.recycle(widened);
+                zone
+            }
+        };
         let probe = InternedZone(zone.clone());
-        if let Some(shared) = interner.get(&probe) {
-            return (state, shared.0.clone());
+        if let Some(shared) = st.zones.get(&probe) {
+            let shared = shared.0.clone();
+            // The candidate hit an existing entry; if its matrix is
+            // otherwise unreferenced (a widened clone nothing else holds),
+            // reclaim the buffer.
+            drop(probe);
+            if let Ok(dead) = Arc::try_unwrap(zone) {
+                st.arena.recycle(dead);
+            }
+            return (state, shared);
         }
-        interner.insert(probe);
-        *inserts += 1;
-        if *inserts >= INTERNER_SWEEP_INTERVAL {
+        st.zones.insert(probe);
+        st.inserts += 1;
+        if st.inserts >= INTERNER_SWEEP_INTERVAL {
             // Drop entries only the interner still references (their zones
             // were pruned from every bucket and queue), so peak memory
-            // follows the live antichain rather than every zone ever seen.
-            interner.retain(|entry| Arc::strong_count(&entry.0) > 1);
-            *inserts = 0;
+            // follows the live antichain rather than every zone ever seen —
+            // and hand the reclaimed buffers back to the arena.
+            let retired = std::mem::take(&mut st.zones);
+            for entry in retired {
+                if Arc::strong_count(&entry.0) > 1 {
+                    st.zones.insert(entry);
+                } else if let Ok(dead) = Arc::try_unwrap(entry.0) {
+                    st.arena.recycle(dead);
+                }
+            }
+            st.inserts = 0;
         }
         (state, zone)
     }
@@ -356,19 +533,14 @@ pub fn explore_timed_with(
     timed: &TimedTransitionSystem,
     options: ZoneExplorationOptions,
 ) -> ZoneOutcome {
-    let space = ZoneSpace {
-        timed,
-        subsumption: options.subsumption,
-        goal: None,
-        interner: Mutex::new((HashSet::new(), 0)),
-    };
+    let space = ZoneSpace::new(timed, &options.spec, None);
     let outcome = match explore::explore(
         &space,
         &ExploreOptions {
-            threads: options.threads,
-            expanded_limit: options.configuration_limit,
-            cancel: options.cancel.clone(),
-            progress: options.progress.clone(),
+            threads: options.spec.threads,
+            expanded_limit: options.spec.limit_or(DEFAULT_CONFIGURATION_LIMIT),
+            cancel: options.spec.cancel.clone(),
+            progress: options.spec.progress.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -398,13 +570,14 @@ pub fn explore_timed_with(
             }
         }
     };
-    ZoneOutcome::Completed(aggregate_report(timed, &report))
+    ZoneOutcome::Completed(aggregate_report(timed, &report, space.abstraction_stats()))
 }
 
 /// Folds the raw exploration report into the state-level [`ZoneReport`].
 fn aggregate_report(
     timed: &TimedTransitionSystem,
     report: &explore::ExploreReport<(StateId, Arc<Dbm>), EventId>,
+    (extrapolated_zones, projected_clocks, arena): (usize, usize, ArenaStats),
 ) -> ZoneReport {
     let ts = timed.underlying();
     let reachable: BTreeSet<StateId> = report.nodes.iter().map(|node| node.config.0).collect();
@@ -424,6 +597,9 @@ fn aggregate_report(
         deadlock_states,
         configurations: report.expanded,
         subsumed_configurations: report.subsumption_skips,
+        extrapolated_zones,
+        projected_clocks,
+        arena,
     }
 }
 
@@ -448,6 +624,9 @@ pub enum WitnessGoal {
 pub struct SymbolicTrace {
     start: (StateId, Arc<Dbm>),
     steps: Vec<(EventId, StateId, Arc<Dbm>)>,
+    /// The abstraction the search stored its zones under; the replay applies
+    /// the same normalisation so recomputed zones match the recorded ones.
+    extrapolation: Extrapolation,
 }
 
 /// The absolute-time window in which one step of a [`SymbolicTrace`] can
@@ -507,12 +686,14 @@ impl SymbolicTrace {
             .collect()
     }
 
-    /// Replays the trace through the timed successor relation and checks that
-    /// every recomputed zone equals the stored one. Returns the end state on
-    /// success, `None` if any step is infeasible or drifts from the recorded
-    /// zones (which would indicate a reconstruction bug).
+    /// Replays the trace through the timed successor relation — under the
+    /// same abstraction the search used, so a recomputed zone must equal the
+    /// stored one exactly. Returns the end state on success, `None` if any
+    /// step is infeasible or drifts from the recorded zones (which would
+    /// indicate a reconstruction bug).
     pub fn replay(&self, timed: &TimedTransitionSystem) -> Option<StateId> {
         let ts = timed.underlying();
+        let bounds = LuBounds::of(timed);
         let mut state = self.start.0;
         let mut zone = self.start.1.clone();
         for (event, target, recorded) in &self.steps {
@@ -520,7 +701,20 @@ impl SymbolicTrace {
                 return None;
             }
             let enabled_here = ts.enabled(state);
-            let next = timed_successor(timed, &zone, &enabled_here, *event, *target)?;
+            let mut next = timed_successor(
+                timed,
+                &zone,
+                &enabled_here,
+                *event,
+                *target,
+                self.extrapolation,
+            )?;
+            // The search widens stored zones at interning time; mirror it.
+            if self.extrapolation != Extrapolation::None
+                && next.extrapolate_lu(&bounds.lower, &bounds.upper)
+            {
+                next.canonicalize();
+            }
             if next != **recorded {
                 return None;
             }
@@ -639,7 +833,7 @@ pub enum WitnessOutcome {
         /// subsumption is disabled).
         subsumed: usize,
     },
-    /// The [`ZoneExplorationOptions::cancel`] token fired before the goal
+    /// The [`ExploreSpec::cancel`](explore::ExploreSpec::cancel) token fired before the goal
     /// was decided.
     Cancelled {
         /// Number of configurations explored before the cancellation.
@@ -665,7 +859,7 @@ impl WitnessOutcome {
 ///
 /// The search runs on the shared exploration engine with parent tracking, so
 /// the returned trace — not just the verdict — is identical for every
-/// [`ZoneExplorationOptions::threads`] value, and subsumption only prunes
+/// [`ExploreSpec::threads`](explore::ExploreSpec::threads) value, and subsumption only prunes
 /// configurations covered by already-found ones (the trace stays a genuine
 /// timed execution).
 ///
@@ -706,20 +900,15 @@ pub fn find_witness(
     options: ZoneExplorationOptions,
     goal: WitnessGoal,
 ) -> WitnessOutcome {
-    let space = ZoneSpace {
-        timed,
-        subsumption: options.subsumption,
-        goal: Some(goal),
-        interner: Mutex::new((HashSet::new(), 0)),
-    };
+    let space = ZoneSpace::new(timed, &options.spec, Some(goal));
     let outcome = match explore::explore(
         &space,
         &ExploreOptions {
-            threads: options.threads,
-            expanded_limit: options.configuration_limit,
+            threads: options.spec.threads,
+            expanded_limit: options.spec.limit_or(DEFAULT_CONFIGURATION_LIMIT),
             trace: TraceOptions::parents(),
-            cancel: options.cancel.clone(),
-            progress: options.progress.clone(),
+            cancel: options.spec.cancel.clone(),
+            progress: options.spec.progress.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -750,7 +939,11 @@ pub fn find_witness(
         }
     };
     if !report.halted {
-        return WitnessOutcome::Unreachable(aggregate_report(timed, &report));
+        return WitnessOutcome::Unreachable(aggregate_report(
+            timed,
+            &report,
+            space.abstraction_stats(),
+        ));
     }
     let goal_node = report.nodes.len() - 1;
     let (root, steps) = report
@@ -764,17 +957,34 @@ pub fn find_witness(
             (event, state, zone)
         })
         .collect();
-    WitnessOutcome::Found(SymbolicTrace { start, steps })
+    WitnessOutcome::Found(SymbolicTrace {
+        start,
+        steps,
+        extrapolation: options.spec.extrapolation,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use explore::CancelToken;
     use tts::{DelayInterval, TsBuilder};
 
     fn d(l: i64, u: i64) -> DelayInterval {
         DelayInterval::new(Time::new(l), Time::new(u)).unwrap()
     }
+
+    /// Options with the given spec fields overridden.
+    fn with_spec(spec: ExploreSpec) -> ZoneExplorationOptions {
+        ZoneExplorationOptions { spec }
+    }
+
+    /// All three abstraction modes.
+    const MODES: [Extrapolation; 3] = [
+        Extrapolation::None,
+        Extrapolation::Lu,
+        Extrapolation::LuActive,
+    ];
 
     fn sorted(ids: &[StateId]) -> bool {
         ids.windows(2).all(|w| w[0] < w[1])
@@ -854,10 +1064,10 @@ mod tests {
     fn configuration_limit_aborts() {
         let outcome = explore_timed_with(
             &race(),
-            ZoneExplorationOptions {
-                configuration_limit: 1,
-                ..ZoneExplorationOptions::default()
-            },
+            with_spec(ExploreSpec {
+                limit: Some(1),
+                ..ExploreSpec::default()
+            }),
         );
         assert!(matches!(outcome, ZoneOutcome::LimitExceeded { .. }));
         assert!(outcome.report().is_none());
@@ -918,10 +1128,10 @@ mod tests {
         let on = explore_timed(&timed).report().unwrap().clone();
         let off = explore_timed_with(
             &timed,
-            ZoneExplorationOptions {
+            with_spec(ExploreSpec {
                 subsumption: false,
-                ..ZoneExplorationOptions::default()
-            },
+                ..ExploreSpec::default()
+            }),
         )
         .report()
         .unwrap()
@@ -984,18 +1194,21 @@ mod tests {
         );
         for threads in [1, 2, 4] {
             for subsumption in [true, false] {
-                let outcome = find_witness(
-                    &timed,
-                    ZoneExplorationOptions {
-                        threads,
-                        subsumption,
-                        ..ZoneExplorationOptions::default()
-                    },
-                    WitnessGoal::Violation,
-                );
-                let trace = outcome.trace().expect("violation reachable");
-                assert_eq!(trace.run(), base.trace().unwrap().run());
-                assert_eq!(trace.end_state(), base.trace().unwrap().end_state());
+                for extrapolation in MODES {
+                    let outcome = find_witness(
+                        &timed,
+                        with_spec(ExploreSpec {
+                            threads,
+                            subsumption,
+                            extrapolation,
+                            ..ExploreSpec::default()
+                        }),
+                        WitnessGoal::Violation,
+                    );
+                    let trace = outcome.trace().expect("violation reachable");
+                    assert_eq!(trace.run(), base.trace().unwrap().run());
+                    assert_eq!(trace.end_state(), base.trace().unwrap().end_state());
+                }
             }
         }
     }
@@ -1040,10 +1253,10 @@ mod tests {
         let timed = race();
         let outcome = find_witness(
             &timed,
-            ZoneExplorationOptions {
-                configuration_limit: 1,
-                ..ZoneExplorationOptions::default()
-            },
+            with_spec(ExploreSpec {
+                limit: Some(1),
+                ..ExploreSpec::default()
+            }),
             WitnessGoal::Deadlock,
         );
         assert!(matches!(outcome, WitnessOutcome::LimitExceeded { .. }));
@@ -1054,10 +1267,10 @@ mod tests {
     fn pre_cancelled_exploration_reports_cancelled() {
         let token = CancelToken::new();
         token.cancel();
-        let options = ZoneExplorationOptions {
+        let options = with_spec(ExploreSpec {
             cancel: token.clone(),
-            ..ZoneExplorationOptions::default()
-        };
+            ..ExploreSpec::default()
+        });
         let outcome = explore_timed_with(&race(), options.clone());
         assert_eq!(
             outcome,
@@ -1075,22 +1288,134 @@ mod tests {
     fn parallel_exploration_matches_sequential_exactly() {
         for timed in [race(), reconvergent()] {
             for subsumption in [true, false] {
-                let base = ZoneExplorationOptions {
-                    subsumption,
-                    ..ZoneExplorationOptions::default()
-                };
-                let sequential = explore_timed_with(&timed, base.clone());
-                for threads in [2, 4] {
-                    let parallel = explore_timed_with(
-                        &timed,
-                        ZoneExplorationOptions {
-                            threads,
-                            ..base.clone()
-                        },
-                    );
-                    assert_eq!(sequential, parallel, "threads={threads}");
+                for extrapolation in MODES {
+                    let base = ExploreSpec {
+                        subsumption,
+                        extrapolation,
+                        ..ExploreSpec::default()
+                    };
+                    let sequential = explore_timed_with(&timed, with_spec(base.clone()));
+                    for threads in [2, 4] {
+                        let parallel = explore_timed_with(
+                            &timed,
+                            with_spec(ExploreSpec {
+                                threads,
+                                ..base.clone()
+                            }),
+                        );
+                        // `ZoneOutcome` equality covers the verdict sets,
+                        // the configuration counters *and* the abstraction /
+                        // arena counters, so this pins them all as
+                        // thread-count independent.
+                        assert_eq!(sequential, parallel, "threads={threads}");
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn extrapolation_modes_agree_on_verdicts() {
+        for timed in [race(), reconvergent(), overlapping_race()] {
+            let exact = explore_timed(&timed).report().unwrap().clone();
+            for extrapolation in MODES {
+                for subsumption in [true, false] {
+                    let report = explore_timed_with(
+                        &timed,
+                        with_spec(ExploreSpec {
+                            subsumption,
+                            extrapolation,
+                            ..ExploreSpec::default()
+                        }),
+                    )
+                    .report()
+                    .unwrap()
+                    .clone();
+                    assert_eq!(report.reachable_states, exact.reachable_states);
+                    assert_eq!(report.violating_states, exact.violating_states);
+                    assert_eq!(report.deadlock_states, exact.deadlock_states);
+                    assert_sorted(&report);
+                }
+            }
+        }
+    }
+
+    /// A consumer that may lag unboundedly behind a bounded producer: the
+    /// producer's clock stays bounded by its invariant, but the consumer has
+    /// no upper delay bound, so under exact zones the difference between the
+    /// two clocks grows without bound and the zone count diverges.
+    fn unbounded_drift() -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("drift");
+        let s0 = b.add_state("s0");
+        b.add_transition(s0, "tick", s0);
+        b.add_transition(s0, "work", s0);
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("tick", d(1, 1));
+        timed.set_delay_by_name("work", DelayInterval::at_least(Time::new(3)).unwrap());
+        timed
+    }
+
+    #[test]
+    fn lu_extrapolation_terminates_where_exact_zones_diverge() {
+        let timed = unbounded_drift();
+        let exact = explore_timed_with(
+            &timed,
+            with_spec(ExploreSpec {
+                extrapolation: Extrapolation::None,
+                limit: Some(200),
+                ..ExploreSpec::default()
+            }),
+        );
+        assert!(
+            matches!(exact, ZoneOutcome::LimitExceeded { .. }),
+            "exact zones were expected to diverge, got {exact:?}"
+        );
+        for extrapolation in [Extrapolation::Lu, Extrapolation::LuActive] {
+            let abstracted = explore_timed_with(
+                &timed,
+                with_spec(ExploreSpec {
+                    extrapolation,
+                    limit: Some(200),
+                    ..ExploreSpec::default()
+                }),
+            );
+            let report = abstracted
+                .report()
+                .unwrap_or_else(|| panic!("{extrapolation} should terminate, got {abstracted:?}"));
+            assert_eq!(report.reachable_states.len(), 1);
+            assert!(report.extrapolated_zones > 0, "widening never fired");
+        }
+    }
+
+    #[test]
+    fn witness_found_under_extrapolation_replays_and_is_exactly_feasible() {
+        let timed = overlapping_race();
+        let outcome = find_witness(
+            &timed,
+            ZoneExplorationOptions::default(),
+            WitnessGoal::Violation,
+        );
+        let trace = outcome.trace().expect("violation reachable");
+        let end = trace.end_state();
+        // Replays under the abstraction it was found with...
+        assert_eq!(trace.replay(&timed), Some(end));
+        // ...and its discrete run is exactly feasible: the firing windows go
+        // through the unabstracted semantics (with the extra absolute-time
+        // clock) and must agree with the exact engine's windows.
+        let windows = trace.firing_windows(&timed).expect("exactly feasible");
+        assert_eq!(windows[0].earliest, Time::new(2));
+        assert_eq!(windows[0].latest, Bound::Finite(Time::new(4)));
+    }
+
+    #[test]
+    fn default_exploration_reports_abstraction_work() {
+        // The default mode is LuActive: the race's disabled clocks get
+        // projected and at least the unbounded-invariant-free zones widen.
+        let report = explore_timed(&race()).report().unwrap().clone();
+        assert!(report.projected_clocks > 0);
+        // Arena counters are wired through: every intern clones via the
+        // arena under LuActive.
+        assert!(report.arena.allocated + report.arena.reused > 0);
     }
 }

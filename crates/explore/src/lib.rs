@@ -37,6 +37,10 @@
 //!   reconstructed traces are identical for every thread count; the
 //!   counterexample traces of the `transyt` engine, the marking paths of
 //!   `stg` and the symbolic timed traces of `dbm` are all built on this.
+//! * [`ExploreSpec`] — the shared options core (threads / subsumption /
+//!   limit / [`Extrapolation`] / cancel / progress) that the per-domain
+//!   options structs (`ZoneExplorationOptions`, `ExpandOptions`,
+//!   `VerifyOptions`) embed instead of re-declaring the same fields.
 //!
 //! # Determinism
 //!
@@ -113,6 +117,7 @@ mod driver;
 mod progress;
 mod seen;
 mod space;
+mod spec;
 
 pub use cancel::CancelToken;
 pub use driver::{
@@ -120,3 +125,4 @@ pub use driver::{
 };
 pub use progress::{ProgressEvent, ProgressSink};
 pub use space::SearchSpace;
+pub use spec::{ExploreSpec, Extrapolation};

@@ -76,9 +76,15 @@ pub trait SearchSpace: Sync {
     /// Canonicalises a configuration before it is stored and enqueued.
     ///
     /// Called from the single-threaded merge, so implementations may use a
-    /// `Mutex` around shared interning tables without contention. The
-    /// returned configuration must be equal (`PartialEq`) to the argument;
-    /// only its representation may be shared (e.g. an interned `Arc`).
+    /// `Mutex` around shared interning tables without contention — and any
+    /// counters it bumps are deterministic for every thread count. The
+    /// returned configuration either equals the argument (with a possibly
+    /// shared representation, e.g. an interned `Arc`) or — for spaces with
+    /// [`uses_subsumption`](SearchSpace::uses_subsumption) — *subsumes* it
+    /// (a widening normalisation such as zone extrapolation). The driver
+    /// keys buckets by the pre-intern [`key`](SearchSpace::key) and never
+    /// re-keys stored configurations, so a widening intern must keep the
+    /// key stable for subsumption spaces.
     fn intern(&self, config: Self::Config) -> Self::Config {
         config
     }

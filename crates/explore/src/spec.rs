@@ -1,0 +1,166 @@
+//! The shared exploration options core.
+//!
+//! Every exploration-backed options struct in the workspace —
+//! `dbm::ZoneExplorationOptions`, `stg::ExpandOptions`,
+//! `transyt::VerifyOptions` — used to re-declare the same knobs (threads,
+//! limits, cancellation, progress). They now embed one [`ExploreSpec`], and
+//! the session layer's `TaskSpec` lowers to it in exactly one place, so
+//! adding the next knob is a one-struct change instead of a five-struct
+//! threading exercise.
+
+use std::fmt;
+
+use crate::cancel::CancelToken;
+use crate::progress::ProgressSink;
+
+/// Zone-abstraction level of a timed exploration.
+///
+/// Only the zone-graph explorer (`dbm`) interprets this; untimed searches
+/// carry it inert. The abstractions are *exact for discrete-state
+/// reachability*: every mode reports the identical reachable / violating /
+/// deadlocked state sets, differing only in how many symbolic configurations
+/// it takes to get there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Extrapolation {
+    /// Exact zones, no abstraction (the pre-abstraction baseline; may not
+    /// terminate on cyclic systems with unbounded drift).
+    None,
+    /// Coarse LU-bounds extrapolation (Behrmann et al.): zone bounds above
+    /// the per-clock lower/upper delay constants are widened away.
+    Lu,
+    /// LU-bounds extrapolation plus active-clock reduction: clocks of
+    /// disabled events are projected out before extrapolating. The default.
+    #[default]
+    LuActive,
+}
+
+impl Extrapolation {
+    /// The wire name: `none`, `lu` or `lu-active`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Extrapolation::None => "none",
+            Extrapolation::Lu => "lu",
+            Extrapolation::LuActive => "lu-active",
+        }
+    }
+
+    /// Parses a wire name back into a mode.
+    pub fn parse(name: &str) -> Option<Extrapolation> {
+        match name {
+            "none" => Some(Extrapolation::None),
+            "lu" => Some(Extrapolation::Lu),
+            "lu-active" => Some(Extrapolation::LuActive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Extrapolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The exploration knobs shared by every search in the workspace.
+///
+/// Embedded by `dbm::ZoneExplorationOptions`, `stg::ExpandOptions` and
+/// `transyt::VerifyOptions` (each of which only adds its domain-specific
+/// fields on top), lowered from the session layer's `TaskSpec` in one place,
+/// and parsed from CLI flags and server query strings through one table.
+///
+/// # Examples
+///
+/// ```
+/// use explore::{ExploreSpec, Extrapolation};
+///
+/// let spec = ExploreSpec {
+///     threads: 4,
+///     limit: Some(10_000),
+///     ..ExploreSpec::default()
+/// };
+/// assert!(spec.subsumption);
+/// assert_eq!(spec.extrapolation, Extrapolation::LuActive);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreSpec {
+    /// Number of worker threads (`1` = sequential; any value produces the
+    /// identical result).
+    pub threads: usize,
+    /// Subsumption-based pruning where the search supports it (zone
+    /// inclusion in the DBM explorer); ignored by exact-dedup searches.
+    pub subsumption: bool,
+    /// Exploration size limit (configurations, markings, …); `None` lets
+    /// each consumer apply its own default.
+    pub limit: Option<usize>,
+    /// Zone-abstraction level (timed explorations only).
+    pub extrapolation: Extrapolation,
+    /// Cooperative cancellation: a search whose token fires stops at the
+    /// next batch boundary. The default token is inert.
+    pub cancel: CancelToken,
+    /// Progress reporting: fed with events from the deterministic merge.
+    /// The default sink is inert.
+    pub progress: ProgressSink,
+}
+
+impl Default for ExploreSpec {
+    fn default() -> Self {
+        ExploreSpec {
+            threads: 1,
+            subsumption: true,
+            limit: None,
+            extrapolation: Extrapolation::default(),
+            cancel: CancelToken::default(),
+            progress: ProgressSink::default(),
+        }
+    }
+}
+
+impl ExploreSpec {
+    /// A default spec with `threads` workers — the most common override.
+    pub fn threaded(threads: usize) -> ExploreSpec {
+        ExploreSpec {
+            threads,
+            ..ExploreSpec::default()
+        }
+    }
+
+    /// The size limit the consumer should enforce: the explicit limit, or
+    /// `default` when none was set.
+    pub fn limit_or(&self, default: usize) -> usize {
+        self.limit.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extrapolation_names_round_trip() {
+        for mode in [
+            Extrapolation::None,
+            Extrapolation::Lu,
+            Extrapolation::LuActive,
+        ] {
+            assert_eq!(Extrapolation::parse(mode.name()), Some(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(Extrapolation::parse("fancy"), None);
+        assert_eq!(Extrapolation::default(), Extrapolation::LuActive);
+    }
+
+    #[test]
+    fn spec_defaults_and_limit_resolution() {
+        let spec = ExploreSpec::default();
+        assert_eq!(spec.threads, 1);
+        assert!(spec.subsumption);
+        assert_eq!(spec.limit, None);
+        assert_eq!(spec.limit_or(42), 42);
+        assert_eq!(ExploreSpec::threaded(8).threads, 8);
+        let limited = ExploreSpec {
+            limit: Some(7),
+            ..ExploreSpec::default()
+        };
+        assert_eq!(limited.limit_or(42), 7);
+    }
+}

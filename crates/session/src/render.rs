@@ -121,6 +121,15 @@ pub fn zones_document(model: &str, outcome: &ZoneOutcome, trace: Option<&Rendere
             .field("reachable_states", report.reachable_states.len())
             .field("violating_states", report.violating_states.len())
             .field("deadlock_states", report.deadlock_states.len())
+            .field("extrapolated_zones", report.extrapolated_zones)
+            .field("projected_clocks", report.projected_clocks)
+            .field(
+                "arena",
+                Value::object()
+                    .field("allocated", report.arena.allocated)
+                    .field("reused", report.arena.reused)
+                    .field("recycled", report.arena.recycled),
+            )
             .field("completed", true),
         ZoneOutcome::LimitExceeded { explored, subsumed } => doc
             .field("configurations", *explored)
@@ -185,6 +194,14 @@ fn summarise_zone_outcome(outcome: &ZoneOutcome, text: &mut String) {
                 report.reachable_states.len(),
                 report.violating_states.len(),
                 report.deadlock_states.len()
+            ));
+            text.push_str(&format!(
+                "zone abstraction: {} zones extrapolated, {} clocks projected, \
+                 arena {} allocated / {} reused\n",
+                report.extrapolated_zones,
+                report.projected_clocks,
+                report.arena.allocated,
+                report.arena.reused
             ));
         }
         ZoneOutcome::LimitExceeded { explored, subsumed } => {

@@ -45,9 +45,7 @@ fn run_verify(
     let timed = model.timed_system()?;
     let property = model.property();
     let verify_options = VerifyOptions {
-        threads: spec.threads,
-        cancel: cancel.clone(),
-        progress: progress.clone(),
+        spec: spec.explore_spec(cancel.clone(), progress.clone()),
         ..VerifyOptions::default()
     };
     let verdict = transyt::verify(&timed, &property, &verify_options);
@@ -90,10 +88,7 @@ fn run_reach(
         ));
     };
     let expand_options = ExpandOptions {
-        threads: spec.threads,
-        marking_limit: spec.effective_limit().unwrap_or(usize::MAX),
-        cancel: cancel.clone(),
-        progress: progress.clone(),
+        spec: spec.explore_spec(cancel.clone(), progress.clone()),
         ..ExpandOptions::default()
     };
     let cancelled_or = |context: String| {
@@ -170,11 +165,7 @@ fn run_zones(
 ) -> Result<Outcome, SessionError> {
     let timed = model.timed_system()?;
     let zone_options = ZoneExplorationOptions {
-        threads: spec.threads,
-        subsumption: spec.subsumption,
-        configuration_limit: spec.effective_limit().unwrap_or(usize::MAX),
-        cancel: cancel.clone(),
-        progress: progress.clone(),
+        spec: spec.explore_spec(cancel.clone(), progress.clone()),
     };
     let ts = timed.underlying();
     let model_name = model.name.clone();

@@ -568,3 +568,58 @@ fn kind_of(model: &Model) -> &'static str {
         ModelSource::Tts(_) => "tts",
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use explore::Extrapolation;
+
+    const RACE: &str = "tts race\n\
+         state s0 s0\n\
+         state s1 bad\n\
+         state s2 ok\n\
+         state s3 done\n\
+         initial s0\n\
+         violation s1 \"slow overtook fast\"\n\
+         trans s0 fast s2\n\
+         trans s0 slow s1\n\
+         trans s2 slow s3\n\
+         trans s1 fast s3\n\
+         delay fast [1,2]\n\
+         delay slow [5,9]\n\
+         property forbid-marked\n";
+
+    #[test]
+    fn submissions_differing_only_in_an_ignored_option_share_one_run() {
+        let session = Session::new();
+        let (cached, _) = session.add_model(RACE).unwrap();
+
+        // `verify` ignores the zone abstraction mode, so the two specs
+        // normalize to the same key and the second call is a memo hit.
+        let a = TaskSpec::verify(&cached.hash);
+        let b = TaskSpec::verify(&cached.hash).extrapolation(Extrapolation::None);
+        assert_eq!(a.key(), b.key());
+        let first = session.run(&a).unwrap();
+        let second = session.run(&b).unwrap();
+        assert_eq!(
+            session.stats(),
+            SessionStats {
+                runs_executed: 1,
+                runs_attached: 0,
+                memo_hits: 1,
+            }
+        );
+        assert_eq!(
+            crate::render::document(&first),
+            crate::render::document(&second)
+        );
+
+        // For `zones` the mode is load-bearing: distinct keys, distinct runs.
+        let a = TaskSpec::zones(&cached.hash);
+        let b = TaskSpec::zones(&cached.hash).extrapolation(Extrapolation::None);
+        assert_ne!(a.key(), b.key());
+        session.run(&a).unwrap();
+        session.run(&b).unwrap();
+        assert_eq!(session.stats().runs_executed, 3);
+    }
+}

@@ -11,6 +11,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use explore::{CancelToken, ExploreSpec, Extrapolation, ProgressSink};
+
 /// The commands a [`Session`](crate::Session) can run. (`table1` and
 /// `export` are CLI conveniences built on other crates, not session tasks.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,7 +80,7 @@ pub const ZONES_DEFAULT_LIMIT: usize = 50_000;
 ///     .deadline(Duration::from_secs(30));
 /// assert_eq!(spec.key().canonical(),
 ///     "model=0011223344556677 command=zones threads=4 subsumption=off \
-///      trace=yes limit=80000 to=- deadline=30000ms");
+///      extrapolation=lu-active trace=yes limit=80000 to=- deadline=30000ms");
 ///
 /// // Identical submissions — however they were spelled — share a key.
 /// let parsed = TaskSpec::parse("zones", &[
@@ -101,6 +103,9 @@ pub struct TaskSpec {
     pub threads: usize,
     /// Zone subsumption (`zones` only; default on).
     pub subsumption: bool,
+    /// Zone abstraction mode (`zones` only; default
+    /// [`Extrapolation::LuActive`]).
+    pub extrapolation: Extrapolation,
     /// Produce a witness / counterexample trace.
     pub trace: bool,
     /// Exploration size limit (default per command).
@@ -133,6 +138,7 @@ impl TaskSpec {
             command,
             threads: 1,
             subsumption: true,
+            extrapolation: Extrapolation::default(),
             trace: false,
             limit: None,
             to_label: None,
@@ -166,6 +172,13 @@ impl TaskSpec {
     #[must_use]
     pub fn subsumption(mut self, on: bool) -> TaskSpec {
         self.subsumption = on;
+        self
+    }
+
+    /// Selects the zone abstraction mode.
+    #[must_use]
+    pub fn extrapolation(mut self, mode: Extrapolation) -> TaskSpec {
+        self.extrapolation = mode;
         self
     }
 
@@ -211,7 +224,14 @@ impl TaskSpec {
         match command {
             TaskCommand::Verify => &["threads", "trace", "timeout"],
             TaskCommand::Reach => &["threads", "trace", "to", "limit", "timeout"],
-            TaskCommand::Zones => &["threads", "subsumption", "trace", "limit", "timeout"],
+            TaskCommand::Zones => &[
+                "threads",
+                "subsumption",
+                "extrapolation",
+                "trace",
+                "limit",
+                "timeout",
+            ],
         }
     }
 
@@ -259,6 +279,13 @@ impl TaskSpec {
                         }
                     };
                 }
+                "extrapolation" => {
+                    spec.extrapolation = Extrapolation::parse(value).ok_or_else(|| {
+                        SpecError(format!(
+                            "bad `extrapolation` value `{value}` (use none|lu|lu-active)"
+                        ))
+                    })?;
+                }
                 "trace" => {
                     spec.trace = match value.as_str() {
                         "true" => true,
@@ -302,6 +329,22 @@ impl TaskSpec {
         }
     }
 
+    /// Lowers the spec into the [`ExploreSpec`] every exploration-backed
+    /// command consumes — the single point where session options become
+    /// engine options. The limit is the command's
+    /// [`effective_limit`](Self::effective_limit); the run's cancel token
+    /// and progress sink are supplied by the executing session.
+    pub fn explore_spec(&self, cancel: CancelToken, progress: ProgressSink) -> ExploreSpec {
+        ExploreSpec {
+            threads: self.threads,
+            subsumption: self.subsumption,
+            limit: self.effective_limit(),
+            extrapolation: self.extrapolation,
+            cancel,
+            progress,
+        }
+    }
+
     /// The canonical key of this task: model hash + normalized options.
     /// Options the command ignores are erased and default limits resolved,
     /// so two submissions that would produce the same document — however
@@ -315,6 +358,10 @@ impl TaskSpec {
                     "off"
                 }
             }
+            _ => "-",
+        };
+        let extrapolation = match self.command {
+            TaskCommand::Zones => self.extrapolation.name(),
             _ => "-",
         };
         let limit = match self.effective_limit() {
@@ -331,8 +378,9 @@ impl TaskSpec {
         };
         TaskKey {
             canonical: format!(
-                "model={} command={} threads={} subsumption={subsumption} trace={} \
-                 limit={limit} to={to} deadline={deadline}",
+                "model={} command={} threads={} subsumption={subsumption} \
+                 extrapolation={extrapolation} trace={} limit={limit} to={to} \
+                 deadline={deadline}",
                 self.model,
                 self.command,
                 self.threads,
@@ -392,6 +440,14 @@ mod tests {
         let b = TaskSpec::zones("abc");
         assert_ne!(a.key(), b.key());
 
+        // Same for the abstraction mode: meaningful for `zones` only.
+        let a = TaskSpec::verify("abc").extrapolation(Extrapolation::None);
+        let b = TaskSpec::verify("abc");
+        assert_eq!(a.key(), b.key());
+        let a = TaskSpec::zones("abc").extrapolation(Extrapolation::None);
+        let b = TaskSpec::zones("abc");
+        assert_ne!(a.key(), b.key());
+
         // Different models never collide.
         assert_ne!(TaskSpec::verify("abc").key(), TaskSpec::verify("abd").key());
         assert_eq!(TaskSpec::verify("abc").key().fingerprint().len(), 16);
@@ -404,6 +460,10 @@ mod tests {
         assert!(TaskSpec::parse("verify", &[pair("subsumption", "on")]).is_err());
         assert!(TaskSpec::parse("zones", &[pair("threads", "x")]).is_err());
         assert!(TaskSpec::parse("zones", &[pair("trace", "maybe")]).is_err());
+        assert!(TaskSpec::parse("zones", &[pair("extrapolation", "fancy")]).is_err());
+        assert!(TaskSpec::parse("verify", &[pair("extrapolation", "lu")]).is_err());
+        let spec = TaskSpec::parse("zones", &[pair("extrapolation", "none")]).unwrap();
+        assert_eq!(spec.extrapolation, Extrapolation::None);
         assert!(TaskSpec::parse("verify", &[pair("timeout", "0")]).is_err());
 
         let spec = TaskSpec::parse(

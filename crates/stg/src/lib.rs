@@ -40,5 +40,9 @@ mod reach;
 pub use net::{BuildStgError, Marking, PlaceId, SignalRole, Stg, StgBuilder, TransitionId};
 pub use reach::{
     expand, expand_with, expand_with_report, find_marking_path, signals, ExpandError,
-    ExpandOptions, MarkingPath, ReachReport,
+    ExpandOptions, MarkingPath, ReachReport, DEFAULT_MARKING_LIMIT,
 };
+
+// Re-export the exploration options type [`ExpandOptions`] embeds, so
+// callers can configure expansions without naming the `explore` crate.
+pub use explore::{CancelToken, ExploreSpec};

@@ -12,14 +12,12 @@
 //! markings are the configurations, firings are the edges, and the recorded
 //! breadth-first nodes are replayed afterwards to assemble the transition
 //! system with exactly the state numbering the historical sequential
-//! expansion produced — whatever [`ExpandOptions::threads`] was used.
+//! expansion produced — whatever [`ExploreSpec::threads`] was used.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use explore::{
-    CancelToken, ExploreOptions, ExploreOutcome, ProgressSink, SearchSpace, TraceOptions,
-};
+use explore::{ExploreOptions, ExploreOutcome, ExploreSpec, SearchSpace, TraceOptions};
 use tts::{SignalEdge, StateId, TransitionSystem, TsBuilder};
 
 use crate::net::{Marking, SignalRole, Stg, TransitionId};
@@ -48,7 +46,7 @@ pub enum ExpandError {
     /// The expansion produced an invalid transition system (e.g. no
     /// transitions at all).
     Build(String),
-    /// The [`ExpandOptions::cancel`] token fired before the expansion
+    /// The [`ExploreSpec::cancel`] token fired before the expansion
     /// finished.
     Cancelled,
 }
@@ -73,38 +71,40 @@ impl fmt::Display for ExpandError {
 
 impl std::error::Error for ExpandError {}
 
+/// Marking limit applied when [`ExploreSpec::limit`] is `None`.
+pub const DEFAULT_MARKING_LIMIT: usize = 100_000;
+
 /// Options for [`expand`].
+///
+/// The shared exploration knobs (threads / limit / cancel / progress) live
+/// in the embedded [`ExploreSpec`]; the marking search uses exact
+/// deduplication, so the spec's `subsumption` and `extrapolation` fields are
+/// carried inert. An unset [`ExploreSpec::limit`] resolves to
+/// [`DEFAULT_MARKING_LIMIT`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpandOptions {
+    /// The shared exploration knobs.
+    pub spec: ExploreSpec,
     /// Per-place token bound (the paper's models are all 1-safe).
     pub token_bound: u32,
-    /// Maximum number of markings to explore.
-    pub marking_limit: usize,
     /// If `true`, verify rising/falling alternation of every signal.
     pub check_signal_consistency: bool,
-    /// Number of worker threads for the marking search (`1` = sequential;
-    /// any value produces the identical transition system and report).
-    pub threads: usize,
-    /// Cooperative cancellation: an expansion whose token fires stops at the
-    /// next batch boundary with [`ExpandError::Cancelled`]. The default
-    /// token is inert.
-    pub cancel: CancelToken,
-    /// Progress reporting: forwarded to the exploration driver, which emits
-    /// batch/level events from the deterministic merge. The default sink is
-    /// inert.
-    pub progress: ProgressSink,
 }
 
 impl Default for ExpandOptions {
     fn default() -> Self {
         ExpandOptions {
+            spec: ExploreSpec::default(),
             token_bound: 1,
-            marking_limit: 100_000,
             check_signal_consistency: true,
-            threads: 1,
-            cancel: CancelToken::default(),
-            progress: ProgressSink::default(),
         }
+    }
+}
+
+impl ExpandOptions {
+    /// The marking limit the expansion enforces.
+    fn marking_limit(&self) -> usize {
+        self.spec.limit_or(DEFAULT_MARKING_LIMIT)
     }
 }
 
@@ -239,11 +239,11 @@ pub fn expand_with_report(
     let outcome = explore::explore(
         &space,
         &ExploreOptions {
-            threads: options.threads,
-            discovered_limit: options.marking_limit,
+            threads: options.spec.threads,
+            discovered_limit: options.marking_limit(),
             record_edges: true,
-            cancel: options.cancel.clone(),
-            progress: options.progress.clone(),
+            cancel: options.spec.cancel.clone(),
+            progress: options.spec.progress.clone(),
             ..ExploreOptions::default()
         },
     )?;
@@ -251,7 +251,7 @@ pub fn expand_with_report(
         ExploreOutcome::Completed(report) => report,
         ExploreOutcome::LimitExceeded { .. } => {
             return Err(ExpandError::TooManyMarkings {
-                limit: options.marking_limit,
+                limit: options.marking_limit(),
             })
         }
         ExploreOutcome::Cancelled { .. } => return Err(ExpandError::Cancelled),
@@ -418,7 +418,7 @@ impl<G: Fn(&Marking) -> bool + Sync> SearchSpace for GoalSpace<'_, G> {
 ///
 /// The search runs on the shared exploration engine with parent tracking, so
 /// the returned path — not just its existence — is identical for every
-/// [`ExpandOptions::threads`] value.
+/// [`ExploreSpec::threads`] value.
 ///
 /// # Errors
 ///
@@ -462,11 +462,11 @@ where
     let outcome = explore::explore(
         &space,
         &ExploreOptions {
-            threads: options.threads,
-            discovered_limit: options.marking_limit,
+            threads: options.spec.threads,
+            discovered_limit: options.marking_limit(),
             trace: TraceOptions::parents(),
-            cancel: options.cancel.clone(),
-            progress: options.progress.clone(),
+            cancel: options.spec.cancel.clone(),
+            progress: options.spec.progress.clone(),
             ..ExploreOptions::default()
         },
     )?;
@@ -474,7 +474,7 @@ where
         ExploreOutcome::Completed(report) => report,
         ExploreOutcome::LimitExceeded { .. } => {
             return Err(ExpandError::TooManyMarkings {
-                limit: options.marking_limit,
+                limit: options.marking_limit(),
             })
         }
         ExploreOutcome::Cancelled { .. } => return Err(ExpandError::Cancelled),
@@ -658,7 +658,10 @@ mod tests {
         let err = expand_with(
             &toggle(),
             ExpandOptions {
-                marking_limit: 0,
+                spec: ExploreSpec {
+                    limit: Some(0),
+                    ..ExploreSpec::default()
+                },
                 ..ExpandOptions::default()
             },
         )
@@ -733,7 +736,7 @@ mod tests {
             let parallel = find_marking_path(
                 &net,
                 ExpandOptions {
-                    threads,
+                    spec: ExploreSpec::threaded(threads),
                     ..ExpandOptions::default()
                 },
                 goal,
@@ -781,10 +784,13 @@ mod tests {
 
     #[test]
     fn cancelled_expansion_reports_cancelled() {
-        let token = CancelToken::new();
+        let token = explore::CancelToken::new();
         token.cancel();
         let options = ExpandOptions {
-            cancel: token,
+            spec: ExploreSpec {
+                cancel: token,
+                ..ExploreSpec::default()
+            },
             ..ExpandOptions::default()
         };
         let err = expand_with(&toggle(), options.clone()).unwrap_err();
@@ -830,7 +836,7 @@ mod tests {
             let parallel = expand_with_report(
                 &net,
                 ExpandOptions {
-                    threads,
+                    spec: ExploreSpec::threaded(threads),
                     ..ExpandOptions::default()
                 },
             )

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates the committed golden documents in crates/cli/tests/golden/
+# from the current canonical rendering (the exact bytes `--json` writes and
+# the server serves). Run this after an *intentional* document-shape change,
+# review the diff, and re-run `cargo test -p transyt-cli --test golden` —
+# the `every_committed_golden_matches_current_rendering` test fails when a
+# golden drifts or an orphan file lands in the directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p transyt-cli
+BIN=target/release/transyt
+GOLD=crates/cli/tests/golden
+
+for m in c_element.stg intro_fig1.tts ipcmos_1stage.stg ipcmos_2stage.stg \
+         ipcmos_3stage.stg race_overlap.tts ring_pipeline.stg; do
+    "$BIN" verify "models/$m" --trace --json "$GOLD/verify_${m//./_}.json" >/dev/null
+done
+"$BIN" zones models/ipcmos_1stage.stg --json "$GOLD/zones_ipcmos_1stage_stg.json" >/dev/null
+"$BIN" zones models/race_overlap.tts --trace --json "$GOLD/zones_race_overlap_tts.json" >/dev/null
+"$BIN" reach models/c_element.stg --to C+ --json "$GOLD/reach_c_element_stg.json" >/dev/null
+"$BIN" reach models/ring_pipeline.stg --json "$GOLD/reach_ring_pipeline_stg.json" >/dev/null
+
+echo "regenerated $(ls "$GOLD" | wc -l) goldens in $GOLD"

@@ -93,14 +93,21 @@ proptest! {
     ) {
         let net = random_stg(transitions, &extra_arcs);
         let limited = ExpandOptions {
-            marking_limit: 2_000,
+            spec: stg::ExploreSpec {
+                limit: Some(2_000),
+                ..stg::ExploreSpec::default()
+            },
             ..ExpandOptions::default()
+        };
+        let parallel_spec = stg::ExploreSpec {
+            threads: 4,
+            ..limited.spec.clone()
         };
         let sequential = expand_with_report(&net, limited.clone());
         let parallel = expand_with_report(
             &net,
             ExpandOptions {
-                threads: 4,
+                spec: parallel_spec,
                 ..limited
             },
         );
@@ -121,15 +128,22 @@ proptest! {
         let timed = random_timed(states, &transitions, &delays);
         for subsumption in [true, false] {
             let base = dbm::ZoneExplorationOptions {
-                configuration_limit: 600,
-                threads: 1,
-                subsumption,
-                ..dbm::ZoneExplorationOptions::default()
+                spec: dbm::ExploreSpec {
+                    threads: 1,
+                    subsumption,
+                    limit: Some(600),
+                    ..dbm::ExploreSpec::default()
+                },
             };
             let sequential = dbm::explore_timed_with(&timed, base.clone());
             let parallel = dbm::explore_timed_with(
                 &timed,
-                dbm::ZoneExplorationOptions { threads: 4, ..base },
+                dbm::ZoneExplorationOptions {
+                    spec: dbm::ExploreSpec {
+                        threads: 4,
+                        ..base.spec
+                    },
+                },
             );
             prop_assert_eq!(&sequential, &parallel);
             if let dbm::ZoneOutcome::Completed(report) = &sequential {
@@ -151,10 +165,12 @@ proptest! {
             dbm::explore_timed_with(
                 &timed,
                 dbm::ZoneExplorationOptions {
-                    configuration_limit: 1_500,
-                    threads: 1,
-                    subsumption,
-                    ..dbm::ZoneExplorationOptions::default()
+                    spec: dbm::ExploreSpec {
+                        threads: 1,
+                        subsumption,
+                        limit: Some(1_500),
+                        ..dbm::ExploreSpec::default()
+                    },
                 },
             )
         };
@@ -183,7 +199,7 @@ proptest! {
             &timed,
             &property,
             &transyt::VerifyOptions {
-                threads: 4,
+                spec: transyt::ExploreSpec::threaded(4),
                 ..transyt::VerifyOptions::default()
             },
         );
