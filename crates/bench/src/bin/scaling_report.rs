@@ -2,12 +2,14 @@
 //! pipeline (untimed state count + zone-based timed exploration) versus the
 //! constant-size assume-guarantee obligations.
 //!
-//! The zone exploration is run as five series — the exact semantics
-//! sequential with zone subsumption, with exact-duplicate deduplication
-//! only, and parallel with subsumption, plus the LU-extrapolated variants
-//! (`zones-lu`, `zones-lu-active`) — so the report quantifies the
-//! subsumption win, the parallel speedup, and the coarse-abstraction win of
-//! LU extrapolation and active-clock reduction.
+//! The zone exploration is run as six series — the exact semantics
+//! sequential with convex zone subsumption, with exact-duplicate
+//! deduplication only, and parallel with convex subsumption, plus the
+//! LU-extrapolated variants (`zones-lu`, `zones-lu-active`) and the
+//! non-convex aLU-subsumption series (`zones-alu`) — so the report
+//! quantifies the subsumption win, the parallel speedup, the
+//! coarse-abstraction win of LU extrapolation and active-clock reduction,
+//! and the further reduction of aLU coverage.
 //!
 //! ```text
 //! scaling_report [MAX_STAGES] [--threads N] [--limit N] [--json PATH]
@@ -19,12 +21,15 @@
 use std::time::Instant;
 
 use bench::json::Value;
-use dbm::{explore_timed_with, ExploreSpec, Extrapolation, ZoneExplorationOptions, ZoneOutcome};
+use dbm::{
+    explore_timed_with, ExploreSpec, Extrapolation, Subsumption, ZoneExplorationOptions,
+    ZoneOutcome,
+};
 
 struct Series {
     name: &'static str,
     threads: usize,
-    subsumption: bool,
+    subsumption: Subsumption,
     extrapolation: Extrapolation,
 }
 
@@ -62,31 +67,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Series {
             name: "zone_sequential_subsumption",
             threads: 1,
-            subsumption: true,
+            subsumption: Subsumption::Inclusion,
             extrapolation: Extrapolation::None,
         },
         Series {
             name: "zone_sequential_exact",
             threads: 1,
-            subsumption: false,
+            subsumption: Subsumption::Exact,
             extrapolation: Extrapolation::None,
         },
         Series {
             name: "zone_parallel_subsumption",
             threads,
-            subsumption: true,
+            subsumption: Subsumption::Inclusion,
             extrapolation: Extrapolation::None,
         },
         Series {
             name: "zones-lu",
             threads: 1,
-            subsumption: true,
+            subsumption: Subsumption::Inclusion,
             extrapolation: Extrapolation::Lu,
         },
         Series {
             name: "zones-lu-active",
             threads: 1,
-            subsumption: true,
+            subsumption: Subsumption::Inclusion,
+            extrapolation: Extrapolation::LuActive,
+        },
+        Series {
+            name: "zones-alu",
+            threads: 1,
+            subsumption: Subsumption::Alu,
             extrapolation: Extrapolation::LuActive,
         },
     ];
@@ -105,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "series `{}` (threads={}, subsumption={}, extrapolation={}):",
             spec.name,
             spec.threads,
-            spec.subsumption,
+            spec.subsumption.name(),
             spec.extrapolation.name()
         );
         println!(
@@ -169,7 +180,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Value::object()
                 .field("name", spec.name)
                 .field("threads", spec.threads)
-                .field("subsumption", spec.subsumption)
+                .field("subsumption", spec.subsumption.name())
                 .field("extrapolation", spec.extrapolation.name())
                 .field("points", points),
         );

@@ -18,7 +18,7 @@ use bench::json::Value;
 use transyt_session::{
     render, Completion, RunControl, Session, SessionError, TaskCommand, TaskSpec,
 };
-use transyt_session::{CancelToken, Extrapolation, ProgressSink};
+use transyt_session::{CancelToken, Extrapolation, ProgressSink, Subsumption};
 
 use crate::format::Model;
 use crate::json;
@@ -33,8 +33,9 @@ pub struct Options {
     /// Worker threads for every exploration (`--threads`, default 1; any
     /// value produces identical output).
     pub threads: usize,
-    /// Zone subsumption (`--subsumption on|off`, default on).
-    pub subsumption: bool,
+    /// Zone subsumption policy (`--subsumption exact|inclusion|alu`,
+    /// default `alu`).
+    pub subsumption: Subsumption,
     /// Zone abstraction mode (`--extrapolation none|lu|lu-active`, default
     /// `lu-active`).
     pub extrapolation: Extrapolation,
@@ -59,7 +60,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             threads: 1,
-            subsumption: true,
+            subsumption: Subsumption::default(),
             extrapolation: Extrapolation::default(),
             trace: false,
             limit: None,

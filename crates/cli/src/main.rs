@@ -25,7 +25,7 @@ USAGE:
     transyt verify FILE [--threads N] [--trace] [--timeout SECS] [--progress] [--json PATH]
     transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--timeout SECS]
                         [--progress] [--json PATH]
-    transyt zones  FILE [--threads N] [--subsumption on|off]
+    transyt zones  FILE [--threads N] [--subsumption exact|inclusion|alu]
                         [--extrapolation none|lu|lu-active] [--trace] [--limit N]
                         [--timeout SECS] [--progress] [--json PATH]
     transyt table1      [--threads N] [--json PATH]
@@ -33,7 +33,7 @@ USAGE:
     transyt serve       [--addr HOST:PORT] [--workers N] [--keep-results N]
                         [--result-ttl SECS]
     transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
-                        [--threads N] [--subsumption on|off]
+                        [--threads N] [--subsumption exact|inclusion|alu]
                         [--extrapolation none|lu|lu-active] [--trace] [--limit N]
                         [--to LABEL] [--timeout SECS] [--json PATH]
     transyt status [JOBID] --server HOST:PORT

@@ -83,8 +83,8 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
     if options.threads != 1 {
         path.push_str(&format!("&threads={}", options.threads));
     }
-    if !options.subsumption {
-        path.push_str("&subsumption=off");
+    if options.subsumption != transyt_session::Subsumption::default() {
+        path.push_str(&format!("&subsumption={}", options.subsumption.name()));
     }
     if options.extrapolation != transyt_session::Extrapolation::default() {
         path.push_str(&format!("&extrapolation={}", options.extrapolation.name()));

@@ -11,6 +11,7 @@ use transyt_cli::commands::{
 };
 use transyt_cli::format::Model;
 use transyt_cli::scenarios;
+use transyt_session::Subsumption;
 
 fn models_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../models")
@@ -168,9 +169,11 @@ fn reach_finds_marking_paths_and_zones_find_symbolic_traces() {
 #[test]
 fn zone_trace_is_identical_across_thread_counts_and_subsumption() {
     let model = load("ipcmos_1stage.stg");
+    const POLICIES: [Subsumption; 3] =
+        [Subsumption::Exact, Subsumption::Inclusion, Subsumption::Alu];
     let mut texts = Vec::new();
     for threads in [1, 4] {
-        for subsumption in [true, false] {
+        for subsumption in POLICIES {
             let options = Options {
                 threads,
                 subsumption,
@@ -184,8 +187,14 @@ fn zone_trace_is_identical_across_thread_counts_and_subsumption() {
             texts.push((subsumption, result.text));
         }
     }
-    assert_eq!(texts[0], texts[2], "threads 1 vs 4 (subsumption on)");
-    assert_eq!(texts[1], texts[3], "threads 1 vs 4 (subsumption off)");
+    for i in 0..POLICIES.len() {
+        assert_eq!(
+            texts[i],
+            texts[i + POLICIES.len()],
+            "threads 1 vs 4 ({})",
+            POLICIES[i]
+        );
+    }
 }
 
 #[test]
@@ -293,7 +302,7 @@ fn json_documents_are_unchanged_golden() {
     assert_eq!(
         zones,
         "{\"model\":\"race_overlap\",\"configurations\":4,\"subsumed\":0,\
-         \"reachable_states\":4,\"violating_states\":1,\"deadlock_states\":1,\
+         \"alu_subsumed\":0,\"reachable_states\":4,\"violating_states\":1,\"deadlock_states\":1,\
          \"extrapolated_zones\":3,\"projected_clocks\":4,\
          \"arena\":{\"allocated\":4,\"reused\":0,\"recycled\":1},\
          \"completed\":true,\"trace\":{\"kind\":\"witness\",\"start\":\"s0\",\

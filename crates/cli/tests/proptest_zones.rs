@@ -1,12 +1,16 @@
-//! Property tests for the zone abstraction: LU-bounds extrapolation and
-//! active-clock reduction are *exact* abstractions — on randomized
-//! delay-window perturbations of the shipped models, every mode reports the
-//! same verdict and the same reachable / violating / deadlocked discrete
-//! state sets as the unabstracted exploration.
+//! Property tests for the zone abstraction: LU-bounds extrapolation,
+//! active-clock reduction and aLU subsumption are *exact* abstractions — on
+//! randomized delay-window perturbations of the shipped models, every
+//! extrapolation mode and every subsumption policy reports the same verdict
+//! and the same reachable / violating / deadlocked discrete state sets as
+//! the unabstracted exploration.
 
 use std::path::PathBuf;
 
-use dbm::{explore_timed_with, ExploreSpec, Extrapolation, ZoneExplorationOptions, ZoneOutcome};
+use dbm::{
+    explore_timed_with, ExploreSpec, Extrapolation, Subsumption, ZoneExplorationOptions,
+    ZoneOutcome,
+};
 use proptest::prelude::*;
 use transyt_cli::format::Model;
 use tts::{DelayInterval, Time, TimedTransitionSystem};
@@ -33,17 +37,26 @@ fn perturbed(file: &str, picks: &[(i64, i64)]) -> TimedTransitionSystem {
     model.timed_system().expect("shipped model instantiates")
 }
 
-fn explore(timed: &TimedTransitionSystem, extrapolation: Extrapolation) -> ZoneOutcome {
+fn explore_policy(
+    timed: &TimedTransitionSystem,
+    extrapolation: Extrapolation,
+    subsumption: Subsumption,
+) -> ZoneOutcome {
     explore_timed_with(
         timed,
         ZoneExplorationOptions {
             spec: ExploreSpec {
                 extrapolation,
+                subsumption,
                 limit: Some(100_000),
                 ..ExploreSpec::default()
             },
         },
     )
+}
+
+fn explore(timed: &TimedTransitionSystem, extrapolation: Extrapolation) -> ZoneOutcome {
+    explore_policy(timed, extrapolation, Subsumption::default())
 }
 
 proptest! {
@@ -72,6 +85,45 @@ proptest! {
                     report.configurations <= exact.configurations,
                     "{file}: {mode} explored more configurations than exact"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn subsumption_policies_report_identical_discrete_semantics(
+        picks in proptest::collection::vec((0i64..6, 0i64..6), 1..8),
+    ) {
+        for file in MODELS {
+            let timed = perturbed(file, &picks);
+            // Exact-duplicate deduplication is the reference semantics; run
+            // it without extrapolation so nothing but the policy varies.
+            let ZoneOutcome::Completed(exact) =
+                explore_policy(&timed, Extrapolation::None, Subsumption::Exact)
+            else {
+                panic!("{file}: exact exploration must terminate on bounded delays");
+            };
+            // Exact dedup (and convex inclusion below) cannot attribute
+            // any skip to aLU.
+            prop_assert_eq!(exact.alu_subsumed, 0);
+            for policy in [Subsumption::Inclusion, Subsumption::Alu] {
+                let ZoneOutcome::Completed(report) =
+                    explore_policy(&timed, Extrapolation::None, policy)
+                else {
+                    panic!("{file}: exploration aborted under {policy} subsumption");
+                };
+                // Coverage may prune configurations but must not change what
+                // is discretely reachable — the verdicts of `transyt zones`
+                // are derived from these sets.
+                prop_assert_eq!(&report.reachable_states, &exact.reachable_states);
+                prop_assert_eq!(&report.violating_states, &exact.violating_states);
+                prop_assert_eq!(&report.deadlock_states, &exact.deadlock_states);
+                prop_assert!(
+                    report.configurations <= exact.configurations,
+                    "{file}: {policy} subsumption explored more configurations than exact dedup"
+                );
+                if policy == Subsumption::Inclusion {
+                    prop_assert_eq!(report.alu_subsumed, 0);
+                }
             }
         }
     }

@@ -300,10 +300,20 @@ fn identical_concurrent_submissions_share_one_run() {
         client::request(&addr, "GET", &format!("/jobs/{second}/result"), None).unwrap();
     assert_eq!(doc_a, doc_b);
     // A differently-spelled but identical spec also reuses the completed
-    // run through the memo (still one execution).
-    let third = submit(&addr, &format!("{query}&subsumption=on&trace=false"));
+    // run through the memo (still one execution): `subsumption=alu` is the
+    // default the first submissions already ran under.
+    let third = submit(&addr, &format!("{query}&subsumption=alu&trace=false"));
     assert_eq!(wait_for(&addr, third, terminal, "terminal"), "done");
     assert_eq!(state.session().stats().runs_executed, 1);
+    // A different subsumption policy is a different zones task — it must
+    // NOT be served from the aLU run.
+    let fourth = submit(&addr, &format!("{query}&subsumption=inclusion"));
+    assert_eq!(wait_for(&addr, fourth, terminal, "terminal"), "done");
+    assert_eq!(
+        state.session().stats().runs_executed,
+        2,
+        "a convex-inclusion zones job must run separately from the aLU run"
+    );
 
     handle.shutdown().expect("graceful shutdown");
 }

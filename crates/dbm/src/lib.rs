@@ -42,7 +42,7 @@ mod zone_graph;
 
 pub use arena::{ArenaStats, DbmArena};
 pub use entry::Entry;
-pub use explore::{ExploreSpec, Extrapolation};
+pub use explore::{ExploreSpec, Extrapolation, Subsumption};
 pub use matrix::Dbm;
 pub use zone_graph::{
     explore_timed, explore_timed_with, find_witness, path_firing_windows, FiringWindow,

@@ -188,6 +188,55 @@ impl Dbm {
             .all(|(a, b)| a >= b)
     }
 
+    /// Returns `true` if `self` is included in the non-convex aLU
+    /// abstraction of `other` (`self ⊆ aLU(other)`) under the given LU
+    /// bounds — the simulation-based coverage check of Herbreteau,
+    /// Srivathsan and Walukiewicz, "Better abstractions for timed automata"
+    /// (LICS 2012). The widened zone is never materialised: the check runs
+    /// per clock pair in O(n²) on the two convex matrices directly.
+    ///
+    /// `self ⊄ aLU(other)` iff there are clocks `x ≠ y` (0 = reference)
+    /// with: the zone reaches `x` values ≤ `U(x)` (so an upper comparison on
+    /// `x` can still discriminate), `other` bounds `x_y − x_x` strictly
+    /// tighter than `self` does, and that tighter bound still bites after
+    /// relaxing `y` below `−L(y)`. Coverage by this relation is strictly
+    /// coarser than convex [`includes`](Dbm::includes) and remains exact for
+    /// discrete-state reachability.
+    ///
+    /// `lower` / `upper` are indexed by clock as in
+    /// [`extrapolate_lu`](Dbm::extrapolate_lu) (index 0 is the reference
+    /// clock and must hold 0). Both matrices must be canonical and
+    /// non-empty.
+    pub fn included_in_alu(&self, other: &Dbm, lower: &[i64], upper: &[i64]) -> bool {
+        assert_eq!(self.clocks, other.clocks, "dimension mismatch");
+        let dim = self.dim();
+        assert!(
+            lower.len() >= dim && upper.len() >= dim,
+            "LU bound vectors shorter than the dimension"
+        );
+        for (x, &upper_x) in upper.iter().enumerate().take(dim) {
+            // If the zone lies entirely above U(x) the pair (x, ·) cannot
+            // witness escape: `Z_{0x} < (≤, −U(x))` means every valuation
+            // has x > U(x).
+            if self.get(0, x) < Entry::le(-upper_x) {
+                continue;
+            }
+            for (y, &lower_y) in lower.iter().enumerate().take(dim) {
+                if x == y {
+                    continue;
+                }
+                let other_yx = other.get(y, x);
+                if other_yx >= self.get(y, x) {
+                    continue;
+                }
+                if other_yx + Entry::lt(-lower_y) < self.get(0, x) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Intersects `self` with `other` in place and re-canonicalises.
     pub fn intersect(&mut self, other: &Dbm) {
         assert_eq!(self.clocks, other.clocks, "dimension mismatch");
@@ -426,5 +475,78 @@ mod tests {
     fn resetting_reference_clock_panics() {
         let mut z = Dbm::zero(1);
         z.reset(0);
+    }
+
+    /// A one-clock band `l ≤ x ≤ u`.
+    fn band(l: i64, u: i64) -> Dbm {
+        let mut z = Dbm::zero(1);
+        z.up();
+        z.constrain_lower(1, l);
+        z.constrain_upper(1, u);
+        z.canonicalize();
+        z
+    }
+
+    #[test]
+    fn alu_inclusion_refines_convex_inclusion() {
+        let lu = (&[0, 2][..], &[0, 2][..]);
+        // Convex inclusion always implies aLU coverage.
+        assert!(band(1, 2).includes(&band(1, 2)));
+        assert!(band(1, 2).included_in_alu(&band(1, 2), lu.0, lu.1));
+        assert!(band(0, 5).includes(&band(1, 2)));
+        assert!(band(1, 2).included_in_alu(&band(0, 5), lu.0, lu.1));
+        // ... but not conversely: with L = U = 2 every valuation above 2 is
+        // indistinguishable, so [3, 10] ⊆ aLU([3, 4]) without convex
+        // inclusion.
+        assert!(!band(3, 4).includes(&band(3, 10)));
+        assert!(band(3, 10).included_in_alu(&band(3, 4), lu.0, lu.1));
+        // Below the bounds the check degenerates to convex inclusion.
+        assert!(!band(0, 3).included_in_alu(&band(1, 2), lu.0, lu.1));
+        assert!(!band(2, 2).included_in_alu(&band(0, 1), lu.0, lu.1));
+    }
+
+    #[test]
+    fn alu_inclusion_matches_membership_of_extrapolated_representative() {
+        // Against a stored zone already widened by Extra_LU the per-pair
+        // check must agree with convex inclusion in the widened matrix
+        // whenever that widening is itself convex.
+        let lower = [0, 3];
+        let upper = [0, 1];
+        let mut stored = band(2, 6);
+        if stored.extrapolate_lu(&lower, &upper) {
+            stored.canonicalize();
+        }
+        for (l, u) in [(2, 6), (2, 100), (5, 7), (0, 1), (1, 2)] {
+            let candidate = band(l, u);
+            assert_eq!(
+                candidate.included_in_alu(&stored, &lower, &upper),
+                stored.includes(&candidate),
+                "candidate [{l}, {u}] vs Extra_LU([2, 6])"
+            );
+        }
+    }
+
+    #[test]
+    fn alu_inclusion_observes_clock_differences() {
+        // Two clocks, candidate pins x1 − x2 = 3, stored pins x1 − x2 = 0;
+        // both inside the LU bounds, so the difference must discriminate.
+        let mut stored = Dbm::zero(2);
+        stored.up();
+        stored.constrain_upper(1, 4);
+        stored.canonicalize();
+        let mut candidate = Dbm::zero(2);
+        candidate.up();
+        candidate.constrain_lower(1, 3);
+        candidate.constrain_upper(1, 4);
+        candidate.reset(2);
+        candidate.up();
+        candidate.constrain_upper(2, 1);
+        candidate.canonicalize();
+        let lower = [0, 10, 10];
+        let upper = [0, 10, 10];
+        assert!(!candidate.included_in_alu(&stored, &lower, &upper));
+        // With the offset zone as the stored one the candidate covers
+        // itself.
+        assert!(candidate.included_in_alu(&candidate.clone(), &lower, &upper));
     }
 }

@@ -276,6 +276,7 @@ pub fn explore<S: SearchSpace>(
             // exactly the operations of the sequential FIFO loop.
             for (i, config) in batch.iter().enumerate() {
                 if stale_possible && !seen.contains(space, config) {
+                    seen.note_skip(space, config);
                     subsumption_skips += 1;
                     continue;
                 }

@@ -93,6 +93,20 @@ impl<S: SearchSpace> SeenMap<S> {
             .is_some_and(|bucket| bucket.iter().any(|stored| stored == config))
     }
 
+    /// Reports a pop-time skip to the space (see
+    /// [`SearchSpace::note_pop_skip`]) with the bucket currently stored
+    /// under the skipped configuration's key. Must only be called from the
+    /// deterministic merge, right after [`contains`](SeenMap::contains)
+    /// returned `false` for `config`.
+    pub(crate) fn note_skip(&self, space: &S, config: &S::Config) {
+        let key = space.key(config);
+        let shard = self.shard(&key).lock().expect("seen shard poisoned");
+        match shard.get(&key) {
+            Some(bucket) => space.note_pop_skip(config, bucket),
+            None => space.note_pop_skip(config, &[]),
+        }
+    }
+
     /// Returns `true` if some stored configuration subsumes `candidate`
     /// (the worker-side prefilter; sound because subsumption is transitive
     /// and stored configurations are only ever pruned by larger ones).

@@ -73,6 +73,21 @@ pub trait SearchSpace: Sync {
         false
     }
 
+    /// Observes a configuration the driver skipped at pop time because a
+    /// later, wider arrival pruned it from the seen set, together with the
+    /// bucket of configurations currently stored under its key.
+    ///
+    /// Called from the single-threaded merge (so any counters bumped here
+    /// are deterministic for every thread count), with the bucket's shard
+    /// lock held. Only fires for spaces with
+    /// [`uses_subsumption`](SearchSpace::uses_subsumption); the default does
+    /// nothing. Spaces use it to classify *why* the skip was sound — e.g.
+    /// the zone explorer counts skips that no stored zone covers convexly,
+    /// attributing them to the non-convex aLU relation.
+    fn note_pop_skip(&self, skipped: &Self::Config, stored: &[Self::Config]) {
+        let _ = (skipped, stored);
+    }
+
     /// Canonicalises a configuration before it is stored and enqueued.
     ///
     /// Called from the single-threaded merge, so implementations may use a

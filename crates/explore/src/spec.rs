@@ -61,6 +61,60 @@ impl fmt::Display for Extrapolation {
     }
 }
 
+/// Coverage policy of the seen-set: when does a stored configuration make a
+/// candidate redundant?
+///
+/// Only searches with a genuine subsumption order (zone exploration in
+/// `dbm`) interpret this; exact-dedup searches carry it inert. Every policy
+/// is *exact for discrete-state reachability* — the reported reachable /
+/// violating / deadlocked state sets are identical, only the number of
+/// symbolic configurations explored differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Subsumption {
+    /// Exact deduplication: a candidate is redundant only if an identical
+    /// configuration is stored.
+    Exact,
+    /// Convex inclusion: a candidate zone is redundant if a stored zone
+    /// contains it entrywise (`Z ⊆ Z'`).
+    Inclusion,
+    /// Non-convex aLU simulation coverage (Herbreteau–Srivathsan–
+    /// Walukiewicz): a candidate zone is redundant if it is included in the
+    /// aLU abstraction of a stored zone (`Z ⊆ aLU(Z')`), checked per clock
+    /// pair without ever materialising the non-convex widened zone. Strictly
+    /// coarser than convex inclusion, still exact for reachability. The
+    /// default.
+    #[default]
+    Alu,
+}
+
+impl Subsumption {
+    /// The wire name: `exact`, `inclusion` or `alu`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsumption::Exact => "exact",
+            Subsumption::Inclusion => "inclusion",
+            Subsumption::Alu => "alu",
+        }
+    }
+
+    /// Parses a wire name back into a policy. The pre-policy boolean spellings
+    /// stay accepted: `on` meant convex inclusion, `off` meant exact dedup.
+    pub fn parse(name: &str) -> Option<Subsumption> {
+        match name {
+            "exact" | "off" => Some(Subsumption::Exact),
+            "inclusion" | "on" => Some(Subsumption::Inclusion),
+            "alu" => Some(Subsumption::Alu),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Subsumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The exploration knobs shared by every search in the workspace.
 ///
 /// Embedded by `dbm::ZoneExplorationOptions`, `stg::ExpandOptions` and
@@ -71,14 +125,14 @@ impl fmt::Display for Extrapolation {
 /// # Examples
 ///
 /// ```
-/// use explore::{ExploreSpec, Extrapolation};
+/// use explore::{ExploreSpec, Extrapolation, Subsumption};
 ///
 /// let spec = ExploreSpec {
 ///     threads: 4,
 ///     limit: Some(10_000),
 ///     ..ExploreSpec::default()
 /// };
-/// assert!(spec.subsumption);
+/// assert_eq!(spec.subsumption, Subsumption::Alu);
 /// assert_eq!(spec.extrapolation, Extrapolation::LuActive);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,9 +140,9 @@ pub struct ExploreSpec {
     /// Number of worker threads (`1` = sequential; any value produces the
     /// identical result).
     pub threads: usize,
-    /// Subsumption-based pruning where the search supports it (zone
-    /// inclusion in the DBM explorer); ignored by exact-dedup searches.
-    pub subsumption: bool,
+    /// Subsumption policy where the search supports it (zone coverage in
+    /// the DBM explorer); ignored by exact-dedup searches.
+    pub subsumption: Subsumption,
     /// Exploration size limit (configurations, markings, …); `None` lets
     /// each consumer apply its own default.
     pub limit: Option<usize>,
@@ -106,7 +160,7 @@ impl Default for ExploreSpec {
     fn default() -> Self {
         ExploreSpec {
             threads: 1,
-            subsumption: true,
+            subsumption: Subsumption::default(),
             limit: None,
             extrapolation: Extrapolation::default(),
             cancel: CancelToken::default(),
@@ -150,10 +204,23 @@ mod tests {
     }
 
     #[test]
+    fn subsumption_names_round_trip() {
+        for policy in [Subsumption::Exact, Subsumption::Inclusion, Subsumption::Alu] {
+            assert_eq!(Subsumption::parse(policy.name()), Some(policy));
+            assert_eq!(policy.to_string(), policy.name());
+        }
+        // The pre-policy boolean spellings stay accepted.
+        assert_eq!(Subsumption::parse("on"), Some(Subsumption::Inclusion));
+        assert_eq!(Subsumption::parse("off"), Some(Subsumption::Exact));
+        assert_eq!(Subsumption::parse("fancy"), None);
+        assert_eq!(Subsumption::default(), Subsumption::Alu);
+    }
+
+    #[test]
     fn spec_defaults_and_limit_resolution() {
         let spec = ExploreSpec::default();
         assert_eq!(spec.threads, 1);
-        assert!(spec.subsumption);
+        assert_eq!(spec.subsumption, Subsumption::Alu);
         assert_eq!(spec.limit, None);
         assert_eq!(spec.limit_or(42), 42);
         assert_eq!(ExploreSpec::threaded(8).threads, 8);

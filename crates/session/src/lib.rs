@@ -43,7 +43,9 @@ mod run;
 mod session;
 mod task;
 
-pub use explore::{CancelToken, ExploreSpec, Extrapolation, ProgressEvent, ProgressSink};
+pub use explore::{
+    CancelToken, ExploreSpec, Extrapolation, ProgressEvent, ProgressSink, Subsumption,
+};
 pub use outcome::{
     asap_run, replay_rendered, trace_of_verdict, Outcome, ReachGoalOutcome, ReachOutcome,
     ReachPath, RenderedTrace, TimedOutOutcome, TraceStep, VerifyOutcome, ZoneWitness, ZonesOutcome,

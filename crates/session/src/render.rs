@@ -118,6 +118,7 @@ pub fn zones_document(model: &str, outcome: &ZoneOutcome, trace: Option<&Rendere
         ZoneOutcome::Completed(report) => doc
             .field("configurations", report.configurations)
             .field("subsumed", report.subsumed_configurations)
+            .field("alu_subsumed", report.alu_subsumed)
             .field("reachable_states", report.reachable_states.len())
             .field("violating_states", report.violating_states.len())
             .field("deadlock_states", report.deadlock_states.len())
@@ -187,10 +188,11 @@ fn summarise_zone_outcome(outcome: &ZoneOutcome, text: &mut String) {
     match outcome {
         ZoneOutcome::Completed(report) => {
             text.push_str(&format!(
-                "timed state space: {} configurations ({} subsumed), {} reachable states, \
-                 {} violating, {} deadlocked\n",
+                "timed state space: {} configurations ({} subsumed, {} beyond convex \
+                 inclusion), {} reachable states, {} violating, {} deadlocked\n",
                 report.configurations,
                 report.subsumed_configurations,
+                report.alu_subsumed,
                 report.reachable_states.len(),
                 report.violating_states.len(),
                 report.deadlock_states.len()

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use explore::{CancelToken, ExploreSpec, Extrapolation, ProgressSink};
+use explore::{CancelToken, ExploreSpec, Extrapolation, ProgressSink, Subsumption};
 
 /// The commands a [`Session`](crate::Session) can run. (`table1` and
 /// `export` are CLI conveniences built on other crates, not session tasks.)
@@ -70,19 +70,20 @@ pub const ZONES_DEFAULT_LIMIT: usize = 50_000;
 ///
 /// ```
 /// use std::time::Duration;
-/// use transyt_session::TaskSpec;
+/// use transyt_session::{Subsumption, TaskSpec};
 ///
 /// let spec = TaskSpec::zones("0011223344556677")
 ///     .threads(4)
-///     .subsumption(false)
+///     .subsumption(Subsumption::Exact)
 ///     .with_trace(true)
 ///     .limit(80_000)
 ///     .deadline(Duration::from_secs(30));
 /// assert_eq!(spec.key().canonical(),
-///     "model=0011223344556677 command=zones threads=4 subsumption=off \
+///     "model=0011223344556677 command=zones threads=4 subsumption=exact \
 ///      extrapolation=lu-active trace=yes limit=80000 to=- deadline=30000ms");
 ///
-/// // Identical submissions — however they were spelled — share a key.
+/// // Identical submissions — however they were spelled — share a key (the
+/// // legacy `off` spelling normalizes to `exact`).
 /// let parsed = TaskSpec::parse("zones", &[
 ///     ("threads".into(), "4".into()),
 ///     ("subsumption".into(), "off".into()),
@@ -101,8 +102,9 @@ pub struct TaskSpec {
     /// Worker threads for every exploration (default 1; any value produces
     /// identical output).
     pub threads: usize,
-    /// Zone subsumption (`zones` only; default on).
-    pub subsumption: bool,
+    /// Zone subsumption policy (`zones` only; default
+    /// [`Subsumption::Alu`]).
+    pub subsumption: Subsumption,
     /// Zone abstraction mode (`zones` only; default
     /// [`Extrapolation::LuActive`]).
     pub extrapolation: Extrapolation,
@@ -137,7 +139,7 @@ impl TaskSpec {
             model: model_hash.into(),
             command,
             threads: 1,
-            subsumption: true,
+            subsumption: Subsumption::default(),
             extrapolation: Extrapolation::default(),
             trace: false,
             limit: None,
@@ -168,10 +170,10 @@ impl TaskSpec {
         self
     }
 
-    /// Switches zone subsumption on or off.
+    /// Selects the zone subsumption policy.
     #[must_use]
-    pub fn subsumption(mut self, on: bool) -> TaskSpec {
-        self.subsumption = on;
+    pub fn subsumption(mut self, policy: Subsumption) -> TaskSpec {
+        self.subsumption = policy;
         self
     }
 
@@ -269,15 +271,11 @@ impl TaskSpec {
                         .map_err(|_| SpecError(format!("bad `threads` value `{value}`")))?;
                 }
                 "subsumption" => {
-                    spec.subsumption = match value.as_str() {
-                        "on" => true,
-                        "off" => false,
-                        other => {
-                            return Err(SpecError(format!(
-                                "bad `subsumption` value `{other}` (use on|off)"
-                            )))
-                        }
-                    };
+                    spec.subsumption = Subsumption::parse(value).ok_or_else(|| {
+                        SpecError(format!(
+                            "bad `subsumption` value `{value}` (use exact|inclusion|alu)"
+                        ))
+                    })?;
                 }
                 "extrapolation" => {
                     spec.extrapolation = Extrapolation::parse(value).ok_or_else(|| {
@@ -351,13 +349,7 @@ impl TaskSpec {
     /// they were spelled — share a key.
     pub fn key(&self) -> TaskKey {
         let subsumption = match self.command {
-            TaskCommand::Zones => {
-                if self.subsumption {
-                    "on"
-                } else {
-                    "off"
-                }
-            }
+            TaskCommand::Zones => self.subsumption.name(),
             _ => "-",
         };
         let extrapolation = match self.command {
@@ -433,12 +425,21 @@ mod tests {
 
         // Options the command ignores are erased: subsumption is
         // meaningless outside `zones`.
-        let a = TaskSpec::verify("abc").subsumption(false);
+        let a = TaskSpec::verify("abc").subsumption(Subsumption::Exact);
         let b = TaskSpec::verify("abc");
         assert_eq!(a.key(), b.key());
-        let a = TaskSpec::zones("abc").subsumption(false);
+        let a = TaskSpec::zones("abc").subsumption(Subsumption::Exact);
         let b = TaskSpec::zones("abc");
         assert_ne!(a.key(), b.key());
+        // Every policy is its own run for `zones` — alu and inclusion
+        // explore different configuration sets even though verdicts agree.
+        let alu = TaskSpec::zones("abc").subsumption(Subsumption::Alu);
+        let inclusion = TaskSpec::zones("abc").subsumption(Subsumption::Inclusion);
+        assert_ne!(alu.key(), inclusion.key());
+        // ... while verify jobs differing only in subsumption share one.
+        let a = TaskSpec::verify("abc").subsumption(Subsumption::Alu);
+        let b = TaskSpec::verify("abc").subsumption(Subsumption::Inclusion);
+        assert_eq!(a.key(), b.key());
 
         // Same for the abstraction mode: meaningful for `zones` only.
         let a = TaskSpec::verify("abc").extrapolation(Extrapolation::None);
@@ -461,6 +462,14 @@ mod tests {
         assert!(TaskSpec::parse("zones", &[pair("threads", "x")]).is_err());
         assert!(TaskSpec::parse("zones", &[pair("trace", "maybe")]).is_err());
         assert!(TaskSpec::parse("zones", &[pair("extrapolation", "fancy")]).is_err());
+        assert!(TaskSpec::parse("zones", &[pair("subsumption", "fancy")]).is_err());
+        let spec = TaskSpec::parse("zones", &[pair("subsumption", "inclusion")]).unwrap();
+        assert_eq!(spec.subsumption, Subsumption::Inclusion);
+        // The legacy boolean spellings map onto the policies they meant.
+        let spec = TaskSpec::parse("zones", &[pair("subsumption", "on")]).unwrap();
+        assert_eq!(spec.subsumption, Subsumption::Inclusion);
+        let spec = TaskSpec::parse("zones", &[pair("subsumption", "off")]).unwrap();
+        assert_eq!(spec.subsumption, Subsumption::Exact);
         assert!(TaskSpec::parse("verify", &[pair("extrapolation", "lu")]).is_err());
         let spec = TaskSpec::parse("zones", &[pair("extrapolation", "none")]).unwrap();
         assert_eq!(spec.extrapolation, Extrapolation::None);

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Perf gate: assert the pinned scaling ceilings of ci/scaling-baseline.json.
+#
+# Zone-exploration configuration counts are deterministic (the driver's
+# merge is canonical at every thread count), so these are exact gates, not
+# noisy wall-clock thresholds: if a count rises past its ceiling, an
+# abstraction or coverage relation regressed. The gates:
+#
+#   * `transyt zones` (defaults: aLU subsumption, LU-active extrapolation)
+#     on the shipped 1-stage and 2-stage pipelines stays within the pinned
+#     configuration ceilings;
+#   * the scaling_report flat 1-stage series `zones-lu-active` and
+#     `zones-alu` stay within theirs (pass a pre-computed BENCH_scaling.json
+#     with --scaling-json to avoid re-running the ~1 min report);
+#   * the 3-stage pipeline COMPLETES under `--subsumption alu` within the
+#     1,000,000-configuration budget — the headline aLU acceptance gate
+#     (skip with --skip-3stage for a quick local run).
+#
+# Usage: scripts/check-scaling.sh [--binary PATH] [--baseline PATH]
+#                                 [--scaling-json PATH] [--skip-3stage]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BINARY=target/release/transyt
+BASELINE=ci/scaling-baseline.json
+SCALING_JSON=""
+RUN_3STAGE=1
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --binary) BINARY=$2; shift 2 ;;
+    --baseline) BASELINE=$2; shift 2 ;;
+    --scaling-json) SCALING_JSON=$2; shift 2 ;;
+    --skip-3stage) RUN_3STAGE=0; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+[ -x "$BINARY" ] || { echo "transyt binary not found at $BINARY (build with: cargo build --release -p transyt-cli)" >&2; exit 2; }
+[ -f "$BASELINE" ] || { echo "baseline file not found at $BASELINE" >&2; exit 2; }
+
+ceiling() { # ceiling <section> <key>
+  python3 -c "import json,sys; print(json.load(open('$BASELINE'))['$1']['$2']['max_configurations'])"
+}
+
+json_field() { # json_field <file> <field>
+  python3 -c "import json,sys; print(json.load(open('$1'))['$2'])"
+}
+
+fail=0
+gate() { # gate <label> <measured> <ceiling>
+  if [ "$2" -le "$3" ]; then
+    echo "perf-gate OK:   $1 = $2 (ceiling $3)"
+  else
+    echo "perf-gate FAIL: $1 = $2 exceeds ceiling $3" >&2
+    fail=1
+  fi
+}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+for model in ipcmos_1stage ipcmos_2stage; do
+  "$BINARY" zones "models/$model.stg" --json "$workdir/$model.json" > /dev/null
+  [ "$(json_field "$workdir/$model.json" completed)" = "True" ] \
+    || { echo "perf-gate FAIL: $model did not complete under the default limit" >&2; fail=1; continue; }
+  gate "zones $model (defaults)" \
+    "$(json_field "$workdir/$model.json" configurations)" \
+    "$(ceiling zones "$model")"
+done
+
+if [ -z "$SCALING_JSON" ]; then
+  SCALING_JSON=$workdir/BENCH_scaling.json
+  echo "running scaling_report (pass --scaling-json to reuse an existing report)..."
+  cargo run --release -p bench --bin scaling_report --quiet -- \
+    1 --threads 4 --limit 100000 --json "$SCALING_JSON" > /dev/null
+fi
+for series in zones-lu-active zones-alu; do
+  measured=$(python3 -c "
+import json
+report = json.load(open('$SCALING_JSON'))
+[series] = [s for s in report['series'] if s['name'] == '$series']
+point = series['points'][0]
+assert point['completed'], '$series did not complete'
+print(point['configurations'])
+")
+  gate "scaling_report $series (flat 1-stage)" "$measured" "$(ceiling scaling_report "$series")"
+done
+
+if [ "$RUN_3STAGE" = 1 ]; then
+  budget=$(python3 -c "import json; print(json.load(open('$BASELINE'))['alu_gate']['max_configurations'])")
+  "$BINARY" zones models/ipcmos_3stage.stg --subsumption alu --limit "$budget" \
+    --json "$workdir/ipcmos_3stage.json" > /dev/null
+  if [ "$(json_field "$workdir/ipcmos_3stage.json" completed)" = "True" ]; then
+    gate "zones ipcmos_3stage (--subsumption alu)" \
+      "$(json_field "$workdir/ipcmos_3stage.json" configurations)" "$budget"
+  else
+    echo "perf-gate FAIL: ipcmos_3stage did not complete under aLU within $budget configurations" >&2
+    fail=1
+  fi
+else
+  echo "perf-gate SKIP: ipcmos_3stage aLU completion gate (--skip-3stage)"
+fi
+
+exit "$fail"

@@ -67,11 +67,14 @@ fn one_stage_pipeline_zone_exploration_needs_the_lu_abstraction() {
     // The *exact* zone-based exploration of the transistor-level stage
     // between its environments blows past a 3,000-configuration budget
     // (the full space is 61,386 configurations) — this is precisely the
-    // paper's motivation for relative timing and abstraction. With the
-    // default LU-bounds extrapolation + active-clock reduction the same
-    // model completes well under that budget with the same discrete
-    // verdict: no violating state (the timed semantics does reach one
-    // genuinely deadlocked discrete state).
+    // paper's motivation for relative timing and abstraction. Convex-zone
+    // subsumption is pinned so the run shows the pre-aLU baseline;
+    // `alu_subsumption_tames_the_unextrapolated_pipeline` below shows the
+    // same budget is beaten by the aLU relation alone. With the default
+    // LU-bounds extrapolation + active-clock reduction the same model
+    // completes well under that budget with the same discrete verdict: no
+    // violating state (the timed semantics does reach one genuinely
+    // deadlocked discrete state).
     let pipeline = ipcmos::flat_pipeline(1).expect("pipeline builds");
     let exact = explore_timed_with(
         &pipeline,
@@ -79,6 +82,7 @@ fn one_stage_pipeline_zone_exploration_needs_the_lu_abstraction() {
             spec: ExploreSpec {
                 limit: Some(3_000),
                 extrapolation: dbm::Extrapolation::None,
+                subsumption: dbm::Subsumption::Inclusion,
                 ..ExploreSpec::default()
             },
         },
@@ -105,4 +109,113 @@ fn one_stage_pipeline_zone_exploration_needs_the_lu_abstraction() {
         }
         other => panic!("abstracted exploration should complete, got {other:?}"),
     }
+}
+
+#[test]
+fn alu_subsumption_tames_the_unextrapolated_pipeline() {
+    // The companion of the test above: with extrapolation switched OFF
+    // entirely, the aLU coverage relation alone collapses the 61,386
+    // exact configurations (convex subsumption still exceeds 3,000) to
+    // under 1,000 — and the discrete verdict is unchanged. A run like
+    // this is also where the `alu_subsumed` counter genuinely fires:
+    // stored zones are never widened, so some pop-time skips are
+    // explained by no convexly-larger stored zone.
+    let pipeline = ipcmos::flat_pipeline(1).expect("pipeline builds");
+    let outcome = explore_timed_with(
+        &pipeline,
+        ZoneExplorationOptions {
+            spec: ExploreSpec {
+                limit: Some(3_000),
+                extrapolation: dbm::Extrapolation::None,
+                subsumption: dbm::Subsumption::Alu,
+                ..ExploreSpec::default()
+            },
+        },
+    );
+    match outcome {
+        ZoneOutcome::Completed(report) => {
+            assert!(report.violating_states.is_empty());
+            assert_eq!(report.deadlock_states.len(), 1);
+            assert_eq!(report.extrapolated_zones, 0, "no extrapolation requested");
+            assert!(
+                report.configurations < 1_000,
+                "aLU should collapse the space, got {} configurations",
+                report.configurations
+            );
+            assert!(
+                report.alu_subsumed > 0,
+                "some skips must be attributable to aLU beyond convex inclusion"
+            );
+            assert!(report.alu_subsumed <= report.subsumed_configurations);
+        }
+        other => panic!("aLU exploration should complete, got {other:?}"),
+    }
+}
+
+/// Satellite of the aLU-subsumption PR: a witness trace found under the
+/// coarse aLU coverage replays step-by-step through the *exact* discrete
+/// semantics, and its violating end state is confirmed by the exact-dedup
+/// zone exploration. aLU prunes the search, not the evidence.
+#[test]
+fn alu_witness_trace_replays_through_exact_semantics() {
+    use transyt_session::{
+        replay_rendered, Completion, Outcome, RunControl, Session, Subsumption, TaskSpec,
+        ZoneWitness,
+    };
+
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/models/race_overlap.tts"
+    ))
+    .expect("shipped model readable");
+    let session = Session::new();
+    let (cached, _) = session.add_model(&text).expect("shipped model parses");
+
+    let spec = TaskSpec::zones(&cached.hash)
+        .subsumption(Subsumption::Alu)
+        .with_trace(true);
+    let Completion::Finished(result) = session.run_task(&spec, RunControl::default()) else {
+        panic!("a one-shot run never detaches");
+    };
+    let outcome = result.outcome.as_ref().expect("zones run succeeds");
+    let Outcome::Zones(zones) = outcome else {
+        panic!("zones task yields a zones outcome");
+    };
+    let Some(ZoneWitness::Found { trace, .. }) = &zones.witness else {
+        panic!("race_overlap has a violating state; aLU must still find it");
+    };
+
+    // Replay the rendered trace through the exact discrete system.
+    let timed = transyt_session::format::Model::parse(&text)
+        .expect("model parses")
+        .timed_system()
+        .expect("model instantiates");
+    let end = replay_rendered(trace, timed.underlying())
+        .expect("aLU witness must replay through the exact semantics");
+    assert_eq!(end, trace.end, "replay must land on the reported end state");
+
+    // And exact-dedup exploration confirms the end state really violates.
+    let exact = explore_timed_with(
+        &timed,
+        ZoneExplorationOptions {
+            spec: ExploreSpec {
+                subsumption: dbm::Subsumption::Exact,
+                extrapolation: dbm::Extrapolation::None,
+                ..ExploreSpec::default()
+            },
+        },
+    );
+    let ZoneOutcome::Completed(report) = exact else {
+        panic!("exact exploration of the race completes");
+    };
+    let violating: Vec<&str> = report
+        .violating_states
+        .iter()
+        .map(|&s| timed.underlying().state_name(s))
+        .collect();
+    assert!(
+        violating.contains(&trace.end.as_str()),
+        "aLU witness end state {} must be among the exact violating states {violating:?}",
+        trace.end
+    );
 }

@@ -126,7 +126,11 @@ proptest! {
         delays in proptest::collection::vec((0i64..6, 0i64..6), 5),
     ) {
         let timed = random_timed(states, &transitions, &delays);
-        for subsumption in [true, false] {
+        for subsumption in [
+            dbm::Subsumption::Exact,
+            dbm::Subsumption::Inclusion,
+            dbm::Subsumption::Alu,
+        ] {
             let base = dbm::ZoneExplorationOptions {
                 spec: dbm::ExploreSpec {
                     threads: 1,
@@ -174,15 +178,24 @@ proptest! {
                 },
             )
         };
-        if let (dbm::ZoneOutcome::Completed(on), dbm::ZoneOutcome::Completed(off)) =
-            (run(true), run(false))
-        {
-            // Subsumption may only shrink the configuration count and must
-            // not change any verdict-bearing state set.
-            prop_assert!(on.configurations <= off.configurations);
-            prop_assert_eq!(&on.reachable_states, &off.reachable_states);
-            prop_assert_eq!(&on.violating_states, &off.violating_states);
-            prop_assert_eq!(&on.deadlock_states, &off.deadlock_states);
+        if let (
+            dbm::ZoneOutcome::Completed(alu),
+            dbm::ZoneOutcome::Completed(convex),
+            dbm::ZoneOutcome::Completed(exact),
+        ) = (
+            run(dbm::Subsumption::Alu),
+            run(dbm::Subsumption::Inclusion),
+            run(dbm::Subsumption::Exact),
+        ) {
+            // Coarser coverage may only shrink the configuration count and
+            // must not change any verdict-bearing state set.
+            prop_assert!(alu.configurations <= convex.configurations);
+            prop_assert!(convex.configurations <= exact.configurations);
+            for completed in [&alu, &convex] {
+                prop_assert_eq!(&completed.reachable_states, &exact.reachable_states);
+                prop_assert_eq!(&completed.violating_states, &exact.violating_states);
+                prop_assert_eq!(&completed.deadlock_states, &exact.deadlock_states);
+            }
         }
     }
 

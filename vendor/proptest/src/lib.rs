@@ -6,9 +6,13 @@
 //! [`prop_assert!`] and [`prop_assert_eq!`] macros, integer-range / tuple /
 //! `collection::vec` / [`arbitrary::any`] strategies, `prop_map` /
 //! `prop_flat_map` combinators and [`test_runner::ProptestConfig`]. Generation
-//! is a deterministic xorshift stream (reproducible runs); shrinking is not
-//! implemented — a failing case panics with the case number so it can be
-//! replayed. Swap in the real crate once the registry is reachable.
+//! is a deterministic xorshift stream (reproducible runs) seeded from the
+//! `PROPTEST_RNG_SEED` environment variable when set (decimal or `0x`-hex
+//! `u64`, mirroring the real crate's knob) and from a fixed built-in
+//! constant otherwise; every test logs the seed it ran under so CI can
+//! assert two runs drew the same cases. Shrinking is not implemented — a
+//! failing case panics with the case number and seed so it can be replayed.
+//! Swap in the real crate once the registry is reachable.
 
 pub mod test_runner {
     //! Test-case driving: configuration, RNG and failure type.
@@ -72,6 +76,28 @@ pub mod test_runner {
             x ^= x << 17;
             self.0 = x;
             x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    /// The seed built into the [`crate::proptest!`] macro when
+    /// `PROPTEST_RNG_SEED` is unset.
+    pub const DEFAULT_RNG_SEED: u64 = 0x5eed_0f0f_cafe_f00d;
+
+    /// The seed the current process draws its cases from: the value of the
+    /// `PROPTEST_RNG_SEED` environment variable (decimal, or hex with a
+    /// `0x` prefix) when set and parseable, [`DEFAULT_RNG_SEED`] otherwise.
+    /// A malformed value panics rather than silently drifting onto the
+    /// default stream.
+    pub fn rng_seed() -> u64 {
+        match std::env::var("PROPTEST_RNG_SEED") {
+            Ok(text) => {
+                let parsed = match text.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => text.parse(),
+                };
+                parsed.unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be a u64, got `{text}`"))
+            }
+            Err(_) => DEFAULT_RNG_SEED,
         }
     }
 }
@@ -314,7 +340,13 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                let mut rng = $crate::test_runner::TestRng::new(0x5eed_0f0f_cafe_f00d);
+                let seed = $crate::test_runner::rng_seed();
+                ::std::eprintln!(
+                    "proptest seed: {} (test {}; set PROPTEST_RNG_SEED to reproduce)",
+                    seed,
+                    ::std::stringify!($name),
+                );
+                let mut rng = $crate::test_runner::TestRng::new(seed);
                 for case in 0..config.cases {
                     $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
                     let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
@@ -324,9 +356,10 @@ macro_rules! proptest {
                         })();
                     if let ::std::result::Result::Err(err) = outcome {
                         ::std::panic!(
-                            "proptest case {}/{} failed: {}",
+                            "proptest case {}/{} failed under seed {}: {}",
                             case + 1,
                             config.cases,
+                            seed,
                             err
                         );
                     }
