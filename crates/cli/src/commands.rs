@@ -18,7 +18,7 @@ use bench::json::Value;
 use transyt_session::{
     render, Completion, RunControl, Session, SessionError, TaskCommand, TaskSpec,
 };
-use transyt_session::{CancelToken, Extrapolation, ProgressSink, Subsumption};
+use transyt_session::{Bounds, CancelToken, Extrapolation, ProgressSink, Subsumption};
 
 use crate::format::Model;
 use crate::json;
@@ -39,6 +39,9 @@ pub struct Options {
     /// Zone abstraction mode (`--extrapolation none|lu|lu-active`, default
     /// `lu-active`).
     pub extrapolation: Extrapolation,
+    /// LU bound vectors of the zone abstraction (`--bounds global|local`,
+    /// default `local`).
+    pub bounds: Bounds,
     /// Print a witness / counterexample trace (`--trace`).
     pub trace: bool,
     /// Exploration size limit (`--limit`, default per command).
@@ -62,6 +65,7 @@ impl Default for Options {
             threads: 1,
             subsumption: Subsumption::default(),
             extrapolation: Extrapolation::default(),
+            bounds: Bounds::default(),
             trace: false,
             limit: None,
             to_label: None,
@@ -79,6 +83,7 @@ impl Options {
             threads: spec.threads,
             subsumption: spec.subsumption,
             extrapolation: spec.extrapolation,
+            bounds: spec.bounds,
             trace: spec.trace,
             limit: spec.limit,
             to_label: spec.to_label.clone(),
@@ -97,6 +102,7 @@ impl Options {
             threads: self.threads,
             subsumption: self.subsumption,
             extrapolation: self.extrapolation,
+            bounds: self.bounds,
             trace: self.trace,
             limit: self.limit,
             to_label: self.to_label.clone(),

@@ -26,16 +26,16 @@ USAGE:
     transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--timeout SECS]
                         [--progress] [--json PATH]
     transyt zones  FILE [--threads N] [--subsumption exact|inclusion|alu]
-                        [--extrapolation none|lu|lu-active] [--trace] [--limit N]
-                        [--timeout SECS] [--progress] [--json PATH]
+                        [--extrapolation none|lu|lu-active] [--bounds global|local]
+                        [--trace] [--limit N] [--timeout SECS] [--progress] [--json PATH]
     transyt table1      [--threads N] [--json PATH]
     transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
     transyt serve       [--addr HOST:PORT] [--workers N] [--keep-results N]
                         [--result-ttl SECS]
     transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
                         [--threads N] [--subsumption exact|inclusion|alu]
-                        [--extrapolation none|lu|lu-active] [--trace] [--limit N]
-                        [--to LABEL] [--timeout SECS] [--json PATH]
+                        [--extrapolation none|lu|lu-active] [--bounds global|local]
+                        [--trace] [--limit N] [--to LABEL] [--timeout SECS] [--json PATH]
     transyt status [JOBID] --server HOST:PORT
 
 FILE is a textual model in the .stg or .tts format (see docs/FILE_FORMATS.md;
@@ -172,6 +172,7 @@ const VALUE_FLAGS: &[&str] = &[
     "threads",
     "subsumption",
     "extrapolation",
+    "bounds",
     "limit",
     "to",
     "timeout",

@@ -89,6 +89,9 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
     if options.extrapolation != transyt_session::Extrapolation::default() {
         path.push_str(&format!("&extrapolation={}", options.extrapolation.name()));
     }
+    if options.bounds != transyt_session::Bounds::default() {
+        path.push_str(&format!("&bounds={}", options.bounds.name()));
+    }
     if options.trace {
         path.push_str("&trace=true");
     }

@@ -29,6 +29,7 @@ pub fn all() -> Vec<Scenario> {
         ipcmos_pipeline(1),
         ipcmos_pipeline(2),
         ipcmos_pipeline(3),
+        ipcmos_pipeline(4),
         c_element(),
         ring_pipeline(),
         intro_fig1(),
@@ -59,9 +60,13 @@ pub fn ipcmos_pipeline(n: usize) -> Scenario {
             "ipcmos_2stage.stg",
             "2-stage IPCMOS pipeline (pulse-level STG)",
         ),
-        _ => (
+        3 => (
             "ipcmos_3stage.stg",
             "3-stage IPCMOS pipeline (pulse-level STG)",
+        ),
+        _ => (
+            "ipcmos_4stage.stg",
+            "4-stage IPCMOS pipeline (pulse-level STG)",
         ),
     };
     Scenario {

@@ -304,6 +304,7 @@ fn json_documents_are_unchanged_golden() {
         "{\"model\":\"race_overlap\",\"configurations\":4,\"subsumed\":0,\
          \"alu_subsumed\":0,\"reachable_states\":4,\"violating_states\":1,\"deadlock_states\":1,\
          \"extrapolated_zones\":3,\"projected_clocks\":4,\
+         \"local_bound_states\":3,\"tightened_clock_bounds\":4,\
          \"arena\":{\"allocated\":4,\"reused\":0,\"recycled\":1},\
          \"completed\":true,\"trace\":{\"kind\":\"witness\",\"start\":\"s0\",\
          \"end\":\"slow-first\",\"steps\":[{\"event\":\"slow\",\"state\":\"slow-first\",\

@@ -8,10 +8,11 @@
 use std::path::PathBuf;
 
 use dbm::{
-    explore_timed_with, ExploreSpec, Extrapolation, Subsumption, ZoneExplorationOptions,
+    explore_timed_with, Bounds, ExploreSpec, Extrapolation, Subsumption, ZoneExplorationOptions,
     ZoneOutcome,
 };
 use proptest::prelude::*;
+use transyt_cli::commands::{cmd_zones, Options};
 use transyt_cli::format::Model;
 use tts::{DelayInterval, Time, TimedTransitionSystem};
 
@@ -28,13 +29,19 @@ fn model_text(file: &str) -> String {
 
 /// The shipped model with every delay window replaced by a random one
 /// (`0 <= lower <= upper`, all finite, so the exact exploration terminates).
-fn perturbed(file: &str, picks: &[(i64, i64)]) -> TimedTransitionSystem {
+fn perturbed_model(file: &str, picks: &[(i64, i64)]) -> Model {
     let mut model = Model::parse(&model_text(file)).expect("shipped model parses");
     for (slot, (_, delay)) in model.delays.iter_mut().enumerate() {
         let (lower, width) = picks[slot % picks.len()];
         *delay = DelayInterval::new(Time::new(lower), Time::new(lower + width)).unwrap();
     }
-    model.timed_system().expect("shipped model instantiates")
+    model
+}
+
+fn perturbed(file: &str, picks: &[(i64, i64)]) -> TimedTransitionSystem {
+    perturbed_model(file, picks)
+        .timed_system()
+        .expect("shipped model instantiates")
 }
 
 fn explore_policy(
@@ -125,6 +132,60 @@ proptest! {
                     prop_assert_eq!(report.alu_subsumed, 0);
                 }
             }
+        }
+    }
+
+    /// The `bounds` dimension: per-state local LU bounds are an exact
+    /// abstraction too. Under every extrapolation mode the `local` and
+    /// `global` vectors report the same reachable / violating / deadlocked
+    /// sets, local never enlarges the zone graph (its vectors are entrywise
+    /// ≤ the global constants, so extrapolation only coarsens further), and
+    /// the default rendering stays byte-identical across worker-thread
+    /// counts.
+    #[test]
+    fn bounds_choices_report_identical_discrete_semantics(
+        picks in proptest::collection::vec((0i64..6, 0i64..6), 1..8),
+    ) {
+        for file in MODELS {
+            let model = perturbed_model(file, &picks);
+            let timed = model.timed_system().expect("shipped model instantiates");
+            for mode in [Extrapolation::None, Extrapolation::Lu, Extrapolation::LuActive] {
+                let run = |bounds| explore_timed_with(
+                    &timed,
+                    ZoneExplorationOptions {
+                        spec: ExploreSpec {
+                            extrapolation: mode,
+                            bounds,
+                            limit: Some(100_000),
+                            ..ExploreSpec::default()
+                        },
+                    },
+                );
+                let ZoneOutcome::Completed(global) = run(Bounds::Global) else {
+                    panic!("{file}: exploration aborted under global bounds ({mode})");
+                };
+                let ZoneOutcome::Completed(local) = run(Bounds::Local) else {
+                    panic!("{file}: exploration aborted under local bounds ({mode})");
+                };
+                prop_assert_eq!(&local.reachable_states, &global.reachable_states);
+                prop_assert_eq!(&local.violating_states, &global.violating_states);
+                prop_assert_eq!(&local.deadlock_states, &global.deadlock_states);
+                prop_assert!(
+                    local.configurations <= global.configurations,
+                    "{file}: local bounds explored more configurations than global under {mode}"
+                );
+            }
+            // The full `transyt zones` rendering (text and JSON document,
+            // local bounds by default) is byte-identical at 1 and 4 worker
+            // threads — the per-state bound table must not introduce any
+            // schedule dependence.
+            let render = |threads| {
+                let options = Options { threads, ..Options::default() };
+                let result = cmd_zones(&model, &options).expect("zones run succeeds");
+                (result.text, transyt_cli::json::render_document(&result.json))
+            };
+            let (one, four) = (render(1), render(4));
+            prop_assert!(one == four, "{file}: thread-count drift in rendered output");
         }
     }
 }

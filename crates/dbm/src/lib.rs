@@ -42,10 +42,10 @@ mod zone_graph;
 
 pub use arena::{ArenaStats, DbmArena};
 pub use entry::Entry;
-pub use explore::{ExploreSpec, Extrapolation, Subsumption};
+pub use explore::{Bounds, ExploreSpec, Extrapolation, Subsumption};
 pub use matrix::Dbm;
 pub use zone_graph::{
     explore_timed, explore_timed_with, find_witness, path_firing_windows, FiringWindow,
-    SymbolicTrace, WitnessGoal, WitnessOutcome, ZoneExplorationOptions, ZoneOutcome, ZoneReport,
-    DEFAULT_CONFIGURATION_LIMIT,
+    LuBoundsProvider, SymbolicTrace, WitnessGoal, WitnessOutcome, ZoneExplorationOptions,
+    ZoneOutcome, ZoneReport, DEFAULT_CONFIGURATION_LIMIT,
 };

@@ -43,6 +43,16 @@
 //!   interning time, bounds above the per-clock lower/upper delay constants
 //!   of the model are widened away, so only finitely many zones exist per
 //!   state and cyclic systems with unbounded clock drift terminate.
+//! * **Per-state LU bounds** ([`Bounds::Local`], the default) — the
+//!   [`LuBoundsProvider`] precomputes one L/U vector per discrete state by
+//!   backward static guard analysis; extrapolation and the aLU check consult
+//!   the state's own vector instead of the whole-model maxima. Local vectors
+//!   are entrywise ≤ the global ones, so the abstraction only gets coarser;
+//!   in this one-clock-per-event semantics the analysis converges to
+//!   "enabled clocks carry their own event's constants, disabled clocks
+//!   carry zero", which makes it exactly as strong as global bounds plus
+//!   active-clock reduction — and strictly stronger than global bounds
+//!   whenever active-clock reduction is off (e.g. `--extrapolation lu`).
 //!
 //! The widened matrices are cloned through a [`DbmArena`] free list living
 //! inside the interner lock, so the hot path reuses retired entry buffers
@@ -56,7 +66,7 @@ use std::convert::Infallible;
 use std::sync::{Arc, Mutex};
 
 use explore::{
-    ExploreOptions, ExploreOutcome, ExploreSpec, Extrapolation, SearchSpace, Subsumption,
+    Bounds, ExploreOptions, ExploreOutcome, ExploreSpec, Extrapolation, SearchSpace, Subsumption,
     TraceOptions,
 };
 use tts::{Bound, EventId, StateId, Time, TimedTransitionSystem};
@@ -113,6 +123,15 @@ pub struct ZoneReport {
     /// active-clock reduction) summed over stored configurations (0 unless
     /// the mode is [`Extrapolation::LuActive`]).
     pub projected_clocks: usize,
+    /// Discrete states whose static per-state LU vectors are strictly
+    /// tighter than the global constants in at least one clock (0 under
+    /// [`Bounds::Global`]). A static census of the [`LuBoundsProvider`]'s
+    /// analysis, so it is deterministic for every thread count and identical
+    /// between full and witness explorations.
+    pub local_bound_states: usize,
+    /// Total `(state, clock)` bound entries the static analysis tightened
+    /// below their global constants (0 under [`Bounds::Global`]).
+    pub tightened_clock_bounds: usize,
     /// Allocation counters of the interner's DBM arena.
     pub arena: ArenaStats,
 }
@@ -180,14 +199,15 @@ fn clock_of(event: EventId) -> usize {
     event.index() + 1
 }
 
-/// The per-clock LU extrapolation constants of a model, indexed by clock
-/// (index 0 is the reference clock and stays 0).
+/// One pair of per-clock LU extrapolation vectors, indexed by clock (index 0
+/// is the reference clock and stays 0).
 ///
 /// In this semantics every comparison a clock faces is known from the delay
 /// window of its event: guards are the lower bounds `x ≥ δl` and invariants
 /// the upper bounds `x ≤ δu`, so `L = δl` and `U = δu` — with `U = 0` for
 /// events without an upper delay bound, the coarsest sound choice since no
 /// upper comparison ever consults such a clock.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct LuBounds {
     lower: Vec<i64>,
     upper: Vec<i64>,
@@ -206,6 +226,213 @@ impl LuBounds {
             }
         }
         LuBounds { lower, upper }
+    }
+}
+
+/// The deduplicated result of the per-state static guard analysis.
+struct LocalBounds {
+    /// The distinct LU vectors that occur (most states share one of a
+    /// handful of vectors, so they are interned).
+    table: Vec<LuBounds>,
+    /// Per-state index into `table`.
+    index: Vec<u32>,
+    /// States whose local vectors are strictly tighter than the global
+    /// constants in at least one clock.
+    tightened_states: usize,
+    /// Total `(state, clock)` bound entries strictly below their global
+    /// constants, summed over all states.
+    tightened_clock_bounds: usize,
+    /// Backward sweeps until the fixpoint stabilised (≥ 1).
+    sweeps: usize,
+}
+
+/// The LU bound vectors feeding zone extrapolation and the aLU coverage
+/// check — one vector for the whole model under [`Bounds::Global`], or
+/// per-discrete-state vectors from backward static guard analysis under
+/// [`Bounds::Local`] (Behrmann et al.'s static guard analysis, instantiated
+/// for the one-clock-per-event semantics).
+///
+/// # The static analysis
+///
+/// A clock's bound at state `s` is the join of every constraint it can face
+/// along any path from `s` *before its next reset*:
+///
+/// * **Seed** — at `s` itself, the clock `x` of an event `e` enabled in `s`
+///   faces `e`'s guard `x ≥ δl(e)` (when `e` fires) and the state invariant
+///   `x ≤ δu(e)` (while time elapses in `s`), so it seeds `L = δl(e)`,
+///   `U = δu(e)`. A disabled clock faces nothing and seeds `(0, 0)`.
+/// * **Propagation** — for every transition `s --f--> t` that `x` survives
+///   un-reset (in this semantics `x` is reset exactly when `e` is freshly
+///   enabled in `t`, i.e. `e == f` or `e` was disabled in `s`), the bounds
+///   at `t` flow back into the bounds at `s`.
+///
+/// Bounds only grow and are capped by the global per-clock constants, so the
+/// backward sweep loop converges; the result never under-approximates the
+/// global vector (every seed is ≤ the global constant and joins preserve
+/// that). Local bounds subsume active-clock reduction statically: a disabled
+/// clock's bounds are `(0, 0)`, so extrapolation erases whatever stale value
+/// it carries.
+pub struct LuBoundsProvider {
+    /// The whole-model vector (also the fallback under [`Bounds::Global`]).
+    global: LuBounds,
+    /// The per-state analysis result (`None` under [`Bounds::Global`]).
+    local: Option<LocalBounds>,
+}
+
+impl LuBoundsProvider {
+    /// Builds the provider for `timed` under the given [`Bounds`] choice.
+    pub fn new(timed: &TimedTransitionSystem, bounds: Bounds) -> LuBoundsProvider {
+        let global = LuBounds::of(timed);
+        let local = match bounds {
+            Bounds::Global => None,
+            Bounds::Local => Some(Self::analyze(timed, &global)),
+        };
+        LuBoundsProvider { global, local }
+    }
+
+    /// The backward fixpoint over the untimed transition structure.
+    fn analyze(timed: &TimedTransitionSystem, global: &LuBounds) -> LocalBounds {
+        let ts = timed.underlying();
+        let events = ts.alphabet().len();
+        let states = ts.state_count();
+        let clocks = events + 1;
+
+        // Enabledness bitmap (`active[s * events + e]`), computed once: the
+        // sweep loop consults it per edge per clock.
+        let mut active = vec![false; states * events];
+        for s in 0..states {
+            for &e in &ts.enabled(StateId::from_index(s)) {
+                active[s * events + e.index()] = true;
+            }
+        }
+
+        // Seeds, in two flat row-major `states × clocks` arrays.
+        let mut lower = vec![0i64; states * clocks];
+        let mut upper = vec![0i64; states * clocks];
+        for s in 0..states {
+            for index in 0..events {
+                if active[s * events + index] {
+                    let delay = timed.delay(EventId::from_index(index));
+                    lower[s * clocks + index + 1] = delay.lower().as_i64();
+                    if let Bound::Finite(u) = delay.upper() {
+                        upper[s * clocks + index + 1] = u.as_i64();
+                    }
+                }
+            }
+        }
+
+        // Backward sweeps to the least fixpoint. Reverse state order pays
+        // off because state ids follow breadth-first discovery order, so
+        // most edges point id-upward and one sweep propagates a whole
+        // chain.
+        let mut sweeps = 0;
+        loop {
+            sweeps += 1;
+            let mut changed = false;
+            for s in (0..states).rev() {
+                for &(fired, target) in ts.transitions_from(StateId::from_index(s)) {
+                    let t = target.index();
+                    for index in 0..events {
+                        // The clock survives the edge un-reset unless its
+                        // event is freshly enabled in the target.
+                        let fresh = active[t * events + index]
+                            && (index == fired.index() || !active[s * events + index]);
+                        if fresh {
+                            continue;
+                        }
+                        let clock = index + 1;
+                        let (tl, tu) = (lower[t * clocks + clock], upper[t * clocks + clock]);
+                        if tl > lower[s * clocks + clock] {
+                            lower[s * clocks + clock] = tl;
+                            changed = true;
+                        }
+                        if tu > upper[s * clocks + clock] {
+                            upper[s * clocks + clock] = tu;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Intern the per-state vectors (a handful of distinct vectors cover
+        // hundreds of thousands of states) and take the tightening census
+        // against the global constants.
+        let mut interned: std::collections::HashMap<LuBounds, u32> =
+            std::collections::HashMap::new();
+        let mut table = Vec::new();
+        let mut index = Vec::with_capacity(states);
+        let mut tightened_states = 0;
+        let mut tightened_clock_bounds = 0;
+        for s in 0..states {
+            let row = LuBounds {
+                lower: lower[s * clocks..(s + 1) * clocks].to_vec(),
+                upper: upper[s * clocks..(s + 1) * clocks].to_vec(),
+            };
+            let tightened = (1..clocks)
+                .filter(|&c| row.lower[c] < global.lower[c] || row.upper[c] < global.upper[c])
+                .count();
+            if tightened > 0 {
+                tightened_states += 1;
+                tightened_clock_bounds += tightened;
+            }
+            let id = match interned.get(&row) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(table.len()).expect("bound table fits u32");
+                    table.push(row.clone());
+                    interned.insert(row, id);
+                    id
+                }
+            };
+            index.push(id);
+        }
+        LocalBounds {
+            table,
+            index,
+            tightened_states,
+            tightened_clock_bounds,
+            sweeps,
+        }
+    }
+
+    /// The bound vectors in effect at `state`.
+    fn for_state(&self, state: StateId) -> &LuBounds {
+        match &self.local {
+            Some(local) => &local.table[local.index[state.index()] as usize],
+            None => &self.global,
+        }
+    }
+
+    /// The per-clock `L` vector at `state` (index 0 is the reference clock).
+    pub fn lower(&self, state: StateId) -> &[i64] {
+        &self.for_state(state).lower
+    }
+
+    /// The per-clock `U` vector at `state` (index 0 is the reference clock).
+    pub fn upper(&self, state: StateId) -> &[i64] {
+        &self.for_state(state).upper
+    }
+
+    /// States whose local vectors are strictly tighter than the global
+    /// constants (0 under [`Bounds::Global`]).
+    pub fn local_bound_states(&self) -> usize {
+        self.local.as_ref().map_or(0, |l| l.tightened_states)
+    }
+
+    /// Total `(state, clock)` bound entries tightened below their global
+    /// constants (0 under [`Bounds::Global`]).
+    pub fn tightened_clock_bounds(&self) -> usize {
+        self.local.as_ref().map_or(0, |l| l.tightened_clock_bounds)
+    }
+
+    /// Backward sweeps until the static analysis converged (0 under
+    /// [`Bounds::Global`]).
+    pub fn sweeps(&self) -> usize {
+        self.local.as_ref().map_or(0, |l| l.sweeps)
     }
 }
 
@@ -333,9 +560,9 @@ struct ZoneSpace<'a> {
     timed: &'a TimedTransitionSystem,
     subsumption: Subsumption,
     extrapolation: Extrapolation,
-    /// Per-clock LU constants of the model (unused under
-    /// [`Extrapolation::None`]).
-    bounds: LuBounds,
+    /// The LU bound vectors feeding extrapolation and the aLU check (unused
+    /// under [`Extrapolation::None`] with a non-aLU policy).
+    bounds: LuBoundsProvider,
     /// Halt the search at the first committed configuration whose discrete
     /// state satisfies this goal (the witness search); `None` explores
     /// exhaustively.
@@ -353,7 +580,7 @@ impl<'a> ZoneSpace<'a> {
             timed,
             subsumption: spec.subsumption,
             extrapolation: spec.extrapolation,
-            bounds: LuBounds::of(timed),
+            bounds: LuBoundsProvider::new(timed, spec.bounds),
             goal,
             interner: InternerState::new(),
         }
@@ -367,6 +594,8 @@ impl<'a> ZoneSpace<'a> {
             extrapolated_zones: state.extrapolated,
             projected_clocks: state.projected,
             alu_subsumed: state.alu_subsumed,
+            local_bound_states: self.bounds.local_bound_states(),
+            tightened_clock_bounds: self.bounds.tightened_clock_bounds(),
             arena: state.arena.stats(),
         }
     }
@@ -378,6 +607,8 @@ struct AbstractionStats {
     extrapolated_zones: usize,
     projected_clocks: usize,
     alu_subsumed: usize,
+    local_bound_states: usize,
+    tightened_clock_bounds: usize,
     arena: ArenaStats,
 }
 
@@ -461,9 +692,12 @@ impl SearchSpace for ZoneSpace<'_> {
             Subsumption::Exact => true,
             Subsumption::Inclusion => stored.1.includes(&candidate.1),
             Subsumption::Alu => {
+                // Both zones sit at the candidate's discrete state, so the
+                // relation is judged under that state's bounds.
+                let bounds = self.bounds.for_state(candidate.0);
                 candidate
                     .1
-                    .included_in_alu(&stored.1, &self.bounds.lower, &self.bounds.upper)
+                    .included_in_alu(&stored.1, &bounds.lower, &bounds.upper)
             }
         }
     }
@@ -505,8 +739,9 @@ impl SearchSpace for ZoneSpace<'_> {
                 let ts = self.timed.underlying();
                 st.projected += ts.alphabet().len() - ts.enabled(state).len();
             }
+            let bounds = self.bounds.for_state(state);
             let mut widened = st.arena.clone_dbm(&zone);
-            if widened.extrapolate_lu(&self.bounds.lower, &self.bounds.upper) {
+            if widened.extrapolate_lu(&bounds.lower, &bounds.upper) {
                 widened.canonicalize();
                 st.extrapolated += 1;
                 Arc::new(widened)
@@ -650,6 +885,8 @@ fn aggregate_report(
         alu_subsumed: stats.alu_subsumed,
         extrapolated_zones: stats.extrapolated_zones,
         projected_clocks: stats.projected_clocks,
+        local_bound_states: stats.local_bound_states,
+        tightened_clock_bounds: stats.tightened_clock_bounds,
         arena: stats.arena,
     }
 }
@@ -678,6 +915,9 @@ pub struct SymbolicTrace {
     /// The abstraction the search stored its zones under; the replay applies
     /// the same normalisation so recomputed zones match the recorded ones.
     extrapolation: Extrapolation,
+    /// The LU bound vectors the search extrapolated with, mirrored by the
+    /// replay for the same reason.
+    bounds: Bounds,
 }
 
 /// The absolute-time window in which one step of a [`SymbolicTrace`] can
@@ -744,7 +984,7 @@ impl SymbolicTrace {
     /// indicate a reconstruction bug).
     pub fn replay(&self, timed: &TimedTransitionSystem) -> Option<StateId> {
         let ts = timed.underlying();
-        let bounds = LuBounds::of(timed);
+        let bounds = LuBoundsProvider::new(timed, self.bounds);
         let mut state = self.start.0;
         let mut zone = self.start.1.clone();
         for (event, target, recorded) in &self.steps {
@@ -760,9 +1000,11 @@ impl SymbolicTrace {
                 *target,
                 self.extrapolation,
             )?;
-            // The search widens stored zones at interning time; mirror it.
+            // The search widens stored zones at interning time under the
+            // target state's bounds; mirror it.
+            let target_bounds = bounds.for_state(*target);
             if self.extrapolation != Extrapolation::None
-                && next.extrapolate_lu(&bounds.lower, &bounds.upper)
+                && next.extrapolate_lu(&target_bounds.lower, &target_bounds.upper)
             {
                 next.canonicalize();
             }
@@ -1012,6 +1254,7 @@ pub fn find_witness(
         start,
         steps,
         extrapolation: options.spec.extrapolation,
+        bounds: options.spec.bounds,
     })
 }
 
@@ -1518,5 +1761,221 @@ mod tests {
         // Arena counters are wired through: every intern clones via the
         // arena under LuActive.
         assert!(report.arena.allocated + report.arena.reused > 0);
+    }
+
+    // ---- static guard analysis (per-state LU bounds) battery ----
+
+    /// A three-event linear chain: a [1,2] then b [3,4] then c [5,6], each
+    /// event enabled in exactly one state.
+    fn chain3() -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("chain3");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let s3 = b.add_state("s3");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s2);
+        b.add_transition(s2, "c", s3);
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("a", d(1, 2));
+        timed.set_delay_by_name("b", d(3, 4));
+        timed.set_delay_by_name("c", d(5, 6));
+        timed
+    }
+
+    /// The a/b oscillator with one unbounded event: a [1,2] and b [3,∞)
+    /// alternate forever. The cycle is where a naive backward analysis
+    /// would widen without bound; ours is capped by the global constants
+    /// and must converge.
+    fn osc_unbounded() -> TimedTransitionSystem {
+        let mut b = TsBuilder::new("osc-unbounded");
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s1, "b", s0);
+        b.set_initial(s0);
+        let mut timed = TimedTransitionSystem::new(b.build().unwrap());
+        timed.set_delay_by_name("a", d(1, 2));
+        timed.set_delay_by_name("b", DelayInterval::at_least(Time::new(3)).unwrap());
+        timed
+    }
+
+    fn state_of(timed: &TimedTransitionSystem, name: &str) -> StateId {
+        let ts = timed.underlying();
+        (0..ts.state_count())
+            .map(StateId::from_index)
+            .find(|&s| ts.state_name(s) == name)
+            .unwrap_or_else(|| panic!("no state named {name}"))
+    }
+
+    /// Chain: each state's vectors carry exactly its own enabled event's
+    /// delay window; everything else is pinned to (0, 0) — including the
+    /// clocks of events already fired and not yet re-enabled.
+    #[test]
+    fn local_bounds_on_linear_chain_match_hand_computation() {
+        let timed = chain3();
+        let bounds = LuBoundsProvider::new(&timed, Bounds::Local);
+        // Clock layout: 0 = reference, 1 = a, 2 = b, 3 = c.
+        let expect = [
+            ("s0", [0, 1, 0, 0], [0, 2, 0, 0]),
+            ("s1", [0, 0, 3, 0], [0, 0, 4, 0]),
+            ("s2", [0, 0, 0, 5], [0, 0, 0, 6]),
+            ("s3", [0, 0, 0, 0], [0, 0, 0, 0]),
+        ];
+        for (name, lower, upper) in expect {
+            let s = state_of(&timed, name);
+            assert_eq!(bounds.lower(s), lower, "L at {name}");
+            assert_eq!(bounds.upper(s), upper, "U at {name}");
+        }
+        // The seed is already the fixpoint (propagation adds nothing in
+        // this semantics): exactly one sweep, no widening.
+        assert_eq!(bounds.sweeps(), 1);
+        // Census: every state lacks two of the three events (s3 all
+        // three), so 4 tightened states covering 2+2+2+3 clock bounds.
+        assert_eq!(bounds.local_bound_states(), 4);
+        assert_eq!(bounds.tightened_clock_bounds(), 9);
+    }
+
+    /// Branching: on the race diamond a clock that survives a branch
+    /// un-reset (slow across s0 --fast--> fast-first) keeps its full
+    /// window on both sides, while the branch that *fires* an event drops
+    /// that event's bounds in the target.
+    #[test]
+    fn local_bounds_on_branches_follow_resets() {
+        let timed = race(); // fast [1,2] vs slow [5,9], diamond to `both`
+        let bounds = LuBoundsProvider::new(&timed, Bounds::Local);
+        let fast = 1; // clock indices follow alphabet order
+        let slow = 2;
+        let s0 = state_of(&timed, "s0");
+        // Both events enabled at the root: the local vector IS the global
+        // vector there.
+        assert_eq!(bounds.lower(s0), &[0, 1, 5]);
+        assert_eq!(bounds.upper(s0), &[0, 2, 9]);
+        // After `fast` fires, only `slow` is pending: fast's clock is
+        // (0, 0) even though it just ran — it is never consulted again
+        // before its next (re-)enabling resets it.
+        let sf = state_of(&timed, "fast-first");
+        assert_eq!(bounds.lower(sf)[fast], 0);
+        assert_eq!(bounds.upper(sf)[fast], 0);
+        assert_eq!(bounds.lower(sf)[slow], 5);
+        assert_eq!(bounds.upper(sf)[slow], 9);
+        // Mirror image on the other branch.
+        let ss = state_of(&timed, "slow-first");
+        assert_eq!(bounds.lower(ss)[slow], 0);
+        assert_eq!(bounds.upper(ss)[fast], 2);
+        // The join state has nothing enabled: all-zero vectors.
+        let sboth = state_of(&timed, "both");
+        assert_eq!(bounds.lower(sboth), &[0, 0, 0]);
+        assert_eq!(bounds.upper(sboth), &[0, 0, 0]);
+        assert_eq!(bounds.sweeps(), 1);
+        assert_eq!(bounds.local_bound_states(), 3);
+        assert_eq!(bounds.tightened_clock_bounds(), 4);
+    }
+
+    /// Cycle: the backward sweep terminates on loops (bounds only grow and
+    /// are capped by the global constants), and an event without an upper
+    /// delay bound keeps U = 0 everywhere — unbounded growth of its clock
+    /// stays invisible to extrapolation and to aLU.
+    #[test]
+    fn local_bounds_on_cycles_converge_without_widening() {
+        let timed = osc_unbounded();
+        let bounds = LuBoundsProvider::new(&timed, Bounds::Local);
+        let s0 = state_of(&timed, "s0");
+        let s1 = state_of(&timed, "s1");
+        assert_eq!(bounds.lower(s0), &[0, 1, 0]);
+        assert_eq!(bounds.upper(s0), &[0, 2, 0]);
+        assert_eq!(bounds.lower(s1), &[0, 0, 3]);
+        // b has no upper delay bound: U stays 0 on the whole cycle.
+        assert_eq!(bounds.upper(s1), &[0, 0, 0]);
+        assert_eq!(bounds.sweeps(), 1);
+    }
+
+    /// Soundness floor of the analysis: on every fixture the local vectors
+    /// never exceed the global constants entrywise, and an *enabled*
+    /// event's clock always carries its full delay window (dropping it
+    /// would unsoundly widen zones against the state's own invariant).
+    #[test]
+    fn local_bounds_never_exceed_global_and_keep_enabled_windows() {
+        for timed in [race(), chain3(), osc_unbounded(), overlapping_race()] {
+            let local = LuBoundsProvider::new(&timed, Bounds::Local);
+            let global = LuBoundsProvider::new(&timed, Bounds::Global);
+            let ts = timed.underlying();
+            for s in 0..ts.state_count() {
+                let s = StateId::from_index(s);
+                let (l, u) = (local.lower(s), local.upper(s));
+                let (gl, gu) = (global.lower(s), global.upper(s));
+                for c in 0..l.len() {
+                    assert!(l[c] <= gl[c] && u[c] <= gu[c], "over-approx at {s:?}");
+                }
+                for &e in &ts.enabled(s) {
+                    let c = clock_of(e);
+                    let delay = timed.delay(e);
+                    assert_eq!(l[c], delay.lower().as_i64(), "enabled L at {s:?}");
+                    if let Bound::Finite(upper) = delay.upper() {
+                        assert_eq!(u[c], upper.as_i64(), "enabled U at {s:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Under [`Bounds::Global`] the provider is the constant global vector
+    /// and reports an empty census.
+    #[test]
+    fn global_bounds_provider_is_constant() {
+        let timed = chain3();
+        let bounds = LuBoundsProvider::new(&timed, Bounds::Global);
+        for s in 0..timed.underlying().state_count() {
+            let s = StateId::from_index(s);
+            assert_eq!(bounds.lower(s), &[0, 1, 3, 5]);
+            assert_eq!(bounds.upper(s), &[0, 2, 4, 6]);
+        }
+        assert_eq!(bounds.local_bound_states(), 0);
+        assert_eq!(bounds.tightened_clock_bounds(), 0);
+        assert_eq!(bounds.sweeps(), 0);
+    }
+
+    /// The policy-agreement core: `global` and `local` bounds explore the
+    /// same reachable/violating/deadlocked state sets under every
+    /// extrapolation × subsumption combination, and local bounds never
+    /// enlarge the configuration count (both are sound abstractions of the
+    /// same timed semantics; local is entrywise ≤ global).
+    #[test]
+    fn local_and_global_bounds_agree_on_verdicts() {
+        for timed in [race(), chain3(), osc_unbounded(), overlapping_race()] {
+            for extrapolation in MODES {
+                for subsumption in POLICIES {
+                    let run = |bounds| {
+                        explore_timed_with(
+                            &timed,
+                            with_spec(ExploreSpec {
+                                subsumption,
+                                extrapolation,
+                                bounds,
+                                limit: Some(10_000),
+                                ..ExploreSpec::default()
+                            }),
+                        )
+                    };
+                    let global = run(Bounds::Global);
+                    let local = run(Bounds::Local);
+                    let (Some(g), Some(l)) = (global.report(), local.report()) else {
+                        // Exact zones may diverge on the unbounded cycle
+                        // under `Extrapolation::None` with convex
+                        // subsumption — for both bound choices alike.
+                        assert_eq!(global.report().is_none(), local.report().is_none());
+                        continue;
+                    };
+                    assert_eq!(g.reachable_states, l.reachable_states);
+                    assert_eq!(g.violating_states, l.violating_states);
+                    assert_eq!(g.deadlock_states, l.deadlock_states);
+                    assert!(
+                        l.configurations <= g.configurations,
+                        "local enlarged the zone graph under {extrapolation:?}/{subsumption:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -125,4 +125,4 @@ pub use driver::{
 };
 pub use progress::{ProgressEvent, ProgressSink};
 pub use space::SearchSpace;
-pub use spec::{ExploreSpec, Extrapolation, Subsumption};
+pub use spec::{Bounds, ExploreSpec, Extrapolation, Subsumption};

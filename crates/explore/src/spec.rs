@@ -61,6 +61,53 @@ impl fmt::Display for Extrapolation {
     }
 }
 
+/// Which LU bound vectors feed the zone abstraction (extrapolation and the
+/// aLU coverage check).
+///
+/// Only the zone-graph explorer (`dbm`) interprets this; untimed searches
+/// carry it inert. Both choices are *exact for discrete-state reachability*
+/// — they report identical reachable / violating / deadlocked state sets —
+/// and `local` bounds are entrywise ≤ the `global` ones, so the abstraction
+/// can only get coarser (never more configurations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Bounds {
+    /// One LU vector for the whole model: the per-clock maxima over every
+    /// guard and invariant (the pre-static-analysis behaviour).
+    Global,
+    /// Per-discrete-state LU vectors from backward static guard analysis: a
+    /// clock's bound at a state is the maximum over the constraints it can
+    /// face from that state before its next reset. Subsumes active-clock
+    /// reduction statically (a disabled clock faces nothing until reset, so
+    /// its local bounds are zero). The default.
+    #[default]
+    Local,
+}
+
+impl Bounds {
+    /// The wire name: `global` or `local`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bounds::Global => "global",
+            Bounds::Local => "local",
+        }
+    }
+
+    /// Parses a wire name back into a bounds choice.
+    pub fn parse(name: &str) -> Option<Bounds> {
+        match name {
+            "global" => Some(Bounds::Global),
+            "local" => Some(Bounds::Local),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Coverage policy of the seen-set: when does a stored configuration make a
 /// candidate redundant?
 ///
@@ -125,7 +172,7 @@ impl fmt::Display for Subsumption {
 /// # Examples
 ///
 /// ```
-/// use explore::{ExploreSpec, Extrapolation, Subsumption};
+/// use explore::{Bounds, ExploreSpec, Extrapolation, Subsumption};
 ///
 /// let spec = ExploreSpec {
 ///     threads: 4,
@@ -134,6 +181,7 @@ impl fmt::Display for Subsumption {
 /// };
 /// assert_eq!(spec.subsumption, Subsumption::Alu);
 /// assert_eq!(spec.extrapolation, Extrapolation::LuActive);
+/// assert_eq!(spec.bounds, Bounds::Local);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreSpec {
@@ -148,6 +196,9 @@ pub struct ExploreSpec {
     pub limit: Option<usize>,
     /// Zone-abstraction level (timed explorations only).
     pub extrapolation: Extrapolation,
+    /// LU bound vectors feeding the zone abstraction (timed explorations
+    /// only): one global vector or per-state vectors from static analysis.
+    pub bounds: Bounds,
     /// Cooperative cancellation: a search whose token fires stops at the
     /// next batch boundary. The default token is inert.
     pub cancel: CancelToken,
@@ -163,6 +214,7 @@ impl Default for ExploreSpec {
             subsumption: Subsumption::default(),
             limit: None,
             extrapolation: Extrapolation::default(),
+            bounds: Bounds::default(),
             cancel: CancelToken::default(),
             progress: ProgressSink::default(),
         }
@@ -204,6 +256,16 @@ mod tests {
     }
 
     #[test]
+    fn bounds_names_round_trip() {
+        for bounds in [Bounds::Global, Bounds::Local] {
+            assert_eq!(Bounds::parse(bounds.name()), Some(bounds));
+            assert_eq!(bounds.to_string(), bounds.name());
+        }
+        assert_eq!(Bounds::parse("fancy"), None);
+        assert_eq!(Bounds::default(), Bounds::Local);
+    }
+
+    #[test]
     fn subsumption_names_round_trip() {
         for policy in [Subsumption::Exact, Subsumption::Inclusion, Subsumption::Alu] {
             assert_eq!(Subsumption::parse(policy.name()), Some(policy));
@@ -221,6 +283,7 @@ mod tests {
         let spec = ExploreSpec::default();
         assert_eq!(spec.threads, 1);
         assert_eq!(spec.subsumption, Subsumption::Alu);
+        assert_eq!(spec.bounds, Bounds::Local);
         assert_eq!(spec.limit, None);
         assert_eq!(spec.limit_or(42), 42);
         assert_eq!(ExploreSpec::threaded(8).threads, 8);

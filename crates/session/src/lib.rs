@@ -44,7 +44,7 @@ mod session;
 mod task;
 
 pub use explore::{
-    CancelToken, ExploreSpec, Extrapolation, ProgressEvent, ProgressSink, Subsumption,
+    Bounds, CancelToken, ExploreSpec, Extrapolation, ProgressEvent, ProgressSink, Subsumption,
 };
 pub use outcome::{
     asap_run, replay_rendered, trace_of_verdict, Outcome, ReachGoalOutcome, ReachOutcome,

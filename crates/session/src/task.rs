@@ -11,7 +11,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use explore::{CancelToken, ExploreSpec, Extrapolation, ProgressSink, Subsumption};
+use explore::{Bounds, CancelToken, ExploreSpec, Extrapolation, ProgressSink, Subsumption};
 
 /// The commands a [`Session`](crate::Session) can run. (`table1` and
 /// `export` are CLI conveniences built on other crates, not session tasks.)
@@ -80,7 +80,8 @@ pub const ZONES_DEFAULT_LIMIT: usize = 50_000;
 ///     .deadline(Duration::from_secs(30));
 /// assert_eq!(spec.key().canonical(),
 ///     "model=0011223344556677 command=zones threads=4 subsumption=exact \
-///      extrapolation=lu-active trace=yes limit=80000 to=- deadline=30000ms");
+///      extrapolation=lu-active bounds=local trace=yes limit=80000 to=- \
+///      deadline=30000ms");
 ///
 /// // Identical submissions — however they were spelled — share a key (the
 /// // legacy `off` spelling normalizes to `exact`).
@@ -108,6 +109,9 @@ pub struct TaskSpec {
     /// Zone abstraction mode (`zones` only; default
     /// [`Extrapolation::LuActive`]).
     pub extrapolation: Extrapolation,
+    /// LU bound vectors feeding the zone abstraction (`zones` only; default
+    /// [`Bounds::Local`]).
+    pub bounds: Bounds,
     /// Produce a witness / counterexample trace.
     pub trace: bool,
     /// Exploration size limit (default per command).
@@ -141,6 +145,7 @@ impl TaskSpec {
             threads: 1,
             subsumption: Subsumption::default(),
             extrapolation: Extrapolation::default(),
+            bounds: Bounds::default(),
             trace: false,
             limit: None,
             to_label: None,
@@ -181,6 +186,13 @@ impl TaskSpec {
     #[must_use]
     pub fn extrapolation(mut self, mode: Extrapolation) -> TaskSpec {
         self.extrapolation = mode;
+        self
+    }
+
+    /// Selects the LU bound vectors of the zone abstraction.
+    #[must_use]
+    pub fn bounds(mut self, bounds: Bounds) -> TaskSpec {
+        self.bounds = bounds;
         self
     }
 
@@ -230,6 +242,7 @@ impl TaskSpec {
                 "threads",
                 "subsumption",
                 "extrapolation",
+                "bounds",
                 "trace",
                 "limit",
                 "timeout",
@@ -282,6 +295,11 @@ impl TaskSpec {
                         SpecError(format!(
                             "bad `extrapolation` value `{value}` (use none|lu|lu-active)"
                         ))
+                    })?;
+                }
+                "bounds" => {
+                    spec.bounds = Bounds::parse(value).ok_or_else(|| {
+                        SpecError(format!("bad `bounds` value `{value}` (use global|local)"))
                     })?;
                 }
                 "trace" => {
@@ -338,6 +356,7 @@ impl TaskSpec {
             subsumption: self.subsumption,
             limit: self.effective_limit(),
             extrapolation: self.extrapolation,
+            bounds: self.bounds,
             cancel,
             progress,
         }
@@ -356,6 +375,10 @@ impl TaskSpec {
             TaskCommand::Zones => self.extrapolation.name(),
             _ => "-",
         };
+        let bounds = match self.command {
+            TaskCommand::Zones => self.bounds.name(),
+            _ => "-",
+        };
         let limit = match self.effective_limit() {
             Some(limit) => limit.to_string(),
             None => "-".to_owned(),
@@ -371,8 +394,8 @@ impl TaskSpec {
         TaskKey {
             canonical: format!(
                 "model={} command={} threads={} subsumption={subsumption} \
-                 extrapolation={extrapolation} trace={} limit={limit} to={to} \
-                 deadline={deadline}",
+                 extrapolation={extrapolation} bounds={bounds} trace={} limit={limit} \
+                 to={to} deadline={deadline}",
                 self.model,
                 self.command,
                 self.threads,
@@ -449,6 +472,14 @@ mod tests {
         let b = TaskSpec::zones("abc");
         assert_ne!(a.key(), b.key());
 
+        // Same for the bounds choice: meaningful for `zones` only.
+        let a = TaskSpec::verify("abc").bounds(Bounds::Global);
+        let b = TaskSpec::verify("abc");
+        assert_eq!(a.key(), b.key());
+        let a = TaskSpec::zones("abc").bounds(Bounds::Global);
+        let b = TaskSpec::zones("abc");
+        assert_ne!(a.key(), b.key());
+
         // Different models never collide.
         assert_ne!(TaskSpec::verify("abc").key(), TaskSpec::verify("abd").key());
         assert_eq!(TaskSpec::verify("abc").key().fingerprint().len(), 16);
@@ -473,6 +504,12 @@ mod tests {
         assert!(TaskSpec::parse("verify", &[pair("extrapolation", "lu")]).is_err());
         let spec = TaskSpec::parse("zones", &[pair("extrapolation", "none")]).unwrap();
         assert_eq!(spec.extrapolation, Extrapolation::None);
+        assert!(TaskSpec::parse("zones", &[pair("bounds", "fancy")]).is_err());
+        assert!(TaskSpec::parse("verify", &[pair("bounds", "global")]).is_err());
+        let spec = TaskSpec::parse("zones", &[pair("bounds", "global")]).unwrap();
+        assert_eq!(spec.bounds, Bounds::Global);
+        let spec = TaskSpec::parse("zones", &[]).unwrap();
+        assert_eq!(spec.bounds, Bounds::Local);
         assert!(TaskSpec::parse("verify", &[pair("timeout", "0")]).is_err());
 
         let spec = TaskSpec::parse(

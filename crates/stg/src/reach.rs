@@ -72,7 +72,12 @@ impl fmt::Display for ExpandError {
 impl std::error::Error for ExpandError {}
 
 /// Marking limit applied when [`ExploreSpec::limit`] is `None`.
-pub const DEFAULT_MARKING_LIMIT: usize = 100_000;
+///
+/// Sized so the largest shipped pipeline model (`ipcmos_4stage.stg`,
+/// 960,000 markings) expands with default options; an explicit
+/// [`ExploreSpec::limit`] still caps the search wherever a caller wants a
+/// tighter budget.
+pub const DEFAULT_MARKING_LIMIT: usize = 1_000_000;
 
 /// Options for [`expand`].
 ///

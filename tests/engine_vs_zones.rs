@@ -219,3 +219,53 @@ fn alu_witness_trace_replays_through_exact_semantics() {
         trace.end
     );
 }
+
+/// A witness found under per-state local LU bounds replays through the
+/// exact discrete semantics, and its rendered trace is byte-identical to
+/// the one found under the global constants — the bound choice must not
+/// change which witness the deterministic search reports.
+#[test]
+fn local_bounds_witness_trace_replays_through_exact_semantics() {
+    use transyt_session::{
+        replay_rendered, Bounds, Completion, Outcome, RunControl, Session, Subsumption, TaskSpec,
+        ZoneWitness,
+    };
+
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/models/race_overlap.tts"
+    ))
+    .expect("shipped model readable");
+    let session = Session::new();
+    let (cached, _) = session.add_model(&text).expect("shipped model parses");
+
+    let witness_under = |bounds| {
+        let spec = TaskSpec::zones(&cached.hash)
+            .subsumption(Subsumption::Alu)
+            .bounds(bounds)
+            .with_trace(true);
+        let Completion::Finished(result) = session.run_task(&spec, RunControl::default()) else {
+            panic!("a one-shot run never detaches");
+        };
+        let outcome = result.outcome.as_ref().expect("zones run succeeds").clone();
+        let Outcome::Zones(zones) = outcome else {
+            panic!("zones task yields a zones outcome");
+        };
+        let Some(ZoneWitness::Found { trace, .. }) = zones.witness else {
+            panic!("race_overlap has a violating state; it must be found under {bounds:?}");
+        };
+        trace
+    };
+
+    let local = witness_under(Bounds::Local);
+    let global = witness_under(Bounds::Global);
+    assert_eq!(local, global, "bound choice changed the reported witness");
+
+    let timed = transyt_session::format::Model::parse(&text)
+        .expect("model parses")
+        .timed_system()
+        .expect("model instantiates");
+    let end = replay_rendered(&local, timed.underlying())
+        .expect("local-bounds witness must replay through the exact semantics");
+    assert_eq!(end, local.end, "replay must land on the reported end state");
+}
