@@ -33,3 +33,4 @@ pub use transyt_session::format;
 pub mod json;
 pub mod remote;
 pub mod scenarios;
+pub mod store_admin;

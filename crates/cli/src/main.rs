@@ -31,7 +31,9 @@ USAGE:
     transyt table1      [--threads N] [--json PATH]
     transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
     transyt serve       [--addr HOST:PORT] [--workers N] [--keep-results N]
-                        [--result-ttl SECS]
+                        [--result-ttl SECS] [--data-dir DIR] [--no-persist]
+                        [--fsync on|off]
+    transyt store ls|gc --data-dir DIR [--keep-results N] [--result-ttl SECS]
     transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
                         [--threads N] [--subsumption exact|inclusion|alu]
                         [--extrapolation none|lu|lu-active] [--bounds global|local]
@@ -43,9 +45,11 @@ shipped examples live in models/). Every exploration accepts --threads N and
 produces identical output for every thread count; --timeout cancels the run at
 the deadline, --progress streams exploration progress to stderr. `serve` runs
 the long-lived verification server (model cache + deduplicated job queue with
-result eviction; docs/SERVER.md); `submit` and `status` are thin clients for
-it, and `submit --wait --json PATH` writes a document byte-identical to the
-one-shot command's --json output. The embeddable library API behind all of
+result eviction; docs/SERVER.md); with --data-dir it journals every job and
+stores models/results on disk, surviving even SIGKILL with full recovery, and
+`store ls` / `store gc` inspect or collect such a data dir offline. `submit`
+and `status` are thin clients for the server, and `submit --wait --json PATH`
+writes a document byte-identical to the one-shot command's --json output. The embeddable library API behind all of
 this is `transyt-session` (docs/API.md).
 ";
 
@@ -119,6 +123,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "export" => run_export(&args[1..]),
         "serve" => run_serve(&args[1..]),
+        "store" => run_store(&args[1..]),
         "submit" => run_submit(&args[1..]),
         "status" => run_status(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -256,15 +261,90 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                     })?;
                 config.result_ttl = Some(Duration::from_secs(seconds));
             }
+            "--data-dir" => {
+                config.data_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--data-dir needs a value".to_owned()))?
+                        .clone(),
+                );
+            }
+            "--no-persist" => config.data_dir = None,
+            "--fsync" => {
+                config.fsync = match iter.next().map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err(CliError::Usage("--fsync needs `on` or `off`".to_owned())),
+                };
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "`serve` does not accept `{other}` \
-                     (allowed: --addr, --workers, --keep-results, --result-ttl)"
+                     (allowed: --addr, --workers, --keep-results, --result-ttl, \
+                     --data-dir, --no-persist, --fsync)"
                 )))
             }
         }
     }
     remote::cmd_serve(&config)
+}
+
+fn run_store(args: &[String]) -> Result<(), CliError> {
+    let action = match args.first().map(String::as_str) {
+        Some(action @ ("ls" | "gc")) => action,
+        _ => {
+            return Err(CliError::Usage(
+                "use `store ls` or `store gc` with --data-dir DIR".to_owned(),
+            ))
+        }
+    };
+    let mut data_dir = None;
+    // The same default cap the server applies (`ResultStoreConfig`).
+    let mut keep_results: usize = 256;
+    let mut result_ttl = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                data_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--data-dir needs a value".to_owned()))?
+                        .clone(),
+                );
+            }
+            "--keep-results" if action == "gc" => {
+                keep_results = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage("--keep-results needs a positive number".to_owned())
+                    })?;
+            }
+            "--result-ttl" if action == "gc" => {
+                let seconds: u64 = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage(
+                            "--result-ttl needs a positive number of seconds".to_owned(),
+                        )
+                    })?;
+                result_ttl = Some(Duration::from_secs(seconds));
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "`store {action}` does not accept `{other}`"
+                )))
+            }
+        }
+    }
+    let data_dir =
+        data_dir.ok_or_else(|| CliError::Usage("`store` needs --data-dir DIR".to_owned()))?;
+    match action {
+        "ls" => transyt_cli::store_admin::cmd_ls(&data_dir),
+        _ => transyt_cli::store_admin::cmd_gc(&data_dir, keep_results, result_ttl),
+    }
 }
 
 fn run_submit(args: &[String]) -> Result<(), CliError> {

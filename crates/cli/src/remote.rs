@@ -26,10 +26,45 @@ pub fn cmd_serve(config: &ServerConfig) -> Result<(), CliError> {
         config.keep_results,
         if config.keep_results == 1 { "" } else { "s" },
     );
+    if let Some(dir) = &config.data_dir {
+        println!("persisting to {dir} (write-ahead journal + content-addressed store)");
+    }
     println!("endpoints: POST /models, POST /jobs, GET /jobs/<id>/result (see docs/SERVER.md)");
     server
         .run()
         .map_err(|e| CliError::Run(format!("serving: {e}")))
+}
+
+/// [`client::request`] with retries: transient connection failures (refused
+/// while a crashed server restarts, resets mid-read) back off exponentially
+/// (100ms doubling to a 1s cap, ~30s total) before giving up. Safe for every
+/// request `submit` makes — the model upload is content-addressed, job
+/// submission dedupes on the server by canonical task key, and polls/fetches
+/// are reads — so a retry never changes what the server computes.
+fn request_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, String), String> {
+    let mut backoff = std::time::Duration::from_millis(100);
+    let mut attempts = 0u32;
+    loop {
+        match client::request(addr, method, path, body) {
+            Ok(response) => return Ok(response),
+            Err(error) => {
+                attempts += 1;
+                if attempts >= 30 {
+                    return Err(error);
+                }
+                if attempts == 1 {
+                    eprintln!("note: {error}; retrying");
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(std::time::Duration::from_secs(1));
+            }
+        }
+    }
 }
 
 /// What `transyt submit` sends: the model file, the command, the options and
@@ -69,7 +104,7 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
         .map_err(|e| CliError::Run(format!("reading {}: {e}", args.file)))?;
     let body = expect_status(
         "uploading model",
-        client::request(&args.server, "POST", "/models", Some(text.as_bytes())),
+        request_retry(&args.server, "POST", "/models", Some(text.as_bytes())),
     )?;
     let hash = client::json_str_field(&body, "hash")
         .ok_or_else(|| CliError::Run(format!("upload response carried no hash: {body}")))?;
@@ -109,7 +144,7 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
     }
     let body = expect_status(
         "submitting job",
-        client::request(&args.server, "POST", &path, None),
+        request_retry(&args.server, "POST", &path, None),
     )?;
     let job = client::json_uint_field(&body, "job")
         .ok_or_else(|| CliError::Run(format!("submission response carried no job id: {body}")))?;
@@ -119,11 +154,15 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
         return Ok(());
     }
 
+    let mut recovered = false;
     let status = loop {
         let body = expect_status(
             "polling job",
-            client::request(&args.server, "GET", &format!("/jobs/{job}"), None),
+            request_retry(&args.server, "GET", &format!("/jobs/{job}"), None),
         )?;
+        // Durable servers flag jobs replayed from the journal after a
+        // restart; surface that to the submitter once the job settles.
+        recovered |= client::json_bool_field(&body, "recovered") == Some(true);
         let status = client::json_str_field(&body, "status").unwrap_or_default();
         if matches!(
             status.as_str(),
@@ -133,17 +172,23 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
         }
         std::thread::sleep(std::time::Duration::from_millis(150));
     };
+    if recovered {
+        println!("job {job} was recovered from the server's journal");
+    }
     match status.as_str() {
         "done" => {
             let text = expect_status(
                 "fetching job text",
-                client::request(&args.server, "GET", &format!("/jobs/{job}/text"), None),
+                request_retry(&args.server, "GET", &format!("/jobs/{job}/text"), None),
             )?;
             print!("{text}");
             if let Some(path) = &args.json_path {
+                // The document itself stays byte-identical to one-shot
+                // `--json` output — recovery is reported on stdout and in
+                // the status JSON, never spliced into the result.
                 let document = expect_status(
                     "fetching job result",
-                    client::request(&args.server, "GET", &format!("/jobs/{job}/result"), None),
+                    request_retry(&args.server, "GET", &format!("/jobs/{job}/result"), None),
                 )?;
                 std::fs::write(path, document)
                     .map_err(|e| CliError::Run(format!("writing {path}: {e}")))?;

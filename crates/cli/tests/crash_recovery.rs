@@ -1,0 +1,306 @@
+//! Crash-recovery integration test: a real `transyt serve --data-dir`
+//! process on a real socket is SIGKILLed mid-queue and restarted over the
+//! same directory. The acceptance criteria of the durable-serving work:
+//!
+//! * completed jobs answer `GET /jobs/{id}/result` after the restart with
+//!   the **byte-identical** pre-crash document, without re-running;
+//! * queued / running jobs at the moment of the kill are re-enqueued and —
+//!   determinism — re-run to documents byte-identical to the one-shot CLI;
+//! * resubmitting an already-completed spec is answered from the on-disk
+//!   store with **zero** new runs;
+//! * a torn journal tail (garbage appended after the kill) is dropped, not
+//!   trusted.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use transyt_cli::commands::{cmd_verify, cmd_zones, Options};
+use transyt_cli::format::Model;
+use transyt_cli::json;
+use transyt_server::client;
+
+fn models_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../models")
+}
+
+fn model_text(file: &str) -> String {
+    let path = models_dir().join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// A `transyt serve` child process; killed on drop so a failing assert never
+/// leaks a listener.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    /// Spawns `transyt serve --addr 127.0.0.1:0 --workers 1 --data-dir
+    /// {data_dir}` and parses the bound address from its stdout banner.
+    fn start(data_dir: &str) -> ServeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_transyt"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--data-dir",
+                data_dir,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("serve spawns");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve prints its banner")
+                .expect("stdout readable");
+            if let Some(rest) = line.strip_prefix("transyt server listening on ") {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("address in banner")
+                    .to_owned();
+            }
+        };
+        // Drain the rest of the banner in the background so the child never
+        // blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServeProc { child, addr }
+    }
+
+    /// SIGKILL — no shutdown hooks, no flush beyond what fsync guaranteed.
+    fn kill(mut self) {
+        self.child.kill().expect("kill serve");
+        self.child.wait().expect("reap serve");
+        std::mem::forget(self); // already reaped
+    }
+
+    fn shutdown(mut self) {
+        let (status, _) = client::request(&self.addr, "POST", "/shutdown", None).expect("shutdown");
+        assert_eq!(status, 200);
+        self.child.wait().expect("serve exits");
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn upload(addr: &str, text: &str) -> String {
+    let (status, body) =
+        client::request(addr, "POST", "/models", Some(text.as_bytes())).expect("upload");
+    assert_eq!(status, 200, "{body}");
+    client::json_str_field(&body, "hash").expect("hash in upload response")
+}
+
+fn submit(addr: &str, query: &str) -> u64 {
+    let (status, body) =
+        client::request(addr, "POST", &format!("/jobs?{query}"), None).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    client::json_uint_field(&body, "job").expect("job id in response")
+}
+
+fn job_body(addr: &str, job: u64) -> String {
+    let (status, body) =
+        client::request(addr, "GET", &format!("/jobs/{job}"), None).expect("status");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+fn wait_for(addr: &str, job: u64, predicate: impl Fn(&str) -> bool, what: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = client::json_str_field(&job_body(addr, job), "status").expect("status field");
+        if predicate(&status) {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for job {job} to be {what} (status {status})"
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+fn result_document(addr: &str, job: u64) -> String {
+    let (status, document) =
+        client::request(addr, "GET", &format!("/jobs/{job}/result"), None).expect("result");
+    assert_eq!(status, 200, "{document}");
+    document
+}
+
+fn healthz_stat(addr: &str, field: &str) -> u64 {
+    let (status, body) = client::request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    client::json_uint_field(&body, field)
+        .unwrap_or_else(|| panic!("healthz carries `{field}`: {body}"))
+}
+
+/// The document the one-shot CLI writes for the given command + options.
+fn one_shot_document(file: &str, command: &str, options: &Options) -> String {
+    let model = Model::parse(&model_text(file)).expect("model parses");
+    let result = match command {
+        "verify" => cmd_verify(&model, options).expect("cli verify runs"),
+        "zones" => cmd_zones(&model, options).expect("cli zones runs"),
+        other => panic!("unexpected command {other}"),
+    };
+    json::render_document(&result.json)
+}
+
+#[test]
+fn sigkill_mid_queue_recovers_to_byte_identical_results() {
+    let data_dir =
+        std::env::temp_dir().join(format!("transyt-crash-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let data_dir = data_dir.to_str().expect("utf-8 temp dir").to_owned();
+
+    // ---- Phase 1: a single-worker durable server takes four jobs. ----
+    let server = ServeProc::start(&data_dir);
+    let fig1 = upload(&server.addr, &model_text("intro_fig1.tts"));
+    let pipeline = upload(&server.addr, &model_text("ipcmos_2stage.stg"));
+
+    // Job 0 completes before the crash; its document is the recovery oracle.
+    let job0 = submit(
+        &server.addr,
+        &format!("model={fig1}&command=verify&trace=true"),
+    );
+    assert_eq!(
+        wait_for(&server.addr, job0, |s| s == "done", "done"),
+        "done"
+    );
+    let job0_doc = result_document(&server.addr, job0);
+    assert_eq!(
+        job0_doc,
+        one_shot_document(
+            "intro_fig1.tts",
+            "verify",
+            &Options {
+                trace: true,
+                ..Options::default()
+            }
+        )
+    );
+
+    // Job 1 is running at the kill (the 2-stage zone exploration is slow
+    // enough to still be in flight); jobs 2 and 3 sit queued behind it on
+    // the single worker.
+    let job1 = submit(
+        &server.addr,
+        &format!("model={pipeline}&command=zones&limit=3000"),
+    );
+    let job2 = submit(&server.addr, &format!("model={fig1}&command=verify"));
+    let job3 = submit(
+        &server.addr,
+        &format!("model={pipeline}&command=zones&limit=500&threads=2"),
+    );
+    wait_for(&server.addr, job1, |s| s != "queued", "claimed");
+    assert!(
+        client::json_str_field(&job_body(&server.addr, job2), "status")
+            .is_some_and(|s| s == "queued")
+    );
+
+    // ---- SIGKILL, then corrupt the journal tail like a torn write. ----
+    server.kill();
+    let journal = PathBuf::from(&data_dir).join("journal.log");
+    let mut bytes = std::fs::read(&journal).expect("journal exists");
+    bytes.extend_from_slice(b"v1 done 99 deadbeefdead"); // bad checksum, no newline
+    std::fs::write(&journal, &bytes).expect("append torn tail");
+
+    // `transyt store ls` reads the dir offline (and never repairs it).
+    let output = Command::new(env!("CARGO_BIN_EXE_transyt"))
+        .args(["store", "ls", "--data-dir", &data_dir])
+        .output()
+        .expect("store ls runs");
+    assert!(output.status.success());
+    let listing = String::from_utf8_lossy(&output.stdout);
+    assert!(listing.contains("#0 done verify"), "{listing}");
+    assert!(listing.contains("torn trailing bytes"), "{listing}");
+
+    // ---- Phase 2: restart over the same dir. ----
+    let server = ServeProc::start(&data_dir);
+
+    // The torn tail was dropped, not trusted.
+    assert!(healthz_stat(&server.addr, "torn_bytes_dropped") > 0);
+    let persisted = healthz_stat(&server.addr, "stored_models");
+    assert_eq!(persisted, 2, "both uploaded models persisted");
+
+    // The completed job answers byte-identically from the store — zero runs
+    // have happened in this process when we ask.
+    let body = job_body(&server.addr, job0);
+    assert!(body.contains("\"recovered\":true"), "{body}");
+    assert_eq!(result_document(&server.addr, job0), job0_doc);
+    // Interrupted jobs (one running, two queued at the kill) were
+    // re-enqueued and re-run to byte-identical documents.
+    for (job, file, command, options) in [
+        (
+            job1,
+            "ipcmos_2stage.stg",
+            "zones",
+            Options {
+                limit: Some(3000),
+                ..Options::default()
+            },
+        ),
+        (job2, "intro_fig1.tts", "verify", Options::default()),
+        (
+            job3,
+            "ipcmos_2stage.stg",
+            "zones",
+            Options {
+                limit: Some(500),
+                threads: 2,
+                ..Options::default()
+            },
+        ),
+    ] {
+        assert_eq!(
+            wait_for(&server.addr, job, |s| s == "done", "done"),
+            "done",
+            "job {job} after restart"
+        );
+        let body = job_body(&server.addr, job);
+        assert!(body.contains("\"recovered\":true"), "{body}");
+        assert_eq!(
+            result_document(&server.addr, job),
+            one_shot_document(file, command, &options),
+            "{file}: recovered document differs from one-shot CLI output"
+        );
+    }
+
+    // Job 0's result was never re-run: only the three interrupted jobs
+    // executed in this process.
+    let runs_after_replay = healthz_stat(&server.addr, "runs_executed");
+    assert_eq!(runs_after_replay, 3);
+
+    // ---- Duplicate submission dedupes across the restart. ----
+    let dup = submit(
+        &server.addr,
+        &format!("model={fig1}&command=verify&trace=true"),
+    );
+    assert_eq!(wait_for(&server.addr, dup, |s| s == "done", "done"), "done");
+    assert_eq!(result_document(&server.addr, dup), job0_doc);
+    assert_eq!(
+        healthz_stat(&server.addr, "runs_executed"),
+        runs_after_replay,
+        "the duplicate must not run"
+    );
+    assert!(healthz_stat(&server.addr, "store_hits") >= 1);
+    // The duplicate is a fresh submission, not a replayed one.
+    let body = job_body(&server.addr, dup);
+    assert!(!body.contains("\"recovered\""), "{body}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -349,7 +349,7 @@ fn result_store_evicts_by_lru_cap() {
         addr: "127.0.0.1:0".to_owned(),
         workers: 1,
         keep_results: 1,
-        result_ttl: None,
+        ..ServerConfig::default()
     });
     let hash = upload(&addr, &model_text("race_overlap.tts"));
     // Distinct keys (different thread counts) so both actually run.

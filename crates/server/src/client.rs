@@ -106,6 +106,21 @@ pub fn json_uint_field(document: &str, name: &str) -> Option<u64> {
     }
 }
 
+/// Extracts a boolean `"name":true|false` field from a JSON document
+/// rendered by this workspace's emitter.
+pub fn json_bool_field(document: &str, name: &str) -> Option<bool> {
+    let needle = format!("\"{name}\":");
+    let start = document.find(&needle)? + needle.len();
+    let rest = &document[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +133,9 @@ mod tests {
         assert_eq!(json_str_field(doc, "missing"), None);
         assert_eq!(json_uint_field(doc, "job"), Some(17));
         assert_eq!(json_uint_field(doc, "hash"), None);
+        let doc = r#"{"recovered":true,"evicted":false}"#;
+        assert_eq!(json_bool_field(doc, "recovered"), Some(true));
+        assert_eq!(json_bool_field(doc, "evicted"), Some(false));
+        assert_eq!(json_bool_field(doc, "missing"), None);
     }
 }

@@ -47,4 +47,6 @@ mod sys;
 
 pub use explore::CancelToken;
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use state::{content_hash, CachedModel, JobStatus, JobView, ResultStoreConfig, ServerState};
+pub use state::{
+    content_hash, CachedModel, JobStatus, JobView, PersistenceInfo, ResultStoreConfig, ServerState,
+};

@@ -29,6 +29,15 @@ pub struct ServerConfig {
     /// Result TTL: evict documents this long after completion
     /// (`serve --result-ttl SECS`; `None` = keep until the cap evicts).
     pub result_ttl: Option<Duration>,
+    /// Data dir for durable serving (`serve --data-dir DIR`): models,
+    /// result documents and the write-ahead job journal live here and the
+    /// server recovers its full job table from it on startup. `None` (the
+    /// default) serves ephemerally, exactly as before.
+    pub data_dir: Option<String>,
+    /// Whether journal appends and store writes are fsync'd before being
+    /// reported durable (`serve --fsync on|off`; default on). Only
+    /// meaningful with `data_dir`.
+    pub fsync: bool,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +48,8 @@ impl Default for ServerConfig {
             workers: 4,
             keep_results: store.keep_results,
             result_ttl: store.result_ttl,
+            data_dir: None,
+            fsync: true,
         }
     }
 }
@@ -99,8 +110,15 @@ impl Server {
             keep_results: config.keep_results,
             result_ttl: config.result_ttl,
         };
+        let state = match &config.data_dir {
+            None => ServerState::new(session, store),
+            Some(dir) => {
+                let (persist, recovery) = transyt_store::Store::open(dir, config.fsync)?;
+                ServerState::recovered(session, store, Arc::new(persist), &recovery)
+            }
+        };
         Ok(Server {
-            state: Arc::new(ServerState::new(session, store)),
+            state: Arc::new(state),
             listener,
             addr,
             workers: config.workers.max(1),
@@ -209,6 +227,11 @@ fn job_document(view: &JobView) -> Value {
         .field("explored", view.explored)
         .field("evicted", view.evicted)
         .field("done", view.status.is_terminal());
+    // Only on durable servers, so ephemeral documents stay byte-identical
+    // to the pre-persistence wire format.
+    if view.recovered {
+        doc = doc.field("recovered", true);
+    }
     if let Some(error) = &view.error {
         doc = doc.field("error", error.as_str());
     }
@@ -220,15 +243,42 @@ fn route(state: &ServerState, request: &Request) -> Response {
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let (queued, running) = state.load();
-            Response::json(
-                200,
-                Value::object()
-                    .field("status", "ok")
-                    .field("queued", queued)
-                    .field("running", running)
-                    .render()
-                    + "\n",
-            )
+            let mut doc = Value::object()
+                .field("status", "ok")
+                .field("queued", queued)
+                .field("running", running);
+            // The persistence block (and the session counters the recovery
+            // tests read) only exists on durable servers: the ephemeral
+            // healthz document stays byte-identical to the pre-persistence
+            // wire format.
+            if let Some(info) = state.persistence() {
+                let stats = state.session().stats();
+                doc = doc
+                    .field(
+                        "persistence",
+                        Value::object()
+                            .field("data_dir", info.data_dir.as_str())
+                            .field("journal_entries", info.journal.entries as usize)
+                            .field("journal_bytes", info.journal.bytes as usize)
+                            .field("compacted_bytes", info.journal.compacted_bytes as usize)
+                            .field(
+                                "torn_bytes_dropped",
+                                info.journal.torn_bytes_dropped as usize,
+                            )
+                            .field("stored_models", info.disk.models)
+                            .field("stored_results", info.disk.results)
+                            .field("result_bytes", info.disk.result_bytes as usize),
+                    )
+                    .field(
+                        "stats",
+                        Value::object()
+                            .field("runs_executed", stats.runs_executed as usize)
+                            .field("runs_attached", stats.runs_attached as usize)
+                            .field("memo_hits", stats.memo_hits as usize)
+                            .field("store_hits", stats.store_hits as usize),
+                    );
+            }
+            Response::json(200, doc.render() + "\n")
         }
         ("POST", ["models"]) => {
             let text = match String::from_utf8(request.body.clone()) {

@@ -6,15 +6,18 @@
 //! their canonical [`TaskKey`], so queued duplicate jobs attach to the
 //! in-flight run (or hit the session's memo) and share one result document.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use transyt_session::{
-    CancelToken, Completion, Outcome, ProgressEvent, ProgressSink, RunControl, Session, TaskKey,
-    TaskResult, TaskSpec,
+    CancelToken, Completion, Outcome, ProgressEvent, ProgressSink, RestoredOutcome, RunControl,
+    Session, StoreHook, TaskKey, TaskResult, TaskSpec,
+};
+use transyt_store::{
+    DiskStats, JournalStats, Record, RecoveredJob, RecoveredStatus, Recovery, Store,
 };
 
 pub use transyt_session::CachedModel;
@@ -84,6 +87,10 @@ pub struct JobView {
     pub evicted: bool,
     /// Configurations explored so far (live progress for running jobs).
     pub explored: usize,
+    /// `true` when the job was replayed from the write-ahead journal after
+    /// a restart (completed jobs answer from the on-disk store; interrupted
+    /// ones were re-enqueued).
+    pub recovered: bool,
 }
 
 struct Job {
@@ -97,6 +104,7 @@ struct Job {
     cancel: CancelToken,
     explored: Arc<AtomicUsize>,
     completed_at: Option<Instant>,
+    recovered: bool,
 }
 
 impl Job {
@@ -111,6 +119,7 @@ impl Job {
             error: self.error.clone(),
             evicted: self.evicted,
             explored: self.explored.load(Ordering::Relaxed),
+            recovered: self.recovered,
         }
     }
 }
@@ -143,10 +152,22 @@ impl Default for ResultStoreConfig {
     }
 }
 
+/// Persistence counters of a durable server, served through `/healthz`.
+#[derive(Debug, Clone)]
+pub struct PersistenceInfo {
+    /// The data dir backing the server.
+    pub data_dir: String,
+    /// Write-ahead journal size counters.
+    pub journal: JournalStats,
+    /// On-disk model / result counts and byte totals.
+    pub disk: DiskStats,
+}
+
 /// The shared state behind the HTTP front end and the worker pool.
 pub struct ServerState {
     session: Arc<Session>,
     store: ResultStoreConfig,
+    persist: Option<Arc<Store>>,
     inner: Mutex<Inner>,
     work: Condvar,
 }
@@ -157,6 +178,7 @@ impl ServerState {
         ServerState {
             session,
             store,
+            persist: None,
             inner: Mutex::new(Inner {
                 jobs: Vec::new(),
                 queue: VecDeque::new(),
@@ -164,6 +186,229 @@ impl ServerState {
                 shutdown: false,
             }),
             work: Condvar::new(),
+        }
+    }
+
+    /// Creates durable state over an opened [`Store`], replaying `recovery`
+    /// (the store's own [`Store::open`] result):
+    ///
+    /// * stored models are re-interned into the session (then the session's
+    ///   persistence hook is installed, so new models and results keep
+    ///   flowing to disk);
+    /// * completed jobs reload their documents from the store —
+    ///   byte-identical to what was served before the crash;
+    /// * jobs that were queued or running at the kill are **re-enqueued**
+    ///   (the stack is deterministic, so the re-run reproduces the same
+    ///   document);
+    /// * failed / cancelled / timed-out jobs keep their terminal status.
+    ///
+    /// Ends with the startup GC (the in-memory TTL + LRU rules applied to
+    /// the recovered result set, plus an orphan-file sweep) and a journal
+    /// compaction.
+    pub fn recovered(
+        session: Arc<Session>,
+        store: ResultStoreConfig,
+        persist: Arc<Store>,
+        recovery: &Recovery,
+    ) -> ServerState {
+        for hash in &recovery.models {
+            match persist.model_text(hash) {
+                Some(text) => {
+                    if let Err(e) = session.add_model(&text) {
+                        eprintln!("transyt-server: stored model {hash} no longer parses: {e}");
+                    }
+                }
+                None => eprintln!("transyt-server: stored model {hash} is missing or corrupt"),
+            }
+        }
+        // Installed only after the replay: re-interning stored models must
+        // not re-journal them.
+        session.set_store_hook(Arc::clone(&persist) as Arc<dyn StoreHook>);
+
+        let now = Instant::now();
+        let mut jobs: Vec<Job> = Vec::with_capacity(recovery.jobs.len());
+        let mut queue = VecDeque::new();
+        for recovered in &recovery.jobs {
+            let id = jobs.len();
+            let (spec, spec_error) = match TaskSpec::parse(&recovered.command, &recovered.params) {
+                Ok(spec) => (spec.for_model(&recovered.model), None),
+                // A journal from a future/older version: keep the job
+                // visible (ids stay dense) but terminal.
+                Err(e) => (TaskSpec::verify(&recovered.model), Some(e.to_string())),
+            };
+            let model_name = session
+                .model(&recovered.model)
+                .map(|m| m.name)
+                .unwrap_or_else(|| recovered.model.clone());
+            let mut job = Job {
+                key: spec.key(),
+                spec,
+                model_name,
+                status: JobStatus::Queued,
+                result: None,
+                error: None,
+                evicted: recovered.evicted,
+                cancel: CancelToken::new(),
+                explored: Arc::new(AtomicUsize::new(0)),
+                completed_at: None,
+                recovered: true,
+            };
+            match (&recovered.status, spec_error) {
+                (_, Some(error)) => {
+                    job.status = JobStatus::Failed;
+                    job.error = Some(format!("unrecoverable journaled spec: {error}"));
+                }
+                (RecoveredStatus::Queued | RecoveredStatus::Running, None) => {
+                    queue.push_back(id);
+                }
+                (RecoveredStatus::Done { result }, None) => {
+                    job.status = JobStatus::Done;
+                    if !job.evicted {
+                        match persist.result(&job.key) {
+                            Some(doc) => {
+                                // Age the entry by the result file's mtime so
+                                // the TTL keeps counting across the restart.
+                                let age = persist.result_age(result).unwrap_or_default();
+                                job.completed_at = Some(now.checked_sub(age).unwrap_or(now));
+                                job.result = Some(Arc::new(TaskResult {
+                                    outcome: Ok(Outcome::Restored(RestoredOutcome {
+                                        model: job.model_name.clone(),
+                                        command: job.spec.command,
+                                    })),
+                                    text: doc.text,
+                                    document: doc.document,
+                                }));
+                            }
+                            None => job.evicted = true,
+                        }
+                    }
+                }
+                (RecoveredStatus::Failed, None) => {
+                    job.status = JobStatus::Failed;
+                    job.error = recovered.error.clone();
+                }
+                (RecoveredStatus::Cancelled, None) => job.status = JobStatus::Cancelled,
+                (RecoveredStatus::TimedOut, None) => job.status = JobStatus::TimedOut,
+            }
+            jobs.push(job);
+        }
+
+        // LRU order of the recovered results: oldest completion first.
+        let mut access: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| job.result.is_some())
+            .map(|(id, _)| id)
+            .collect();
+        access.sort_by_key(|&id| jobs[id].completed_at.unwrap_or(now));
+
+        let state = ServerState {
+            session,
+            store,
+            persist: Some(persist),
+            inner: Mutex::new(Inner {
+                jobs,
+                queue,
+                access,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        };
+
+        // Startup GC: the same TTL + LRU rules the live server applies,
+        // now also dropping the disk copies; then sweep result files no
+        // job references and compact the replayed journal.
+        {
+            let mut inner = state.lock();
+            state.evict_expired(&mut inner);
+            while inner.access.len() > state.store.keep_results.max(1) {
+                let oldest = inner.access[0];
+                state.evict_one(&mut inner, oldest);
+            }
+            if let Some(persist) = &state.persist {
+                let referenced: HashSet<String> = inner
+                    .jobs
+                    .iter()
+                    .filter(|job| job.status == JobStatus::Done && !job.evicted)
+                    .map(|job| job.key.fingerprint())
+                    .collect();
+                persist.remove_unreferenced(&referenced);
+                if let Err(e) = persist.compact(&state.snapshot(&inner)) {
+                    eprintln!("transyt-server: journal compaction failed: {e}");
+                }
+            }
+        }
+        state
+    }
+
+    /// Persistence counters (`None` for an ephemeral server).
+    pub fn persistence(&self) -> Option<PersistenceInfo> {
+        self.persist.as_ref().map(|store| PersistenceInfo {
+            data_dir: store.root().display().to_string(),
+            journal: store.journal_stats(),
+            disk: store.disk_stats(),
+        })
+    }
+
+    /// Appends one journal record, best effort: a full disk degrades
+    /// durability, never availability.
+    fn journal(&self, record: &Record) {
+        if let Some(store) = &self.persist {
+            if let Err(e) = store.append(record) {
+                eprintln!("transyt-server: journal write failed: {e}");
+            }
+        }
+    }
+
+    /// The compacted journal image of the current state.
+    fn snapshot(&self, inner: &Inner) -> Vec<Record> {
+        let models: Vec<String> = self
+            .session
+            .models()
+            .iter()
+            .map(|m| m.hash.clone())
+            .collect();
+        let jobs: Vec<RecoveredJob> = inner
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(id, job)| RecoveredJob {
+                id,
+                command: job.spec.command.name().to_owned(),
+                model: job.spec.model.clone(),
+                params: job.spec.to_params(),
+                status: match job.status {
+                    JobStatus::Queued => RecoveredStatus::Queued,
+                    JobStatus::Running => RecoveredStatus::Running,
+                    JobStatus::Done => RecoveredStatus::Done {
+                        result: job.key.fingerprint(),
+                    },
+                    JobStatus::Failed => RecoveredStatus::Failed,
+                    JobStatus::Cancelled => RecoveredStatus::Cancelled,
+                    JobStatus::TimedOut => RecoveredStatus::TimedOut,
+                },
+                error: job.error.clone(),
+                evicted: job.evicted,
+            })
+            .collect();
+        Store::compaction_records(&models, &jobs)
+    }
+
+    /// Rewrites the journal to the compacted image once its size trigger
+    /// fires. Holds the state lock across the rewrite so no job transition
+    /// can slip between snapshot and replacement (a concurrently interned
+    /// model could — its record lands in the replaced file and is lost —
+    /// but recovery re-adopts model files the journal does not mention).
+    fn maybe_compact(&self) {
+        let Some(store) = &self.persist else {
+            return;
+        };
+        if !store.should_compact() {
+            return;
+        }
+        let inner = self.lock();
+        if let Err(e) = store.compact(&self.snapshot(&inner)) {
+            eprintln!("transyt-server: journal compaction failed: {e}");
         }
     }
 
@@ -214,6 +459,16 @@ impl ServerState {
             return Err("server is shutting down".to_owned());
         }
         let id = inner.jobs.len();
+        // Journaled under the lock that assigned the id: replay requires
+        // `job` records in dense id order, so two racing submissions must
+        // not interleave their appends. The record is also durable before
+        // the id is revealed to the client.
+        self.journal(&Record::Job {
+            id,
+            command: spec.command.name().to_owned(),
+            model: spec.model.clone(),
+            params: spec.to_params(),
+        });
         inner.jobs.push(Job {
             key: spec.key(),
             spec,
@@ -225,10 +480,12 @@ impl ServerState {
             cancel: CancelToken::new(),
             explored: Arc::new(AtomicUsize::new(0)),
             completed_at: None,
+            recovered: false,
         });
         inner.queue.push_back(id);
         drop(inner);
         self.work.notify_one();
+        self.maybe_compact();
         Ok(id)
     }
 
@@ -294,6 +551,10 @@ impl ServerState {
             JobStatus::Queued => {
                 job.status = JobStatus::Cancelled;
                 job.cancel.cancel();
+                // A queued job's cancellation is its terminal record (a
+                // running one's is written by the worker when the run
+                // returns).
+                self.journal(&Record::Cancel { id });
             }
             JobStatus::Running => {
                 // The worker observes the fired token when the run returns
@@ -315,6 +576,7 @@ impl ServerState {
             let job = &mut inner.jobs[id];
             if job.status == JobStatus::Queued {
                 job.status = JobStatus::Cancelled;
+                self.journal(&Record::Cancel { id });
             }
         }
         drop(inner);
@@ -360,15 +622,36 @@ impl ServerState {
             })
             .collect();
         for id in expired {
-            Self::evict_one(inner, id);
+            self.evict_one(inner, id);
         }
     }
 
-    fn evict_one(inner: &mut Inner, id: usize) {
+    /// Drops one job's result from memory — and, on a durable server, from
+    /// disk: the stored file goes too (unless another live `done` job
+    /// shares the same key) and an `evict` record makes the eviction
+    /// survive a restart, so the job answers 410 afterwards instead of
+    /// resurrecting.
+    fn evict_one(&self, inner: &mut Inner, id: usize) {
+        let was_done = inner.jobs[id].status == JobStatus::Done;
+        let key = inner.jobs[id].key.clone();
         let job = &mut inner.jobs[id];
         job.result = None;
         job.evicted = true;
         inner.access.retain(|&j| j != id);
+        if !was_done {
+            // Partial documents of failed / cancelled / timed-out jobs are
+            // memory-only: nothing on disk, nothing to journal.
+            return;
+        }
+        if let Some(store) = &self.persist {
+            let shared = inner.jobs.iter().enumerate().any(|(other, job)| {
+                other != id && job.status == JobStatus::Done && !job.evicted && job.key == key
+            });
+            if !shared {
+                store.remove_result(&key.fingerprint());
+            }
+            self.journal(&Record::Evict { id });
+        }
     }
 
     /// Records a finished run and enforces the LRU cap.
@@ -390,7 +673,7 @@ impl ServerState {
             inner.access.push(id);
             while inner.access.len() > self.store.keep_results.max(1) {
                 let oldest = inner.access[0];
-                Self::evict_one(&mut inner, oldest);
+                self.evict_one(&mut inner, oldest);
             }
         }
     }
@@ -424,6 +707,10 @@ impl ServerState {
                     }
                 }
             };
+            // A `run` record turns "queued at the crash" into "running at
+            // the crash" — recovery re-enqueues both, but operators see
+            // which jobs actually lost work.
+            self.journal(&Record::Run { id });
 
             let progress = ProgressSink::new(move |event: &ProgressEvent| {
                 if let ProgressEvent::Batch { expanded, .. }
@@ -473,7 +760,44 @@ impl ServerState {
                     Err(_) => (JobStatus::Failed, Some(result)),
                 },
             };
+            if let Some(store) = &self.persist {
+                let record = match status {
+                    JobStatus::Done => {
+                        // The session's hook already persisted the document
+                        // before publishing the result; this re-save is the
+                        // heal path for a file lost between then and now
+                        // (e.g. a re-run after a disk-side eviction).
+                        let key = spec.key();
+                        if let Some(result) = &result {
+                            if let Err(e) =
+                                store.save_result_if_absent(&key, &result.text, &result.document)
+                            {
+                                eprintln!("transyt-server: persisting result of job {id}: {e}");
+                            }
+                        }
+                        Some(Record::Done {
+                            id,
+                            result: key.fingerprint(),
+                        })
+                    }
+                    JobStatus::Failed => Some(Record::Fail {
+                        id,
+                        error: result
+                            .as_ref()
+                            .and_then(|r| r.outcome.as_ref().err())
+                            .map(|e| e.to_string())
+                            .unwrap_or_default(),
+                    }),
+                    JobStatus::Cancelled => Some(Record::Cancel { id }),
+                    JobStatus::TimedOut => Some(Record::Timeout { id }),
+                    JobStatus::Queued | JobStatus::Running => None,
+                };
+                if let Some(record) = record {
+                    self.journal(&record);
+                }
+            }
             self.finish(id, status, result);
+            self.maybe_compact();
         }
     }
 }
@@ -635,6 +959,141 @@ mod tests {
         assert_eq!(state.evicted_jobs(), vec![id]);
         // Status survives eviction; only the document is gone.
         assert_eq!(state.job(id).unwrap().status, JobStatus::Done);
+    }
+
+    /// Unique scratch data dir per test.
+    fn test_data_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "transyt-server-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_state(dir: &std::path::Path, store: ResultStoreConfig) -> ServerState {
+        let (persist, recovery) = Store::open(dir, false).unwrap();
+        ServerState::recovered(
+            Arc::new(Session::new()),
+            store,
+            Arc::new(persist),
+            &recovery,
+        )
+    }
+
+    #[test]
+    fn durable_state_recovers_completed_and_interrupted_jobs() {
+        let dir = test_data_dir("recover");
+
+        // Run one job to completion, then "crash" (drop without cleanup).
+        let state = durable_state(&dir, ResultStoreConfig::default());
+        let (model, _) = state.upload_model(RACE).unwrap();
+        let done = state
+            .submit(TaskSpec::verify(&model.hash).with_trace(true))
+            .unwrap();
+        drain(&state);
+        let first_doc = state.job(done).unwrap().result.unwrap().document.clone();
+        assert!(!state.job(done).unwrap().recovered);
+        drop(state);
+
+        // Restart: enqueue two more jobs and die with them still queued
+        // (no worker ran, no shutdown — the SIGKILL shape of the journal).
+        let state = durable_state(&dir, ResultStoreConfig::default());
+        let recovered_done = state.job(done).unwrap();
+        assert_eq!(recovered_done.status, JobStatus::Done);
+        assert!(recovered_done.recovered);
+        assert_eq!(recovered_done.result.unwrap().document, first_doc);
+        let queued_a = state
+            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .unwrap();
+        let queued_b = state
+            .submit(TaskSpec::verify(&model.hash).threads(3))
+            .unwrap();
+        drop(state);
+
+        // Second restart: the interrupted jobs are re-enqueued and re-run
+        // to byte-identical documents; the completed one still serves the
+        // original bytes; a duplicate of it is answered from the store
+        // with zero new runs.
+        let state = durable_state(&dir, ResultStoreConfig::default());
+        assert_eq!(state.job(queued_a).unwrap().status, JobStatus::Queued);
+        assert!(state.job(queued_b).unwrap().recovered);
+        drain(&state);
+        let reference = Session::new();
+        reference.add_model(RACE).unwrap();
+        for (id, threads) in [(queued_a, 2), (queued_b, 3)] {
+            let view = state.job(id).unwrap();
+            assert_eq!(view.status, JobStatus::Done);
+            let fresh = reference
+                .run(&TaskSpec::verify(&model.hash).threads(threads))
+                .unwrap();
+            assert_eq!(
+                view.result.unwrap().document,
+                transyt_session::render::render_document(&transyt_session::render::document(
+                    &fresh
+                ))
+            );
+        }
+        drop(state);
+
+        // Final restart: a duplicate of the long-completed job is answered
+        // from the on-disk store — zero runs executed in this process.
+        let state = durable_state(&dir, ResultStoreConfig::default());
+        let runs_before = state.session().stats().runs_executed;
+        assert_eq!(runs_before, 0);
+        let duplicate = state
+            .submit(TaskSpec::verify(&model.hash).with_trace(true))
+            .unwrap();
+        // A single worker pass serves the duplicate from the store.
+        std::thread::scope(|scope| {
+            scope.spawn(|| state.worker_loop());
+            while !state.job(duplicate).unwrap().status.is_terminal() {
+                std::thread::yield_now();
+            }
+            state.shutdown();
+        });
+        let view = state.job(duplicate).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.result.unwrap().document, first_doc);
+        let stats = state.session().stats();
+        assert_eq!(stats.runs_executed, runs_before, "{stats:?}");
+        assert_eq!(stats.store_hits, 1, "{stats:?}");
+        assert!(state.persistence().unwrap().journal.entries > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_evictions_survive_restart() {
+        let dir = test_data_dir("evict");
+        let cap_one = ResultStoreConfig {
+            keep_results: 1,
+            result_ttl: None,
+        };
+        let state = durable_state(&dir, cap_one);
+        let (model, _) = state.upload_model(RACE).unwrap();
+        let a = state
+            .submit(TaskSpec::verify(&model.hash).threads(1))
+            .unwrap();
+        let b = state
+            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .unwrap();
+        drain(&state);
+        assert_eq!(state.evicted_jobs(), vec![a]);
+        // The evicted job's file is gone from disk too.
+        assert_eq!(state.persistence().unwrap().disk.results, 1);
+        drop(state);
+
+        let state = durable_state(&dir, cap_one);
+        let evicted = state.job(a).unwrap();
+        assert_eq!(evicted.status, JobStatus::Done);
+        assert!(evicted.evicted, "eviction must survive the restart");
+        assert!(evicted.result.is_none());
+        let kept = state.job(b).unwrap();
+        assert_eq!(kept.status, JobStatus::Done);
+        assert!(kept.result.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod format;
 mod outcome;
+mod persist;
 pub mod render;
 mod run;
 mod session;
@@ -48,8 +49,10 @@ pub use explore::{
 };
 pub use outcome::{
     asap_run, replay_rendered, trace_of_verdict, Outcome, ReachGoalOutcome, ReachOutcome,
-    ReachPath, RenderedTrace, TimedOutOutcome, TraceStep, VerifyOutcome, ZoneWitness, ZonesOutcome,
+    ReachPath, RenderedTrace, RestoredOutcome, TimedOutOutcome, TraceStep, VerifyOutcome,
+    ZoneWitness, ZonesOutcome,
 };
+pub use persist::{StoreHook, StoredResult};
 pub use session::{
     content_hash, CachedModel, Completion, RunControl, Session, SessionError, SessionStats,
     TaskHandle, TaskResult,

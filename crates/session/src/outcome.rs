@@ -330,6 +330,21 @@ pub struct TimedOutOutcome {
     pub partial: Option<Box<Outcome>>,
 }
 
+/// A completed task served from a persistent store
+/// ([`StoreHook`](crate::StoreHook)) instead of a run. The structured
+/// outcome is not persisted — only the canonical renderings are — so a
+/// store hit carries its saved `text` / `document` bytes verbatim in the
+/// surrounding [`TaskResult`](crate::TaskResult) and this marker in place
+/// of the structured data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoredOutcome {
+    /// The model name (the interned name, or the content hash when the
+    /// model itself is no longer loaded).
+    pub model: String,
+    /// The command the stored result answers.
+    pub command: TaskCommand,
+}
+
 /// What one [`Session`](crate::Session) task produced: structured data, not
 /// strings. Render with [`render::text`](crate::render::text) and
 /// [`render::document`](crate::render::document).
@@ -343,6 +358,10 @@ pub enum Outcome {
     Zones(ZonesOutcome),
     /// The task's deadline expired before the run finished.
     TimedOut(TimedOutOutcome),
+    /// A completed result restored from a persistent store; the canonical
+    /// renderings live in the surrounding
+    /// [`TaskResult`](crate::TaskResult).
+    Restored(RestoredOutcome),
 }
 
 impl Outcome {
@@ -353,6 +372,7 @@ impl Outcome {
             Outcome::Reach(r) => &r.model,
             Outcome::Zones(z) => &z.model,
             Outcome::TimedOut(t) => &t.model,
+            Outcome::Restored(r) => &r.model,
         }
     }
 
@@ -372,6 +392,8 @@ impl Outcome {
                     || matches!(z.witness, Some(ZoneWitness::Cancelled { .. }))
             }
             Outcome::TimedOut(_) => true,
+            // A store only ever holds completed runs.
+            Outcome::Restored(_) => false,
         }
     }
 }

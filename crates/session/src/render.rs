@@ -183,6 +183,13 @@ pub fn document(outcome: &Outcome) -> Value {
             }
             doc
         }
+        // A restored result's real document is the stored bytes carried in
+        // its `TaskResult`; this fallback rendering only exists so the
+        // `Outcome` stays total over `render`.
+        Outcome::Restored(r) => Value::object()
+            .field("model", r.model.as_str())
+            .field("command", r.command.name())
+            .field("restored", true),
     }
 }
 
@@ -326,6 +333,14 @@ pub fn text(outcome: &Outcome) -> String {
                 text.push_str("partial results at the deadline:\n");
                 text.push_str(&self::text(partial));
             }
+        }
+        // As with `document`: the stored text in the `TaskResult` is the
+        // real rendering; this arm keeps `text` total.
+        Outcome::Restored(r) => {
+            text.push_str(&format!(
+                "restored stored result of `{}` on `{}`\n",
+                r.command, r.model
+            ));
         }
     }
     text

@@ -11,7 +11,8 @@ use std::time::Duration;
 use explore::{CancelToken, ProgressEvent, ProgressSink};
 
 use crate::format::{Model, ModelError, ModelSource};
-use crate::outcome::{Outcome, TimedOutOutcome};
+use crate::outcome::{Outcome, RestoredOutcome, TimedOutOutcome};
+use crate::persist::StoreHook;
 use crate::render;
 use crate::task::{TaskKey, TaskSpec};
 
@@ -134,6 +135,9 @@ pub struct SessionStats {
     pub runs_attached: u64,
     /// Calls served from the completed-run memo without any run.
     pub memo_hits: u64,
+    /// Calls served from the persistent store ([`StoreHook`]) without any
+    /// run — duplicate submissions deduplicated across process restarts.
+    pub store_hits: u64,
 }
 
 struct RunShared {
@@ -148,6 +152,7 @@ struct Inner {
     inflight: HashMap<TaskKey, Arc<RunShared>>,
     memo: VecDeque<(TaskKey, Arc<TaskResult>)>,
     stats: SessionStats,
+    store: Option<Arc<dyn StoreHook>>,
 }
 
 /// An embedding-friendly handle on the verification stack: a `Session` owns
@@ -223,9 +228,18 @@ impl Session {
                 inflight: HashMap::new(),
                 memo: VecDeque::new(),
                 stats: SessionStats::default(),
+                store: None,
             }),
             memo_capacity,
         }
+    }
+
+    /// Installs the persistence hook (see [`StoreHook`]): freshly interned
+    /// models and cacheable finished results are pushed into it, and task
+    /// submissions consult it — after the in-memory memo misses — before a
+    /// run is scheduled, so duplicates dedupe across process restarts.
+    pub fn set_store_hook(&self, hook: Arc<dyn StoreHook>) {
+        self.lock().store = Some(hook);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -271,6 +285,11 @@ impl Session {
             return (existing.clone(), true);
         }
         inner.models.push(entry.clone());
+        let hook = inner.store.as_ref().map(Arc::clone);
+        drop(inner);
+        if let Some(hook) = hook {
+            hook.save_model(&entry.hash, &entry.text);
+        }
         (entry, false)
     }
 
@@ -349,6 +368,36 @@ impl Session {
                 drop(inner);
                 return self.wait_attached(&shared, &control.cancel);
             }
+            // Memo and inflight both missed: ask the persistent store before
+            // committing to a run. The lookup deliberately happens under the
+            // session lock — it is one small file read, and racing lookups
+            // of the same key would otherwise both miss and run twice.
+            if let Some(hook) = inner.store.as_ref().map(Arc::clone) {
+                if let Some(stored) = hook.load_result(&key) {
+                    inner.stats.store_hits += 1;
+                    let model = inner
+                        .models
+                        .iter()
+                        .find(|m| m.hash == spec.model)
+                        .map(|m| m.name.clone())
+                        .unwrap_or_else(|| spec.model.clone());
+                    let result = Arc::new(TaskResult {
+                        outcome: Ok(Outcome::Restored(RestoredOutcome {
+                            model,
+                            command: spec.command,
+                        })),
+                        text: stored.text,
+                        document: stored.document,
+                    });
+                    if self.memo_capacity > 0 {
+                        if inner.memo.len() >= self.memo_capacity {
+                            inner.memo.pop_front();
+                        }
+                        inner.memo.push_back((key, Arc::clone(&result)));
+                    }
+                    return Completion::Finished(result);
+                }
+            }
             inner.stats.runs_executed += 1;
             // A deadline needs a token the watchdog can actually fire: the
             // inert default is upgraded to a live one (nothing is lost —
@@ -411,13 +460,24 @@ impl Session {
         let mut inner = self.lock();
         inner.inflight.remove(&key);
         let cacheable = matches!(&result.outcome, Ok(outcome) if !outcome.was_cancelled());
+        let persist = if cacheable {
+            inner.store.as_ref().map(Arc::clone)
+        } else {
+            None
+        };
         if cacheable && self.memo_capacity > 0 {
             if inner.memo.len() >= self.memo_capacity {
                 inner.memo.pop_front();
             }
-            inner.memo.push_back((key, Arc::clone(&result)));
+            inner.memo.push_back((key.clone(), Arc::clone(&result)));
         }
         drop(inner);
+        // Persist before publishing: by the time any caller observes the
+        // result, the stored copy exists (a journaling embedder can record
+        // "done" knowing the result file is already on disk).
+        if let Some(hook) = persist {
+            hook.save_result(spec, &key, &result);
+        }
         *shared.done.lock().expect("run result poisoned") = Some(Arc::clone(&result));
         shared.finished.notify_all();
         Completion::Finished(result)
@@ -607,6 +667,7 @@ mod tests {
                 runs_executed: 1,
                 runs_attached: 0,
                 memo_hits: 1,
+                store_hits: 0,
             }
         );
         assert_eq!(
@@ -621,5 +682,103 @@ mod tests {
         session.run(&a).unwrap();
         session.run(&b).unwrap();
         assert_eq!(session.stats().runs_executed, 3);
+    }
+
+    /// In-memory [`StoreHook`]: what a persistent store looks like to the
+    /// session, minus the disk.
+    #[derive(Default)]
+    struct MapStore {
+        results: Mutex<HashMap<String, crate::persist::StoredResult>>,
+        models: Mutex<Vec<String>>,
+        saves: std::sync::atomic::AtomicUsize,
+    }
+
+    impl crate::persist::StoreHook for MapStore {
+        fn load_result(&self, key: &TaskKey) -> Option<crate::persist::StoredResult> {
+            self.results.lock().unwrap().get(key.canonical()).cloned()
+        }
+
+        fn save_result(&self, _spec: &TaskSpec, key: &TaskKey, result: &TaskResult) {
+            self.saves.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.results.lock().unwrap().insert(
+                key.canonical().to_owned(),
+                crate::persist::StoredResult {
+                    text: result.text.clone(),
+                    document: result.document.clone(),
+                },
+            );
+        }
+
+        fn save_model(&self, hash: &str, _text: &str) {
+            self.models.lock().unwrap().push(hash.to_owned());
+        }
+    }
+
+    #[test]
+    fn store_hook_sees_models_and_results_and_answers_duplicates() {
+        let store = Arc::new(MapStore::default());
+        let session = Session::new();
+        session.set_store_hook(Arc::clone(&store) as Arc<dyn crate::persist::StoreHook>);
+        let (cached, _) = session.add_model(RACE).unwrap();
+        assert_eq!(*store.models.lock().unwrap(), vec![cached.hash.clone()]);
+        // Re-interning the same text is not a fresh intern: no second save.
+        session.add_model(RACE).unwrap();
+        assert_eq!(store.models.lock().unwrap().len(), 1);
+
+        let spec = TaskSpec::verify(&cached.hash).with_trace(true);
+        let first = match session.run_task(&spec, RunControl::default()) {
+            Completion::Finished(result) => result,
+            Completion::Detached => unreachable!(),
+        };
+        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // A duplicate in the same session hits the memo, not the store.
+        session.run(&spec).unwrap();
+        assert_eq!(session.stats().memo_hits, 1);
+        assert_eq!(session.stats().store_hits, 0);
+
+        // A fresh session with the same store: the duplicate is answered
+        // from the store, byte-identical, with zero runs executed.
+        let restarted = Session::new();
+        restarted.set_store_hook(Arc::clone(&store) as Arc<dyn crate::persist::StoreHook>);
+        restarted.add_model(RACE).unwrap();
+        let replayed = match restarted.run_task(&spec, RunControl::default()) {
+            Completion::Finished(result) => result,
+            Completion::Detached => unreachable!(),
+        };
+        assert_eq!(restarted.stats().runs_executed, 0);
+        assert_eq!(restarted.stats().store_hits, 1);
+        assert_eq!(replayed.text, first.text);
+        assert_eq!(replayed.document, first.document);
+        let Ok(Outcome::Restored(restored)) = &replayed.outcome else {
+            panic!("expected a restored outcome, got {:?}", replayed.outcome);
+        };
+        assert_eq!(restored.model, "race");
+        // ... and the store hit is memoized: the next duplicate never
+        // touches the store again.
+        restarted.run(&spec).unwrap();
+        assert_eq!(restarted.stats().memo_hits, 1);
+        assert_eq!(restarted.stats().store_hits, 1);
+    }
+
+    #[test]
+    fn partial_results_are_never_persisted() {
+        let store = Arc::new(MapStore::default());
+        let session = Session::new();
+        session.set_store_hook(Arc::clone(&store) as Arc<dyn crate::persist::StoreHook>);
+        // A model whose zone graph cannot complete within the deadline (the
+        // tiny RACE model can finish before the fired token is even
+        // observed, which would make this test race its own cancellation).
+        let (cached, _) = session
+            .add_model(include_str!("../../../models/ipcmos_2stage.stg"))
+            .unwrap();
+        // A pre-fired cancel token makes the run come back cancelled
+        // (timed out here, via a microscopic deadline): not cacheable, not
+        // persisted.
+        let spec = TaskSpec::zones(&cached.hash).deadline(Duration::from_nanos(1));
+        let control = RunControl::default();
+        control.cancel.cancel();
+        let _ = session.run_task(&spec, control);
+        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 0);
+        assert!(store.results.lock().unwrap().is_empty());
     }
 }

@@ -335,6 +335,42 @@ impl TaskSpec {
         Ok(spec)
     }
 
+    /// Raises the spec back into the textual `(name, value)` parameters that
+    /// [`parse`](Self::parse) lowers — the journaling / wire form. For a
+    /// spec that came through `parse`, `parse(command.name(), &to_params())`
+    /// rebinds to an equal spec (sub-second deadlines are the one lossy
+    /// corner: `timeout` is whole seconds on the wire, so a deadline built
+    /// in code is rounded down, minimum 1s).
+    pub fn to_params(&self) -> Vec<(String, String)> {
+        let allowed = TaskSpec::allowed_params(self.command);
+        let mut params = vec![("threads".to_owned(), self.threads.to_string())];
+        if allowed.contains(&"subsumption") {
+            params.push(("subsumption".to_owned(), self.subsumption.name().to_owned()));
+        }
+        if allowed.contains(&"extrapolation") {
+            params.push((
+                "extrapolation".to_owned(),
+                self.extrapolation.name().to_owned(),
+            ));
+        }
+        if allowed.contains(&"bounds") {
+            params.push(("bounds".to_owned(), self.bounds.name().to_owned()));
+        }
+        if self.trace {
+            params.push(("trace".to_owned(), "true".to_owned()));
+        }
+        if let (true, Some(limit)) = (allowed.contains(&"limit"), self.limit) {
+            params.push(("limit".to_owned(), limit.to_string()));
+        }
+        if let (true, Some(label)) = (allowed.contains(&"to"), &self.to_label) {
+            params.push(("to".to_owned(), label.clone()));
+        }
+        if let Some(deadline) = self.deadline {
+            params.push(("timeout".to_owned(), deadline.as_secs().max(1).to_string()));
+        }
+        params
+    }
+
     /// The exploration size limit the run will actually use: the explicit
     /// limit, or the command's default.
     pub fn effective_limit(&self) -> Option<usize> {
@@ -483,6 +519,36 @@ mod tests {
         // Different models never collide.
         assert_ne!(TaskSpec::verify("abc").key(), TaskSpec::verify("abd").key());
         assert_eq!(TaskSpec::verify("abc").key().fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn to_params_round_trips_through_parse() {
+        let specs = [
+            TaskSpec::verify("aa"),
+            TaskSpec::verify("aa").threads(3).with_trace(true),
+            TaskSpec::verify("aa").deadline(Duration::from_secs(7)),
+            TaskSpec::reach("aa").to("C+").limit(42),
+            TaskSpec::zones("aa")
+                .subsumption(Subsumption::Exact)
+                .extrapolation(Extrapolation::None)
+                .bounds(Bounds::Global)
+                .limit(9)
+                .with_trace(true)
+                .deadline(Duration::from_secs(30)),
+        ];
+        for spec in specs {
+            let reparsed = TaskSpec::parse(spec.command.name(), &spec.to_params())
+                .unwrap()
+                .for_model(&spec.model);
+            assert_eq!(reparsed, spec);
+        }
+        // The lossy corner: sub-second deadlines round to whole seconds on
+        // the wire (never to zero, which `parse` rejects).
+        let sub_second = TaskSpec::verify("aa").deadline(Duration::from_millis(250));
+        let reparsed = TaskSpec::parse("verify", &sub_second.to_params())
+            .unwrap()
+            .for_model("aa");
+        assert_eq!(reparsed.deadline, Some(Duration::from_secs(1)));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Wire-safe text escaping shared by the journal records and the result
+//! file headers: every byte outside `[A-Za-z0-9._~-]` becomes `%XX`, so an
+//! escaped field never contains whitespace (journal records stay
+//! space-separated) or a newline (headers stay line-oriented).
+
+/// Escapes `text` into the space-free `%XX` form.
+pub(crate) fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for byte in text.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'~' | b'-' => {
+                out.push(byte as char);
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Lenient: malformed escapes are kept literally, so a
+/// decode never fails (the journal checksum is what detects corruption).
+pub(crate) fn unescape(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let hex = (bytes[i] == b'%' && i + 2 < bytes.len())
+            .then(|| std::str::from_utf8(&bytes[i + 1..i + 3]).ok())
+            .flatten()
+            .and_then(|pair| u8::from_str_radix(pair, 16).ok());
+        match hex {
+            Some(byte) => {
+                out.push(byte);
+                i += 3;
+            }
+            None => {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_and_stays_space_free() {
+        for text in [
+            "",
+            "plain-text_0.9~",
+            "spaces and\nnewlines\tand % signs",
+            "ünïcode ✓",
+            "a=b&c=d",
+        ] {
+            let escaped = escape(text);
+            assert!(
+                !escaped.contains(' ') && !escaped.contains('\n'),
+                "{escaped}"
+            );
+            assert_eq!(unescape(&escaped), text);
+        }
+        // Lenient decode keeps malformed escapes literally.
+        assert_eq!(unescape("%2Gx%"), "%2Gx%");
+    }
+}

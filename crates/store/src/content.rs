@@ -1,0 +1,106 @@
+//! Framing of the content-addressed files: result documents under
+//! `results/<fingerprint>.res`, models under `models/<hash>.model`.
+//!
+//! A result file carries a small line-oriented header (the full canonical
+//! task key, so fingerprint collisions and stale files are detected on
+//! load) followed by the raw bytes of the two canonical renderings:
+//!
+//! ```text
+//! transyt-result v1
+//! key <escaped canonical task key>
+//! text <text byte length>
+//! document <document byte length>
+//!
+//! <text bytes><document bytes>
+//! ```
+//!
+//! The document bytes are stored verbatim, which is what makes "served
+//! byte-identical after recovery" trivially true rather than a
+//! re-serialization property.
+
+use crate::codec::{escape, unescape};
+
+/// A decoded result file: the canonical key it was stored under and the two
+/// canonical renderings, byte-identical to the pre-crash
+/// [`TaskResult`](transyt_session::TaskResult) fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultDoc {
+    /// The canonical task key ([`TaskKey::canonical`]).
+    ///
+    /// [`TaskKey::canonical`]: transyt_session::TaskKey::canonical
+    pub key: String,
+    /// The human-readable rendering.
+    pub text: String,
+    /// The JSON document bytes (what `GET /jobs/{id}/result` serves).
+    pub document: String,
+}
+
+/// Encodes a result file.
+pub(crate) fn encode_result(key_canonical: &str, text: &str, document: &str) -> Vec<u8> {
+    let mut bytes = format!(
+        "transyt-result v1\nkey {}\ntext {}\ndocument {}\n\n",
+        escape(key_canonical),
+        text.len(),
+        document.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(text.as_bytes());
+    bytes.extend_from_slice(document.as_bytes());
+    bytes
+}
+
+/// Decodes a result file. `None` for truncated, malformed or
+/// length-mismatching content (an atomically-renamed file should never be
+/// any of those; defense in depth against manual edits).
+pub(crate) fn decode_result(bytes: &[u8]) -> Option<ResultDoc> {
+    let sep = bytes.windows(2).position(|w| w == b"\n\n")?;
+    let header = std::str::from_utf8(&bytes[..sep]).ok()?;
+    let mut lines = header.lines();
+    if lines.next()? != "transyt-result v1" {
+        return None;
+    }
+    let key = unescape(lines.next()?.strip_prefix("key ")?);
+    let text_len: usize = lines.next()?.strip_prefix("text ")?.parse().ok()?;
+    let document_len: usize = lines.next()?.strip_prefix("document ")?.parse().ok()?;
+    if lines.next().is_some() {
+        return None;
+    }
+    let body = &bytes[sep + 2..];
+    if body.len() != text_len + document_len {
+        return None;
+    }
+    let text = String::from_utf8(body[..text_len].to_vec()).ok()?;
+    let document = String::from_utf8(body[text_len..].to_vec()).ok()?;
+    Some(ResultDoc {
+        key,
+        text,
+        document,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_files_round_trip_byte_identical() {
+        let key = "model=00ff command=zones threads=2";
+        let text = "timed state space: 7 configurations\nwitness trace:\n  s0\n";
+        let document = "{\"model\":\"x\",\"configurations\":7}\n";
+        let bytes = encode_result(key, text, document);
+        let doc = decode_result(&bytes).unwrap();
+        assert_eq!(doc.key, key);
+        assert_eq!(doc.text, text);
+        assert_eq!(doc.document, document);
+    }
+
+    #[test]
+    fn truncated_or_tampered_files_fail_to_decode() {
+        let bytes = encode_result("key", "text", "document\n");
+        assert!(decode_result(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_result(b"not a result file").is_none());
+        let mut extended = bytes.clone();
+        extended.push(b'x');
+        assert!(decode_result(&extended).is_none());
+    }
+}

@@ -1,0 +1,806 @@
+//! `transyt-store` — durable serving state for `transyt serve --data-dir`.
+//!
+//! Three pieces, all dependency-free and crash-safe by construction:
+//!
+//! * A **content-addressed store**: model texts under
+//!   `models/<hash>.model` (the session's FNV-1a content hash) and finished
+//!   result documents under `results/<fingerprint>.res` (the canonical
+//!   [`TaskKey`] fingerprint). Every file is written via temp-file +
+//!   atomic rename, so a SIGKILL mid-write leaves the old state, never a
+//!   torn file.
+//! * A **write-ahead job [`Journal`]**: one checksummed, fsync'd record per
+//!   job state transition (`job` → `run` → `done`/`fail`/`cancel`/
+//!   `timeout`, plus `model` internings and `evict`ions). Recovery replays
+//!   the journal front to back, dropping only a torn tail; a startup
+//!   compaction and a size-triggered [`Journal::rewrite`] keep it bounded.
+//! * The session's persistence seam: [`Store`] implements
+//!   [`transyt_session::StoreHook`], so a [`Session`] wired to a store
+//!   persists every freshly interned model and every cacheable finished
+//!   result, and answers duplicate submissions **across restarts** from
+//!   disk with zero new runs — the on-disk store is keyed by the same
+//!   normalized [`TaskKey`] the in-memory memo uses.
+//!
+//! Because the whole stack is deterministic (byte-identical documents at
+//! any thread count), recovery is testable to the byte: a stored document
+//! equals the pre-crash one exactly, and a re-run of an interrupted job
+//! reproduces it exactly.
+//!
+//! [`Session`]: transyt_session::Session
+//! [`TaskKey`]: transyt_session::TaskKey
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod content;
+mod fsio;
+mod journal;
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use transyt_session::{content_hash, StoreHook, StoredResult, TaskKey, TaskResult, TaskSpec};
+
+pub use content::ResultDoc;
+pub use journal::{Journal, JournalStats, Record, COMPACT_MIN_BYTES};
+
+/// The journal's file name inside the data dir.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// A job reconstructed from the journal at [`Store::open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredJob {
+    /// The stable job id (the pre-crash submission index).
+    pub id: usize,
+    /// The command name as journaled.
+    pub command: String,
+    /// The model's content hash.
+    pub model: String,
+    /// The textual task parameters, ready for
+    /// [`TaskSpec::parse`](transyt_session::TaskSpec::parse).
+    pub params: Vec<(String, String)>,
+    /// The last journaled lifecycle state.
+    pub status: RecoveredStatus,
+    /// The journaled error message of a failed job.
+    pub error: Option<String>,
+    /// `true` when the job's stored result was garbage-collected.
+    pub evicted: bool,
+}
+
+/// The last journaled lifecycle state of a [`RecoveredJob`]. `Queued` and
+/// `Running` jobs were interrupted by the crash; the server re-enqueues
+/// both (determinism makes the re-run produce the same document).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveredStatus {
+    /// Submitted, never claimed.
+    Queued,
+    /// Claimed by a worker when the process died.
+    Running,
+    /// Completed; the document lives at `results/<result>.res`.
+    Done {
+        /// The task-key fingerprint addressing the stored result.
+        result: String,
+    },
+    /// Failed with [`RecoveredJob::error`].
+    Failed,
+    /// Cancelled.
+    Cancelled,
+    /// The deadline expired.
+    TimedOut,
+}
+
+/// Everything [`Store::open`] replayed from the data dir.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Interned model hashes, oldest first (journal order; model files the
+    /// journal does not mention — a crash between file write and record —
+    /// are adopted at the end). Texts load through [`Store::model_text`].
+    pub models: Vec<String>,
+    /// The pre-crash job table, dense by id.
+    pub jobs: Vec<RecoveredJob>,
+    /// Torn-tail bytes dropped from the journal.
+    pub dropped_bytes: u64,
+}
+
+/// On-disk object counts, served through `/healthz`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Stored model files.
+    pub models: usize,
+    /// Total model bytes.
+    pub model_bytes: u64,
+    /// Stored result files.
+    pub results: usize,
+    /// Total result bytes.
+    pub result_bytes: u64,
+}
+
+/// What an offline [`Store::gc`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Result fingerprints whose files were removed.
+    pub removed: Vec<String>,
+    /// Result files kept.
+    pub kept: usize,
+    /// Journal bytes after the closing compaction.
+    pub journal_bytes: u64,
+}
+
+/// Read-only snapshot of a data dir (`transyt store ls`): never writes,
+/// never truncates, safe next to a live server.
+#[derive(Debug, Clone, Default)]
+pub struct Inspection {
+    /// `(hash, bytes)` per stored model, sorted by hash.
+    pub models: Vec<(String, u64)>,
+    /// `(fingerprint, bytes, age)` per stored result, sorted by fingerprint.
+    pub results: Vec<(String, u64, Option<Duration>)>,
+    /// The replayed job table.
+    pub jobs: Vec<RecoveredJob>,
+    /// Valid journal records.
+    pub journal_entries: usize,
+    /// Journal file bytes (including any torn tail still on disk).
+    pub journal_bytes: u64,
+    /// Trailing journal bytes that fail to decode (what the next
+    /// read-write open will truncate).
+    pub torn_bytes: u64,
+}
+
+/// Replays journal records into the model list and the dense job table.
+/// Transitions are applied defensively: out-of-order ids and transitions on
+/// already-terminal jobs are ignored rather than trusted.
+fn fold(records: &[Record]) -> (Vec<String>, Vec<RecoveredJob>) {
+    let mut models: Vec<String> = Vec::new();
+    let mut jobs: Vec<RecoveredJob> = Vec::new();
+    let terminal = |status: &RecoveredStatus| {
+        !matches!(status, RecoveredStatus::Queued | RecoveredStatus::Running)
+    };
+    for record in records {
+        match record {
+            Record::Model { hash } => {
+                if !models.iter().any(|m| m == hash) {
+                    models.push(hash.clone());
+                }
+            }
+            Record::Job {
+                id,
+                command,
+                model,
+                params,
+            } => {
+                if *id == jobs.len() {
+                    jobs.push(RecoveredJob {
+                        id: *id,
+                        command: command.clone(),
+                        model: model.clone(),
+                        params: params.clone(),
+                        status: RecoveredStatus::Queued,
+                        error: None,
+                        evicted: false,
+                    });
+                }
+            }
+            Record::Run { id } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    if !terminal(&job.status) {
+                        job.status = RecoveredStatus::Running;
+                    }
+                }
+            }
+            Record::Done { id, result } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    if !terminal(&job.status) {
+                        job.status = RecoveredStatus::Done {
+                            result: result.clone(),
+                        };
+                    }
+                }
+            }
+            Record::Fail { id, error } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    if !terminal(&job.status) {
+                        job.status = RecoveredStatus::Failed;
+                        job.error = Some(error.clone());
+                    }
+                }
+            }
+            Record::Cancel { id } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    if !terminal(&job.status) {
+                        job.status = RecoveredStatus::Cancelled;
+                    }
+                }
+            }
+            Record::Timeout { id } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    if !terminal(&job.status) {
+                        job.status = RecoveredStatus::TimedOut;
+                    }
+                }
+            }
+            Record::Evict { id } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    job.evicted = true;
+                }
+            }
+        }
+    }
+    (models, jobs)
+}
+
+fn dir_entries(dir: &Path, extension: &str) -> Vec<(String, u64, Option<Duration>)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut listed: Vec<(String, u64, Option<Duration>)> = entries
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(extension) {
+                return None;
+            }
+            let stem = path.file_stem()?.to_str()?.to_owned();
+            let meta = entry.metadata().ok()?;
+            let age = meta.modified().ok().and_then(|m| m.elapsed().ok());
+            Some((stem, meta.len(), age))
+        })
+        .collect();
+    listed.sort_by(|a, b| a.0.cmp(&b.0));
+    listed
+}
+
+/// The open data dir: journal plus content-addressed model/result files.
+/// One process must own a data dir at a time (the journal is append-only
+/// per file handle); `transyt store ls` uses the read-only
+/// [`inspect`](Store::inspect) path instead.
+pub struct Store {
+    root: PathBuf,
+    fsync: bool,
+    journal: Journal,
+}
+
+impl Store {
+    /// Opens (creating if needed) the data dir at `root`, replays the
+    /// journal — truncating a torn tail — and returns the store plus the
+    /// recovered state. `fsync` controls whether journal appends and
+    /// content writes are flushed to disk before being reported durable.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating the layout or reading the journal.
+    pub fn open(root: impl Into<PathBuf>, fsync: bool) -> io::Result<(Store, Recovery)> {
+        let root = root.into();
+        fs::create_dir_all(root.join("models"))?;
+        fs::create_dir_all(root.join("results"))?;
+        let (journal, records) = Journal::open(&root.join(JOURNAL_FILE), fsync)?;
+        let dropped_bytes = journal.stats().torn_bytes_dropped;
+        let (mut models, jobs) = fold(&records);
+        // Adopt model files the journal missed (a crash can land between
+        // the atomic file write and the journal append).
+        for (hash, _, _) in dir_entries(&root.join("models"), "model") {
+            if !models.contains(&hash) {
+                models.push(hash);
+            }
+        }
+        Ok((
+            Store {
+                root,
+                fsync,
+                journal,
+            },
+            Recovery {
+                models,
+                jobs,
+                dropped_bytes,
+            },
+        ))
+    }
+
+    /// The data dir this store owns.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn model_path(&self, hash: &str) -> PathBuf {
+        self.root.join("models").join(format!("{hash}.model"))
+    }
+
+    fn result_path(&self, fingerprint: &str) -> PathBuf {
+        self.root.join("results").join(format!("{fingerprint}.res"))
+    }
+
+    /// Persists a model text under its content hash (atomic write + journal
+    /// record) unless it is already stored. Returns `true` when the model
+    /// was freshly written.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `hash` is not the text's content hash, plus
+    /// filesystem errors.
+    pub fn save_model_text(&self, hash: &str, text: &str) -> io::Result<bool> {
+        if content_hash(text) != hash {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("hash `{hash}` does not match the model text"),
+            ));
+        }
+        let path = self.model_path(hash);
+        if path.exists() {
+            return Ok(false);
+        }
+        fsio::write_atomic(&path, text.as_bytes(), self.fsync)?;
+        self.journal.append(&Record::Model {
+            hash: hash.to_owned(),
+        })?;
+        Ok(true)
+    }
+
+    /// Loads a stored model text, verifying it still hashes to `hash`.
+    pub fn model_text(&self, hash: &str) -> Option<String> {
+        let text = fs::read_to_string(self.model_path(hash)).ok()?;
+        (content_hash(&text) == hash).then_some(text)
+    }
+
+    /// Persists a finished result under its key fingerprint unless already
+    /// stored (duplicate keys share one file; re-runs after an eviction
+    /// re-create it). Returns the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors writing the file.
+    pub fn save_result_if_absent(
+        &self,
+        key: &TaskKey,
+        text: &str,
+        document: &str,
+    ) -> io::Result<String> {
+        let fingerprint = key.fingerprint();
+        let path = self.result_path(&fingerprint);
+        if !path.exists() {
+            fsio::write_atomic(
+                &path,
+                &content::encode_result(key.canonical(), text, document),
+                self.fsync,
+            )?;
+        }
+        Ok(fingerprint)
+    }
+
+    /// Loads the stored result for `key`, verifying the full canonical key
+    /// in the file header (fingerprints are not trusted against collision
+    /// or staleness).
+    pub fn result(&self, key: &TaskKey) -> Option<ResultDoc> {
+        let bytes = fs::read(self.result_path(&key.fingerprint())).ok()?;
+        let doc = content::decode_result(&bytes)?;
+        (doc.key == key.canonical()).then_some(doc)
+    }
+
+    /// Removes a stored result file. Returns `true` when a file was
+    /// actually deleted.
+    pub fn remove_result(&self, fingerprint: &str) -> bool {
+        fs::remove_file(self.result_path(fingerprint)).is_ok()
+    }
+
+    /// Age of a stored result file (time since last write).
+    pub fn result_age(&self, fingerprint: &str) -> Option<Duration> {
+        fs::metadata(self.result_path(fingerprint))
+            .ok()?
+            .modified()
+            .ok()?
+            .elapsed()
+            .ok()
+    }
+
+    /// Appends one journal record (fsync'd per the open mode).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors writing or syncing the journal.
+    pub fn append(&self, record: &Record) -> io::Result<()> {
+        self.journal.append(record)
+    }
+
+    /// Compacts the journal to exactly `records` (atomic rewrite).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors writing the replacement journal.
+    pub fn compact(&self, records: &[Record]) -> io::Result<()> {
+        self.journal.rewrite(records)
+    }
+
+    /// `true` once the journal's size trigger asks for a compaction.
+    pub fn should_compact(&self) -> bool {
+        self.journal.should_compact()
+    }
+
+    /// The journal's size counters.
+    pub fn journal_stats(&self) -> JournalStats {
+        self.journal.stats()
+    }
+
+    /// Counts and byte totals of the stored models and results.
+    pub fn disk_stats(&self) -> DiskStats {
+        let models = dir_entries(&self.root.join("models"), "model");
+        let results = dir_entries(&self.root.join("results"), "res");
+        DiskStats {
+            models: models.len(),
+            model_bytes: models.iter().map(|(_, bytes, _)| bytes).sum(),
+            results: results.len(),
+            result_bytes: results.iter().map(|(_, bytes, _)| bytes).sum(),
+        }
+    }
+
+    /// Deletes result files whose fingerprint is not in `referenced` (the
+    /// orphan sweep of startup GC). Returns the removed fingerprints.
+    pub fn remove_unreferenced(&self, referenced: &HashSet<String>) -> Vec<String> {
+        let mut removed = Vec::new();
+        for (fingerprint, _, _) in dir_entries(&self.root.join("results"), "res") {
+            if !referenced.contains(&fingerprint) && self.remove_result(&fingerprint) {
+                removed.push(fingerprint);
+            }
+        }
+        removed
+    }
+
+    /// Builds the compacted journal representation of a recovered state:
+    /// model records, then per job its `job` record plus the terminal /
+    /// `evict` records that reproduce its status on replay.
+    pub fn compaction_records(models: &[String], jobs: &[RecoveredJob]) -> Vec<Record> {
+        let mut records: Vec<Record> = models
+            .iter()
+            .map(|hash| Record::Model { hash: hash.clone() })
+            .collect();
+        for job in jobs {
+            records.push(Record::Job {
+                id: job.id,
+                command: job.command.clone(),
+                model: job.model.clone(),
+                params: job.params.clone(),
+            });
+            match &job.status {
+                RecoveredStatus::Queued => {}
+                RecoveredStatus::Running => records.push(Record::Run { id: job.id }),
+                RecoveredStatus::Done { result } => records.push(Record::Done {
+                    id: job.id,
+                    result: result.clone(),
+                }),
+                RecoveredStatus::Failed => records.push(Record::Fail {
+                    id: job.id,
+                    error: job.error.clone().unwrap_or_default(),
+                }),
+                RecoveredStatus::Cancelled => records.push(Record::Cancel { id: job.id }),
+                RecoveredStatus::TimedOut => records.push(Record::Timeout { id: job.id }),
+            }
+            if job.evicted {
+                records.push(Record::Evict { id: job.id });
+            }
+        }
+        records
+    }
+
+    /// Offline garbage collection (`transyt store gc`): applies the same
+    /// LRU-by-age + TTL rules the server applies in memory to the stored
+    /// result files, marks the affected jobs evicted, sweeps orphans and
+    /// compacts the journal. `recovery` must be this store's own
+    /// [`Store::open`] result; it is updated in place.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the closing compaction.
+    pub fn gc(
+        &self,
+        recovery: &mut Recovery,
+        keep_results: usize,
+        result_ttl: Option<Duration>,
+    ) -> io::Result<GcReport> {
+        // Live = result files referenced by a non-evicted done job.
+        let mut live: Vec<(String, Duration)> = Vec::new();
+        for job in &recovery.jobs {
+            if job.evicted {
+                continue;
+            }
+            if let RecoveredStatus::Done { result } = &job.status {
+                if !live.iter().any(|(fp, _)| fp == result) {
+                    // A missing file (None) is already gone; it is handled as
+                    // evicted below.
+                    if let Some(age) = self.result_age(result) {
+                        live.push((result.clone(), age));
+                    }
+                }
+            }
+        }
+        // TTL, then the LRU cap (file age stands in for recency: the server
+        // refreshes neither on disk, so age-of-write is the disk-side LRU).
+        let mut drop: HashSet<String> = HashSet::new();
+        if let Some(ttl) = result_ttl {
+            for (fp, age) in &live {
+                if *age >= ttl {
+                    drop.insert(fp.clone());
+                }
+            }
+        }
+        let mut survivors: Vec<&(String, Duration)> =
+            live.iter().filter(|(fp, _)| !drop.contains(fp)).collect();
+        survivors.sort_by_key(|(_, age)| *age);
+        for (fp, _) in survivors.iter().skip(keep_results.max(1)) {
+            drop.insert(fp.clone());
+        }
+        let mut removed: Vec<String> = Vec::new();
+        for fp in &drop {
+            if self.remove_result(fp) {
+                removed.push(fp.clone());
+            }
+        }
+        removed.sort();
+        // Reflect the deletions (and any already-missing files) in the job
+        // table, then compact so the next open agrees.
+        let mut referenced: HashSet<String> = HashSet::new();
+        for job in &mut recovery.jobs {
+            if let RecoveredStatus::Done { result } = &job.status {
+                if !job.evicted && self.result_age(result).is_none() {
+                    job.evicted = true;
+                }
+                if !job.evicted {
+                    referenced.insert(result.clone());
+                }
+            }
+        }
+        self.remove_unreferenced(&referenced);
+        self.compact(&Store::compaction_records(&recovery.models, &recovery.jobs))?;
+        Ok(GcReport {
+            removed,
+            kept: referenced.len(),
+            journal_bytes: self.journal_stats().bytes,
+        })
+    }
+
+    /// Read-only snapshot of the data dir at `root` — no truncation, no
+    /// lock, safe to run while a server owns the dir.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when `root` is not a directory, plus filesystem errors
+    /// reading the journal.
+    pub fn inspect(root: impl Into<PathBuf>) -> io::Result<Inspection> {
+        let root = root.into();
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no data dir at {}", root.display()),
+            ));
+        }
+        let journal_path = root.join(JOURNAL_FILE);
+        let (records, torn_bytes) = Journal::replay(&journal_path)?;
+        let journal_bytes = fs::metadata(&journal_path).map(|m| m.len()).unwrap_or(0);
+        let (_, jobs) = fold(&records);
+        Ok(Inspection {
+            models: dir_entries(&root.join("models"), "model")
+                .into_iter()
+                .map(|(hash, bytes, _)| (hash, bytes))
+                .collect(),
+            results: dir_entries(&root.join("results"), "res"),
+            jobs,
+            journal_entries: records.len(),
+            journal_bytes,
+            torn_bytes,
+        })
+    }
+}
+
+/// The persistence seam: a [`Session`](transyt_session::Session) wired to a
+/// store (via [`Session::set_store_hook`]) persists models and cacheable
+/// results as they appear and serves duplicate submissions from disk across
+/// restarts. Hook failures are reported on stderr and never fail the run —
+/// persistence degrades, verification does not.
+///
+/// [`Session::set_store_hook`]: transyt_session::Session::set_store_hook
+impl StoreHook for Store {
+    fn load_result(&self, key: &TaskKey) -> Option<StoredResult> {
+        self.result(key).map(|doc| StoredResult {
+            text: doc.text,
+            document: doc.document,
+        })
+    }
+
+    fn save_result(&self, _spec: &TaskSpec, key: &TaskKey, result: &TaskResult) {
+        if let Err(e) = self.save_result_if_absent(key, &result.text, &result.document) {
+            eprintln!(
+                "transyt-store: persisting result {}: {e}",
+                key.fingerprint()
+            );
+        }
+    }
+
+    fn save_model(&self, hash: &str, text: &str) {
+        if let Err(e) = self.save_model_text(hash, text) {
+            eprintln!("transyt-store: persisting model {hash}: {e}");
+        }
+    }
+}
+
+/// Unique per-test scratch dir under the system temp dir.
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "transyt-store-test-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transyt_session::TaskSpec;
+
+    fn job_record(id: usize, command: &str) -> Record {
+        Record::Job {
+            id,
+            command: command.to_owned(),
+            model: "00ff00ff00ff00ff".to_owned(),
+            params: vec![("threads".to_owned(), "1".to_owned())],
+        }
+    }
+
+    #[test]
+    fn fold_replays_lifecycles_defensively() {
+        let (models, jobs) = fold(&[
+            Record::Model {
+                hash: "aa".to_owned(),
+            },
+            Record::Model {
+                hash: "aa".to_owned(),
+            },
+            job_record(0, "verify"),
+            job_record(1, "zones"),
+            job_record(5, "zones"), // out-of-order id: ignored
+            Record::Run { id: 0 },
+            Record::Done {
+                id: 0,
+                result: "fp0".to_owned(),
+            },
+            Record::Cancel { id: 0 }, // transition on a terminal job: ignored
+            Record::Run { id: 1 },
+            Record::Evict { id: 0 },
+            Record::Run { id: 99 }, // unknown id: ignored
+        ]);
+        assert_eq!(models, vec!["aa"]);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0].status,
+            RecoveredStatus::Done {
+                result: "fp0".to_owned()
+            }
+        );
+        assert!(jobs[0].evicted);
+        assert_eq!(jobs[1].status, RecoveredStatus::Running);
+        assert!(!jobs[1].evicted);
+    }
+
+    #[test]
+    fn models_and_results_survive_reopen_byte_identical() {
+        let dir = test_dir("store-roundtrip");
+        let text = "tts m\nstate s0 s0\ninitial s0\n";
+        let hash = content_hash(text);
+        let key = TaskSpec::verify(&hash).key();
+        {
+            let (store, recovery) = Store::open(&dir, true).unwrap();
+            assert!(recovery.models.is_empty() && recovery.jobs.is_empty());
+            assert!(store.save_model_text(&hash, text).unwrap());
+            assert!(!store.save_model_text(&hash, text).unwrap());
+            assert!(store.save_model_text("0000", text).is_err());
+            store
+                .save_result_if_absent(&key, "the text\n", "{\"doc\":1}\n")
+                .unwrap();
+        }
+        let (store, recovery) = Store::open(&dir, false).unwrap();
+        assert_eq!(recovery.models, vec![hash.clone()]);
+        assert_eq!(store.model_text(&hash).as_deref(), Some(text));
+        let doc = store.result(&key).unwrap();
+        assert_eq!(doc.text, "the text\n");
+        assert_eq!(doc.document, "{\"doc\":1}\n");
+        // A different key never reads another key's file, even if the
+        // fingerprint file existed.
+        assert!(store.result(&TaskSpec::reach(&hash).key()).is_none());
+        let stats = store.disk_stats();
+        assert_eq!((stats.models, stats.results), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_files_missing_from_the_journal_are_adopted() {
+        let dir = test_dir("store-adopt");
+        let text = "tts m\nstate s0 s0\ninitial s0\n";
+        let hash = content_hash(text);
+        fs::create_dir_all(dir.join("models")).unwrap();
+        fs::write(dir.join("models").join(format!("{hash}.model")), text).unwrap();
+        let (store, recovery) = Store::open(&dir, false).unwrap();
+        assert_eq!(recovery.models, vec![hash.clone()]);
+        assert_eq!(store.model_text(&hash).as_deref(), Some(text));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_applies_cap_ttl_and_orphan_sweep() {
+        let dir = test_dir("store-gc");
+        let (store, _) = Store::open(&dir, false).unwrap();
+        let keys: Vec<TaskKey> = (1..=3)
+            .map(|threads| TaskSpec::verify("feed").threads(threads).key())
+            .collect();
+        let mut jobs = Vec::new();
+        for (id, key) in keys.iter().enumerate() {
+            let fp = store
+                .save_result_if_absent(key, "text\n", "{\"id\":0}\n")
+                .unwrap();
+            store
+                .append(&Record::Job {
+                    id,
+                    command: "verify".to_owned(),
+                    model: "feed".to_owned(),
+                    params: vec![("threads".to_owned(), (id + 1).to_string())],
+                })
+                .unwrap();
+            store.append(&Record::Done { id, result: fp }).unwrap();
+            jobs.push(id);
+        }
+        // An orphan file no job references.
+        let orphan = TaskSpec::zones("feed").key();
+        store.save_result_if_absent(&orphan, "o\n", "{}\n").unwrap();
+        drop(store);
+
+        let (store, mut recovery) = Store::open(&dir, false).unwrap();
+        assert_eq!(recovery.jobs.len(), 3);
+        let report = store.gc(&mut recovery, 2, None).unwrap();
+        // Cap 2: one referenced file dropped, the orphan swept, two kept.
+        assert_eq!(report.removed.len(), 1);
+        assert_eq!(report.kept, 2);
+        assert_eq!(store.disk_stats().results, 2);
+        assert_eq!(
+            recovery.jobs.iter().filter(|j| j.evicted).count(),
+            1,
+            "{:?}",
+            recovery.jobs
+        );
+        // TTL 0 evicts everything that is left.
+        let report = store
+            .gc(&mut recovery, 16, Some(Duration::from_secs(0)))
+            .unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(store.disk_stats().results, 0);
+        // The compacted journal replays to the same evicted state.
+        drop(store);
+        let (_, replayed) = Store::open(&dir, false).unwrap();
+        assert!(replayed.jobs.iter().all(|j| j.evicted));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_is_read_only_and_reports_torn_tails() {
+        let dir = test_dir("store-inspect");
+        assert!(Store::inspect(dir.join("missing")).is_err());
+        {
+            let (store, _) = Store::open(&dir, false).unwrap();
+            store.append(&job_record(0, "verify")).unwrap();
+        }
+        // Garbage after the valid prefix.
+        let journal = dir.join(JOURNAL_FILE);
+        let mut bytes = fs::read(&journal).unwrap();
+        bytes.extend_from_slice(b"v1 torn");
+        fs::write(&journal, &bytes).unwrap();
+        let inspection = Store::inspect(&dir).unwrap();
+        assert_eq!(inspection.journal_entries, 1);
+        assert_eq!(inspection.torn_bytes, 7);
+        assert_eq!(inspection.jobs.len(), 1);
+        // Read-only: the torn tail is still there afterwards.
+        assert_eq!(fs::read(&journal).unwrap(), bytes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
