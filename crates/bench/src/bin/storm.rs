@@ -1,0 +1,323 @@
+//! storm — a service-level load generator for the verification server.
+//!
+//! Fires a mixed-priority stream of submissions at a live `transyt serve`
+//! instance and reports scheduling quality: per-class completion latency
+//! (p50 / p99 / max, integer microseconds), how many submissions were
+//! refused by the admission gate (429 + `Retry-After`), and a starvation
+//! check (every admitted job must reach a terminal state).
+//!
+//! ```text
+//! storm --server HOST:PORT [--submissions N] [--clients N] [--json PATH]
+//! ```
+//!
+//! With `--json PATH` a machine-readable document (the `BENCH_service.json`
+//! artifact of CI) is written in addition to the human-readable table. The
+//! tool deliberately depends only on `std` + this crate's JSON emitter —
+//! the server is driven over the wire, exactly as a real client would.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bench::json::Value;
+
+/// A model small enough that a single job is quick, submitted with varying
+/// `limit` values so every job has a distinct task key (no run dedup).
+const RING: &str = "stg storm-ring\n\
+    transition t0 a+ output\n\
+    transition t1 a- output\n\
+    transition t2 b+ output\n\
+    transition t3 b- output\n\
+    place p0 1 a-->a+\n\
+    place p1 0 a+->a-\n\
+    place p2 1 b-->b+\n\
+    place p3 0 b+->b-\n\
+    arc p0 t0\n\
+    arc t0 p1\n\
+    arc p1 t1\n\
+    arc t1 p0\n\
+    arc p2 t2\n\
+    arc t2 p3\n\
+    arc p3 t3\n\
+    arc t3 p2\n\
+    delay a+ [1,2]\n\
+    delay a- [1,2]\n\
+    delay b+ [2,3]\n\
+    delay b- [2,3]\n\
+    property deadlock-free\n";
+
+const CLASSES: [&str; 3] = ["interactive", "batch", "background"];
+
+/// One HTTP/1.1 request in the server's one-shot dialect. Returns
+/// `(status, retry_after_seconds, body)`.
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, Option<u64>, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .and_then(|()| writer.write_all(body))
+    .and_then(|()| writer.flush())
+    .map_err(|e| format!("writing request: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
+    let mut retry_after = None;
+    loop {
+        let mut header = String::new();
+        let read = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("reading headers: {e}"))?;
+        if read == 0 || header.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.trim_end().split_once(':') {
+            if name.trim().eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = String::new();
+    reader
+        .read_to_string(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok((status, retry_after, body))
+}
+
+/// Scans `"name":"value"` out of the server's compact JSON dialect.
+fn str_field(document: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\":\"");
+    let start = document.find(&needle)? + needle.len();
+    document[start..].split('"').next().map(str::to_owned)
+}
+
+/// Scans `"name":123` out of the server's compact JSON dialect.
+fn uint_field(document: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let start = document.find(&needle)? + needle.len();
+    let digits: String = document[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The measured fate of one submission.
+struct Sample {
+    class: usize,
+    /// Submit-to-terminal latency.
+    latency: Duration,
+    /// 429 answers absorbed before the job was admitted.
+    rejects: usize,
+    /// The job never reached a terminal state within the watchdog window.
+    starved: bool,
+}
+
+/// Submits one job (retrying through 429s) and waits for its terminal
+/// state. `sequence` makes the task key unique so no run is deduplicated.
+fn drive_one(addr: &str, hash: &str, class: usize, sequence: usize) -> Result<Sample, String> {
+    let path = format!(
+        "/jobs?model={hash}&command=reach&limit={}&priority={}",
+        10_000 + sequence,
+        CLASSES[class],
+    );
+    let started = Instant::now();
+    let mut rejects = 0usize;
+    let id = loop {
+        let (status, retry_after, body) = request(addr, "POST", &path, &[])?;
+        match status {
+            202 => {
+                break uint_field(&body, "job")
+                    .ok_or_else(|| format!("submission response carried no job id: {body}"))?
+            }
+            429 => {
+                rejects += 1;
+                // The server's estimate, capped so the generator keeps
+                // pressure on the gate instead of politely draining it.
+                let secs = retry_after.unwrap_or(1).min(1);
+                std::thread::sleep(Duration::from_millis(50 + secs * 150));
+            }
+            other => return Err(format!("submission refused: {other}: {}", body.trim())),
+        }
+    };
+    // Watchdog: a scheduler that starves a class would hang this poll loop
+    // forever; 120s is orders of magnitude beyond any healthy completion.
+    let deadline = started + Duration::from_secs(120);
+    loop {
+        let (status, _, body) = request(addr, "GET", &format!("/jobs/{id}"), &[])?;
+        if status != 200 {
+            return Err(format!("status poll failed: {status}: {}", body.trim()));
+        }
+        let state = str_field(&body, "status").unwrap_or_default();
+        if !matches!(state.as_str(), "queued" | "running") {
+            if state != "done" {
+                return Err(format!("job {id} ended as `{state}`"));
+            }
+            return Ok(Sample {
+                class,
+                latency: started.elapsed(),
+                rejects,
+                starved: false,
+            });
+        }
+        if Instant::now() > deadline {
+            return Ok(Sample {
+                class,
+                latency: started.elapsed(),
+                rejects,
+                starved: true,
+            });
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn percentile(sorted_micros: &[u128], pct: usize) -> u128 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    sorted_micros[(sorted_micros.len() - 1) * pct / 100]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut server: Option<String> = None;
+    let mut submissions: usize = 60;
+    let mut clients: usize = 4;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => server = Some(args.next().ok_or("--server needs HOST:PORT")?),
+            "--submissions" => {
+                submissions = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--submissions needs a number")?
+            }
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&c| c > 0)
+                    .ok_or("--clients needs a positive number")?
+            }
+            "--json" => json_path = Some(args.next().ok_or("--json needs a path")?),
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+    let addr = server.ok_or("storm needs --server HOST:PORT (a live `transyt serve`)")?;
+
+    let (status, _, body) = request(&addr, "POST", "/models", RING.as_bytes())?;
+    if status != 200 {
+        return Err(format!("model upload failed: {status}: {}", body.trim()).into());
+    }
+    let hash = str_field(&body, "hash").ok_or("upload response carried no hash")?;
+
+    println!(
+        "storm: {submissions} submissions ({} per class, round-robin) from {clients} client \
+         thread{} against {addr}",
+        submissions.div_ceil(CLASSES.len()),
+        if clients == 1 { "" } else { "s" },
+    );
+
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(submissions));
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let sequence = next.fetch_add(1, Ordering::Relaxed);
+                if sequence >= submissions {
+                    return;
+                }
+                match drive_one(&addr, &hash, sequence % CLASSES.len(), sequence) {
+                    Ok(sample) => samples.lock().unwrap().push(sample),
+                    Err(error) => errors.lock().unwrap().push(error),
+                }
+            });
+        }
+    });
+    let wall = wall.elapsed();
+    let errors = errors.into_inner().unwrap();
+    if let Some(first) = errors.first() {
+        return Err(format!("{} submissions failed, first: {first}", errors.len()).into());
+    }
+    let samples = samples.into_inner().unwrap();
+
+    let rejects: usize = samples.iter().map(|s| s.rejects).sum();
+    let starved: usize = samples.iter().filter(|s| s.starved).count();
+    println!(
+        "\n{:>12} {:>6} {:>12} {:>12} {:>12}",
+        "class", "jobs", "p50_us", "p99_us", "max_us"
+    );
+    let mut class_docs: Vec<Value> = Vec::new();
+    for (index, name) in CLASSES.iter().enumerate() {
+        let mut micros: Vec<u128> = samples
+            .iter()
+            .filter(|s| s.class == index)
+            .map(|s| s.latency.as_micros())
+            .collect();
+        micros.sort_unstable();
+        let (p50, p99) = (percentile(&micros, 50), percentile(&micros, 99));
+        let max = micros.last().copied().unwrap_or(0);
+        println!(
+            "{:>12} {:>6} {:>12} {:>12} {:>12}",
+            name,
+            micros.len(),
+            p50,
+            p99,
+            max
+        );
+        class_docs.push(
+            Value::object()
+                .field("name", *name)
+                .field("jobs", micros.len())
+                .field("p50_us", p50)
+                .field("p99_us", p99)
+                .field("max_us", max),
+        );
+    }
+    println!(
+        "\n{rejects} admission reject{} absorbed, {starved} starved job{}, wall {}ms",
+        if rejects == 1 { "" } else { "s" },
+        if starved == 1 { "" } else { "s" },
+        wall.as_millis(),
+    );
+    if let Some(path) = json_path {
+        let doc = Value::object()
+            .field("benchmark", "service")
+            .field("submissions", submissions)
+            .field("clients", clients)
+            .field("classes", class_docs)
+            .field("rejects", rejects)
+            .field("starved", starved)
+            .field("wall_ms", wall.as_millis());
+        std::fs::write(&path, doc.render() + "\n")?;
+        println!("wrote {path}");
+    }
+    if starved > 0 {
+        return Err(format!("{starved} jobs starved (no terminal state within 120s)").into());
+    }
+    Ok(())
+}

@@ -51,6 +51,11 @@ pub struct Options {
     /// Wall-clock deadline (`--timeout SECS`): when it expires the run is
     /// cancelled and reported as timed out.
     pub timeout: Option<Duration>,
+    /// Configuration budget (`--max-configs N`): the run is cancelled
+    /// deterministically once it expands more than `N` configurations.
+    pub max_configs: Option<usize>,
+    /// Zone-memory budget in arena bytes (`--max-zone-bytes N`).
+    pub max_zone_bytes: Option<usize>,
     /// Cooperative cancellation of the command's explorations (the one-shot
     /// CLI leaves the inert default).
     pub cancel: CancelToken,
@@ -70,6 +75,8 @@ impl Default for Options {
             limit: None,
             to_label: None,
             timeout: None,
+            max_configs: None,
+            max_zone_bytes: None,
             cancel: CancelToken::default(),
             progress: ProgressSink::default(),
         }
@@ -88,6 +95,8 @@ impl Options {
             limit: spec.limit,
             to_label: spec.to_label.clone(),
             timeout: spec.deadline,
+            max_configs: spec.max_configs,
+            max_zone_bytes: spec.max_zone_bytes,
             cancel: CancelToken::default(),
             progress: ProgressSink::default(),
         }
@@ -107,6 +116,8 @@ impl Options {
             limit: self.limit,
             to_label: self.to_label.clone(),
             deadline: self.timeout,
+            max_configs: self.max_configs,
+            max_zone_bytes: self.max_zone_bytes,
         }
     }
 }

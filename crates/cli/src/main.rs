@@ -24,33 +24,40 @@ transyt — relative-timing verification of timed circuits (DATE 2002 reproducti
 USAGE:
     transyt verify FILE [--threads N] [--trace] [--timeout SECS] [--progress] [--json PATH]
     transyt reach  FILE [--threads N] [--trace] [--to LABEL] [--limit N] [--timeout SECS]
-                        [--progress] [--json PATH]
+                        [--max-configs N] [--progress] [--json PATH]
     transyt zones  FILE [--threads N] [--subsumption exact|inclusion|alu]
                         [--extrapolation none|lu|lu-active] [--bounds global|local]
-                        [--trace] [--limit N] [--timeout SECS] [--progress] [--json PATH]
+                        [--trace] [--limit N] [--timeout SECS] [--max-configs N]
+                        [--max-zone-bytes N] [--progress] [--json PATH]
     transyt table1      [--threads N] [--json PATH]
     transyt export NAME [--out PATH]     # or: transyt export --list / --all --dir DIR
-    transyt serve       [--addr HOST:PORT] [--workers N] [--keep-results N]
-                        [--result-ttl SECS] [--data-dir DIR] [--no-persist]
-                        [--fsync on|off]
+    transyt serve       [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                        [--keep-results N] [--result-ttl SECS] [--data-dir DIR]
+                        [--no-persist] [--fsync on|off]
     transyt store ls|gc --data-dir DIR [--keep-results N] [--result-ttl SECS]
     transyt submit FILE --server HOST:PORT [--command verify|reach|zones] [--wait]
+                        [--watch] [--priority interactive|batch|background]
                         [--threads N] [--subsumption exact|inclusion|alu]
                         [--extrapolation none|lu|lu-active] [--bounds global|local]
-                        [--trace] [--limit N] [--to LABEL] [--timeout SECS] [--json PATH]
+                        [--trace] [--limit N] [--to LABEL] [--timeout SECS]
+                        [--max-configs N] [--max-zone-bytes N] [--json PATH]
     transyt status [JOBID] --server HOST:PORT
 
 FILE is a textual model in the .stg or .tts format (see docs/FILE_FORMATS.md;
 shipped examples live in models/). Every exploration accepts --threads N and
 produces identical output for every thread count; --timeout cancels the run at
-the deadline, --progress streams exploration progress to stderr. `serve` runs
-the long-lived verification server (model cache + deduplicated job queue with
-result eviction; docs/SERVER.md); with --data-dir it journals every job and
-stores models/results on disk, surviving even SIGKILL with full recovery, and
+the deadline, --max-configs / --max-zone-bytes bound its resources (a breach
+ends the job as `budget_exceeded`), --progress streams exploration progress to
+stderr. `serve` runs the long-lived verification server (model cache +
+deduplicated priority job queue with admission control and result eviction;
+docs/SERVER.md); with --data-dir it journals every job and stores
+models/results on disk, surviving even SIGKILL with full recovery, and
 `store ls` / `store gc` inspect or collect such a data dir offline. `submit`
-and `status` are thin clients for the server, and `submit --wait --json PATH`
-writes a document byte-identical to the one-shot command's --json output. The embeddable library API behind all of
-this is `transyt-session` (docs/API.md).
+and `status` are thin clients for the server: `submit` backs off and retries
+when the queue is full (429 + Retry-After), `--watch` streams the job's live
+progress events, and `submit --wait --json PATH` writes a document
+byte-identical to the one-shot command's --json output. The embeddable
+library API behind all of this is `transyt-session` (docs/API.md).
 ";
 
 fn main() -> ExitCode {
@@ -181,6 +188,8 @@ const VALUE_FLAGS: &[&str] = &[
     "limit",
     "to",
     "timeout",
+    "max-configs",
+    "max-zone-bytes",
 ];
 
 fn collect_args(args: &[String], command: &str) -> Result<CollectedArgs, CliError> {
@@ -240,6 +249,15 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                         CliError::Usage("--workers needs a positive number".to_owned())
                     })?;
             }
+            "--queue-depth" => {
+                config.queue_depth = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage("--queue-depth needs a positive number".to_owned())
+                    })?;
+            }
             "--keep-results" => {
                 config.keep_results = iter
                     .next()
@@ -279,8 +297,8 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
             other => {
                 return Err(CliError::Usage(format!(
                     "`serve` does not accept `{other}` \
-                     (allowed: --addr, --workers, --keep-results, --result-ttl, \
-                     --data-dir, --no-persist, --fsync)"
+                     (allowed: --addr, --workers, --queue-depth, --keep-results, \
+                     --result-ttl, --data-dir, --no-persist, --fsync)"
                 )))
             }
         }
@@ -352,6 +370,8 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
     let mut server = None;
     let mut command = "verify".to_owned();
     let mut wait = false;
+    let mut watch = false;
+    let mut priority = None;
     let mut json_path = None;
     let mut pairs: Vec<(String, String)> = Vec::new();
     let mut iter = args.iter();
@@ -363,6 +383,16 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
                 command = iter.next().ok_or_else(|| missing("--command"))?.clone();
             }
             "--wait" => wait = true,
+            "--watch" => watch = true,
+            "--priority" => {
+                let value = iter.next().ok_or_else(|| missing("--priority"))?.clone();
+                if !matches!(value.as_str(), "interactive" | "batch" | "background") {
+                    return Err(CliError::Usage(format!(
+                        "--priority must be interactive, batch or background, got `{value}`"
+                    )));
+                }
+                priority = Some(value);
+            }
             "--json" => {
                 json_path = Some(iter.next().ok_or_else(|| missing("--json"))?.clone());
             }
@@ -388,6 +418,9 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
     // The same lowering the server applies to the query string, so a spec
     // the client refuses is exactly a spec the server would refuse.
     let spec = TaskSpec::parse(&command, &pairs).map_err(|e| CliError::Usage(e.to_string()))?;
+    // `--watch` streams events until the job settles, so it implies the
+    // wait-for-the-result behavior.
+    let wait = wait || watch;
     if json_path.is_some() && !wait {
         return Err(CliError::Usage(
             "`submit --json` needs `--wait` (the document exists once the job is done)".to_owned(),
@@ -399,7 +432,9 @@ fn run_submit(args: &[String]) -> Result<(), CliError> {
         file: file.ok_or_else(|| CliError::Usage("`submit` needs a model file".to_owned()))?,
         command,
         options: Options::from_spec(&spec),
+        priority,
         wait,
+        watch,
         json_path,
     };
     remote::cmd_submit(&args)

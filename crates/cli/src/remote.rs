@@ -19,10 +19,11 @@ pub fn cmd_serve(config: &ServerConfig) -> Result<(), CliError> {
     let server =
         Server::bind(config).map_err(|e| CliError::Run(format!("binding {}: {e}", config.addr)))?;
     println!(
-        "transyt server listening on {} ({} worker{}, keeping {} result{})",
+        "transyt server listening on {} ({} worker{}, queue depth {}, keeping {} result{})",
         server.local_addr(),
         config.workers,
         if config.workers == 1 { "" } else { "s" },
+        config.queue_depth,
         config.keep_results,
         if config.keep_results == 1 { "" } else { "s" },
     );
@@ -47,10 +48,22 @@ fn request_retry(
     path: &str,
     body: Option<&[u8]>,
 ) -> Result<(u16, String), String> {
+    request_retry_headers(addr, method, path, body).map(|(status, _, body)| (status, body))
+}
+
+/// [`request_retry`], also returning the response headers (how the submit
+/// path reads `Retry-After` off a 429).
+#[allow(clippy::type_complexity)]
+fn request_retry_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, Vec<(String, String)>, String), String> {
     let mut backoff = std::time::Duration::from_millis(100);
     let mut attempts = 0u32;
     loop {
-        match client::request(addr, method, path, body) {
+        match client::request_with_headers(addr, method, path, body) {
             Ok(response) => return Ok(response),
             Err(error) => {
                 attempts += 1;
@@ -67,6 +80,53 @@ fn request_retry(
     }
 }
 
+/// `POST /jobs` honoring the admission gate: a `429 Too Many Requests`
+/// answer sleeps for the server's `Retry-After` estimate (with ±25%
+/// deterministic per-process jitter so a stampede of rejected clients does
+/// not re-arrive in lockstep, capped at 10s per attempt) and retries, at
+/// most 20 times. Any other status is returned to the caller.
+fn submit_with_backoff(server: &str, path: &str) -> Result<String, CliError> {
+    const MAX_ATTEMPTS: u32 = 20;
+    for attempt in 1..=MAX_ATTEMPTS {
+        let (status, headers, body) =
+            request_retry_headers(server, "POST", path, None).map_err(CliError::Run)?;
+        if status != 429 {
+            if status / 100 != 2 {
+                let detail = client::json_str_field(&body, "error").unwrap_or(body);
+                return Err(CliError::Run(format!(
+                    "submitting job: server said {status}: {detail}"
+                )));
+            }
+            return Ok(body);
+        }
+        if attempt == MAX_ATTEMPTS {
+            break;
+        }
+        let retry_after = client::header(&headers, "retry-after")
+            .and_then(|value| value.parse::<u64>().ok())
+            .unwrap_or(1)
+            .clamp(1, 10);
+        let base_ms = retry_after * 1000;
+        // 75%..125% of the estimate, spread by pid and attempt (no RNG in
+        // the dependency-free workspace; a hash is plenty for desynching).
+        let ticks = u64::from(std::process::id())
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(u64::from(attempt).wrapping_mul(40_503))
+            % 512;
+        let sleep_ms = base_ms * 3 / 4 + base_ms * ticks / 1024;
+        let queued = client::json_uint_field(&body, "queued").unwrap_or(0);
+        eprintln!(
+            "server busy ({queued} job{} queued); retrying in {sleep_ms}ms \
+             (attempt {attempt}/{MAX_ATTEMPTS})",
+            if queued == 1 { "" } else { "s" },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+    }
+    Err(CliError::Run(format!(
+        "server at {server} stayed busy after {MAX_ATTEMPTS} attempts"
+    )))
+}
+
 /// What `transyt submit` sends: the model file, the command, the options and
 /// how to handle the result.
 pub struct SubmitArgs {
@@ -79,8 +139,14 @@ pub struct SubmitArgs {
     /// The job options (the `cancel` / `progress` fields are ignored —
     /// cancellation of remote jobs goes through `POST /jobs/<id>/cancel`).
     pub options: Options,
+    /// Scheduling class (`interactive` / `batch` / `background`); `None`
+    /// submits in the server's default class (batch).
+    pub priority: Option<String>,
     /// Poll until the job finishes and print its text output.
     pub wait: bool,
+    /// Follow the job's live event stream (`GET /jobs/<id>/events`) while
+    /// waiting, printing queue positions and exploration progress.
+    pub watch: bool,
     /// With `wait`: write the result document (byte-identical to one-shot
     /// `--json` output) to this path.
     pub json_path: Option<String>,
@@ -142,16 +208,49 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
     if let Some(timeout) = options.timeout {
         path.push_str(&format!("&timeout={}", timeout.as_secs().max(1)));
     }
-    let body = expect_status(
-        "submitting job",
-        request_retry(&args.server, "POST", &path, None),
-    )?;
+    if let Some(max_configs) = options.max_configs {
+        path.push_str(&format!("&max-configs={max_configs}"));
+    }
+    if let Some(max_zone_bytes) = options.max_zone_bytes {
+        path.push_str(&format!("&max-zone-bytes={max_zone_bytes}"));
+    }
+    if let Some(priority) = &args.priority {
+        path.push_str(&format!("&priority={priority}"));
+    }
+    let body = submit_with_backoff(&args.server, &path)?;
     let job = client::json_uint_field(&body, "job")
         .ok_or_else(|| CliError::Run(format!("submission response carried no job id: {body}")))?;
-    println!("submitted job {job} ({} {name} @ {hash})", args.command);
+    let priority = client::json_str_field(&body, "priority").unwrap_or_default();
+    println!(
+        "submitted job {job} ({} {name} @ {hash}, {priority})",
+        args.command
+    );
+    if let Some(position) = client::json_uint_field(&body, "position") {
+        println!("queue position {position}");
+    }
     if !args.wait {
         println!("poll with: transyt status {job} --server {}", args.server);
         return Ok(());
+    }
+
+    if args.watch {
+        // Follow the live stream until the server closes it at the job's
+        // terminal event; the poll loop below then settles immediately.
+        client::stream_events(&args.server, job, |event| {
+            match client::json_str_field(event, "type").as_deref() {
+                Some("queued") => {
+                    if let Some(at) = client::json_uint_field(event, "position") {
+                        eprintln!("watch: queued at position {at}");
+                    }
+                }
+                Some("terminal") => {
+                    let status = client::json_str_field(event, "status").unwrap_or_default();
+                    eprintln!("watch: job {job} is {status}");
+                }
+                _ => eprintln!("watch: {event}"),
+            }
+        })
+        .map_err(CliError::Run)?;
     }
 
     let mut recovered = false;
@@ -166,7 +265,7 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
         let status = client::json_str_field(&body, "status").unwrap_or_default();
         if matches!(
             status.as_str(),
-            "done" | "failed" | "cancelled" | "timed_out"
+            "done" | "failed" | "cancelled" | "timed_out" | "budget_exceeded"
         ) {
             break status;
         }
@@ -211,6 +310,27 @@ pub fn cmd_submit(args: &SubmitArgs) -> Result<(), CliError> {
                 }
             }
             Err(CliError::Run(format!("job {job} timed out")))
+        }
+        "budget_exceeded" => {
+            // Same shape as a timeout: partial text if any, then the breach.
+            if let Ok(text) =
+                client::request(&args.server, "GET", &format!("/jobs/{job}/text"), None)
+            {
+                if text.0 == 200 {
+                    print!("{}", text.1);
+                }
+            }
+            let body = expect_status(
+                "reading job",
+                request_retry(&args.server, "GET", &format!("/jobs/{job}"), None),
+            )?;
+            let resource =
+                client::json_str_field(&body, "resource").unwrap_or_else(|| "resource".to_owned());
+            let used = client::json_uint_field(&body, "used").unwrap_or(0);
+            let limit = client::json_uint_field(&body, "limit").unwrap_or(0);
+            Err(CliError::Run(format!(
+                "job {job} exceeded its {resource} budget (used {used}, limit {limit})"
+            )))
         }
         _ => {
             let body = expect_status(

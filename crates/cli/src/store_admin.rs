@@ -28,6 +28,7 @@ fn status_word(job: &RecoveredJob) -> &'static str {
         RecoveredStatus::Failed => "failed",
         RecoveredStatus::Cancelled => "cancelled",
         RecoveredStatus::TimedOut => "timed_out",
+        RecoveredStatus::BudgetExceeded { .. } => "budget_exceeded",
     }
 }
 

@@ -72,7 +72,10 @@ fn wait_for(addr: &str, job: u64, predicate: impl Fn(&str) -> bool, what: &str) 
 }
 
 fn terminal(status: &str) -> bool {
-    matches!(status, "done" | "failed" | "cancelled" | "timed_out")
+    matches!(
+        status,
+        "done" | "failed" | "cancelled" | "timed_out" | "budget_exceeded"
+    )
 }
 
 /// The document the one-shot CLI writes for `verify FILE --trace --json`.
@@ -427,4 +430,217 @@ fn submit_and_status_client_modes_round_trip() {
     assert!(String::from_utf8_lossy(&output.stdout).contains("\"jobs\":["));
 
     handle.shutdown().expect("graceful shutdown");
+}
+
+/// The admission gate: with 1 worker and queue depth 4, the sixth
+/// submission (one running + four queued) is refused with `429 Too Many
+/// Requests` and a computed `Retry-After` header.
+#[test]
+fn admission_gate_refuses_with_429_and_retry_after() {
+    let (handle, addr) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 4,
+        ..ServerConfig::default()
+    });
+    let big = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let running = submit(&addr, &format!("model={big}&command=zones&limit=100000000"));
+    wait_for(&addr, running, |s| s == "running", "running");
+
+    // Four distinct verify tasks fill the queue exactly to its depth.
+    let small = upload(&addr, &model_text("race_overlap.tts"));
+    let queued: Vec<u64> = (1..=4)
+        .map(|threads| {
+            submit(
+                &addr,
+                &format!("model={small}&command=verify&threads={threads}"),
+            )
+        })
+        .collect();
+
+    let (status, headers, body) = client::request_with_headers(
+        &addr,
+        "POST",
+        &format!("/jobs?model={small}&command=verify&threads=5"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("queue full"), "{body}");
+    assert_eq!(client::json_uint_field(&body, "queued"), Some(4), "{body}");
+    let retry_after: u64 = client::header(&headers, "retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!(retry_after >= 1, "Retry-After floors at one second");
+
+    // Freeing the worker drains the queue; admission opens again.
+    let (status, _) =
+        client::request(&addr, "POST", &format!("/jobs/{running}/cancel"), None).unwrap();
+    assert_eq!(status, 200);
+    for job in queued {
+        assert_eq!(wait_for(&addr, job, terminal, "terminal"), "done");
+    }
+    let reopened = submit(&addr, &format!("model={small}&command=verify&threads=5"));
+    assert_eq!(wait_for(&addr, reopened, terminal, "terminal"), "done");
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// A `max-configs` budget breach is deterministic: the same budgeted zones
+/// task stops at the same configuration count whether explored with one
+/// thread or four, and surfaces as `budget_exceeded` plus a 409-with-reason
+/// on the result endpoint.
+#[test]
+fn budget_breaches_are_deterministic_across_thread_counts() {
+    let (handle, addr) = start_server(2);
+    let hash = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let breached_used = |threads: usize| {
+        let job = submit(
+            &addr,
+            &format!(
+                "model={hash}&command=zones&limit=100000000&max-configs=5000&threads={threads}"
+            ),
+        );
+        assert_eq!(
+            wait_for(&addr, job, terminal, "terminal"),
+            "budget_exceeded"
+        );
+        let (status, document) =
+            client::request(&addr, "GET", &format!("/jobs/{job}"), None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            client::json_str_field(&document, "resource").as_deref(),
+            Some("configs"),
+            "{document}"
+        );
+        assert_eq!(
+            client::json_uint_field(&document, "limit"),
+            Some(5000),
+            "{document}"
+        );
+        let (status, body) =
+            client::request(&addr, "GET", &format!("/jobs/{job}/result"), None).unwrap();
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("exceeded its configs budget"), "{body}");
+        client::json_uint_field(&document, "used").expect("breach carries `used`")
+    };
+    let serial = breached_used(1);
+    let parallel = breached_used(4);
+    assert!(serial >= 5000, "the breach fires at or past the limit");
+    assert_eq!(
+        serial, parallel,
+        "budget enforcement must not depend on the thread count"
+    );
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// Strict priority over a real socket: with a single worker busy, four
+/// `interactive` submissions all overtake an earlier `batch` submission —
+/// the batch job leaves the queue only after every interactive job reached
+/// a terminal state.
+#[test]
+fn interactive_jobs_overtake_a_queued_batch_job() {
+    let (handle, addr) = start_server(1);
+    let big = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let occupant = submit(&addr, &format!("model={big}&command=zones&limit=100000000"));
+    wait_for(&addr, occupant, |s| s == "running", "running");
+
+    let small = upload(&addr, &model_text("race_overlap.tts"));
+    let batch = submit(
+        &addr,
+        &format!("model={small}&command=verify&threads=2&priority=batch"),
+    );
+    let interactive: Vec<u64> = (3..=6)
+        .map(|threads| {
+            submit(
+                &addr,
+                &format!("model={small}&command=verify&threads={threads}&priority=interactive"),
+            )
+        })
+        .collect();
+
+    // Release the worker; it must drain every interactive job before the
+    // batch job is even claimed.
+    let (status, _) =
+        client::request(&addr, "POST", &format!("/jobs/{occupant}/cancel"), None).unwrap();
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while job_status(&addr, batch) == "queued" {
+        assert!(Instant::now() < deadline, "batch job never left the queue");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for job in &interactive {
+        assert!(
+            terminal(&job_status(&addr, *job)),
+            "interactive job {job} had not finished when the batch job was claimed"
+        );
+    }
+    assert_eq!(wait_for(&addr, batch, terminal, "terminal"), "done");
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// The `/jobs/{id}/events` stream replays a deterministic run lifecycle:
+/// the same zones task streams the identical event sequence at one and two
+/// exploration threads (queue-position frames aside), opening with
+/// `running` and closing with a terminal frame.
+#[test]
+fn event_streams_are_identical_across_thread_counts() {
+    let (handle, addr) = start_server(2);
+    let hash = upload(&addr, &model_text("ipcmos_2stage.stg"));
+    let lifecycle = |threads: usize| {
+        let job = submit(
+            &addr,
+            &format!("model={hash}&command=zones&limit=3000&threads={threads}"),
+        );
+        let events = client::stream_events(&addr, job, |_| ()).expect("event stream");
+        events
+            .into_iter()
+            .filter(|event| !event.contains("\"queued\""))
+            .collect::<Vec<_>>()
+    };
+    let serial = lifecycle(1);
+    let parallel = lifecycle(2);
+    assert_eq!(
+        serial.first().map(String::as_str),
+        Some("{\"type\":\"running\"}")
+    );
+    assert_eq!(
+        serial.last().map(String::as_str),
+        Some("{\"type\":\"terminal\",\"status\":\"done\"}")
+    );
+    assert!(
+        serial.iter().any(|event| event.contains("\"batch\"")),
+        "{serial:?}"
+    );
+    assert_eq!(
+        serial, parallel,
+        "the progress stream must not depend on the thread count"
+    );
+    handle.shutdown().expect("graceful shutdown");
+}
+
+/// The data-dir lock: while one server owns a data dir, a second server
+/// refuses to start on it (the lock file names the owning pid).
+#[test]
+fn second_server_refuses_a_locked_data_dir() {
+    let dir = std::env::temp_dir().join(format!("transyt-lock-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        data_dir: Some(dir.to_str().unwrap().to_owned()),
+        ..ServerConfig::default()
+    };
+    let first = Server::bind(&config).expect("first server owns the dir");
+    let error = match Server::bind(&config) {
+        Err(error) => error.to_string(),
+        Ok(_) => panic!("a second server started on a locked data dir"),
+    };
+    assert!(error.contains("locked by running process"), "{error}");
+    let handle = first.spawn();
+    handle.shutdown().expect("graceful shutdown");
+    // With the first server gone the dir opens again.
+    let reopened = Server::bind(&config).expect("lock released on shutdown");
+    reopened.spawn().shutdown().expect("graceful shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
 }

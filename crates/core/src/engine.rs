@@ -497,6 +497,7 @@ pub fn verify(
                 trace: TraceOptions::parents(),
                 cancel: options.spec.cancel.clone(),
                 progress: options.spec.progress.clone(),
+                budget: options.spec.budget.clone(),
                 ..ExploreOptions::default()
             },
         ) {

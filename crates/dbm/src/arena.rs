@@ -26,6 +26,12 @@ pub struct ArenaStats {
     pub reused: usize,
     /// Buffers handed back to the free list (bounded by its capacity).
     pub recycled: usize,
+    /// Bytes of distinct interned zones charged through
+    /// [`DbmArena::charge_zone`] — a monotone count of the entry storage the
+    /// interner has committed, independent of free-list reuse. Deterministic
+    /// for every thread count because charging happens only from the
+    /// driver's single-threaded merge.
+    pub zone_bytes: usize,
 }
 
 /// A bounded free list of DBM entry buffers, all for one clock count.
@@ -71,6 +77,16 @@ impl DbmArena {
         }
     }
 
+    /// Charges the entry storage of one newly interned zone and returns the
+    /// number of bytes charged. The count is monotone — sweeps do not give
+    /// bytes back — so it measures how much zone memory the exploration has
+    /// ever committed, the quantity a `max_zone_bytes` budget bounds.
+    pub fn charge_zone(&mut self, dbm: &Dbm) -> usize {
+        let bytes = std::mem::size_of_val(dbm.entries());
+        self.stats.zone_bytes += bytes;
+        bytes
+    }
+
     /// The arena's allocation counters so far.
     pub fn stats(&self) -> ArenaStats {
         self.stats
@@ -99,6 +115,20 @@ mod tests {
         assert_eq!(second, zone);
         assert_eq!(arena.stats().reused, 1);
         assert_eq!(arena.stats().allocated, 1);
+    }
+
+    #[test]
+    fn zone_byte_charges_are_monotone_and_sized_by_entries() {
+        let mut arena = DbmArena::new();
+        let zone = Dbm::zero(3);
+        let per_zone = std::mem::size_of_val(zone.entries());
+        assert!(per_zone > 0);
+        assert_eq!(arena.charge_zone(&zone), per_zone);
+        assert_eq!(arena.charge_zone(&zone), per_zone);
+        assert_eq!(arena.stats().zone_bytes, 2 * per_zone);
+        // Recycling gives nothing back: the count is monotone.
+        arena.recycle(zone);
+        assert_eq!(arena.stats().zone_bytes, 2 * per_zone);
     }
 
     #[test]

@@ -66,8 +66,8 @@ use std::convert::Infallible;
 use std::sync::{Arc, Mutex};
 
 use explore::{
-    Bounds, ExploreOptions, ExploreOutcome, ExploreSpec, Extrapolation, SearchSpace, Subsumption,
-    TraceOptions,
+    Bounds, BudgetMeter, ExploreOptions, ExploreOutcome, ExploreSpec, Extrapolation, SearchSpace,
+    Subsumption, TraceOptions,
 };
 use tts::{Bound, EventId, StateId, Time, TimedTransitionSystem};
 
@@ -567,6 +567,11 @@ struct ZoneSpace<'a> {
     /// state satisfies this goal (the witness search); `None` explores
     /// exhaustively.
     goal: Option<WitnessGoal>,
+    /// The exploration's resource meter: [`intern`](SearchSpace::intern)
+    /// charges the bytes of every distinct stored zone into it (from the
+    /// driver's merge, so the running total is deterministic). Inert unless
+    /// the caller set a `max_zone_bytes` budget.
+    budget: BudgetMeter,
     interner: Mutex<InternerState>,
 }
 
@@ -582,6 +587,7 @@ impl<'a> ZoneSpace<'a> {
             extrapolation: spec.extrapolation,
             bounds: LuBoundsProvider::new(timed, spec.bounds),
             goal,
+            budget: spec.budget.clone(),
             interner: InternerState::new(),
         }
     }
@@ -762,6 +768,11 @@ impl SearchSpace for ZoneSpace<'_> {
             }
             return (state, shared);
         }
+        // A genuinely new zone: account its entry storage. The arena keeps
+        // the monotone byte census for the report; the meter lets a
+        // `max_zone_bytes` budget abort the search deterministically.
+        self.budget
+            .charge_zone_bytes(st.arena.charge_zone(&probe.0));
         st.zones.insert(probe);
         st.inserts += 1;
         if st.inserts >= INTERNER_SWEEP_INTERVAL {
@@ -826,6 +837,7 @@ pub fn explore_timed_with(
             expanded_limit: options.spec.limit_or(DEFAULT_CONFIGURATION_LIMIT),
             cancel: options.spec.cancel.clone(),
             progress: options.spec.progress.clone(),
+            budget: options.spec.budget.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -1202,6 +1214,7 @@ pub fn find_witness(
             trace: TraceOptions::parents(),
             cancel: options.spec.cancel.clone(),
             progress: options.spec.progress.clone(),
+            budget: options.spec.budget.clone(),
             ..ExploreOptions::default()
         },
     ) {
@@ -1592,6 +1605,59 @@ mod tests {
         let witness = find_witness(&race(), options, WitnessGoal::Deadlock);
         assert!(matches!(witness, WitnessOutcome::Cancelled { .. }));
         assert!(witness.trace().is_none());
+    }
+
+    #[test]
+    fn config_budget_cancels_at_the_same_count_for_every_thread_count() {
+        use explore::BudgetMeter;
+        let mut counts = Vec::new();
+        for threads in [1, 4] {
+            let budget = BudgetMeter::new(Some(2), None);
+            let outcome = explore_timed_with(
+                &reconvergent(),
+                with_spec(ExploreSpec {
+                    threads,
+                    cancel: CancelToken::new(),
+                    budget: budget.clone(),
+                    ..ExploreSpec::default()
+                }),
+            );
+            match outcome {
+                ZoneOutcome::Cancelled { explored, .. } => counts.push(explored),
+                other => panic!("expected budget cancellation, got {other:?}"),
+            }
+            assert!(budget.breach().is_some());
+        }
+        assert_eq!(
+            counts[0], counts[1],
+            "budget abort count differs by threads"
+        );
+        assert_eq!(counts[0], 3, "aborts on the configuration over the budget");
+    }
+
+    #[test]
+    fn zone_byte_budget_cancels_and_charges_the_arena_census() {
+        use explore::BudgetMeter;
+        // The interner charges every distinct stored zone, so a one-byte
+        // budget must trip almost immediately — and the arena census must
+        // have counted at least the breaching bytes.
+        let budget = BudgetMeter::new(None, Some(1));
+        let outcome = explore_timed_with(
+            &race(),
+            with_spec(ExploreSpec {
+                cancel: CancelToken::new(),
+                budget: budget.clone(),
+                ..ExploreSpec::default()
+            }),
+        );
+        assert!(matches!(outcome, ZoneOutcome::Cancelled { .. }));
+        let breach = budget.breach().expect("breach recorded");
+        assert_eq!(breach.resource, explore::BudgetResource::ZoneBytes);
+        assert!(breach.used > 1);
+        assert_eq!(budget.zone_bytes(), breach.used);
+        // An unbudgeted run of the same model reports the byte census.
+        let report = explore_timed(&race()).report().unwrap().clone();
+        assert!(report.arena.zone_bytes >= breach.used);
     }
 
     #[test]

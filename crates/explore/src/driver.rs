@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use crate::budget::BudgetMeter;
 use crate::cancel::CancelToken;
 use crate::progress::{ProgressEvent, ProgressSink};
 use crate::seen::SeenMap;
@@ -32,11 +33,21 @@ pub struct ExploreOptions {
     /// batch and returns [`ExploreOutcome::Cancelled`] as soon as it fires.
     /// The default token is inert and costs nothing.
     pub cancel: CancelToken,
-    /// Progress reporting: the driver emits [`ProgressEvent::Batch`] after
-    /// every committed merge batch, [`ProgressEvent::Level`] after every
-    /// breadth-first level and [`ProgressEvent::Cancelled`] when the cancel
-    /// token stops the search. The default sink is inert and costs nothing.
+    /// Progress reporting: the driver emits [`ProgressEvent::Batch`] every
+    /// 32 committed expansions and at each level end, [`ProgressEvent::Level`]
+    /// after every breadth-first level and [`ProgressEvent::Cancelled`] when
+    /// the cancel token stops the search. Emission points are counted in
+    /// committed merge order, so the stream is identical for every thread
+    /// count. The default sink is inert and costs nothing.
     pub progress: ProgressSink,
+    /// Per-exploration resource budgets: the driver checks the meter after
+    /// every expansion, at the same deterministic merge point as
+    /// [`expanded_limit`](Self::expanded_limit), and a breach fires the
+    /// [`cancel`](Self::cancel) token and returns
+    /// [`ExploreOutcome::Cancelled`] — so a breached budget aborts at the
+    /// identical configuration count for every thread count. The default
+    /// meter is inert and costs nothing.
+    pub budget: BudgetMeter,
 }
 
 impl Default for ExploreOptions {
@@ -49,6 +60,7 @@ impl Default for ExploreOptions {
             trace: TraceOptions::default(),
             cancel: CancelToken::default(),
             progress: ProgressSink::default(),
+            budget: BudgetMeter::default(),
         }
     }
 }
@@ -238,6 +250,13 @@ pub fn explore<S: SearchSpace>(
     // function of the frontier, so determinism is unaffected.
     let batch_size = threads * 32;
 
+    // Progress cadence: `Batch` events fire when `expanded` crosses a
+    // multiple of this stride (plus once at each level end), NOT per merge
+    // batch — merge batches grow with the thread count, and the progress
+    // stream is promised to be identical for every thread count.
+    const PROGRESS_STRIDE: usize = 32;
+    let mut last_progress = 0usize;
+
     let mut level = 0usize;
     'search: while !frontier.is_empty() && !halted {
         let mut next: Vec<S::Config> = Vec::new();
@@ -295,6 +314,22 @@ pub fn explore<S: SearchSpace>(
                         subsumption_skips,
                     });
                 }
+                // Resource budgets, checked at the same deterministic merge
+                // point as the expanded limit. A breach cancels the search:
+                // the meter records what went over, the token stops any
+                // cooperating siblings (e.g. a witness search), and the
+                // caller classifies the cancelled outcome as a budget abort.
+                if options.budget.check(expanded).is_some() {
+                    options.cancel.cancel();
+                    options
+                        .progress
+                        .emit(&ProgressEvent::Cancelled { expanded });
+                    return Ok(ExploreOutcome::Cancelled {
+                        expanded,
+                        discovered,
+                        subsumption_skips,
+                    });
+                }
                 let (halt, successors) = match expansions.as_mut().and_then(|slots| slots[i].take())
                 {
                     Some(result) => result?,
@@ -333,7 +368,18 @@ pub fn explore<S: SearchSpace>(
                         Vec::new()
                     },
                 });
+                if expanded.is_multiple_of(PROGRESS_STRIDE) {
+                    last_progress = expanded;
+                    options.progress.emit(&ProgressEvent::Batch {
+                        expanded,
+                        discovered,
+                        subsumption_skips,
+                    });
+                }
             }
+        }
+        if expanded > last_progress {
+            last_progress = expanded;
             options.progress.emit(&ProgressEvent::Batch {
                 expanded,
                 discovered,
@@ -611,6 +657,77 @@ mod tests {
                 other => panic!("expected limit abort, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn config_budget_aborts_deterministically_and_fires_cancel() {
+        use crate::budget::{BudgetMeter, BudgetResource};
+        for threads in [1, 4] {
+            let budget = BudgetMeter::new(Some(7), None);
+            let cancel = CancelToken::new();
+            let outcome = explore(
+                &Grid { side: 10 },
+                &ExploreOptions {
+                    threads,
+                    budget: budget.clone(),
+                    cancel: cancel.clone(),
+                    ..ExploreOptions::default()
+                },
+            )
+            .expect("no error");
+            match outcome {
+                ExploreOutcome::Cancelled { expanded, .. } => {
+                    assert_eq!(
+                        expanded, 8,
+                        "threads={threads}: aborts on the breaching config"
+                    );
+                }
+                other => panic!("expected budget cancellation, got {other:?}"),
+            }
+            let breach = budget.breach().expect("breach recorded");
+            assert_eq!(breach.resource, BudgetResource::Configs);
+            assert_eq!(breach.used, 8);
+            assert_eq!(breach.limit, 7);
+            assert!(cancel.is_cancelled(), "breach must fire the cancel token");
+        }
+    }
+
+    #[test]
+    fn zone_byte_budget_aborts_once_charged_over() {
+        use crate::budget::{BudgetMeter, BudgetResource};
+        let budget = BudgetMeter::new(None, Some(10));
+        budget.charge_zone_bytes(11);
+        let outcome = explore(
+            &Grid { side: 4 },
+            &ExploreOptions {
+                budget: budget.clone(),
+                cancel: CancelToken::new(),
+                ..ExploreOptions::default()
+            },
+        )
+        .expect("no error");
+        assert!(matches!(
+            outcome,
+            ExploreOutcome::Cancelled { expanded: 1, .. }
+        ));
+        assert_eq!(
+            budget.breach().map(|b| b.resource),
+            Some(BudgetResource::ZoneBytes)
+        );
+    }
+
+    #[test]
+    fn inert_budget_changes_nothing() {
+        use crate::budget::BudgetMeter;
+        let plain = completed(&Grid { side: 5 }, &ExploreOptions::default());
+        let with_meter = completed(
+            &Grid { side: 5 },
+            &ExploreOptions {
+                budget: BudgetMeter::default(),
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(plain, with_meter);
     }
 
     /// A grid whose expansion fires a cancel token after a fixed number of

@@ -37,6 +37,11 @@
 //!   reconstructed traces are identical for every thread count; the
 //!   counterexample traces of the `transyt` engine, the marking paths of
 //!   `stg` and the symbolic timed traces of `dbm` are all built on this.
+//! * [`BudgetMeter`] — per-exploration resource budgets: configuration and
+//!   zone-memory ceilings checked by the driver at the same deterministic
+//!   merge point as its size limits, so a breached budget cancels the search
+//!   at the identical configuration count for every thread count. The
+//!   default meter is inert and costs nothing.
 //! * [`ExploreSpec`] — the shared options core (threads / subsumption /
 //!   limit / [`Extrapolation`] / cancel / progress) that the per-domain
 //!   options structs (`ZoneExplorationOptions`, `ExpandOptions`,
@@ -112,6 +117,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod cancel;
 mod driver;
 mod progress;
@@ -119,6 +125,7 @@ mod seen;
 mod space;
 mod spec;
 
+pub use budget::{BudgetBreach, BudgetMeter, BudgetResource};
 pub use cancel::CancelToken;
 pub use driver::{
     explore, ExploreOptions, ExploreOutcome, ExploreReport, ExploredNode, TraceOptions,

@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use crate::budget::BudgetMeter;
 use crate::cancel::CancelToken;
 use crate::progress::ProgressSink;
 
@@ -205,6 +206,9 @@ pub struct ExploreSpec {
     /// Progress reporting: fed with events from the deterministic merge.
     /// The default sink is inert.
     pub progress: ProgressSink,
+    /// Per-exploration resource budgets (configurations, zone bytes),
+    /// checked deterministically by the driver. The default meter is inert.
+    pub budget: BudgetMeter,
 }
 
 impl Default for ExploreSpec {
@@ -217,6 +221,7 @@ impl Default for ExploreSpec {
             bounds: Bounds::default(),
             cancel: CancelToken::default(),
             progress: ProgressSink::default(),
+            budget: BudgetMeter::default(),
         }
     }
 }

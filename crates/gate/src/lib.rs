@@ -1,0 +1,437 @@
+//! `transyt-gate` — admission control and scheduling for the verification
+//! server.
+//!
+//! The server used to drain submissions through a raw unbounded FIFO: any
+//! client could enqueue arbitrarily much work, and a burst of cheap
+//! interactive requests had to wait behind every long batch exploration
+//! already in line. This crate replaces that FIFO with a small, fully
+//! deterministic scheduling layer:
+//!
+//! * [`Priority`] — three service classes (`interactive` > `batch` >
+//!   `background`) with the same name/parse/Display shape the exploration
+//!   options use, so CLI flags and query strings lower identically.
+//! * [`Gate`] — a bounded multi-class queue. Admission is depth-checked
+//!   ([`Gate::enqueue`] refuses when full — the server turns that into
+//!   `429 Too Many Requests`); dispatch is strict priority **with aging**:
+//!   every time a higher class bypasses a waiting lower class the bypass is
+//!   counted, and after [`GateConfig::aging_threshold`] bypasses the
+//!   starved class's head job is promoted and dispatched next. Batch work
+//!   therefore always makes progress under a flood of interactive jobs,
+//!   with a provable bound on how long it waits.
+//! * [`LatencyRing`] — a fixed-size ring of recently observed job
+//!   durations; [`retry_after`] combines its average with the current
+//!   queue depth and worker count into the `Retry-After` estimate a
+//!   rejected client is handed.
+//!
+//! Everything here is plain data behind the server's existing state mutex —
+//! no threads, no clocks, no dependencies — so scheduling decisions are
+//! reproducible in unit tests: the same arrival sequence always dispatches
+//! in the same order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// Service class of a submitted job. Dispatch order is strict priority
+/// (`Interactive` first) tempered by aging — see [`Gate::pop`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive work: dispatched before everything else.
+    Interactive,
+    /// The default class for ordinary submissions.
+    #[default]
+    Batch,
+    /// Bulk work that yields to everything else.
+    Background,
+}
+
+impl Priority {
+    /// All classes, highest priority first (the dispatch scan order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// The wire name (`interactive` / `batch` / `background`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+
+    /// Parses a wire name. `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Priority> {
+        Priority::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning of a [`Gate`].
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum jobs waiting (running jobs do not count). Admission beyond
+    /// this depth is refused.
+    pub depth: usize,
+    /// After this many bypasses by higher classes, a waiting class's head
+    /// job is promoted and dispatched next (the anti-starvation valve).
+    pub aging_threshold: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            depth: 64,
+            aging_threshold: 4,
+        }
+    }
+}
+
+/// The bounded multi-class queue. All methods are O(queue length) or
+/// better; the server calls them under its state mutex.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    config: GateConfig,
+    queues: [VecDeque<usize>; 3],
+    /// Per-class count of dispatches that bypassed this (non-empty) class.
+    bypassed: [usize; 3],
+}
+
+impl Gate {
+    /// An empty gate with the given tuning.
+    pub fn new(config: GateConfig) -> Gate {
+        Gate {
+            config,
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            bypassed: [0; 3],
+        }
+    }
+
+    /// The tuning this gate was built with.
+    pub fn config(&self) -> GateConfig {
+        self.config
+    }
+
+    /// Total jobs waiting across all classes.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// `true` when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Jobs waiting in `priority`'s class.
+    pub fn class_len(&self, priority: Priority) -> usize {
+        self.queues[priority.index()].len()
+    }
+
+    /// Admits a job. Returns `false` — nothing is enqueued — when the gate
+    /// is at depth.
+    pub fn enqueue(&mut self, id: usize, priority: Priority) -> bool {
+        if self.len() >= self.config.depth.max(1) {
+            return false;
+        }
+        self.queues[priority.index()].push_back(id);
+        true
+    }
+
+    /// Enqueues without the depth check — the recovery path: jobs replayed
+    /// from a journal were admitted before the restart and must not be
+    /// dropped, even if the configured depth shrank since.
+    pub fn enqueue_unchecked(&mut self, id: usize, priority: Priority) {
+        self.queues[priority.index()].push_back(id);
+    }
+
+    /// Which class the next [`pop`](Self::pop) will serve, if any: an aged
+    /// class first (highest-priority among those over the threshold), else
+    /// the highest-priority non-empty class.
+    fn next_class(&self) -> Option<usize> {
+        let aged = (0..self.queues.len()).find(|&c| {
+            self.bypassed[c] >= self.config.aging_threshold.max(1) && !self.queues[c].is_empty()
+        });
+        aged.or_else(|| (0..self.queues.len()).find(|&c| !self.queues[c].is_empty()))
+    }
+
+    /// Dispatches the next job: strict priority, except that a class
+    /// bypassed [`GateConfig::aging_threshold`] times is served first.
+    /// Deterministic — the same arrival/pop sequence always yields the
+    /// same order.
+    pub fn pop(&mut self) -> Option<(usize, Priority)> {
+        let chosen = self.next_class()?;
+        for lower in chosen + 1..self.queues.len() {
+            if !self.queues[lower].is_empty() {
+                self.bypassed[lower] += 1;
+            }
+        }
+        self.bypassed[chosen] = 0;
+        let id = self.queues[chosen].pop_front().expect("class checked");
+        Some((id, Priority::ALL[chosen]))
+    }
+
+    /// Removes a job wherever it waits (cancellation). Returns `true` when
+    /// it was queued.
+    pub fn remove(&mut self, id: usize) -> bool {
+        for queue in &mut self.queues {
+            if let Some(at) = queue.iter().position(|&queued| queued == id) {
+                queue.remove(at);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Empties the gate, returning every waiting job in dispatch order
+    /// (the order repeated [`pop`](Self::pop)s would have produced).
+    pub fn drain(&mut self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        while let Some((id, _)) = self.pop() {
+            order.push(id);
+        }
+        order
+    }
+
+    /// How many dispatches happen before `id`'s: 0 = next up. `None` when
+    /// the job is not queued. Computed by simulating the deterministic
+    /// dispatch order, so aging promotions are reflected exactly.
+    pub fn position(&self, id: usize) -> Option<usize> {
+        if !self.queues.iter().any(|q| q.contains(&id)) {
+            return None;
+        }
+        let mut simulated = self.clone();
+        let mut ahead = 0;
+        while let Some((popped, _)) = simulated.pop() {
+            if popped == id {
+                return Some(ahead);
+            }
+            ahead += 1;
+        }
+        unreachable!("job was in a queue but never dispatched");
+    }
+}
+
+/// A fixed-size ring of recently observed job durations, feeding the
+/// [`retry_after`] estimate.
+#[derive(Debug, Clone)]
+pub struct LatencyRing {
+    samples: VecDeque<Duration>,
+    cap: usize,
+}
+
+impl Default for LatencyRing {
+    fn default() -> Self {
+        LatencyRing::new(32)
+    }
+}
+
+impl LatencyRing {
+    /// A ring keeping the `cap` most recent samples.
+    pub fn new(cap: usize) -> LatencyRing {
+        LatencyRing {
+            samples: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records one finished job's duration, evicting the oldest sample at
+    /// capacity.
+    pub fn record(&mut self, duration: Duration) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(duration);
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no duration has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the held samples; `None` before the first record.
+    pub fn average(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(total / self.samples.len() as u32)
+    }
+}
+
+/// The `Retry-After` estimate handed to a rejected client:
+/// `ceil(average duration × (queued + running) / workers)`, clamped to at
+/// least one second. With no samples yet the average defaults to one
+/// second — a fresh server suggests a short retry rather than none.
+pub fn retry_after(
+    recent: &LatencyRing,
+    queued: usize,
+    running: usize,
+    workers: usize,
+) -> Duration {
+    let avg = recent.average().unwrap_or(Duration::from_secs(1));
+    let backlog = (queued + running) as u32;
+    let estimate = avg * backlog / workers.max(1) as u32;
+    let ceil_secs = estimate
+        .as_secs()
+        .saturating_add(u64::from(estimate.subsec_nanos() > 0));
+    Duration::from_secs(ceil_secs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(depth: usize, aging: usize) -> Gate {
+        Gate::new(GateConfig {
+            depth,
+            aging_threshold: aging,
+        })
+    }
+
+    #[test]
+    fn priority_names_round_trip_and_order() {
+        for priority in Priority::ALL {
+            assert_eq!(Priority::parse(priority.name()), Some(priority));
+            assert_eq!(priority.to_string(), priority.name());
+        }
+        assert_eq!(Priority::parse("bogus"), None);
+        assert_eq!(Priority::default(), Priority::Batch);
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::Background);
+    }
+
+    #[test]
+    fn admission_is_depth_bounded() {
+        let mut gate = gate(2, 4);
+        assert!(gate.enqueue(0, Priority::Batch));
+        assert!(gate.enqueue(1, Priority::Interactive));
+        assert!(!gate.enqueue(2, Priority::Interactive), "gate is at depth");
+        assert_eq!(gate.len(), 2);
+        gate.pop();
+        assert!(gate.enqueue(2, Priority::Interactive), "a pop frees a slot");
+    }
+
+    #[test]
+    fn dispatch_is_strict_priority_within_the_aging_window() {
+        let mut gate = gate(16, 4);
+        gate.enqueue(0, Priority::Background);
+        gate.enqueue(1, Priority::Batch);
+        gate.enqueue(2, Priority::Interactive);
+        gate.enqueue(3, Priority::Interactive);
+        assert_eq!(gate.pop(), Some((2, Priority::Interactive)));
+        assert_eq!(gate.pop(), Some((3, Priority::Interactive)));
+        assert_eq!(gate.pop(), Some((1, Priority::Batch)));
+        assert_eq!(gate.pop(), Some((0, Priority::Background)));
+        assert_eq!(gate.pop(), None);
+    }
+
+    #[test]
+    fn aging_promotes_a_starved_class() {
+        let mut gate = gate(64, 3);
+        gate.enqueue(99, Priority::Batch);
+        // A continuous interactive flood: after 3 bypasses the batch job
+        // must be dispatched even though interactive work is still waiting.
+        let mut order = Vec::new();
+        for wave in 0..6 {
+            gate.enqueue(wave, Priority::Interactive);
+            let (id, _) = gate.pop().unwrap();
+            order.push(id);
+        }
+        assert!(
+            order.contains(&99),
+            "batch job starved by interactive flood: {order:?}"
+        );
+        assert_eq!(order[..3], [0, 1, 2], "strict priority up to the threshold");
+        assert_eq!(order[3], 99, "promotion fires exactly at the threshold");
+    }
+
+    #[test]
+    fn aging_counts_reset_after_service() {
+        let mut gate = gate(64, 2);
+        gate.enqueue(0, Priority::Background);
+        gate.enqueue(1, Priority::Background);
+        for wave in 10..16 {
+            gate.enqueue(wave, Priority::Interactive);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| gate.pop().map(|(id, _)| id)).collect();
+        // Two bypasses, a promotion, two more bypasses, the next promotion.
+        assert_eq!(order, vec![10, 11, 0, 12, 13, 1, 14, 15]);
+    }
+
+    #[test]
+    fn position_reflects_the_simulated_dispatch_order() {
+        let mut gate = gate(64, 2);
+        gate.enqueue(0, Priority::Background);
+        gate.enqueue(1, Priority::Interactive);
+        gate.enqueue(2, Priority::Interactive);
+        gate.enqueue(3, Priority::Interactive);
+        // Aging threshold 2: after jobs 1 and 2 bypass it, job 0 is served
+        // before job 3.
+        assert_eq!(gate.position(1), Some(0));
+        assert_eq!(gate.position(2), Some(1));
+        assert_eq!(gate.position(0), Some(2));
+        assert_eq!(gate.position(3), Some(3));
+        assert_eq!(gate.position(42), None);
+        // The simulation leaves the real gate untouched.
+        assert_eq!(gate.pop(), Some((1, Priority::Interactive)));
+    }
+
+    #[test]
+    fn remove_and_drain_clear_waiting_jobs() {
+        let mut gate = gate(64, 4);
+        gate.enqueue(0, Priority::Batch);
+        gate.enqueue(1, Priority::Interactive);
+        gate.enqueue(2, Priority::Background);
+        assert!(gate.remove(0));
+        assert!(!gate.remove(0), "already removed");
+        assert_eq!(gate.drain(), vec![1, 2]);
+        assert!(gate.is_empty());
+        assert_eq!(gate.class_len(Priority::Interactive), 0);
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog_and_floors_at_one_second() {
+        let mut ring = LatencyRing::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.average(), None);
+        // No samples: the 1s default average still produces an estimate.
+        assert_eq!(retry_after(&ring, 0, 0, 2), Duration::from_secs(1));
+        for millis in [2_000, 4_000] {
+            ring.record(Duration::from_millis(millis));
+        }
+        assert_eq!(ring.average(), Some(Duration::from_secs(3)));
+        // avg 3s × backlog 4 / 2 workers = 6s.
+        assert_eq!(retry_after(&ring, 3, 1, 2), Duration::from_secs(6));
+        // Fractional estimates round up.
+        assert_eq!(retry_after(&ring, 1, 0, 2), Duration::from_secs(2));
+        // The floor holds even for tiny jobs.
+        let mut fast = LatencyRing::new(4);
+        fast.record(Duration::from_millis(1));
+        assert_eq!(retry_after(&fast, 1, 0, 8), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_samples() {
+        let mut ring = LatencyRing::new(2);
+        ring.record(Duration::from_secs(100));
+        ring.record(Duration::from_secs(2));
+        ring.record(Duration::from_secs(4));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.average(), Some(Duration::from_secs(3)));
+    }
+}

@@ -19,6 +19,50 @@ pub fn request(
     path: &str,
     body: Option<&[u8]>,
 ) -> Result<(u16, String), String> {
+    let (status, _, body) = request_with_headers(addr, method, path, body)?;
+    Ok((status, body))
+}
+
+/// Like [`request`], but also returns the response headers as lowercased
+/// `(name, value)` pairs — how clients read `Retry-After` off a 429.
+///
+/// # Errors
+///
+/// A human-readable message on connection or protocol failures.
+#[allow(clippy::type_complexity)]
+pub fn request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, Vec<(String, String)>, String), String> {
+    let mut reader = open(addr, method, path, body)?;
+    let (status, headers) = read_head(&mut reader)?;
+    // `Connection: close` semantics: the body runs to EOF.
+    let mut body = String::new();
+    reader
+        .read_to_string(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok((status, headers, body))
+}
+
+/// The value of `name` (case-insensitive) among headers returned by
+/// [`request_with_headers`].
+pub fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(header, _)| header.eq_ignore_ascii_case(name))
+        .map(|(_, value)| value.as_str())
+}
+
+/// Opens a connection, writes the request and returns the unread response
+/// stream.
+fn open(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<BufReader<TcpStream>, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -35,8 +79,11 @@ pub fn request(
         .write_all(body)
         .and_then(|()| writer.flush())
         .map_err(|e| format!("writing request body: {e}"))?;
+    Ok(BufReader::new(stream))
+}
 
-    let mut reader = BufReader::new(stream);
+/// Reads the status line and headers off an open response stream.
+fn read_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, Vec<(String, String)>), String> {
     let mut status_line = String::new();
     reader
         .read_line(&mut status_line)
@@ -46,6 +93,7 @@ pub fn request(
         .nth(1)
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         let read = reader
@@ -54,13 +102,52 @@ pub fn request(
         if read == 0 || header.trim_end().is_empty() {
             break;
         }
+        if let Some((name, value)) = header.trim_end().split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
     }
-    // `Connection: close` semantics: the body runs to EOF.
-    let mut body = String::new();
-    reader
-        .read_to_string(&mut body)
-        .map_err(|e| format!("reading body: {e}"))?;
-    Ok((status, body))
+    Ok((status, headers))
+}
+
+/// Subscribes to `GET /jobs/{id}/events` and calls `on_event` with each
+/// decoded `data:` payload until the server closes the stream (the job
+/// reached a terminal state) — so it blocks for as long as the job runs.
+/// Returns all payloads in order.
+///
+/// # Errors
+///
+/// A human-readable message on connection or protocol failures, or when
+/// the server answers anything but `200` with an event stream.
+pub fn stream_events(
+    addr: &str,
+    id: u64,
+    mut on_event: impl FnMut(&str),
+) -> Result<Vec<String>, String> {
+    let mut reader = open(addr, "GET", &format!("/jobs/{id}/events"), None)?;
+    let (status, headers) = read_head(&mut reader)?;
+    if status != 200 {
+        let mut body = String::new();
+        let _ = reader.read_to_string(&mut body);
+        return Err(format!("event stream refused: {status} {}", body.trim()));
+    }
+    if header(&headers, "content-type") != Some("text/event-stream") {
+        return Err("event stream refused: not an event stream".to_owned());
+    }
+    let mut events = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading events: {e}"))?;
+        if read == 0 {
+            return Ok(events);
+        }
+        if let Some(payload) = line.trim_end().strip_prefix("data: ") {
+            on_event(payload);
+            events.push(payload.to_owned());
+        }
+    }
 }
 
 /// Extracts the string value of a top-level `"name":"value"` field from a

@@ -187,8 +187,25 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers (`Retry-After`, …), written after `Content-Type`.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
+}
+
+/// The reason phrase of a status code this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
 }
 
 impl Response {
@@ -197,6 +214,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -206,8 +224,16 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// Adds one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
     }
 
     /// Writes the response (status line, headers, body) to `stream`.
@@ -216,21 +242,19 @@ impl Response {
     ///
     /// Propagates transport errors.
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
-        let reason = match self.status {
-            200 => "OK",
-            202 => "Accepted",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            409 => "Conflict",
-            _ => "Internal Server Error",
-        };
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n",
             self.status,
-            reason,
+            reason_phrase(self.status),
             self.content_type,
+        )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(
+            stream,
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
             self.body.len()
         )?;
         stream.write_all(&self.body)?;
@@ -284,5 +308,18 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_and_reason_phrases_are_emitted() {
+        let mut out = Vec::new();
+        Response::json(429, "{}".to_owned())
+            .with_header("Retry-After", "7".to_owned())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 7\r\n"));
+        assert_eq!(reason_phrase(410), "Gone");
     }
 }

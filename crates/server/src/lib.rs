@@ -13,10 +13,20 @@
 //!
 //! * [`http`] — a hand-rolled, dependency-free HTTP/1.1 layer over
 //!   [`std::net::TcpListener`]: one request per connection, JSON in and out.
-//! * [`ServerState`] — the job table, a FIFO queue drained by a bounded
-//!   pool of [`ServerConfig::workers`] threads, and the result store with
-//!   LRU + TTL eviction ([`ServerConfig::keep_results`] /
+//! * [`ServerState`] — the job table, an admission-controlled multi-class
+//!   queue (the [`transyt_gate`] crate: bounded depth with 429 +
+//!   `Retry-After` overflow, strict priority with aging) drained by a
+//!   bounded pool of [`ServerConfig::workers`] threads, and the result
+//!   store with LRU + TTL eviction ([`ServerConfig::keep_results`] /
 //!   [`ServerConfig::result_ttl`]); `GET /jobs` reports evicted ids.
+//! * [`events`] — per-job progress event logs: `GET /jobs/{id}/events`
+//!   streams queue-position and exploration-progress events (a
+//!   deterministic, thread-count-invariant sequence) as server-sent
+//!   events until the job reaches a terminal state.
+//! * Resource budgets — `max-configs=` / `max-zone-bytes=` parameters bound
+//!   a job's exploration; a breach surfaces as status `budget_exceeded`
+//!   (with the `(resource, used, limit)` triple) and a 409-with-reason on
+//!   the result endpoint.
 //! * [`transyt_session::Session`] — models and runs. Query strings lower
 //!   into [`transyt_session::TaskSpec`]s through the same
 //!   `TaskSpec::parse` the CLI flags lower through, and jobs are scheduled
@@ -40,6 +50,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod client;
+pub mod events;
 pub mod http;
 mod server;
 mod state;
@@ -48,5 +59,7 @@ mod sys;
 pub use explore::CancelToken;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use state::{
-    content_hash, CachedModel, JobStatus, JobView, PersistenceInfo, ResultStoreConfig, ServerState,
+    content_hash, CachedModel, GateStats, JobStatus, JobView, PersistenceInfo, ResultStoreConfig,
+    ServerState, SubmitError,
 };
+pub use transyt_gate::{GateConfig, Priority};

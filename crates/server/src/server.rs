@@ -1,16 +1,17 @@
 //! The HTTP front end: socket handling, routing and the worker pool.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use bench::json::Value;
+use transyt_gate::{GateConfig, Priority};
 use transyt_session::{Session, TaskSpec};
 
 use crate::http::{Request, Response};
-use crate::state::{JobStatus, JobView, ResultStoreConfig, ServerState};
+use crate::state::{JobStatus, JobView, ResultStoreConfig, ServerState, SubmitError};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -23,6 +24,10 @@ pub struct ServerConfig {
     /// per-job --threads` at or below the machine's cores so concurrent
     /// verifications don't oversubscribe the explorer's own thread pool.
     pub workers: usize,
+    /// Admission depth (`serve --queue-depth N`): at most this many jobs
+    /// wait in the queue; further submissions are refused with `429 Too
+    /// Many Requests` and a load-derived `Retry-After` header.
+    pub queue_depth: usize,
     /// Result-store cap: keep at most this many result documents, evicting
     /// the least recently fetched (`serve --keep-results N`).
     pub keep_results: usize,
@@ -46,6 +51,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7171".to_owned(),
             workers: 4,
+            queue_depth: GateConfig::default().depth,
             keep_results: store.keep_results,
             result_ttl: store.result_ttl,
             data_dir: None,
@@ -110,11 +116,16 @@ impl Server {
             keep_results: config.keep_results,
             result_ttl: config.result_ttl,
         };
+        let gate = GateConfig {
+            depth: config.queue_depth,
+            ..GateConfig::default()
+        };
+        let workers = config.workers.max(1);
         let state = match &config.data_dir {
-            None => ServerState::new(session, store),
+            None => ServerState::new(session, store, gate, workers),
             Some(dir) => {
                 let (persist, recovery) = transyt_store::Store::open(dir, config.fsync)?;
-                ServerState::recovered(session, store, Arc::new(persist), &recovery)
+                ServerState::recovered(session, store, gate, workers, Arc::new(persist), &recovery)
             }
         };
         Ok(Server {
@@ -198,13 +209,71 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         Ok(clone) => clone,
         Err(_) => return,
     });
+    let mut stream = stream;
     let response = match Request::read_from(&mut reader) {
-        Ok(Some(request)) => route(state, &request),
+        Ok(Some(request)) => {
+            // The events route is the one streaming endpoint: it writes the
+            // response incrementally itself instead of returning one.
+            let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+            if let ("GET", ["jobs", id, "events"]) = (request.method.as_str(), segments.as_slice())
+            {
+                let _ = match parse_id(id) {
+                    Ok(id) => stream_events(state, &mut stream, id),
+                    Err(response) => response.write_to(&mut stream),
+                };
+                return;
+            }
+            route(state, &request)
+        }
         Ok(None) => return,
         Err(e) => error_response(400, &format!("bad request: {e}")),
     };
-    let mut stream = stream;
     let _ = response.write_to(&mut stream);
+}
+
+/// Streams a job's event log as server-sent events (`data: <json>\n\n`
+/// frames): a replay of everything logged so far, then live follow until
+/// the terminal event. While the job still waits in the queue the stream
+/// interleaves synthesized `{"type":"queued","position":N}` frames every
+/// time its position improves.
+fn stream_events(state: &ServerState, stream: &mut TcpStream, id: usize) -> io::Result<()> {
+    let Some(log) = state.job_events(id) else {
+        return error_response(404, &format!("no job {id}")).write_to(stream);
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+         Cache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut last_position = None;
+    let mut from = 0;
+    loop {
+        // Queue-position frames are synthesized per connection (they depend
+        // on when the subscriber attached); the log itself holds only the
+        // deterministic run lifecycle.
+        let position = state.queue_position(id);
+        if position.is_some() && position != last_position {
+            let at = position.unwrap_or_default();
+            write!(
+                stream,
+                "data: {{\"type\":\"queued\",\"position\":{at}}}\n\n"
+            )?;
+            stream.flush()?;
+            last_position = position;
+        }
+        let (lines, done) = log.wait(from, Duration::from_millis(100));
+        from += lines.len();
+        for line in &lines {
+            write!(stream, "data: {line}\n\n")?;
+        }
+        if !lines.is_empty() || done {
+            stream.flush()?;
+        }
+        if done {
+            return Ok(());
+        }
+    }
 }
 
 fn error_response(status: u16, message: &str) -> Response {
@@ -226,11 +295,21 @@ fn job_document(view: &JobView) -> Value {
         .field("key", view.key.fingerprint())
         .field("explored", view.explored)
         .field("evicted", view.evicted)
+        .field("priority", view.priority.name())
         .field("done", view.status.is_terminal());
     // Only on durable servers, so ephemeral documents stay byte-identical
     // to the pre-persistence wire format.
     if view.recovered {
         doc = doc.field("recovered", true);
+    }
+    if let Some((resource, used, limit)) = &view.breach {
+        doc = doc.field(
+            "breach",
+            Value::object()
+                .field("resource", resource.as_str())
+                .field("used", *used)
+                .field("limit", *limit),
+        );
     }
     if let Some(error) = &view.error {
         doc = doc.field("error", error.as_str());
@@ -243,10 +322,25 @@ fn route(state: &ServerState, request: &Request) -> Response {
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let (queued, running) = state.load();
+            let gate = state.gate_stats();
             let mut doc = Value::object()
                 .field("status", "ok")
                 .field("queued", queued)
-                .field("running", running);
+                .field("running", running)
+                .field(
+                    "queue",
+                    Value::object()
+                        .field("depth", gate.depth)
+                        .field("waiting", gate.queued)
+                        .field("interactive", gate.interactive)
+                        .field("batch", gate.batch)
+                        .field("background", gate.background)
+                        .field(
+                            "avg_run_ms",
+                            gate.avg_run.map_or(0, |avg| avg.as_millis() as usize),
+                        )
+                        .field("samples", gate.samples),
+                );
             // The persistence block (and the session counters the recovery
             // tests read) only exists on durable servers: the ephemeral
             // healthz document stays byte-identical to the pre-persistence
@@ -314,20 +408,52 @@ fn route(state: &ServerState, request: &Request) -> Response {
             Response::json(200, Value::object().field("models", models).render() + "\n")
         }
         ("POST", ["jobs"]) => {
+            let priority = match request.query_param("priority") {
+                None => Priority::default(),
+                Some(name) => match Priority::parse(name) {
+                    Some(priority) => priority,
+                    None => {
+                        return error_response(
+                            400,
+                            &format!(
+                                "unknown priority `{name}` (interactive, batch or background)"
+                            ),
+                        )
+                    }
+                },
+            };
             let spec = match parse_job_request(request) {
                 Ok(spec) => spec,
                 Err(message) => return error_response(400, &message),
             };
-            match state.submit(spec) {
-                Ok(id) => Response::json(
-                    202,
-                    Value::object()
+            match state.submit(spec, priority) {
+                Ok(id) => {
+                    let mut doc = Value::object()
                         .field("job", id)
                         .field("status", "queued")
-                        .render()
-                        + "\n",
-                ),
-                Err(message) => error_response(400, &message),
+                        .field("priority", priority.name());
+                    if let Some(position) = state.queue_position(id) {
+                        doc = doc.field("position", position);
+                    }
+                    Response::json(202, doc.render() + "\n")
+                }
+                Err(SubmitError::Busy {
+                    retry_after,
+                    queued,
+                }) => {
+                    let secs = retry_after.as_secs().max(1);
+                    Response::json(
+                        429,
+                        Value::object()
+                            .field("error", "queue full")
+                            .field("queued", queued)
+                            .field("retry_after", secs as usize)
+                            .render()
+                            + "\n",
+                    )
+                    .with_header("Retry-After", secs.to_string())
+                }
+                Err(SubmitError::Refused(message)) => error_response(400, &message),
             }
         }
         ("GET", ["jobs"]) => {
@@ -371,6 +497,14 @@ fn route(state: &ServerState, request: &Request) -> Response {
                             view.id,
                             view.spec.deadline.unwrap_or_default()
                         ),
+                        JobStatus::BudgetExceeded => {
+                            let (resource, used, limit) =
+                                view.breach.clone().unwrap_or(("configs".to_owned(), 0, 0));
+                            format!(
+                                "job {} exceeded its {resource} budget (used {used}, limit {limit})",
+                                view.id
+                            )
+                        }
                         status if status.is_terminal() => {
                             format!("job {} produced no document (status {status})", view.id)
                         }
@@ -449,7 +583,9 @@ fn parse_job_request(request: &Request) -> Result<TaskSpec, String> {
     let params: Vec<(String, String)> = request
         .query
         .iter()
-        .filter(|(name, _)| name != "command" && name != "model")
+        // `priority` addresses the scheduler, not the task: it must not
+        // reach `TaskSpec::parse` (and must not change the task key).
+        .filter(|(name, _)| name != "command" && name != "model" && name != "priority")
         .cloned()
         .collect();
     let spec = TaskSpec::parse(&command, &params).map_err(|e| e.to_string())?;

@@ -1,17 +1,19 @@
-//! The server's shared state: the job table, the FIFO queue the worker pool
-//! drains, and the result store with LRU + TTL eviction.
+//! The server's shared state: the job table, the admission-controlled
+//! multi-class queue ([`transyt_gate::Gate`]) the worker pool drains, and
+//! the result store with LRU + TTL eviction.
 //!
 //! Models and runs themselves live in the embedded
 //! [`transyt_session::Session`]: the server schedules [`TaskSpec`]s by
 //! their canonical [`TaskKey`], so queued duplicate jobs attach to the
 //! in-flight run (or hit the session's memo) and share one result document.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use transyt_gate::{retry_after, Gate, GateConfig, LatencyRing, Priority};
 use transyt_session::{
     CancelToken, Completion, Outcome, ProgressEvent, ProgressSink, RestoredOutcome, RunControl,
     Session, StoreHook, TaskKey, TaskResult, TaskSpec,
@@ -19,6 +21,8 @@ use transyt_session::{
 use transyt_store::{
     DiskStats, JournalStats, Record, RecoveredJob, RecoveredStatus, Recovery, Store,
 };
+
+use crate::events::{render_progress, EventLog};
 
 pub use transyt_session::CachedModel;
 
@@ -37,15 +41,15 @@ pub enum JobStatus {
     Cancelled,
     /// The job's deadline expired before the run finished.
     TimedOut,
+    /// The job's resource budget (`max-configs` / `max-zone-bytes`) was
+    /// breached and the run aborted deterministically.
+    BudgetExceeded,
 }
 
 impl JobStatus {
     /// Returns `true` once the job can no longer change state.
     pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
-        )
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
     }
 }
 
@@ -58,6 +62,7 @@ impl fmt::Display for JobStatus {
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
             JobStatus::TimedOut => "timed_out",
+            JobStatus::BudgetExceeded => "budget_exceeded",
         };
         write!(f, "{name}")
     }
@@ -91,6 +96,11 @@ pub struct JobView {
     /// a restart (completed jobs answer from the on-disk store; interrupted
     /// ones were re-enqueued).
     pub recovered: bool,
+    /// The job's scheduling class.
+    pub priority: Priority,
+    /// `(resource, used, limit)` of a budget breach, once `status` is
+    /// `BudgetExceeded`.
+    pub breach: Option<(String, usize, usize)>,
 }
 
 struct Job {
@@ -105,9 +115,31 @@ struct Job {
     explored: Arc<AtomicUsize>,
     completed_at: Option<Instant>,
     recovered: bool,
+    priority: Priority,
+    breach: Option<(String, usize, usize)>,
+    events: Arc<EventLog>,
 }
 
 impl Job {
+    fn new(spec: TaskSpec, model_name: String, priority: Priority) -> Job {
+        Job {
+            key: spec.key(),
+            spec,
+            model_name,
+            status: JobStatus::Queued,
+            result: None,
+            error: None,
+            evicted: false,
+            cancel: CancelToken::new(),
+            explored: Arc::new(AtomicUsize::new(0)),
+            completed_at: None,
+            recovered: false,
+            priority,
+            breach: None,
+            events: Arc::new(EventLog::new()),
+        }
+    }
+
     fn view(&self, id: usize) -> JobView {
         JobView {
             id,
@@ -120,13 +152,26 @@ impl Job {
             evicted: self.evicted,
             explored: self.explored.load(Ordering::Relaxed),
             recovered: self.recovered,
+            priority: self.priority,
+            breach: self.breach.clone(),
         }
+    }
+
+    /// Appends the terminal marker and seals the job's event stream.
+    fn close_events(&self) {
+        self.events.push(format!(
+            "{{\"type\":\"terminal\",\"status\":\"{}\"}}",
+            self.status
+        ));
+        self.events.close();
     }
 }
 
 struct Inner {
     jobs: Vec<Job>,
-    queue: VecDeque<usize>,
+    queue: Gate,
+    /// Recently observed run durations, feeding `Retry-After` estimates.
+    recent: LatencyRing,
     /// Job ids holding a result, least recently accessed first.
     access: Vec<usize>,
     shutdown: bool,
@@ -163,25 +208,86 @@ pub struct PersistenceInfo {
     pub disk: DiskStats,
 }
 
+/// Why [`ServerState::submit`] refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission gate is at depth; retry after the estimate.
+    Busy {
+        /// The load-derived `Retry-After` estimate.
+        retry_after: Duration,
+        /// Jobs waiting when the submission was refused.
+        queued: usize,
+    },
+    /// Any other rejection (unknown model, shutdown, bad spec).
+    Refused(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy {
+                retry_after,
+                queued,
+            } => write!(
+                f,
+                "queue full ({queued} waiting); retry after {}s",
+                retry_after.as_secs()
+            ),
+            SubmitError::Refused(message) => f.write_str(message),
+        }
+    }
+}
+
+/// Queue and latency counters, served through `/healthz`.
+#[derive(Debug, Clone, Copy)]
+pub struct GateStats {
+    /// Admission depth (max waiting jobs).
+    pub depth: usize,
+    /// Jobs waiting, total and per class (interactive, batch, background).
+    pub queued: usize,
+    /// Waiting interactive jobs.
+    pub interactive: usize,
+    /// Waiting batch jobs.
+    pub batch: usize,
+    /// Waiting background jobs.
+    pub background: usize,
+    /// Mean of the recently observed run durations, if any finished yet.
+    pub avg_run: Option<Duration>,
+    /// Run-duration samples held.
+    pub samples: usize,
+}
+
 /// The shared state behind the HTTP front end and the worker pool.
 pub struct ServerState {
     session: Arc<Session>,
     store: ResultStoreConfig,
+    gate: GateConfig,
+    workers: usize,
     persist: Option<Arc<Store>>,
     inner: Mutex<Inner>,
     work: Condvar,
 }
 
 impl ServerState {
-    /// Creates empty state around a session.
-    pub fn new(session: Arc<Session>, store: ResultStoreConfig) -> ServerState {
+    /// Creates empty state around a session. `workers` is the size of the
+    /// pool that will drain the queue (it scales the `Retry-After`
+    /// estimates handed to rejected clients).
+    pub fn new(
+        session: Arc<Session>,
+        store: ResultStoreConfig,
+        gate: GateConfig,
+        workers: usize,
+    ) -> ServerState {
         ServerState {
             session,
             store,
+            gate,
+            workers: workers.max(1),
             persist: None,
             inner: Mutex::new(Inner {
                 jobs: Vec::new(),
-                queue: VecDeque::new(),
+                queue: Gate::new(gate),
+                recent: LatencyRing::default(),
                 access: Vec::new(),
                 shutdown: false,
             }),
@@ -208,6 +314,8 @@ impl ServerState {
     pub fn recovered(
         session: Arc<Session>,
         store: ResultStoreConfig,
+        gate: GateConfig,
+        workers: usize,
         persist: Arc<Store>,
         recovery: &Recovery,
     ) -> ServerState {
@@ -227,7 +335,7 @@ impl ServerState {
 
         let now = Instant::now();
         let mut jobs: Vec<Job> = Vec::with_capacity(recovery.jobs.len());
-        let mut queue = VecDeque::new();
+        let mut queue = Gate::new(gate);
         for recovered in &recovery.jobs {
             let id = jobs.len();
             let (spec, spec_error) = match TaskSpec::parse(&recovered.command, &recovered.params) {
@@ -240,18 +348,13 @@ impl ServerState {
                 .model(&recovered.model)
                 .map(|m| m.name)
                 .unwrap_or_else(|| recovered.model.clone());
+            // A pre-priority journal has no class recorded: the default
+            // applies, exactly as an unprioritized submission would get.
+            let priority = Priority::parse(&recovered.prio).unwrap_or_default();
             let mut job = Job {
-                key: spec.key(),
-                spec,
-                model_name,
-                status: JobStatus::Queued,
-                result: None,
-                error: None,
                 evicted: recovered.evicted,
-                cancel: CancelToken::new(),
-                explored: Arc::new(AtomicUsize::new(0)),
-                completed_at: None,
                 recovered: true,
+                ..Job::new(spec, model_name, priority)
             };
             match (&recovered.status, spec_error) {
                 (_, Some(error)) => {
@@ -259,7 +362,9 @@ impl ServerState {
                     job.error = Some(format!("unrecoverable journaled spec: {error}"));
                 }
                 (RecoveredStatus::Queued | RecoveredStatus::Running, None) => {
-                    queue.push_back(id);
+                    // Re-admitted in its journaled class, bypassing the
+                    // depth check: the job was admitted before the restart.
+                    queue.enqueue_unchecked(id, priority);
                 }
                 (RecoveredStatus::Done { result }, None) => {
                     job.status = JobStatus::Done;
@@ -289,6 +394,22 @@ impl ServerState {
                 }
                 (RecoveredStatus::Cancelled, None) => job.status = JobStatus::Cancelled,
                 (RecoveredStatus::TimedOut, None) => job.status = JobStatus::TimedOut,
+                (
+                    RecoveredStatus::BudgetExceeded {
+                        resource,
+                        used,
+                        limit,
+                    },
+                    None,
+                ) => {
+                    job.status = JobStatus::BudgetExceeded;
+                    job.breach = Some((resource.clone(), *used, *limit));
+                }
+            }
+            if job.status.is_terminal() {
+                // A terminal recovered job's event stream is already over:
+                // subscribers get the terminal marker immediately.
+                job.close_events();
             }
             jobs.push(job);
         }
@@ -305,10 +426,13 @@ impl ServerState {
         let state = ServerState {
             session,
             store,
+            gate,
+            workers: workers.max(1),
             persist: Some(persist),
             inner: Mutex::new(Inner {
                 jobs,
                 queue,
+                recent: LatencyRing::default(),
                 access,
                 shutdown: false,
             }),
@@ -377,6 +501,7 @@ impl ServerState {
                 command: job.spec.command.name().to_owned(),
                 model: job.spec.model.clone(),
                 params: job.spec.to_params(),
+                prio: job.priority.name().to_owned(),
                 status: match job.status {
                     JobStatus::Queued => RecoveredStatus::Queued,
                     JobStatus::Running => RecoveredStatus::Running,
@@ -386,6 +511,15 @@ impl ServerState {
                     JobStatus::Failed => RecoveredStatus::Failed,
                     JobStatus::Cancelled => RecoveredStatus::Cancelled,
                     JobStatus::TimedOut => RecoveredStatus::TimedOut,
+                    JobStatus::BudgetExceeded => {
+                        let (resource, used, limit) =
+                            job.breach.clone().unwrap_or(("configs".to_owned(), 0, 0));
+                        RecoveredStatus::BudgetExceeded {
+                            resource,
+                            used,
+                            limit,
+                        }
+                    }
                 },
                 error: job.error.clone(),
                 evicted: job.evicted,
@@ -442,21 +576,38 @@ impl ServerState {
         self.session.model(hash)
     }
 
-    /// Enqueues a job. Returns its id, or an error when the model hash is
+    /// Enqueues a job in `priority`'s class. Returns its id, or a
+    /// [`SubmitError`]: `Busy` (with a `Retry-After` estimate) when the
+    /// admission gate is at depth, `Refused` when the model hash is
     /// unknown or the server is shutting down.
     ///
     /// # Errors
     ///
-    /// A human-readable message; nothing is enqueued.
-    pub fn submit(&self, spec: TaskSpec) -> Result<usize, String> {
+    /// Nothing is enqueued or journaled on any error.
+    pub fn submit(&self, spec: TaskSpec, priority: Priority) -> Result<usize, SubmitError> {
         let model_name = self
             .session
             .model(&spec.model)
             .map(|m| m.name)
-            .ok_or_else(|| format!("unknown model hash `{}`", spec.model))?;
+            .ok_or_else(|| SubmitError::Refused(format!("unknown model hash `{}`", spec.model)))?;
         let mut inner = self.lock();
         if inner.shutdown {
-            return Err("server is shutting down".to_owned());
+            return Err(SubmitError::Refused("server is shutting down".to_owned()));
+        }
+        // Admission check before anything is allocated: an over-depth
+        // submission costs the server one queue-length comparison and the
+        // client gets told when capacity is likely to be back.
+        let queued = inner.queue.len();
+        if queued >= self.gate.depth.max(1) {
+            let running = inner
+                .jobs
+                .iter()
+                .filter(|j| j.status == JobStatus::Running)
+                .count();
+            return Err(SubmitError::Busy {
+                retry_after: retry_after(&inner.recent, queued, running, self.workers),
+                queued,
+            });
         }
         let id = inner.jobs.len();
         // Journaled under the lock that assigned the id: replay requires
@@ -468,25 +619,40 @@ impl ServerState {
             command: spec.command.name().to_owned(),
             model: spec.model.clone(),
             params: spec.to_params(),
+            prio: priority.name().to_owned(),
         });
-        inner.jobs.push(Job {
-            key: spec.key(),
-            spec,
-            model_name,
-            status: JobStatus::Queued,
-            result: None,
-            error: None,
-            evicted: false,
-            cancel: CancelToken::new(),
-            explored: Arc::new(AtomicUsize::new(0)),
-            completed_at: None,
-            recovered: false,
-        });
-        inner.queue.push_back(id);
+        inner.jobs.push(Job::new(spec, model_name, priority));
+        let admitted = inner.queue.enqueue(id, priority);
+        debug_assert!(admitted, "depth was checked above");
         drop(inner);
         self.work.notify_one();
         self.maybe_compact();
         Ok(id)
+    }
+
+    /// How many dispatches happen before `id`'s (0 = next up). `None` once
+    /// the job is no longer waiting.
+    pub fn queue_position(&self, id: usize) -> Option<usize> {
+        self.lock().queue.position(id)
+    }
+
+    /// The live event stream of a job, if the id exists.
+    pub fn job_events(&self, id: usize) -> Option<Arc<EventLog>> {
+        self.lock().jobs.get(id).map(|job| Arc::clone(&job.events))
+    }
+
+    /// Queue and latency counters for `/healthz`.
+    pub fn gate_stats(&self) -> GateStats {
+        let inner = self.lock();
+        GateStats {
+            depth: self.gate.depth,
+            queued: inner.queue.len(),
+            interactive: inner.queue.class_len(Priority::Interactive),
+            batch: inner.queue.class_len(Priority::Batch),
+            background: inner.queue.class_len(Priority::Background),
+            avg_run: inner.recent.average(),
+            samples: inner.recent.len(),
+        }
     }
 
     /// The externally visible state of one job. Counts as a result-store
@@ -551,6 +717,8 @@ impl ServerState {
             JobStatus::Queued => {
                 job.status = JobStatus::Cancelled;
                 job.cancel.cancel();
+                job.close_events();
+                inner.queue.remove(id);
                 // A queued job's cancellation is its terminal record (a
                 // running one's is written by the worker when the run
                 // returns).
@@ -572,10 +740,11 @@ impl ServerState {
     pub fn shutdown(&self) {
         let mut inner = self.lock();
         inner.shutdown = true;
-        while let Some(id) = inner.queue.pop_front() {
+        for id in inner.queue.drain() {
             let job = &mut inner.jobs[id];
             if job.status == JobStatus::Queued {
                 job.status = JobStatus::Cancelled;
+                job.close_events();
                 self.journal(&Record::Cancel { id });
             }
         }
@@ -654,11 +823,22 @@ impl ServerState {
         }
     }
 
-    /// Records a finished run and enforces the LRU cap.
-    fn finish(&self, id: usize, status: JobStatus, result: Option<Arc<TaskResult>>) {
+    /// Records a finished run (status, result, budget breach, duration for
+    /// the `Retry-After` estimator), seals the event stream, and enforces
+    /// the LRU cap.
+    fn finish(
+        &self,
+        id: usize,
+        status: JobStatus,
+        result: Option<Arc<TaskResult>>,
+        breach: Option<(String, usize, usize)>,
+        elapsed: Duration,
+    ) {
         let mut inner = self.lock();
+        inner.recent.record(elapsed);
         let job = &mut inner.jobs[id];
         job.status = status;
+        job.breach = breach;
         if let Some(result) = &result {
             if let Err(error) = &result.outcome {
                 job.error = Some(error.to_string());
@@ -666,6 +846,7 @@ impl ServerState {
         }
         job.result = result;
         job.completed_at = Some(Instant::now());
+        job.close_events();
         // Every stored result — including the partial documents of failed,
         // cancelled and timed-out jobs — enters the store, so the LRU cap
         // and the TTL bound *all* retained memory, not just `done` jobs.
@@ -684,15 +865,15 @@ impl ServerState {
     /// an in-flight job attaches to that run instead of starting another.
     pub fn worker_loop(&self) {
         loop {
-            let (id, spec, cancel, explored) = {
+            let (id, spec, cancel, explored, events) = {
                 let mut inner = self.lock();
                 loop {
                     if inner.shutdown {
                         return;
                     }
                     // Skip ids whose job was cancelled while queued.
-                    match inner.queue.pop_front() {
-                        Some(id) if inner.jobs[id].status == JobStatus::Queued => {
+                    match inner.queue.pop() {
+                        Some((id, _)) if inner.jobs[id].status == JobStatus::Queued => {
                             inner.jobs[id].status = JobStatus::Running;
                             let job = &inner.jobs[id];
                             break (
@@ -700,6 +881,7 @@ impl ServerState {
                                 job.spec.clone(),
                                 job.cancel.clone(),
                                 Arc::clone(&job.explored),
+                                Arc::clone(&job.events),
                             );
                         }
                         Some(_) => continue,
@@ -711,13 +893,20 @@ impl ServerState {
             // the crash" — recovery re-enqueues both, but operators see
             // which jobs actually lost work.
             self.journal(&Record::Run { id });
+            events.push("{\"type\":\"running\"}".to_owned());
+            let started = Instant::now();
 
+            let event_sink = Arc::clone(&events);
             let progress = ProgressSink::new(move |event: &ProgressEvent| {
                 if let ProgressEvent::Batch { expanded, .. }
                 | ProgressEvent::Cancelled { expanded } = event
                 {
                     explored.store(*expanded, Ordering::Relaxed);
                 }
+                // The driver emits progress from its single-threaded merge
+                // loop, so the streamed sequence is deterministic and
+                // thread-count-invariant.
+                event_sink.push(render_progress(event));
             });
             // The session isolates panics and deduplicates: this either
             // executes the run or attaches to an identical in-flight one.
@@ -729,14 +918,25 @@ impl ServerState {
                 },
             );
 
-            let (status, result) = match completion {
+            let (status, breach, result) = match completion {
                 // Attached to a shared run and cancelled out of it.
-                Completion::Detached => (JobStatus::Cancelled, None),
+                Completion::Detached => (JobStatus::Cancelled, None, None),
                 Completion::Finished(result) => match &result.outcome {
                     // The deadline watchdog fires the job's own token, so
                     // the timeout classification must precede the cancel
                     // check.
-                    Ok(Outcome::TimedOut(_)) => (JobStatus::TimedOut, Some(result)),
+                    Ok(Outcome::TimedOut(_)) => (JobStatus::TimedOut, None, Some(result)),
+                    // The budget watchdog fires the token too, and must
+                    // also win the cancel check: a breached budget is a
+                    // distinct, reportable terminal state.
+                    Ok(Outcome::BudgetExceeded(exceeded)) => {
+                        let breach = exceeded.breach;
+                        (
+                            JobStatus::BudgetExceeded,
+                            Some((breach.resource.name().to_owned(), breach.used, breach.limit)),
+                            Some(result),
+                        )
+                    }
                     _ if cancel.is_cancelled() => {
                         // Cancel wins any race with completion: a fired
                         // token means the client asked for the job to stop,
@@ -744,20 +944,20 @@ impl ServerState {
                         // document that must not be served as the job's
                         // result. Whatever output exists stays fetchable
                         // through the /text endpoint.
-                        (JobStatus::Cancelled, Some(result))
+                        (JobStatus::Cancelled, None, Some(result))
                     }
                     Ok(outcome) if outcome.was_cancelled() => {
                         // A shared run another job cancelled: duplicates
                         // share its fate.
-                        (JobStatus::Cancelled, Some(result))
+                        (JobStatus::Cancelled, None, Some(result))
                     }
-                    Ok(_) => (JobStatus::Done, Some(result)),
+                    Ok(_) => (JobStatus::Done, None, Some(result)),
                     // Same sharing for cancellations that surface as errors
                     // (e.g. a cancelled `reach` expansion).
                     Err(transyt_session::SessionError::Cancelled) => {
-                        (JobStatus::Cancelled, Some(result))
+                        (JobStatus::Cancelled, None, Some(result))
                     }
-                    Err(_) => (JobStatus::Failed, Some(result)),
+                    Err(_) => (JobStatus::Failed, None, Some(result)),
                 },
             };
             if let Some(store) = &self.persist {
@@ -790,13 +990,23 @@ impl ServerState {
                     }),
                     JobStatus::Cancelled => Some(Record::Cancel { id }),
                     JobStatus::TimedOut => Some(Record::Timeout { id }),
+                    JobStatus::BudgetExceeded => {
+                        let (resource, used, limit) =
+                            breach.clone().unwrap_or(("configs".to_owned(), 0, 0));
+                        Some(Record::Budget {
+                            id,
+                            resource,
+                            used,
+                            limit,
+                        })
+                    }
                     JobStatus::Queued | JobStatus::Running => None,
                 };
                 if let Some(record) = record {
                     self.journal(&record);
                 }
             }
-            self.finish(id, status, result);
+            self.finish(id, status, result, breach, started.elapsed());
             self.maybe_compact();
         }
     }
@@ -826,7 +1036,12 @@ mod tests {
         property forbid-marked\n";
 
     fn state_with(store: ResultStoreConfig) -> ServerState {
-        ServerState::new(Arc::new(Session::new()), store)
+        ServerState::new(Arc::new(Session::new()), store, GateConfig::default(), 1)
+    }
+
+    /// Submits in the default (batch) class.
+    fn submit(state: &ServerState, spec: TaskSpec) -> Result<usize, SubmitError> {
+        state.submit(spec, Priority::default())
     }
 
     fn drain(state: &ServerState) {
@@ -865,12 +1080,15 @@ mod tests {
     fn jobs_flow_queued_running_done_and_duplicates_share_a_run() {
         let state = state_with(ResultStoreConfig::default());
         let (model, _) = state.upload_model(RACE).unwrap();
-        assert!(state.submit(TaskSpec::verify("missing")).is_err());
-        let id = state.submit(TaskSpec::verify(&model.hash)).unwrap();
+        assert!(submit(&state, TaskSpec::verify("missing")).is_err());
+        let id = submit(&state, TaskSpec::verify(&model.hash)).unwrap();
         assert_eq!(state.job(id).unwrap().status, JobStatus::Queued);
-        let twin = state.submit(TaskSpec::verify(&model.hash)).unwrap();
+        let twin = submit(&state, TaskSpec::verify(&model.hash)).unwrap();
         let cancelled = state
-            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(2),
+                Priority::default(),
+            )
             .unwrap();
         state.cancel(cancelled);
         drain(&state);
@@ -901,12 +1119,12 @@ mod tests {
     fn shutdown_cancels_queued_jobs_and_stops_workers() {
         let state = state_with(ResultStoreConfig::default());
         let (model, _) = state.upload_model(RACE).unwrap();
-        let id = state.submit(TaskSpec::verify(&model.hash)).unwrap();
+        let id = submit(&state, TaskSpec::verify(&model.hash)).unwrap();
         state.shutdown();
         assert!(state.is_shutdown());
         assert_eq!(state.job(id).unwrap().status, JobStatus::Cancelled);
         // Submissions after shutdown are refused.
-        assert!(state.submit(TaskSpec::verify(&model.hash)).is_err());
+        assert!(submit(&state, TaskSpec::verify(&model.hash)).is_err());
         // A worker started after shutdown returns immediately.
         state.worker_loop();
     }
@@ -921,13 +1139,22 @@ mod tests {
         // Three distinct jobs (different thread counts → different keys),
         // drained by a single worker so they complete in submission order.
         let a = state
-            .submit(TaskSpec::verify(&model.hash).threads(1))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(1),
+                Priority::default(),
+            )
             .unwrap();
         let b = state
-            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(2),
+                Priority::default(),
+            )
             .unwrap();
         let c = state
-            .submit(TaskSpec::verify(&model.hash).threads(3))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(3),
+                Priority::default(),
+            )
             .unwrap();
         drain(&state);
         // Cap 2, three results stored in completion order: the oldest was
@@ -949,7 +1176,7 @@ mod tests {
             result_ttl: Some(Duration::from_millis(30)),
         });
         let (model, _) = state.upload_model(RACE).unwrap();
-        let id = state.submit(TaskSpec::verify(&model.hash)).unwrap();
+        let id = submit(&state, TaskSpec::verify(&model.hash)).unwrap();
         drain(&state);
         assert!(state.fetch_result(id).unwrap().1.is_some());
         std::thread::sleep(Duration::from_millis(40));
@@ -978,6 +1205,8 @@ mod tests {
         ServerState::recovered(
             Arc::new(Session::new()),
             store,
+            GateConfig::default(),
+            1,
             Arc::new(persist),
             &recovery,
         )
@@ -991,7 +1220,10 @@ mod tests {
         let state = durable_state(&dir, ResultStoreConfig::default());
         let (model, _) = state.upload_model(RACE).unwrap();
         let done = state
-            .submit(TaskSpec::verify(&model.hash).with_trace(true))
+            .submit(
+                TaskSpec::verify(&model.hash).with_trace(true),
+                Priority::default(),
+            )
             .unwrap();
         drain(&state);
         let first_doc = state.job(done).unwrap().result.unwrap().document.clone();
@@ -1006,10 +1238,16 @@ mod tests {
         assert!(recovered_done.recovered);
         assert_eq!(recovered_done.result.unwrap().document, first_doc);
         let queued_a = state
-            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(2),
+                Priority::default(),
+            )
             .unwrap();
         let queued_b = state
-            .submit(TaskSpec::verify(&model.hash).threads(3))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(3),
+                Priority::default(),
+            )
             .unwrap();
         drop(state);
 
@@ -1044,7 +1282,10 @@ mod tests {
         let runs_before = state.session().stats().runs_executed;
         assert_eq!(runs_before, 0);
         let duplicate = state
-            .submit(TaskSpec::verify(&model.hash).with_trace(true))
+            .submit(
+                TaskSpec::verify(&model.hash).with_trace(true),
+                Priority::default(),
+            )
             .unwrap();
         // A single worker pass serves the duplicate from the store.
         std::thread::scope(|scope| {
@@ -1074,10 +1315,16 @@ mod tests {
         let state = durable_state(&dir, cap_one);
         let (model, _) = state.upload_model(RACE).unwrap();
         let a = state
-            .submit(TaskSpec::verify(&model.hash).threads(1))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(1),
+                Priority::default(),
+            )
             .unwrap();
         let b = state
-            .submit(TaskSpec::verify(&model.hash).threads(2))
+            .submit(
+                TaskSpec::verify(&model.hash).threads(2),
+                Priority::default(),
+            )
             .unwrap();
         drain(&state);
         assert_eq!(state.evicted_jobs(), vec![a]);
@@ -1109,7 +1356,7 @@ mod tests {
         let spec = TaskSpec::zones(&model.hash)
             .limit(100_000_000)
             .deadline(Duration::from_millis(1));
-        let id = state.submit(spec).unwrap();
+        let id = state.submit(spec, Priority::default()).unwrap();
         drain(&state);
         let view = state.job(id).unwrap();
         assert_eq!(view.status, JobStatus::TimedOut);
@@ -1119,5 +1366,102 @@ mod tests {
         ));
         // Timed-out jobs serve no /result document.
         assert!(state.fetch_result(id).unwrap().1.is_none());
+    }
+
+    #[test]
+    fn admission_gate_refuses_beyond_depth_with_retry_after() {
+        let state = ServerState::new(
+            Arc::new(Session::new()),
+            ResultStoreConfig::default(),
+            GateConfig {
+                depth: 2,
+                aging_threshold: 4,
+            },
+            1,
+        );
+        let (model, _) = state.upload_model(RACE).unwrap();
+        // No worker is draining, so both admitted jobs stay queued.
+        submit(&state, TaskSpec::verify(&model.hash).threads(1)).unwrap();
+        submit(&state, TaskSpec::verify(&model.hash).threads(2)).unwrap();
+        match submit(&state, TaskSpec::verify(&model.hash).threads(3)) {
+            Err(SubmitError::Busy {
+                retry_after,
+                queued,
+            }) => {
+                assert_eq!(queued, 2);
+                assert!(retry_after >= Duration::from_secs(1));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // The refused submission left no trace in the job table.
+        assert_eq!(state.jobs().len(), 2);
+        state.shutdown();
+    }
+
+    #[test]
+    fn priority_classes_order_the_queue() {
+        let state = state_with(ResultStoreConfig::default());
+        let (model, _) = state.upload_model(RACE).unwrap();
+        let batch = state
+            .submit(TaskSpec::verify(&model.hash).threads(1), Priority::Batch)
+            .unwrap();
+        let background = state
+            .submit(
+                TaskSpec::verify(&model.hash).threads(2),
+                Priority::Background,
+            )
+            .unwrap();
+        let interactive = state
+            .submit(
+                TaskSpec::verify(&model.hash).threads(3),
+                Priority::Interactive,
+            )
+            .unwrap();
+        // Dispatch order is by class, not arrival: the late interactive
+        // submission is next up.
+        assert_eq!(state.queue_position(interactive), Some(0));
+        assert_eq!(state.queue_position(batch), Some(1));
+        assert_eq!(state.queue_position(background), Some(2));
+        assert_eq!(
+            state.job(interactive).unwrap().priority,
+            Priority::Interactive
+        );
+        drain(&state);
+        assert_eq!(state.queue_position(interactive), None);
+        assert!(state.jobs().iter().all(|j| j.status == JobStatus::Done));
+    }
+
+    #[test]
+    fn budget_breach_is_terminal_and_streams_its_lifecycle() {
+        let state = state_with(ResultStoreConfig::default());
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../models/ipcmos_2stage.stg"
+        ))
+        .unwrap();
+        let (model, _) = state.upload_model(&text).unwrap();
+        let spec = TaskSpec::zones(&model.hash)
+            .limit(100_000_000)
+            .max_configs(50);
+        let id = submit(&state, spec).unwrap();
+        drain(&state);
+        let view = state.job(id).unwrap();
+        assert_eq!(view.status, JobStatus::BudgetExceeded);
+        let (resource, used, limit) = view.breach.clone().unwrap();
+        assert_eq!(resource, "configs");
+        assert_eq!(limit, 50);
+        assert!(used >= limit, "breach reports usage at the check: {used}");
+        // No /result document — only status plus the breach triple.
+        assert!(state.fetch_result(id).unwrap().1.is_none());
+        // The event stream is complete: claim marker first, terminal last.
+        let log = state.job_events(id).unwrap();
+        let (lines, done) = log.wait(0, Duration::from_millis(1));
+        assert!(done);
+        assert_eq!(lines.first().unwrap(), "{\"type\":\"running\"}");
+        assert_eq!(
+            lines.last().unwrap(),
+            "{\"type\":\"terminal\",\"status\":\"budget_exceeded\"}"
+        );
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"batch\"")));
     }
 }

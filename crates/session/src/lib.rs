@@ -29,6 +29,10 @@
 //! * Deadlines — [`TaskSpec::deadline`] arms a watchdog that trips the
 //!   run's [`CancelToken`] and surfaces the partial result as
 //!   [`Outcome::TimedOut`].
+//! * Resource budgets — [`TaskSpec::max_configs`] / `max_zone_bytes` arm a
+//!   [`BudgetMeter`] checked inside the exploration driver's merge loop; a
+//!   breach aborts at a deterministic, thread-count-invariant configuration
+//!   count and surfaces as [`Outcome::BudgetExceeded`].
 //!
 //! See `docs/API.md` for a guided tour and `examples/embed_session.rs` for
 //! a complete embedding.
@@ -45,12 +49,13 @@ mod session;
 mod task;
 
 pub use explore::{
-    Bounds, CancelToken, ExploreSpec, Extrapolation, ProgressEvent, ProgressSink, Subsumption,
+    Bounds, BudgetBreach, BudgetMeter, BudgetResource, CancelToken, ExploreSpec, Extrapolation,
+    ProgressEvent, ProgressSink, Subsumption,
 };
 pub use outcome::{
-    asap_run, replay_rendered, trace_of_verdict, Outcome, ReachGoalOutcome, ReachOutcome,
-    ReachPath, RenderedTrace, RestoredOutcome, TimedOutOutcome, TraceStep, VerifyOutcome,
-    ZoneWitness, ZonesOutcome,
+    asap_run, replay_rendered, trace_of_verdict, BudgetExceededOutcome, Outcome, ReachGoalOutcome,
+    ReachOutcome, ReachPath, RenderedTrace, RestoredOutcome, TimedOutOutcome, TraceStep,
+    VerifyOutcome, ZoneWitness, ZonesOutcome,
 };
 pub use persist::{StoreHook, StoredResult};
 pub use session::{

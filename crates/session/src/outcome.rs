@@ -330,6 +330,28 @@ pub struct TimedOutOutcome {
     pub partial: Option<Box<Outcome>>,
 }
 
+/// A task stopped by one of its resource budgets
+/// ([`TaskSpec::max_configs`](crate::TaskSpec::max_configs) /
+/// [`TaskSpec::max_zone_bytes`](crate::TaskSpec::max_zone_bytes)).
+///
+/// Unlike a timeout, a budget abort is *deterministic*: the driver notices
+/// the breach at a fixed point of its single-threaded merge, so the partial
+/// outcome — configuration counts included — is identical for every thread
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceededOutcome {
+    /// The model's declared name.
+    pub model: String,
+    /// The command whose budget was exhausted.
+    pub command: TaskCommand,
+    /// The breach the meter recorded: which resource, usage, ceiling.
+    pub breach: explore::BudgetBreach,
+    /// The partial outcome the cancelled run still produced (e.g. a `zones`
+    /// report with the configurations explored so far), when it produced
+    /// one.
+    pub partial: Option<Box<Outcome>>,
+}
+
 /// A completed task served from a persistent store
 /// ([`StoreHook`](crate::StoreHook)) instead of a run. The structured
 /// outcome is not persisted — only the canonical renderings are — so a
@@ -358,6 +380,8 @@ pub enum Outcome {
     Zones(ZonesOutcome),
     /// The task's deadline expired before the run finished.
     TimedOut(TimedOutOutcome),
+    /// A resource budget of the task was exhausted before the run finished.
+    BudgetExceeded(BudgetExceededOutcome),
     /// A completed result restored from a persistent store; the canonical
     /// renderings live in the surrounding
     /// [`TaskResult`](crate::TaskResult).
@@ -372,6 +396,7 @@ impl Outcome {
             Outcome::Reach(r) => &r.model,
             Outcome::Zones(z) => &z.model,
             Outcome::TimedOut(t) => &t.model,
+            Outcome::BudgetExceeded(b) => &b.model,
             Outcome::Restored(r) => &r.model,
         }
     }
@@ -392,6 +417,7 @@ impl Outcome {
                     || matches!(z.witness, Some(ZoneWitness::Cancelled { .. }))
             }
             Outcome::TimedOut(_) => true,
+            Outcome::BudgetExceeded(_) => true,
             // A store only ever holds completed runs.
             Outcome::Restored(_) => false,
         }

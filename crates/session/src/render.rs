@@ -183,6 +183,19 @@ pub fn document(outcome: &Outcome) -> Value {
             }
             doc
         }
+        Outcome::BudgetExceeded(b) => {
+            let mut doc = Value::object()
+                .field("model", b.model.as_str())
+                .field("command", b.command.name())
+                .field("budget_exceeded", true)
+                .field("resource", b.breach.resource.name())
+                .field("used", b.breach.used)
+                .field("budget", b.breach.limit);
+            if let Some(partial) = &b.partial {
+                doc = doc.field("partial", document(partial));
+            }
+            doc
+        }
         // A restored result's real document is the stored bytes carried in
         // its `TaskResult`; this fallback rendering only exists so the
         // `Outcome` stays total over `render`.
@@ -331,6 +344,16 @@ pub fn text(outcome: &Outcome) -> String {
             ));
             if let Some(partial) = &t.partial {
                 text.push_str("partial results at the deadline:\n");
+                text.push_str(&self::text(partial));
+            }
+        }
+        Outcome::BudgetExceeded(b) => {
+            text.push_str(&format!(
+                "BUDGET EXCEEDED: `{}` on `{}` used {} {} against a budget of {}\n",
+                b.command, b.model, b.breach.used, b.breach.resource, b.breach.limit
+            ));
+            if let Some(partial) = &b.partial {
+                text.push_str("partial results at the budget breach:\n");
                 text.push_str(&self::text(partial));
             }
         }

@@ -9,7 +9,7 @@
 use dbm::{
     find_witness, FiringWindow, WitnessGoal, WitnessOutcome, ZoneExplorationOptions, ZoneOutcome,
 };
-use explore::{CancelToken, ProgressSink};
+use explore::{BudgetMeter, CancelToken, ProgressSink};
 use stg::{ExpandOptions, Marking, Stg};
 use transyt::VerifyOptions;
 
@@ -28,11 +28,12 @@ pub(crate) fn execute(
     spec: &TaskSpec,
     cancel: &CancelToken,
     progress: &ProgressSink,
+    budget: &BudgetMeter,
 ) -> Result<Outcome, SessionError> {
     match spec.command {
-        TaskCommand::Verify => run_verify(model, spec, cancel, progress),
-        TaskCommand::Reach => run_reach(model, spec, cancel, progress),
-        TaskCommand::Zones => run_zones(model, spec, cancel, progress),
+        TaskCommand::Verify => run_verify(model, spec, cancel, progress, budget),
+        TaskCommand::Reach => run_reach(model, spec, cancel, progress, budget),
+        TaskCommand::Zones => run_zones(model, spec, cancel, progress, budget),
     }
 }
 
@@ -41,11 +42,12 @@ fn run_verify(
     spec: &TaskSpec,
     cancel: &CancelToken,
     progress: &ProgressSink,
+    budget: &BudgetMeter,
 ) -> Result<Outcome, SessionError> {
     let timed = model.timed_system()?;
     let property = model.property();
     let verify_options = VerifyOptions {
-        spec: spec.explore_spec(cancel.clone(), progress.clone()),
+        spec: spec.explore_spec(cancel.clone(), progress.clone(), budget.clone()),
         ..VerifyOptions::default()
     };
     let verdict = transyt::verify(&timed, &property, &verify_options);
@@ -81,6 +83,7 @@ fn run_reach(
     spec: &TaskSpec,
     cancel: &CancelToken,
     progress: &ProgressSink,
+    budget: &BudgetMeter,
 ) -> Result<Outcome, SessionError> {
     let ModelSource::Stg(net) = &model.source else {
         return Err(SessionError::Spec(
@@ -88,7 +91,7 @@ fn run_reach(
         ));
     };
     let expand_options = ExpandOptions {
-        spec: spec.explore_spec(cancel.clone(), progress.clone()),
+        spec: spec.explore_spec(cancel.clone(), progress.clone(), budget.clone()),
         ..ExpandOptions::default()
     };
     let cancelled_or = |context: String| {
@@ -162,10 +165,11 @@ fn run_zones(
     spec: &TaskSpec,
     cancel: &CancelToken,
     progress: &ProgressSink,
+    budget: &BudgetMeter,
 ) -> Result<Outcome, SessionError> {
     let timed = model.timed_system()?;
     let zone_options = ZoneExplorationOptions {
-        spec: spec.explore_spec(cancel.clone(), progress.clone()),
+        spec: spec.explore_spec(cancel.clone(), progress.clone(), budget.clone()),
     };
     let ts = timed.underlying();
     let model_name = model.name.clone();

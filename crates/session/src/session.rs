@@ -11,7 +11,7 @@ use std::time::Duration;
 use explore::{CancelToken, ProgressEvent, ProgressSink};
 
 use crate::format::{Model, ModelError, ModelSource};
-use crate::outcome::{Outcome, RestoredOutcome, TimedOutOutcome};
+use crate::outcome::{BudgetExceededOutcome, Outcome, RestoredOutcome, TimedOutOutcome};
 use crate::persist::StoreHook;
 use crate::render;
 use crate::task::{TaskKey, TaskSpec};
@@ -399,10 +399,14 @@ impl Session {
                 }
             }
             inner.stats.runs_executed += 1;
-            // A deadline needs a token the watchdog can actually fire: the
-            // inert default is upgraded to a live one (nothing is lost —
-            // an inert token could never have cancelled the run anyway).
-            let run_cancel = if spec.deadline.is_some() && control.cancel.is_inert() {
+            // A deadline or a resource budget needs a token that can
+            // actually fire (the watchdog fires it on expiry, the driver on
+            // a budget breach): the inert default is upgraded to a live one
+            // (nothing is lost — an inert token could never have cancelled
+            // the run anyway).
+            let needs_live_token =
+                spec.deadline.is_some() || spec.effective_budgets() != (None, None);
+            let run_cancel = if needs_live_token && control.cancel.is_inert() {
                 CancelToken::new()
             } else {
                 control.cancel.clone()
@@ -527,15 +531,39 @@ impl Session {
         let Some(cached) = self.model(&spec.model) else {
             return Err(SessionError::UnknownModel(spec.model.clone()));
         };
+        let budget = spec.budget_meter();
         let run = || {
             catch_unwind(AssertUnwindSafe(|| {
-                crate::run::execute(&cached.model, spec, cancel, progress)
+                crate::run::execute(&cached.model, spec, cancel, progress, &budget)
             }))
             .unwrap_or(Err(SessionError::Panicked))
         };
+        // Calls the budget meter actually interrupted become
+        // `BudgetExceeded`; a run that finished before the breach was
+        // observed keeps its full result. The breach is recorded by the
+        // explore driver at a deterministic configuration count, so this
+        // classification is thread-count-invariant.
+        let classify_budget = |outcome: Result<Outcome, SessionError>| {
+            let Some(breach) = budget.breach() else {
+                return outcome;
+            };
+            let exceeded = |partial: Option<Box<Outcome>>| {
+                Ok(Outcome::BudgetExceeded(BudgetExceededOutcome {
+                    model: cached.name.clone(),
+                    command: spec.command,
+                    breach,
+                    partial,
+                }))
+            };
+            match outcome {
+                Ok(outcome) if outcome.was_cancelled() => exceeded(Some(Box::new(outcome))),
+                Err(SessionError::Cancelled) => exceeded(None),
+                other => other,
+            }
+        };
 
         let Some(deadline) = spec.deadline else {
-            return run();
+            return classify_budget(run());
         };
 
         // Watchdog: a scoped thread that sleeps until the deadline (or until
@@ -576,6 +604,12 @@ impl Session {
             outcome
         });
 
+        // A recorded breach takes precedence over the deadline: the driver
+        // aborted at the budget boundary (deterministically), even if the
+        // watchdog happened to expire in the same instant.
+        if budget.breach().is_some() {
+            return classify_budget(outcome);
+        }
         if !expired.load(std::sync::atomic::Ordering::SeqCst) {
             return outcome;
         }

@@ -11,7 +11,9 @@
 use std::fmt;
 use std::time::Duration;
 
-use explore::{Bounds, CancelToken, ExploreSpec, Extrapolation, ProgressSink, Subsumption};
+use explore::{
+    Bounds, BudgetMeter, CancelToken, ExploreSpec, Extrapolation, ProgressSink, Subsumption,
+};
 
 /// The commands a [`Session`](crate::Session) can run. (`table1` and
 /// `export` are CLI conveniences built on other crates, not session tasks.)
@@ -81,7 +83,7 @@ pub const ZONES_DEFAULT_LIMIT: usize = 50_000;
 /// assert_eq!(spec.key().canonical(),
 ///     "model=0011223344556677 command=zones threads=4 subsumption=exact \
 ///      extrapolation=lu-active bounds=local trace=yes limit=80000 to=- \
-///      deadline=30000ms");
+///      deadline=30000ms max-configs=- max-zone-bytes=-");
 ///
 /// // Identical submissions — however they were spelled — share a key (the
 /// // legacy `off` spelling normalizes to `exact`).
@@ -121,6 +123,15 @@ pub struct TaskSpec {
     /// Wall-clock deadline: when it expires the run's cancel token fires and
     /// the outcome is [`Outcome::TimedOut`](crate::Outcome::TimedOut).
     pub deadline: Option<Duration>,
+    /// Configuration budget (`reach` and `zones`): the exploration is
+    /// cancelled deterministically once it expands more configurations than
+    /// this, and the outcome is
+    /// [`Outcome::BudgetExceeded`](crate::Outcome::BudgetExceeded).
+    pub max_configs: Option<usize>,
+    /// Zone-memory budget in bytes (`zones` only): the exploration is
+    /// cancelled deterministically once the interner has committed more
+    /// distinct-zone bytes than this.
+    pub max_zone_bytes: Option<usize>,
 }
 
 /// A malformed or inconsistent task parameter set.
@@ -150,6 +161,8 @@ impl TaskSpec {
             limit: None,
             to_label: None,
             deadline: None,
+            max_configs: None,
+            max_zone_bytes: None,
         }
     }
 
@@ -224,6 +237,20 @@ impl TaskSpec {
         self
     }
 
+    /// Sets the configuration budget.
+    #[must_use]
+    pub fn max_configs(mut self, budget: usize) -> TaskSpec {
+        self.max_configs = Some(budget);
+        self
+    }
+
+    /// Sets the zone-memory budget in bytes.
+    #[must_use]
+    pub fn max_zone_bytes(mut self, budget: usize) -> TaskSpec {
+        self.max_zone_bytes = Some(budget);
+        self
+    }
+
     /// Rebinds the spec to another interned model.
     #[must_use]
     pub fn for_model(mut self, model_hash: impl Into<String>) -> TaskSpec {
@@ -237,7 +264,7 @@ impl TaskSpec {
     pub fn allowed_params(command: TaskCommand) -> &'static [&'static str] {
         match command {
             TaskCommand::Verify => &["threads", "trace", "timeout"],
-            TaskCommand::Reach => &["threads", "trace", "to", "limit", "timeout"],
+            TaskCommand::Reach => &["threads", "trace", "to", "limit", "timeout", "max-configs"],
             TaskCommand::Zones => &[
                 "threads",
                 "subsumption",
@@ -246,6 +273,8 @@ impl TaskSpec {
                 "trace",
                 "limit",
                 "timeout",
+                "max-configs",
+                "max-zone-bytes",
             ],
         }
     }
@@ -321,6 +350,18 @@ impl TaskSpec {
                     );
                 }
                 "to" => spec.to_label = Some(value.clone()),
+                "max-configs" => {
+                    spec.max_configs =
+                        Some(value.parse().ok().filter(|&b| b > 0).ok_or_else(|| {
+                            SpecError(format!("bad `max-configs` value `{value}`"))
+                        })?);
+                }
+                "max-zone-bytes" => {
+                    spec.max_zone_bytes =
+                        Some(value.parse().ok().filter(|&b| b > 0).ok_or_else(|| {
+                            SpecError(format!("bad `max-zone-bytes` value `{value}`"))
+                        })?);
+                }
                 "timeout" => {
                     let seconds: u64 = value
                         .parse()
@@ -368,6 +409,12 @@ impl TaskSpec {
         if let Some(deadline) = self.deadline {
             params.push(("timeout".to_owned(), deadline.as_secs().max(1).to_string()));
         }
+        if let (true, Some(budget)) = (allowed.contains(&"max-configs"), self.max_configs) {
+            params.push(("max-configs".to_owned(), budget.to_string()));
+        }
+        if let (true, Some(budget)) = (allowed.contains(&"max-zone-bytes"), self.max_zone_bytes) {
+            params.push(("max-zone-bytes".to_owned(), budget.to_string()));
+        }
         params
     }
 
@@ -381,12 +428,42 @@ impl TaskSpec {
         }
     }
 
+    /// The resource budgets the run will actually enforce, as
+    /// `(max_configs, max_zone_bytes)`: budgets the command ignores are
+    /// erased (`max_configs` outside `reach`/`zones`, `max_zone_bytes`
+    /// outside `zones`), mirroring [`allowed_params`](Self::allowed_params).
+    pub fn effective_budgets(&self) -> (Option<usize>, Option<usize>) {
+        let allowed = TaskSpec::allowed_params(self.command);
+        (
+            self.max_configs
+                .filter(|_| allowed.contains(&"max-configs")),
+            self.max_zone_bytes
+                .filter(|_| allowed.contains(&"max-zone-bytes")),
+        )
+    }
+
+    /// A live [`BudgetMeter`] armed with the spec's
+    /// [`effective_budgets`](Self::effective_budgets) — inert when the spec
+    /// sets none. The executing session keeps a clone to classify a
+    /// cancelled run as a budget abort.
+    pub fn budget_meter(&self) -> BudgetMeter {
+        let (max_configs, max_zone_bytes) = self.effective_budgets();
+        BudgetMeter::new(max_configs, max_zone_bytes)
+    }
+
     /// Lowers the spec into the [`ExploreSpec`] every exploration-backed
     /// command consumes — the single point where session options become
     /// engine options. The limit is the command's
-    /// [`effective_limit`](Self::effective_limit); the run's cancel token
-    /// and progress sink are supplied by the executing session.
-    pub fn explore_spec(&self, cancel: CancelToken, progress: ProgressSink) -> ExploreSpec {
+    /// [`effective_limit`](Self::effective_limit); the run's cancel token,
+    /// progress sink and budget meter are supplied by the executing session
+    /// (the meter via [`budget_meter`](Self::budget_meter), so the session
+    /// can observe a recorded breach afterwards).
+    pub fn explore_spec(
+        &self,
+        cancel: CancelToken,
+        progress: ProgressSink,
+        budget: BudgetMeter,
+    ) -> ExploreSpec {
         ExploreSpec {
             threads: self.threads,
             subsumption: self.subsumption,
@@ -395,6 +472,7 @@ impl TaskSpec {
             bounds: self.bounds,
             cancel,
             progress,
+            budget,
         }
     }
 
@@ -427,11 +505,19 @@ impl TaskSpec {
             Some(deadline) => format!("{}ms", deadline.as_millis()),
             None => "none".to_owned(),
         };
+        let erased = |budget: Option<usize>| match budget {
+            Some(budget) => budget.to_string(),
+            None => "-".to_owned(),
+        };
+        let (max_configs, max_zone_bytes) = self.effective_budgets();
+        let max_configs = erased(max_configs);
+        let max_zone_bytes = erased(max_zone_bytes);
         TaskKey {
             canonical: format!(
                 "model={} command={} threads={} subsumption={subsumption} \
                  extrapolation={extrapolation} bounds={bounds} trace={} limit={limit} \
-                 to={to} deadline={deadline}",
+                 to={to} deadline={deadline} max-configs={max_configs} \
+                 max-zone-bytes={max_zone_bytes}",
                 self.model,
                 self.command,
                 self.threads,
@@ -522,19 +608,52 @@ mod tests {
     }
 
     #[test]
+    fn budgets_are_erased_where_the_command_ignores_them() {
+        // `verify` accepts no budgets: a stray builder call never splits the
+        // key (mirroring subsumption erasure above).
+        let a = TaskSpec::verify("abc").max_configs(10).max_zone_bytes(10);
+        let b = TaskSpec::verify("abc");
+        assert_eq!(a.key(), b.key());
+        assert!(a.budget_meter().is_inert());
+        // `reach` takes max-configs but not max-zone-bytes.
+        let a = TaskSpec::reach("abc").max_zone_bytes(10);
+        let b = TaskSpec::reach("abc");
+        assert_eq!(a.key(), b.key());
+        assert_ne!(
+            TaskSpec::reach("abc").max_configs(10).key(),
+            TaskSpec::reach("abc").key()
+        );
+        // `zones` takes both, and each budget is its own run.
+        assert_ne!(
+            TaskSpec::zones("abc").max_configs(10).key(),
+            TaskSpec::zones("abc").key()
+        );
+        assert_ne!(
+            TaskSpec::zones("abc").max_zone_bytes(10).key(),
+            TaskSpec::zones("abc").max_zone_bytes(11).key()
+        );
+        assert!(!TaskSpec::zones("abc")
+            .max_configs(10)
+            .budget_meter()
+            .is_inert());
+    }
+
+    #[test]
     fn to_params_round_trips_through_parse() {
         let specs = [
             TaskSpec::verify("aa"),
             TaskSpec::verify("aa").threads(3).with_trace(true),
             TaskSpec::verify("aa").deadline(Duration::from_secs(7)),
-            TaskSpec::reach("aa").to("C+").limit(42),
+            TaskSpec::reach("aa").to("C+").limit(42).max_configs(5_000),
             TaskSpec::zones("aa")
                 .subsumption(Subsumption::Exact)
                 .extrapolation(Extrapolation::None)
                 .bounds(Bounds::Global)
                 .limit(9)
                 .with_trace(true)
-                .deadline(Duration::from_secs(30)),
+                .deadline(Duration::from_secs(30))
+                .max_configs(5_000)
+                .max_zone_bytes(1 << 20),
         ];
         for spec in specs {
             let reparsed = TaskSpec::parse(spec.command.name(), &spec.to_params())
@@ -577,6 +696,21 @@ mod tests {
         let spec = TaskSpec::parse("zones", &[]).unwrap();
         assert_eq!(spec.bounds, Bounds::Local);
         assert!(TaskSpec::parse("verify", &[pair("timeout", "0")]).is_err());
+        // Budgets: per-command validity and value checks.
+        assert!(TaskSpec::parse("verify", &[pair("max-configs", "5")]).is_err());
+        assert!(TaskSpec::parse("reach", &[pair("max-zone-bytes", "5")]).is_err());
+        assert!(TaskSpec::parse("zones", &[pair("max-configs", "0")]).is_err());
+        assert!(TaskSpec::parse("zones", &[pair("max-zone-bytes", "x")]).is_err());
+        let spec = TaskSpec::parse(
+            "zones",
+            &[
+                pair("max-configs", "5000"),
+                pair("max-zone-bytes", "1048576"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(spec.max_configs, Some(5_000));
+        assert_eq!(spec.max_zone_bytes, Some(1 << 20));
 
         let spec = TaskSpec::parse(
             "reach",

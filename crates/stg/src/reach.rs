@@ -249,6 +249,7 @@ pub fn expand_with_report(
             record_edges: true,
             cancel: options.spec.cancel.clone(),
             progress: options.spec.progress.clone(),
+            budget: options.spec.budget.clone(),
             ..ExploreOptions::default()
         },
     )?;
@@ -472,6 +473,7 @@ where
             trace: TraceOptions::parents(),
             cancel: options.spec.cancel.clone(),
             progress: options.spec.progress.clone(),
+            budget: options.spec.budget.clone(),
             ..ExploreOptions::default()
         },
     )?;

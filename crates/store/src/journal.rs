@@ -47,6 +47,10 @@ pub enum Record {
         model: String,
         /// Textual task parameters.
         params: Vec<(String, String)>,
+        /// The scheduling class name (`interactive` / `batch` /
+        /// `background`); empty when the submission predates priorities
+        /// (the server then applies its default class).
+        prio: String,
     },
     /// A worker claimed the job.
     Run {
@@ -76,6 +80,17 @@ pub enum Record {
     Timeout {
         /// The job id.
         id: usize,
+    },
+    /// The job's resource budget was breached and the run aborted.
+    Budget {
+        /// The job id.
+        id: usize,
+        /// The breached resource (`configs` / `zone-bytes`).
+        resource: String,
+        /// Usage observed at the breach.
+        used: usize,
+        /// The configured budget.
+        limit: usize,
     },
     /// The job's stored result document was garbage-collected (LRU cap or
     /// TTL); fetches answer `410 Gone` after replay, like before the
@@ -136,12 +151,23 @@ impl Record {
                 command,
                 model,
                 params,
-            } => format!("v1 job {id} {command} {model} {}", encode_params(params)),
+                prio,
+            } => format!(
+                "v1 job {id} {command} {model} {} {}",
+                encode_params(params),
+                encode_text(prio)
+            ),
             Record::Run { id } => format!("v1 run {id}"),
             Record::Done { id, result } => format!("v1 done {id} {result}"),
             Record::Fail { id, error } => format!("v1 fail {id} {}", encode_text(error)),
             Record::Cancel { id } => format!("v1 cancel {id}"),
             Record::Timeout { id } => format!("v1 timeout {id}"),
+            Record::Budget {
+                id,
+                resource,
+                used,
+                limit,
+            } => format!("v1 budget {id} {} {used} {limit}", encode_text(resource)),
             Record::Evict { id } => format!("v1 evict {id}"),
         };
         let crc = content_hash(&body);
@@ -172,6 +198,9 @@ impl Record {
                 command: tokens.next()?.to_owned(),
                 model: tokens.next()?.to_owned(),
                 params: decode_params(tokens.next()?),
+                // Absent in pre-priority journals: decode to "unspecified"
+                // so old data dirs replay cleanly.
+                prio: tokens.next().map(decode_text).unwrap_or_default(),
             },
             "run" => Record::Run {
                 id: id(&mut tokens)?,
@@ -189,6 +218,12 @@ impl Record {
             },
             "timeout" => Record::Timeout {
                 id: id(&mut tokens)?,
+            },
+            "budget" => Record::Budget {
+                id: id(&mut tokens)?,
+                resource: decode_text(tokens.next()?),
+                used: id(&mut tokens)?,
+                limit: id(&mut tokens)?,
             },
             "evict" => Record::Evict {
                 id: id(&mut tokens)?,
@@ -382,6 +417,7 @@ mod tests {
                     ("threads".to_owned(), "2".to_owned()),
                     ("trace".to_owned(), "true".to_owned()),
                 ],
+                prio: "interactive".to_owned(),
             },
             Record::Run { id: 0 },
             Record::Done {
@@ -393,6 +429,7 @@ mod tests {
                 command: "verify".to_owned(),
                 model: "00ff00ff00ff00ff".to_owned(),
                 params: Vec::new(),
+                prio: String::new(),
             },
             Record::Fail {
                 id: 1,
@@ -400,8 +437,31 @@ mod tests {
             },
             Record::Cancel { id: 2 },
             Record::Timeout { id: 3 },
+            Record::Budget {
+                id: 4,
+                resource: "zone-bytes".to_owned(),
+                used: 1_048_640,
+                limit: 1_048_576,
+            },
             Record::Evict { id: 0 },
         ]
+    }
+
+    #[test]
+    fn pre_priority_job_lines_still_decode() {
+        // The PR-9 wire shape, without the trailing prio token.
+        let body = "v1 job 3 verify 00ff00ff00ff00ff threads=2";
+        let line = format!("{body} {}", content_hash(body));
+        assert_eq!(
+            Record::decode(&line),
+            Some(Record::Job {
+                id: 3,
+                command: "verify".to_owned(),
+                model: "00ff00ff00ff00ff".to_owned(),
+                params: vec![("threads".to_owned(), "2".to_owned())],
+                prio: String::new(),
+            })
+        );
     }
 
     #[test]

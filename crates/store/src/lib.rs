@@ -50,6 +50,68 @@ pub use journal::{Journal, JournalStats, Record, COMPACT_MIN_BYTES};
 /// The journal's file name inside the data dir.
 pub const JOURNAL_FILE: &str = "journal.log";
 
+/// The exclusive-ownership lock file inside the data dir. Holds the owning
+/// process id; created at [`Store::open`], removed on drop.
+pub const LOCK_FILE: &str = "lock";
+
+/// Exclusive ownership of a data dir: a `lock` file created with
+/// `create_new` (so two racing opens cannot both win) holding the owner's
+/// pid. A lock left behind by a SIGKILLed process is detected as stale —
+/// its pid no longer exists under `/proc` — and reclaimed; a lock held by
+/// a live process is a clear contention error, not a corrupted journal.
+#[derive(Debug)]
+struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    fn acquire(root: &Path) -> io::Result<LockFile> {
+        use std::io::Write;
+        let path = root.join(LOCK_FILE);
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    writeln!(file, "{}", std::process::id())?;
+                    file.sync_all()?;
+                    return Ok(LockFile { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path).unwrap_or_default();
+                    let pid: Option<u32> = holder.trim().parse().ok();
+                    let alive = pid.is_some_and(|pid| Path::new(&format!("/proc/{pid}")).exists());
+                    if alive {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!(
+                                "data dir {} is locked by running process {} \
+                                 (stop it, or point --data-dir elsewhere)",
+                                root.display(),
+                                holder.trim()
+                            ),
+                        ));
+                    }
+                    // Stale: the recorded pid is gone (or the file is
+                    // unreadable garbage). Reclaim and retry the atomic
+                    // create — a concurrent reclaimer may still beat us,
+                    // in which case the next round sees its live pid.
+                    let _ = fs::remove_file(&path);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
 /// A job reconstructed from the journal at [`Store::open`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveredJob {
@@ -62,6 +124,9 @@ pub struct RecoveredJob {
     /// The textual task parameters, ready for
     /// [`TaskSpec::parse`](transyt_session::TaskSpec::parse).
     pub params: Vec<(String, String)>,
+    /// The journaled scheduling class name (empty when the submission
+    /// predates priorities; the server applies its default class then).
+    pub prio: String,
     /// The last journaled lifecycle state.
     pub status: RecoveredStatus,
     /// The journaled error message of a failed job.
@@ -90,6 +155,15 @@ pub enum RecoveredStatus {
     Cancelled,
     /// The deadline expired.
     TimedOut,
+    /// The resource budget was breached.
+    BudgetExceeded {
+        /// The breached resource (`configs` / `zone-bytes`).
+        resource: String,
+        /// Usage observed at the breach.
+        used: usize,
+        /// The configured budget.
+        limit: usize,
+    },
 }
 
 /// Everything [`Store::open`] replayed from the data dir.
@@ -169,6 +243,7 @@ fn fold(records: &[Record]) -> (Vec<String>, Vec<RecoveredJob>) {
                 command,
                 model,
                 params,
+                prio,
             } => {
                 if *id == jobs.len() {
                     jobs.push(RecoveredJob {
@@ -176,6 +251,7 @@ fn fold(records: &[Record]) -> (Vec<String>, Vec<RecoveredJob>) {
                         command: command.clone(),
                         model: model.clone(),
                         params: params.clone(),
+                        prio: prio.clone(),
                         status: RecoveredStatus::Queued,
                         error: None,
                         evicted: false,
@@ -220,6 +296,22 @@ fn fold(records: &[Record]) -> (Vec<String>, Vec<RecoveredJob>) {
                     }
                 }
             }
+            Record::Budget {
+                id,
+                resource,
+                used,
+                limit,
+            } => {
+                if let Some(job) = jobs.get_mut(*id) {
+                    if !terminal(&job.status) {
+                        job.status = RecoveredStatus::BudgetExceeded {
+                            resource: resource.clone(),
+                            used: *used,
+                            limit: *limit,
+                        };
+                    }
+                }
+            }
             Record::Evict { id } => {
                 if let Some(job) = jobs.get_mut(*id) {
                     job.evicted = true;
@@ -259,21 +351,31 @@ pub struct Store {
     root: PathBuf,
     fsync: bool,
     journal: Journal,
+    /// Held for the store's lifetime; removing the file on drop releases
+    /// the data dir to the next owner.
+    _lock: LockFile,
 }
 
 impl Store {
-    /// Opens (creating if needed) the data dir at `root`, replays the
-    /// journal — truncating a torn tail — and returns the store plus the
-    /// recovered state. `fsync` controls whether journal appends and
-    /// content writes are flushed to disk before being reported durable.
+    /// Opens (creating if needed) the data dir at `root`, takes its
+    /// exclusive [`LOCK_FILE`], replays the journal — truncating a torn
+    /// tail — and returns the store plus the recovered state. `fsync`
+    /// controls whether journal appends and content writes are flushed to
+    /// disk before being reported durable.
     ///
     /// # Errors
     ///
-    /// Filesystem errors creating the layout or reading the journal.
+    /// `AddrInUse` when another live process holds the data dir (its pid is
+    /// in the error message); a lock left by a dead process is reclaimed
+    /// silently. Plus filesystem errors creating the layout or reading the
+    /// journal.
     pub fn open(root: impl Into<PathBuf>, fsync: bool) -> io::Result<(Store, Recovery)> {
         let root = root.into();
         fs::create_dir_all(root.join("models"))?;
         fs::create_dir_all(root.join("results"))?;
+        // The lock precedes the journal open: exactly one process may hold
+        // the append handle (and truncate torn tails) at a time.
+        let lock = LockFile::acquire(&root)?;
         let (journal, records) = Journal::open(&root.join(JOURNAL_FILE), fsync)?;
         let dropped_bytes = journal.stats().torn_bytes_dropped;
         let (mut models, jobs) = fold(&records);
@@ -289,6 +391,7 @@ impl Store {
                 root,
                 fsync,
                 journal,
+                _lock: lock,
             },
             Recovery {
                 models,
@@ -459,6 +562,7 @@ impl Store {
                 command: job.command.clone(),
                 model: job.model.clone(),
                 params: job.params.clone(),
+                prio: job.prio.clone(),
             });
             match &job.status {
                 RecoveredStatus::Queued => {}
@@ -473,6 +577,16 @@ impl Store {
                 }),
                 RecoveredStatus::Cancelled => records.push(Record::Cancel { id: job.id }),
                 RecoveredStatus::TimedOut => records.push(Record::Timeout { id: job.id }),
+                RecoveredStatus::BudgetExceeded {
+                    resource,
+                    used,
+                    limit,
+                } => records.push(Record::Budget {
+                    id: job.id,
+                    resource: resource.clone(),
+                    used: *used,
+                    limit: *limit,
+                }),
             }
             if job.evicted {
                 records.push(Record::Evict { id: job.id });
@@ -647,6 +761,7 @@ mod tests {
             command: command.to_owned(),
             model: "00ff00ff00ff00ff".to_owned(),
             params: vec![("threads".to_owned(), "1".to_owned())],
+            prio: "batch".to_owned(),
         }
     }
 
@@ -671,9 +786,25 @@ mod tests {
             Record::Run { id: 1 },
             Record::Evict { id: 0 },
             Record::Run { id: 99 }, // unknown id: ignored
+            job_record(2, "zones"),
+            Record::Budget {
+                id: 2,
+                resource: "configs".to_owned(),
+                used: 5_001,
+                limit: 5_000,
+            },
         ]);
         assert_eq!(models, vec!["aa"]);
-        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[2].prio, "batch");
+        assert_eq!(
+            jobs[2].status,
+            RecoveredStatus::BudgetExceeded {
+                resource: "configs".to_owned(),
+                used: 5_001,
+                limit: 5_000,
+            }
+        );
         assert_eq!(
             jobs[0].status,
             RecoveredStatus::Done {
@@ -746,6 +877,7 @@ mod tests {
                     command: "verify".to_owned(),
                     model: "feed".to_owned(),
                     params: vec![("threads".to_owned(), (id + 1).to_string())],
+                    prio: "batch".to_owned(),
                 })
                 .unwrap();
             store.append(&Record::Done { id, result: fp }).unwrap();
@@ -779,6 +911,39 @@ mod tests {
         drop(store);
         let (_, replayed) = Store::open(&dir, false).unwrap();
         assert!(replayed.jobs.iter().all(|j| j.evicted));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_file_grants_exclusive_ownership_and_reclaims_stale_locks() {
+        let dir = test_dir("store-lock");
+        let (store, _) = Store::open(&dir, false).unwrap();
+        let lock_path = dir.join(LOCK_FILE);
+        assert_eq!(
+            fs::read_to_string(&lock_path).unwrap().trim(),
+            std::process::id().to_string()
+        );
+        // A second open while this (live) process holds the lock is refused
+        // with a message naming the holder.
+        let contended = Store::open(&dir, false);
+        let error = contended.err().expect("second open must be refused");
+        assert_eq!(error.kind(), io::ErrorKind::AddrInUse);
+        assert!(error.to_string().contains("locked by running process"));
+        // Dropping the store releases the dir.
+        drop(store);
+        assert!(!lock_path.exists());
+        // A stale lock (dead pid — beyond Linux's pid_max) is reclaimed.
+        fs::write(&lock_path, "4294967295\n").unwrap();
+        let (store, _) = Store::open(&dir, false).unwrap();
+        assert_eq!(
+            fs::read_to_string(&lock_path).unwrap().trim(),
+            std::process::id().to_string()
+        );
+        drop(store);
+        // Unreadable garbage counts as stale too.
+        fs::write(&lock_path, "not a pid").unwrap();
+        let (store, _) = Store::open(&dir, false).unwrap();
+        drop(store);
         let _ = fs::remove_dir_all(&dir);
     }
 
